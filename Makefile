@@ -1,0 +1,34 @@
+.PHONY: all build test bench bench-full ablations micro examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-capture:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-full:
+	dune exec bench/main.exe -- --full
+
+ablations:
+	dune exec bench/main.exe -- ablations
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/plagiarism_detection.exe
+	dune exec examples/schema_embedding.exe
+	dune exec examples/anomaly_detection.exe
+	dune exec examples/web_mirror_detection.exe
+
+clean:
+	dune clean

@@ -1,0 +1,175 @@
+(* Figures 5 and 6: accuracy and scalability on synthetic data (Exp-2).
+
+   For each point of a sweep we generate a pattern G1 (m nodes, 4m edges),
+   several data graphs G2 (edge→path and attached-subgraph noise), compute
+   the grouped-label similarity matrix, and run the four approximation
+   algorithms plus the graphSimulation baseline. Accuracy is the percentage
+   of data graphs matched at quality ≥ 0.75. *)
+
+module D = Phom_graph.Digraph
+module G = Phom_graph.Generators
+module Labelsim = Phom_sim.Labelsim
+module Api = Phom.Api
+module Simulation = Phom_baselines.Simulation
+
+type axis = Size | Noise | Xi
+
+let axis_name = function Size -> "size" | Noise -> "noise" | Xi -> "xi"
+
+type sweep_cfg = {
+  points : float list;  (** x values of the sweep *)
+  per_point : int;  (** data graphs per point (paper: 15) *)
+  base_m : int;
+  base_noise : float;
+  base_xi : float;
+  seed : int;
+  pick : [ `Best_sim | `First ];
+      (** greedyMatch candidate heuristic; the paper leaves it unspecified *)
+}
+
+let default_cfg ?(pick = `Best_sim) ~full ~axis ~seed () =
+  let base =
+    if full then
+      { points = []; per_point = 15; base_m = 500; base_noise = 0.10;
+        base_xi = 0.75; seed; pick }
+    else
+      { points = []; per_point = 5; base_m = 150; base_noise = 0.10;
+        base_xi = 0.75; seed; pick }
+  in
+  let points =
+    match (axis, full) with
+    | Size, true -> List.init 8 (fun i -> float_of_int ((i + 1) * 100))
+    | Size, false -> [ 50.; 100.; 150.; 200. ]
+    | Noise, true -> List.init 10 (fun i -> float_of_int (2 * (i + 1)) /. 100.)
+    | Noise, false -> [ 0.02; 0.06; 0.10; 0.14; 0.20 ]
+    | Xi, _ -> [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  in
+  { base with points }
+
+(* each algorithm is judged by its own metric, as in the paper: qualCard for
+   the compMaxCard family, qualSim (uniform weights) for compMaxSim *)
+let qual_card (t : Phom.Instance.t) m = Phom.Instance.qual_card t m
+
+let qual_sim (t : Phom.Instance.t) m =
+  Phom.Instance.qual_sim
+    ~weights:(Array.make (D.n t.Phom.Instance.g1) 1.)
+    t m
+
+let algorithms pick =
+  [
+    ("compMaxCard", (fun t -> Phom.Comp_max_card.run ~pick t), qual_card);
+    ( "compMaxCard1-1",
+      (fun t -> Phom.Comp_max_card.run ~injective:true ~pick t),
+      qual_card );
+    ("compMaxSim", (fun t -> Phom.Comp_max_sim.run ~pick t), qual_sim);
+    ( "compMaxSim1-1",
+      (fun t -> Phom.Comp_max_sim.run ~injective:true ~pick t),
+      qual_sim );
+  ]
+
+type point_result = {
+  x : float;
+  accuracy : (string * float) list;  (** per algorithm, percent *)
+  time : (string * float) list;  (** per algorithm + graphSimulation, seconds *)
+}
+
+let run_point ~cfg ~axis x =
+  let m, noise, xi =
+    match axis with
+    | Size -> (int_of_float x, cfg.base_noise, cfg.base_xi)
+    | Noise -> (cfg.base_m, x, cfg.base_xi)
+    | Xi -> (cfg.base_m, cfg.base_noise, x)
+  in
+  let rng = Random.State.make [| cfg.seed; int_of_float (x *. 1000.) |] in
+  let g1, pool = G.paper_pattern ~rng ~m in
+  let lsim = Labelsim.make ~pool ~seed:cfg.seed in
+  let datasets =
+    List.init cfg.per_point (fun _ -> G.paper_data ~rng ~pool ~noise g1)
+  in
+  let hits = Hashtbl.create 8 and times = Hashtbl.create 8 in
+  let record tbl name v =
+    Hashtbl.replace tbl name (v :: Option.value ~default:[] (Hashtbl.find_opt tbl name))
+  in
+  let algos = algorithms cfg.pick in
+  List.iter
+    (fun g2 ->
+      let mat = Labelsim.matrix lsim g1 g2 in
+      List.iter
+        (fun (name, algo, quality) ->
+          let result, secs =
+            Util.timed (fun () ->
+                let t = Phom.Instance.make ~g1 ~g2 ~mat ~xi () in
+                (t, algo t))
+          in
+          let t, mapping = result in
+          record times name secs;
+          record hits name (if quality t mapping >= 0.75 then 1. else 0.))
+        algos;
+      (* graphSimulation: timing series of Fig 6 (it finds 0% matches) *)
+      let sim, secs =
+        Util.timed (fun () -> Simulation.of_simmat ~mat ~xi g1 g2)
+      in
+      record times "graphSimulation" secs;
+      record hits "graphSimulation"
+        (if Simulation.matches_whole_graph sim then 1. else 0.))
+    datasets;
+  let names = List.map (fun (n, _, _) -> n) algos @ [ "graphSimulation" ] in
+  {
+    x;
+    accuracy = List.map (fun n -> (n, 100. *. Util.mean (Hashtbl.find hits n))) names;
+    time = List.map (fun n -> (n, Util.mean (Hashtbl.find times n))) names;
+  }
+
+let sweep ~cfg ~axis = List.map (run_point ~cfg ~axis) cfg.points
+
+let x_label axis x =
+  match axis with
+  | Size -> Printf.sprintf "m=%.0f" x
+  | Noise -> Printf.sprintf "%.0f%%" (100. *. x)
+  | Xi -> Printf.sprintf "xi=%.2f" x
+
+let print_accuracy ~axis results =
+  Util.heading
+    (Printf.sprintf "Figure 5(%s): accuracy vs %s"
+       (match axis with Size -> "a" | Noise -> "b" | Xi -> "c")
+       (axis_name axis));
+  let names = List.map fst (List.hd results).accuracy in
+  let rows =
+    List.map
+      (fun r ->
+        x_label axis r.x
+        :: List.map (fun n -> Printf.sprintf "%.0f%%" (List.assoc n r.accuracy)) names)
+      results
+  in
+  Util.table ((axis_name axis) :: names) rows;
+  (match axis with
+  | Size ->
+      Util.note
+        "paper reference: all four algorithms ≥65%%, roughly flat in m; graphSimulation 0%%"
+  | Noise ->
+      Util.note
+        "paper reference: decreasing with noise, still ≥50%% at noise=20%%; graphSimulation 0%%"
+  | Xi ->
+      Util.note
+        "paper reference: ≥70%% throughout, mild dip for xi in [0.6,0.8]; graphSimulation 0%%")
+
+let print_time ~axis results =
+  Util.heading
+    (Printf.sprintf "Figure 6(%s): scalability vs %s"
+       (match axis with Size -> "a" | Noise -> "b" | Xi -> "c")
+       (axis_name axis));
+  let names = List.map fst (List.hd results).time in
+  let rows =
+    List.map
+      (fun r ->
+        x_label axis r.x
+        :: List.map (fun n -> Util.seconds (List.assoc n r.time)) names)
+      results
+  in
+  Util.table ((axis_name axis) :: names) rows;
+  (match axis with
+  | Size ->
+      Util.note
+        "paper reference: growth with m, up to ~90s at m=800 (2010 Java/hardware); shape matters, not absolutes"
+  | Noise -> Util.note "paper reference: mild growth in noise for all algorithms"
+  | Xi -> Util.note "paper reference: essentially flat in xi")

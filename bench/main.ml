@@ -1,0 +1,129 @@
+(* Benchmark harness: one target per table and figure of the paper's
+   evaluation section (see DESIGN.md's per-experiment index).
+
+   dune exec bench/main.exe            -- everything, reduced scale
+   dune exec bench/main.exe -- --full  -- everything, paper scale (slow!)
+   dune exec bench/main.exe -- table3  -- a single experiment
+   dune exec bench/main.exe -- fig5 --axis noise
+   dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks *)
+
+open Cmdliner
+module Dataset = Phom_web.Dataset
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run at the paper's scale (much slower).")
+
+let seed_arg = Arg.(value & opt int 2010 & info [ "seed" ] ~doc:"Random seed.")
+
+let scale_of_full full = if full then Dataset.Full else Dataset.Reduced 10
+
+let versions_arg =
+  Arg.(value & opt int 11 & info [ "versions" ] ~doc:"Archive snapshots per site.")
+
+let mcs_limit_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "mcs-limit" ] ~doc:"cdkMCS time limit in seconds (default 3, 60 with --full).")
+
+let mcs_limit full = function Some l -> l | None -> if full then 60. else 3.
+
+let axis_arg =
+  let choices =
+    Arg.enum [ ("size", Fig56.Size); ("noise", Fig56.Noise); ("xi", Fig56.Xi) ]
+  in
+  Arg.(
+    value & opt choices Fig56.Size
+    & info [ "axis" ] ~docv:"AXIS" ~doc:"Sweep axis: $(b,size), $(b,noise) or $(b,xi).")
+
+let pick_arg =
+  let choices = Arg.enum [ ("best", `Best_sim); ("first", `First) ] in
+  Arg.(
+    value & opt choices `Best_sim
+    & info [ "pick" ] ~docv:"PICK"
+        ~doc:"greedyMatch candidate heuristic: $(b,best) similarity (default) \
+              or the paper-literal arbitrary $(b,first).")
+
+let run_table2 full seed = Table2.run ~scale:(scale_of_full full) ~seed
+
+let fast_sf_arg =
+  Arg.(
+    value & flag
+    & info [ "fast-sf" ]
+        ~doc:"Run the SF baseline with the factorized products instead of \
+              Melnik's pairwise-graph walk (same results, much faster; see \
+              ablation A5).")
+
+let sf_impl_of fast =
+  if fast then Phom_sim.Similarity_flooding.Factorized
+  else Phom_sim.Similarity_flooding.Edge_pairs
+
+let run_table3 full seed versions limit fast_sf =
+  Table3.run ~sf_impl:(sf_impl_of fast_sf) ~scale:(scale_of_full full) ~seed
+    ~versions ~mcs_time_limit:(mcs_limit full limit) ()
+
+let run_fig ~figure full seed axis pick =
+  let cfg = Fig56.default_cfg ~pick ~full ~axis ~seed () in
+  let results = Fig56.sweep ~cfg ~axis in
+  match figure with
+  | `Five -> Fig56.print_accuracy ~axis results
+  | `Six -> Fig56.print_time ~axis results
+
+let run_all full seed versions limit =
+  Table2.run ~scale:(scale_of_full full) ~seed;
+  Table3.run ~scale:(scale_of_full full) ~seed ~versions
+    ~mcs_time_limit:(mcs_limit full limit) ();
+  List.iter
+    (fun axis ->
+      let cfg = Fig56.default_cfg ~full ~axis ~seed () in
+      let results = Fig56.sweep ~cfg ~axis in
+      Fig56.print_accuracy ~axis results;
+      Fig56.print_time ~axis results)
+    [ Fig56.Size; Fig56.Noise; Fig56.Xi ];
+  Ablations.run ~seed;
+  Micro.run ()
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (web graphs and skeletons).")
+    Term.(const run_table2 $ full_arg $ seed_arg)
+
+let table3_cmd =
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Reproduce Table 3 (accuracy/scalability, real-life data).")
+    Term.(
+      const run_table3 $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg
+      $ fast_sf_arg)
+
+let fig5_cmd =
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (accuracy on synthetic data).")
+    Term.(
+      const (fun f s a p -> run_fig ~figure:`Five f s a p)
+      $ full_arg $ seed_arg $ axis_arg $ pick_arg)
+
+let fig6_cmd =
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (scalability on synthetic data).")
+    Term.(
+      const (fun f s a p -> run_fig ~figure:`Six f s a p)
+      $ full_arg $ seed_arg $ axis_arg $ pick_arg)
+
+let micro_cmd =
+  Cmd.v (Cmd.info "micro" ~doc:"Bechamel micro-benchmarks of the kernels.")
+    Term.(const (fun () -> Micro.run ()) $ const ())
+
+let ablations_cmd =
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Ablation benches for the design choices.")
+    Term.(const (fun seed -> Ablations.run ~seed) $ seed_arg)
+
+let all_term = Term.(const run_all $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg)
+
+let all_cmd = Cmd.v (Cmd.info "all" ~doc:"Every table and figure (default).") all_term
+
+let () =
+  let doc = "reproduce every table and figure of Fan et al., VLDB 2010" in
+  let info = Cmd.info "bench" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:all_term info
+          [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd; all_cmd ]))

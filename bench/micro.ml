@@ -1,0 +1,95 @@
+(* Bechamel micro-benchmarks: one Test.make per core kernel, so regressions
+   in the substrates are visible independently of the end-to-end tables. *)
+
+open Bechamel
+open Toolkit
+module D = Phom_graph.Digraph
+module G = Phom_graph.Generators
+module TC = Phom_graph.Transitive_closure
+module Labelsim = Phom_sim.Labelsim
+module SF = Phom_sim.Similarity_flooding
+
+let rng () = Random.State.make [| 17 |]
+
+(* fixed inputs, built once *)
+let er300 = G.erdos_renyi ~rng:(rng ()) ~n:300 ~m:1200 ~labels:(fun i -> "n" ^ string_of_int i)
+
+let synth_instance m =
+  let rng = rng () in
+  let g1, pool = G.paper_pattern ~rng ~m in
+  let g2 = G.paper_data ~rng ~pool ~noise:0.1 g1 in
+  let lsim = Labelsim.make ~pool ~seed:17 in
+  let mat = Labelsim.matrix lsim g1 g2 in
+  Phom.Instance.make ~g1 ~g2 ~mat ~xi:0.75 ()
+
+let inst100 = synth_instance 100
+
+let sf_pair =
+  let rng = rng () in
+  let g1 = G.erdos_renyi ~rng ~n:60 ~m:150 ~labels:(fun i -> "n" ^ string_of_int (i mod 20)) in
+  let g2 = G.erdos_renyi ~rng ~n:60 ~m:150 ~labels:(fun i -> "n" ^ string_of_int (i mod 20)) in
+  (g1, g2, Phom_sim.Simmat.of_label_equality g1 g2)
+
+let docs =
+  let rng = rng () in
+  let vocab = Phom_web.Page.vocabulary ~prefix:"w" 200 in
+  Array.init 40 (fun _ -> Phom_web.Page.generate ~rng ~vocab ~length:60)
+
+let tests =
+  Test.make_grouped ~name:"phom"
+    [
+      Test.make ~name:"transitive-closure/er-300-1200"
+        (Staged.stage (fun () -> ignore (TC.compute er300)));
+      Test.make ~name:"scc/er-300-1200"
+        (Staged.stage (fun () -> ignore (Phom_graph.Scc.compute er300)));
+      Test.make ~name:"compMaxCard/synthetic-m100"
+        (Staged.stage (fun () -> ignore (Phom.Comp_max_card.run inst100)));
+      Test.make ~name:"compMaxCard1-1/synthetic-m100"
+        (Staged.stage (fun () -> ignore (Phom.Comp_max_card.run ~injective:true inst100)));
+      Test.make ~name:"compMaxSim/synthetic-m100"
+        (Staged.stage (fun () -> ignore (Phom.Comp_max_sim.run inst100)));
+      Test.make ~name:"exact-decide/synthetic-m100"
+        (Staged.stage (fun () -> ignore (Phom.Exact.decide ~budget:200_000 inst100)));
+      Test.make ~name:"simulation/synthetic-m100"
+        (Staged.stage (fun () ->
+             ignore
+               (Phom_baselines.Simulation.of_simmat
+                  ~mat:inst100.Phom.Instance.mat ~xi:0.75
+                  inst100.Phom.Instance.g1 inst100.Phom.Instance.g2)));
+      (let g1, g2, mat = sf_pair in
+       Test.make ~name:"sf-factorized/er-60"
+         (Staged.stage (fun () -> ignore (SF.flood ~impl:SF.Factorized ~init:mat g1 g2))));
+      (let g1, g2, mat = sf_pair in
+       Test.make ~name:"sf-edge-pairs/er-60"
+         (Staged.stage (fun () -> ignore (SF.flood ~impl:SF.Edge_pairs ~init:mat g1 g2))));
+      Test.make ~name:"shingle-matrix/40x40-docs"
+        (Staged.stage (fun () -> ignore (Phom_sim.Shingle.matrix docs docs)));
+      (let small = synth_instance 25 in
+       Test.make ~name:"naive-product/synthetic-m25"
+         (Staged.stage (fun () -> ignore (Phom.Naive.max_card small))));
+    ]
+
+let run () =
+  Util.heading "Micro-benchmarks (bechamel, ns per run)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      rows :=
+        [ name; Printf.sprintf "%.0f" estimate; Printf.sprintf "%.4f" r2 ] :: !rows)
+    results;
+  let sorted = List.sort compare !rows in
+  Util.table [ "benchmark"; "ns/run"; "r²" ] sorted

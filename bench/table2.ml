@@ -1,0 +1,39 @@
+(* Table 2: Web graphs and skeletons of the (simulated) real-life data. *)
+
+module Dataset = Phom_web.Dataset
+
+(* the paper's measured values, for side-by-side comparison *)
+let paper_rows =
+  [
+    [ "site 1 (paper)"; "20000"; "42000"; "4.20"; "510"; "250"; "10841"; "20"; "207" ];
+    [ "site 2 (paper)"; "5400"; "33114"; "12.31"; "644"; "44"; "214"; "20"; "20" ];
+    [ "site 3 (paper)"; "7000"; "16800"; "4.80"; "500"; "142"; "4260"; "20"; "37" ];
+  ]
+
+let run ~scale ~seed =
+  Util.heading "Table 2: Web graphs and skeletons";
+  (match scale with
+  | Dataset.Full -> Util.note "scale: full (paper-size sites)"
+  | Dataset.Reduced k -> Util.note "scale: reduced 1/%d (use --full for paper size)" k);
+  let rng = Random.State.make [| seed |] in
+  let measured =
+    List.map
+      (fun spec ->
+        let r = Dataset.table2_row ~rng spec in
+        [
+          r.Dataset.site ^ " (ours)";
+          string_of_int r.Dataset.nodes;
+          string_of_int r.Dataset.edges;
+          Printf.sprintf "%.2f" r.Dataset.avg_deg;
+          string_of_int r.Dataset.max_deg;
+          string_of_int r.Dataset.skel1_nodes;
+          string_of_int r.Dataset.skel1_edges;
+          string_of_int r.Dataset.skel2_nodes;
+          string_of_int r.Dataset.skel2_edges;
+        ])
+      (Dataset.sites scale)
+  in
+  Util.table
+    [ "web site"; "nodes"; "edges"; "avgDeg"; "maxDeg";
+      "skel1 n"; "skel1 m"; "top20 n"; "top20 m" ]
+    (measured @ paper_rows)

@@ -1,0 +1,94 @@
+(* Table 3: accuracy and scalability of all seven methods on the simulated
+   real-life archives (Exp-1). *)
+
+module Dataset = Phom_web.Dataset
+module Matcher = Phom_web.Matcher
+
+(* the paper's Table 3, accuracy % per (method, skeleton set, site) and
+   seconds per the same key; None = N/A *)
+let paper_accuracy =
+  [
+    ("compMaxCard", ([ Some 80.; Some 100.; Some 60. ], [ Some 80.; Some 100.; Some 60. ]));
+    ("compMaxCard1-1", ([ Some 40.; Some 100.; Some 30. ], [ Some 80.; Some 100.; Some 40. ]));
+    ("compMaxSim", ([ Some 80.; Some 100.; Some 50. ], [ Some 90.; Some 100.; Some 60. ]));
+    ("compMaxSim1-1", ([ Some 20.; Some 80.; Some 10. ], [ Some 90.; Some 100.; Some 40. ]));
+    ("SF", ([ Some 40.; Some 30.; Some 20. ], [ Some 80.; Some 80.; Some 70. ]));
+    ("cdkMCS", ([ None; None; None ], [ Some 67.; Some 100.; Some 0. ]));
+    ("graphSimulation", ([ Some 0.; Some 0.; Some 0. ], [ Some 0.; Some 0.; Some 0. ]));
+  ]
+
+let paper_times =
+  [
+    ("compMaxCard", ([ "3.128"; "0.108"; "1.062" ], [ "0.078"; "0.066"; "0.080" ]));
+    ("compMaxCard1-1", ([ "2.847"; "0.097"; "0.840" ], [ "0.054"; "0.051"; "0.064" ]));
+    ("compMaxSim", ([ "3.197"; "0.093"; "0.877" ], [ "0.051"; "0.051"; "0.062" ]));
+    ("compMaxSim1-1", ([ "2.865"; "0.093"; "0.850" ], [ "0.053"; "0.049"; "0.039" ]));
+    ("SF", ([ "60.275"; "3.873"; "7.812" ], [ "0.067"; "0.158"; "0.121" ]));
+    ("cdkMCS", ([ "N/A"; "N/A"; "N/A" ], [ "156.931"; "189.16"; "0.82" ]));
+    ("graphSimulation", ([ "-"; "-"; "-" ], [ "-"; "-"; "-" ]));
+  ]
+
+type cell = { acc : float option; time : float }
+
+let measure ~rng ~versions ~mcs_time_limit ~sf_impl ~skeleton spec method_ =
+  let rng = Random.State.copy rng in
+  let pattern, later = Dataset.archive_skeletons ~rng ~versions ~skeleton spec in
+  let acc, time =
+    Matcher.accuracy ~mcs_time_limit ~sf_impl method_ ~pattern ~versions:later
+  in
+  { acc; time }
+
+let run ?(sf_impl = Phom_sim.Similarity_flooding.Edge_pairs) ~scale ~seed
+    ~versions ~mcs_time_limit () =
+  Util.heading "Table 3: accuracy and scalability on (simulated) real-life data";
+  (match scale with
+  | Dataset.Full -> Util.note "scale: full"
+  | Dataset.Reduced k -> Util.note "scale: reduced 1/%d (use --full for paper size)" k);
+  Util.note "quality threshold 0.75, xi = 0.75, %d versions per site, MCS limit %.0fs"
+    versions mcs_time_limit;
+  let sites = Dataset.sites scale in
+  let rng = Random.State.make [| seed |] in
+  (* per-site archives are regenerated per skeleton rule from a fixed seed so
+     every method sees the same data *)
+  let sets = [ ("skeletons 1 (alpha=0.2)", `Alpha 0.2); ("skeletons 2 (top-20)", `Top 20) ] in
+  let results =
+    List.map
+      (fun (set_name, skeleton) ->
+        ( set_name,
+          List.map
+            (fun method_ ->
+              ( method_,
+                List.map
+                  (fun spec ->
+                    measure ~rng ~versions ~mcs_time_limit ~sf_impl ~skeleton spec
+                      method_)
+                  sites ))
+            Matcher.all_methods ))
+      sets
+  in
+  List.iteri
+    (fun set_idx (set_name, per_method) ->
+      Printf.printf "\n-- %s --\n\n" set_name;
+      let rows =
+        List.concat_map
+          (fun (method_, cells) ->
+            let name = Matcher.method_name method_ in
+            let ours =
+              (name ^ " (ours)")
+              :: (List.map (fun c -> Util.pct c.acc) cells
+                 @ List.map (fun c -> Util.seconds c.time) cells)
+            in
+            let paper =
+              let acc1, acc2 = List.assoc name paper_accuracy in
+              let t1, t2 = List.assoc name paper_times in
+              let accs = if set_idx = 0 then acc1 else acc2 in
+              let times = if set_idx = 0 then t1 else t2 in
+              (name ^ " (paper)") :: (List.map Util.pct accs @ times)
+            in
+            [ ours; paper ])
+          per_method
+      in
+      Util.table
+        [ "algorithm"; "acc s1"; "acc s2"; "acc s3"; "time s1"; "time s2"; "time s3" ]
+        rows)
+    results

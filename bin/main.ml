@@ -1,0 +1,387 @@
+(* The phom command-line tool: generate graphs, compute (1-1) p-hom
+   matchings between graph files, decide the exact problems, and export DOT.
+
+   Graph files use the "phg 1" text format of Phom_graph.Graph_io. *)
+
+open Cmdliner
+module D = Phom_graph.Digraph
+module IO = Phom_graph.Graph_io
+module G = Phom_graph.Generators
+module Simmat = Phom_sim.Simmat
+module Shingle = Phom_sim.Shingle
+module Api = Phom.Api
+
+let load_graph path =
+  match IO.load path with
+  | Ok g -> g
+  | Error msg ->
+      Printf.eprintf "error loading %s: %s\n" path msg;
+      exit 1
+
+(* ---- shared arguments ---- *)
+
+let pattern_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PATTERN" ~doc:"Pattern graph file (G1).")
+
+let data_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"DATA" ~doc:"Data graph file (G2).")
+
+let xi_arg =
+  Arg.(value & opt float 0.75 & info [ "xi" ] ~docv:"XI" ~doc:"Similarity threshold in [0,1].")
+
+let sim_arg =
+  let choices = Arg.enum [ ("equality", `Equality); ("shingles", `Shingles) ] in
+  Arg.(
+    value & opt choices `Equality
+    & info [ "sim" ] ~docv:"KIND"
+        ~doc:"Node similarity: $(b,equality) compares labels exactly; \
+              $(b,shingles) treats labels as documents and uses w-shingling.")
+
+let mat_file_arg =
+  Arg.(
+    value & opt (some file) None
+    & info [ "mat" ] ~docv:"FILE"
+        ~doc:"Read the similarity matrix from a 'phs 1' file (overrides \
+              $(b,--sim)); lets an external page checker or model drive the \
+              matching.")
+
+let matrix_of ?file kind g1 g2 =
+  match file with
+  | Some path -> (
+      match Simmat.load path with
+      | Ok m ->
+          if Simmat.n1 m <> D.n g1 || Simmat.n2 m <> D.n g2 then begin
+            Printf.eprintf "error: matrix in %s is %dx%d but graphs are %dx%d\n"
+              path (Simmat.n1 m) (Simmat.n2 m) (D.n g1) (D.n g2);
+            exit 1
+          end
+          else m
+      | Error msg ->
+          Printf.eprintf "error loading %s: %s\n" path msg;
+          exit 1)
+  | None -> (
+      match kind with
+      | `Equality -> Simmat.of_label_equality g1 g2
+      | `Shingles -> Shingle.matrix (D.labels g1) (D.labels g2))
+
+let hops_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "k"; "hops" ] ~docv:"K"
+        ~doc:"Bound mapped paths to at most $(docv) hops (default unbounded; \
+              1 = conventional edge-to-edge matching).")
+
+let instance_of ?hops g1 g2 mat xi =
+  let tc2 =
+    match hops with
+    | None -> None
+    | Some k -> Some (Phom_graph.Bounded_closure.compute ~k g2)
+  in
+  Phom.Instance.make ?tc2 ~g1 ~g2 ~mat ~xi ()
+
+let weights_arg =
+  let choices =
+    Arg.enum
+      [ ("uniform", `Uniform); ("degree", `Degree); ("hub", `Hub); ("authority", `Authority) ]
+  in
+  Arg.(
+    value & opt choices `Uniform
+    & info [ "weights"; "w" ] ~docv:"KIND"
+        ~doc:"Node-importance weights for the SPH problems: $(b,uniform), \
+              $(b,degree), $(b,hub) or $(b,authority).")
+
+let weights_of kind g1 =
+  match kind with
+  | `Uniform -> Phom.Weights.uniform g1
+  | `Degree -> Phom.Weights.degree g1
+  | `Hub -> Phom.Weights.hub g1
+  | `Authority -> Phom.Weights.authority g1
+
+let problem_arg =
+  let choices =
+    Arg.enum
+      [ ("cph", Api.CPH); ("cph11", Api.CPH11); ("sph", Api.SPH); ("sph11", Api.SPH11) ]
+  in
+  Arg.(
+    value & opt choices Api.CPH
+    & info [ "problem"; "p" ] ~docv:"PROBLEM"
+        ~doc:"Optimization problem: $(b,cph), $(b,cph11), $(b,sph) or $(b,sph11).")
+
+let algorithm_arg =
+  let choices =
+    Arg.enum [ ("direct", Api.Direct); ("naive", Api.Naive_product); ("exact", Api.Exact_bb) ]
+  in
+  Arg.(
+    value & opt choices Api.Direct
+    & info [ "algorithm"; "a" ] ~docv:"ALGO"
+        ~doc:"$(b,direct) = compMaxCard/compMaxSim, $(b,naive) = product graph, \
+              $(b,exact) = branch and bound.")
+
+let partition_arg =
+  Arg.(value & flag & info [ "partition" ] ~doc:"Enable the Appendix-B G1 partitioning.")
+
+let compress_arg =
+  Arg.(value & flag & info [ "compress" ] ~doc:"Enable the Appendix-B G2 compression.")
+
+(* ---- match ---- *)
+
+let match_cmd =
+  let dot_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot-out" ] ~docv:"FILE"
+          ~doc:"Also write a Graphviz visualization of the mapping to $(docv).")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the full match report: similarities and the witness \
+                path for every mapped pattern edge.")
+  in
+  let run pattern data xi sim mat_file problem algorithm partition compress hops
+      weights dot_out explain =
+    let g1 = load_graph pattern and g2 = load_graph data in
+    let mat = matrix_of ?file:mat_file sim g1 g2 in
+    let t = instance_of ?hops g1 g2 mat xi in
+    let weights = weights_of weights g1 in
+    let r = Api.solve ~algorithm ~partition ~compress ~weights problem t in
+    if explain then print_string (Api.report t r)
+    else begin
+      Printf.printf "problem   : %s\n" (Api.problem_name problem);
+      Printf.printf "quality   : %.4f\n" r.Api.quality;
+      Printf.printf "matched   : %b (threshold 0.75)\n" (Api.matches r);
+      Printf.printf "mapping   : %d of %d pattern nodes\n"
+        (Phom.Mapping.size r.Api.mapping) (D.n g1);
+      List.iter
+        (fun (v, u) ->
+          Printf.printf "  %d [%s] -> %d [%s]\n" v (D.label g1 v) u (D.label g2 u))
+        r.Api.mapping
+    end;
+    match dot_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (IO.mapping_to_dot ~g1 ~g2 r.Api.mapping));
+        Printf.printf "wrote %s\n" path
+  in
+  let term =
+    Term.(
+      const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
+      $ problem_arg $ algorithm_arg $ partition_arg $ compress_arg $ hops_arg
+      $ weights_arg $ dot_out_arg $ explain_arg)
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Compute a maximum (1-1) p-hom mapping between two graph files.")
+    term
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let run pattern data xi sim mat_file hops =
+    let g1 = load_graph pattern and g2 = load_graph data in
+    let mat = matrix_of ?file:mat_file sim g1 g2 in
+    let t = instance_of ?hops g1 g2 mat xi in
+    Printf.printf "%-22s %-10s %s\n" "method" "quality" "matched@0.75";
+    List.iter
+      (fun p ->
+        let r = Api.solve p t in
+        Printf.printf "%-22s %-10.4f %b\n" (Api.problem_name p) r.Api.quality
+          (Api.matches r))
+      [ Api.CPH; Api.CPH11; Api.SPH; Api.SPH11 ];
+    let module Sim = Phom_baselines.Simulation in
+    let sim_rel = Sim.of_simmat ~mat ~xi g1 g2 in
+    Printf.printf "%-22s %-10s %b\n" "graphSimulation" "-"
+      (Sim.matches_whole_graph sim_rel);
+    let module Ull = Phom_baselines.Ullmann in
+    Printf.printf "%-22s %-10s %s\n" "subgraphIsomorphism" "-"
+      (match Ull.exists ~node_compat:(fun v u -> Simmat.get mat v u >= xi) g1 g2 with
+      | Some b -> string_of_bool b
+      | None -> "gave up");
+    let module Mcs = Phom_baselines.Mcs in
+    (match
+       Mcs.run ~node_compat:(fun v u -> Simmat.get mat v u >= xi) ~time_limit:10. g1 g2
+     with
+    | Mcs.Completed m ->
+        Printf.printf "%-22s %-10.4f %b\n" "maxCommonSubgraph" (Mcs.quality g1 m)
+          (Mcs.quality g1 m >= 0.75)
+    | Mcs.Timed_out -> Printf.printf "%-22s %-10s timeout\n" "maxCommonSubgraph" "-");
+    let module Ged = Phom_baselines.Ged in
+    let s = Ged.similarity ~costs:(Ged.costs_of_simmat mat) g1 g2 in
+    Printf.printf "%-22s %-10.4f %b\n" "editDistance" s (s >= 0.75);
+    let module PF = Phom_baselines.Path_features in
+    let pf = PF.similarity g1 g2 in
+    Printf.printf "%-22s %-10.4f %b\n" "pathFeatures" pf (pf >= 0.75)
+  in
+  let term =
+    Term.(
+      const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
+      $ hops_arg)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every matching notion on two graph files and tabulate.")
+    term
+
+(* ---- decide ---- *)
+
+let decide_cmd =
+  let injective_arg =
+    Arg.(value & flag & info [ "injective"; "1-1" ] ~doc:"Decide 1-1 p-hom instead of p-hom.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 5_000_000 & info [ "budget" ] ~doc:"Search-node budget.")
+  in
+  let run pattern data xi sim mat_file injective budget hops =
+    let g1 = load_graph pattern and g2 = load_graph data in
+    let mat = matrix_of ?file:mat_file sim g1 g2 in
+    let t = instance_of ?hops g1 g2 mat xi in
+    match Phom.Prefilter.decide ~injective ~budget t with
+    | Some true ->
+        Printf.printf "yes: G1 %s G2 at xi = %g\n"
+          (if injective then "<=(1-1)" else "<=(e,p)")
+          xi
+    | Some false -> print_endline "no"
+    | None ->
+        print_endline "undecided (budget exhausted)";
+        exit 2
+  in
+  let term =
+    Term.(
+      const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
+      $ injective_arg $ budget_arg $ hops_arg)
+  in
+  Cmd.v
+    (Cmd.info "decide" ~doc:"Decide the NP-complete (1-1) p-hom problem exactly.")
+    term
+
+(* ---- witnesses ---- *)
+
+let witnesses_cmd =
+  let injective_arg =
+    Arg.(value & flag & info [ "injective"; "1-1" ] ~doc:"Enumerate 1-1 mappings.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Maximum mappings to list.")
+  in
+  let run pattern data xi sim mat_file hops injective limit =
+    let g1 = load_graph pattern and g2 = load_graph data in
+    let mat = matrix_of ?file:mat_file sim g1 g2 in
+    let t = instance_of ?hops g1 g2 mat xi in
+    let mappings, exhaustive =
+      Phom.Exact.enumerate_optimal ~injective ~limit
+        ~objective:Phom.Exact.Cardinality t
+    in
+    Printf.printf "%d optimal mapping(s)%s\n" (List.length mappings)
+      (if exhaustive then "" else " (truncated)");
+    List.iteri
+      (fun i m ->
+        Printf.printf "#%d:" (i + 1);
+        List.iter
+          (fun (v, u) ->
+            Printf.printf " %s->%s" (D.label g1 v) (D.label g2 u))
+          m;
+        print_newline ())
+      mappings
+  in
+  let term =
+    Term.(
+      const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
+      $ hops_arg $ injective_arg $ limit_arg)
+  in
+  Cmd.v
+    (Cmd.info "witnesses"
+       ~doc:"Enumerate all optimal (1-1) p-hom mappings between two graphs.")
+    term
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let kind_arg =
+    let choices =
+      Arg.enum
+        [ ("er", `Er); ("dag", `Dag); ("tree", `Tree); ("pattern", `Pattern); ("data", `Data) ]
+    in
+    Arg.(
+      required & pos 0 (some choices) None
+      & info [] ~docv:"KIND"
+          ~doc:"$(b,er), $(b,dag), $(b,tree), $(b,pattern) (paper synthetic G1) \
+                or $(b,data) (paper synthetic G2 for --from pattern).")
+  in
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output file.")
+  in
+  let n_arg = Arg.(value & opt int 100 & info [ "n"; "nodes" ] ~doc:"Number of nodes (m for pattern).") in
+  let m_arg = Arg.(value & opt (some int) None & info [ "m"; "edges" ] ~doc:"Number of edges.") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let noise_arg = Arg.(value & opt float 0.1 & info [ "noise" ] ~doc:"Noise rate for data graphs.") in
+  let from_arg =
+    Arg.(value & opt (some file) None & info [ "from" ] ~doc:"Pattern file (for data graphs).")
+  in
+  let run kind out n m seed noise from =
+    let rng = Random.State.make [| seed |] in
+    let labels i = "n" ^ string_of_int i in
+    let g =
+      match kind with
+      | `Er -> G.erdos_renyi ~rng ~n ~m:(Option.value m ~default:(2 * n)) ~labels
+      | `Dag -> G.random_dag ~rng ~n ~m:(Option.value m ~default:(2 * n)) ~labels
+      | `Tree -> G.random_tree ~rng ~n ~labels
+      | `Pattern -> fst (G.paper_pattern ~rng ~m:n)
+      | `Data -> (
+          match from with
+          | None ->
+              Printf.eprintf "data generation needs --from PATTERN\n";
+              exit 1
+          | Some path ->
+              let g1 = load_graph path in
+              let pool = G.pool_for (D.n g1) in
+              G.paper_data ~rng ~pool ~noise g1)
+    in
+    IO.save out g;
+    Printf.printf "wrote %s: %d nodes, %d edges\n" out (D.n g) (D.nb_edges g)
+  in
+  let term =
+    Term.(const run $ kind_arg $ out_arg $ n_arg $ m_arg $ seed_arg $ noise_arg $ from_arg)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate random graphs in phg format.") term
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Graph file.")
+  in
+  let run path =
+    let g = load_graph path in
+    let scc = Phom_graph.Scc.compute g in
+    Printf.printf "nodes      : %d\n" (D.n g);
+    Printf.printf "edges      : %d\n" (D.nb_edges g);
+    Printf.printf "avg degree : %.2f\n" (D.avg_degree g);
+    Printf.printf "max degree : %d\n" (D.max_degree g);
+    Printf.printf "SCCs       : %d\n" scc.Phom_graph.Scc.count;
+    Printf.printf "acyclic    : %b\n" (Phom_graph.Traversal.is_dag g)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print graph statistics.") Term.(const run $ file_arg)
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Graph file.")
+  in
+  let run path = print_string (IO.to_dot (load_graph path)) in
+  Cmd.v (Cmd.info "dot" ~doc:"Convert a graph file to Graphviz DOT on stdout.") Term.(const run $ file_arg)
+
+let () =
+  let doc = "graph matching by p-homomorphism (Fan et al., VLDB 2010)" in
+  let info = Cmd.info "phom" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            match_cmd; compare_cmd; decide_cmd; witnesses_cmd; generate_cmd;
+            stats_cmd; dot_cmd;
+          ]))

@@ -1,0 +1,82 @@
+(* Web-graph anomaly detection (Papadimitriou et al. [23], one of the
+   motivating applications in the paper's introduction).
+
+   A crawler snapshots a site daily; consecutive snapshots should match.
+   When a deploy goes wrong — here, a navigation change that cuts a whole
+   section over to a flat layout plus a content wipe of its pages — the
+   match quality to the previous snapshot drops and the day is flagged.
+   p-hom is the right notion for the comparison: ordinary day-to-day drift
+   inserts redirects and wrapper pages (edges become paths), which must NOT
+   raise an alarm.
+
+   Run with: dune exec examples/anomaly_detection.exe *)
+
+module D = Phom_graph.Digraph
+module Site_gen = Phom_web.Site_gen
+module Skeleton = Phom_web.Skeleton
+module Matcher = Phom_web.Matcher
+
+let params =
+  {
+    Site_gen.pages = 400;
+    hub_fraction = 0.02;
+    max_degree_fraction = 0.06;
+    hub_affinity = 0.3;
+    edges = 900;
+    templates = 6;
+    vocab_size = 800;
+    page_length = 50;
+    edit_rate = 0.02;
+    rewire_rate = 0.01;
+    page_churn = 0.005;
+    vocab_prefix = "site";
+  }
+
+(* the incident: one day, a large set of pages is wiped (content replaced by
+   an error template) and their links removed *)
+let break_site rng (site : Site_gen.t) =
+  let n = D.n site.Site_gen.graph in
+  let broken = Array.make n false in
+  (* the outage takes down a stripe of the site including its hub pages *)
+  for v = 0 to n - 1 do
+    if v mod 2 = 0 && Random.State.float rng 1.0 < 0.95 then broken.(v) <- true
+  done;
+  let contents =
+    Array.mapi
+      (fun v doc -> if broken.(v) then "service unavailable error 503" else doc)
+      site.Site_gen.contents
+  in
+  let edges =
+    List.filter
+      (fun (u, v) -> not (broken.(u) || broken.(v)))
+      (D.edges site.Site_gen.graph)
+  in
+  { Site_gen.graph = D.make ~labels:(D.labels site.Site_gen.graph) ~edges; contents }
+
+let () =
+  print_endline "=== Web-graph anomaly detection with p-hom matching ===\n";
+  let rng = Random.State.make [| 7 |] in
+  let days = Site_gen.archive ~rng params ~versions:8 in
+  (* inject the incident on day 6 (index 5), recovery after *)
+  let days =
+    List.mapi (fun i day -> if i = 5 then break_site rng day else day) days
+  in
+  let skeletons = List.map (Skeleton.by_degree ~alpha:0.2) days in
+  print_endline "day  vs previous day   quality   verdict";
+  let rec scan i = function
+    | prev :: (curr :: _ as rest) ->
+        let v = Matcher.match_skeletons Matcher.CompMaxCard prev curr in
+        Printf.printf "%-4d %-17s %.2f      %s\n" (i + 1)
+          (Printf.sprintf "day %d" i)
+          v.Matcher.quality
+          (match v.Matcher.matched with
+          | Some true -> "ok"
+          | Some false -> "ANOMALY — investigate this deploy"
+          | None -> "n/a");
+        scan (i + 1) rest
+    | _ -> ()
+  in
+  scan 0 skeletons;
+  print_endline
+    "\nNormal drift (redirects, wrappers, content edits) stays above the\n\
+     threshold because edges may map to paths; the structural break does not."

@@ -1,0 +1,120 @@
+(* Software plagiarism detection over program dependence graphs (PDGs) —
+   one of the applications motivating the paper (GPlag [20]).
+
+   A plagiarist typically (a) renames identifiers, (b) inserts no-op
+   statements, and (c) pads with dead code. On the PDG these are exactly
+   (a) node labels that are similar but not equal, (b) edges stretched into
+   paths, and (c) attached subgraphs — so subgraph isomorphism misses the
+   copy while 1-1 p-hom pins it down.
+
+   Run with: dune exec examples/plagiarism_detection.exe *)
+
+module D = Phom_graph.Digraph
+module Simmat = Phom_sim.Simmat
+module Shingle = Phom_sim.Shingle
+module Api = Phom.Api
+
+(* PDG of the original function: nodes are statements labelled by their
+   (tokenized) source text; edges are data/control dependences *)
+let original =
+  D.make
+    ~labels:
+      [|
+        "entry fib n";
+        "if n less than two";
+        "return n";
+        "a = fib ( n - 1 )";
+        "b = fib ( n - 2 )";
+        "return a + b";
+      |]
+    ~edges:[ (0, 1); (1, 2); (1, 3); (1, 4); (3, 5); (4, 5) ]
+
+(* the plagiarized copy: renamed identifiers, a logging no-op inserted on a
+   dependence chain, and a dead-code block hanging off the entry *)
+let plagiarized =
+  D.make
+    ~labels:
+      [|
+        "entry fibonacci num";
+        "if num less than two";
+        "return num";
+        "log call depth";
+        "x = fibonacci ( num - 1 )";
+        "y = fibonacci ( num - 2 )";
+        "return x + y";
+        "unused = 0";
+        "print banner";
+      |]
+    ~edges:
+      [
+        (0, 1); (1, 2); (1, 3); (3, 4) (* no-op stretches the chain *);
+        (1, 5); (4, 6); (5, 6); (0, 7); (7, 8) (* dead code *);
+      ]
+
+(* an independently written program with superficially similar text *)
+let independent =
+  D.make
+    ~labels:
+      [|
+        "entry sum list";
+        "acc = 0";
+        "for item in list";
+        "acc = acc + item";
+        "return acc";
+      |]
+    ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (3, 2) ]
+
+(* plagiarism detectors normalize identifiers before comparing statements:
+   every token that is not a language keyword/operator becomes "id", so
+   renaming variables does not hide the statement's shape *)
+let keywords =
+  [
+    "entry"; "if"; "return"; "for"; "in"; "less"; "than"; "two"; "log";
+    "call"; "print"; "0"; "1"; "2";
+  ]
+
+let normalize stmt =
+  Shingle.tokenize stmt
+  |> List.map (fun tok -> if List.mem tok keywords then tok else "id")
+  |> String.concat " "
+
+let statement_similarity g1 g2 =
+  Shingle.matrix ~w:2
+    (Array.map normalize (D.labels g1))
+    (Array.map normalize (D.labels g2))
+
+let verdict name g1 g2 =
+  let mat = statement_similarity g1 g2 in
+  let t = Phom.Instance.make ~g1 ~g2 ~mat ~xi:0.3 () in
+  let r = Api.solve Api.CPH11 t in
+  let module Ull = Phom_baselines.Ullmann in
+  Printf.printf "%-22s 1-1 p-hom quality = %.2f → %-12s (subgraph iso: %s)\n"
+    name r.Api.quality
+    (if Api.matches ~threshold:0.8 r then "PLAGIARISM" else "clean")
+    (match Ull.exists g1 g2 with
+    | Some true -> "detected"
+    | Some false -> "missed"
+    | None -> "gave up");
+  r
+
+let () =
+  print_endline "=== PDG plagiarism detection with 1-1 p-hom ===\n";
+  Printf.printf "original PDG: %d statements, %d dependences\n\n" (D.n original)
+    (D.nb_edges original);
+  let r = verdict "obfuscated copy:" original plagiarized in
+  ignore (verdict "independent program:" original independent);
+  print_endline "\nwitness mapping into the obfuscated copy:";
+  List.iter
+    (fun (v, u) ->
+      Printf.printf "  %-22s -> %s\n" (D.label original v) (D.label plagiarized u))
+    r.Api.mapping;
+  (* how many distinct maximal correspondences exist (evidence strength) *)
+  let mat = statement_similarity original plagiarized in
+  let t = Phom.Instance.make ~g1:original ~g2:plagiarized ~mat ~xi:0.3 () in
+  let witnesses, exhaustive =
+    Phom.Exact.enumerate_optimal ~injective:true
+      ~objective:Phom.Exact.Cardinality t
+  in
+  Printf.printf "\n%d maximal correspondence(s)%s support the verdict\n"
+    (List.length witnesses)
+    (if exhaustive then "" else " (at least)")

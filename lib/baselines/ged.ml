@@ -1,0 +1,85 @@
+module D = Phom_graph.Digraph
+module Assignment = Phom_wis.Assignment
+
+type costs = {
+  node_sub : int -> int -> float;
+  node_indel : float;
+  edge_indel : float;
+}
+
+let default_costs g1 g2 =
+  {
+    node_sub =
+      (fun v u -> if String.equal (D.label g1 v) (D.label g2 u) then 0. else 1.);
+    node_indel = 1.;
+    edge_indel = 1.;
+  }
+
+let costs_of_simmat mat =
+  {
+    node_sub = (fun v u -> 1. -. Phom_sim.Simmat.get mat v u);
+    node_indel = 1.;
+    edge_indel = 1.;
+  }
+
+(* (n1+n2) × (n2+n1) cost matrix:
+     top-left      n1×n2  substitutions (label + local edge mismatch)
+     top-right     n1×n1  deletions (diagonal; ∞ off it)
+     bottom-left   n2×n2  insertions (diagonal; ∞ off it)
+     bottom-right  n2×n1  zeros (ε → ε)                          *)
+let approx ?costs g1 g2 =
+  let c = match costs with Some c -> c | None -> default_costs g1 g2 in
+  let n1 = D.n g1 and n2 = D.n g2 in
+  if n1 = 0 && n2 = 0 then 0.
+  else begin
+    let big = 1e9 in
+    let deg_out g v = float_of_int (D.out_degree g v) in
+    let deg_in g v = float_of_int (D.in_degree g v) in
+    let size = n1 + n2 in
+    let cost = Array.make_matrix size size 0. in
+    for v = 0 to n1 - 1 do
+      for u = 0 to n2 - 1 do
+        (* local edge term: unmatched degree differences, each mismatched
+           edge end charged half an edge operation on each side *)
+        let edge_term =
+          c.edge_indel
+          *. (Float.abs (deg_out g1 v -. deg_out g2 u)
+             +. Float.abs (deg_in g1 v -. deg_in g2 u))
+          /. 2.
+        in
+        cost.(v).(u) <- c.node_sub v u +. edge_term
+      done;
+      for j = 0 to n1 - 1 do
+        cost.(v).(n2 + j) <-
+          (if j = v then
+             c.node_indel +. (c.edge_indel *. (deg_out g1 v +. deg_in g1 v) /. 2.)
+           else big)
+      done
+    done;
+    for i = 0 to n2 - 1 do
+      for u = 0 to n2 - 1 do
+        cost.(n1 + i).(u) <-
+          (if u = i then
+             c.node_indel +. (c.edge_indel *. (deg_out g2 u +. deg_in g2 u) /. 2.)
+           else big)
+      done
+      (* bottom-right block stays 0 *)
+    done;
+    let _, total = Assignment.minimize cost in
+    total
+  end
+
+let ged_max ?costs g1 g2 =
+  let c = match costs with Some c -> c | None -> default_costs g1 g2 in
+  (c.node_indel *. float_of_int (D.n g1 + D.n g2))
+  +. (c.edge_indel *. float_of_int (D.nb_edges g1 + D.nb_edges g2))
+
+let similarity ?costs g1 g2 =
+  if D.n g1 = 0 && D.n g2 = 0 then 1.0
+  else begin
+    let mx = ged_max ?costs g1 g2 in
+    if mx <= 0. then 1.0
+    else Float.max 0. (1. -. (approx ?costs g1 g2 /. mx))
+  end
+
+let matches ?costs ?(threshold = 0.75) g1 g2 = similarity ?costs g1 g2 >= threshold

@@ -1,0 +1,40 @@
+(** Approximate graph edit distance (Riesen–Bunke bipartite/assignment GED)
+    — the edit-distance similarity measure of Zeng et al. [31] that the
+    paper's Related Work classifies under structure-based approaches
+    ("essentially based on subgraph isomorphism").
+
+    Exact GED is itself NP-hard, so the standard practical algorithm
+    assigns nodes by a minimum-cost bipartite assignment over
+    substitution/insertion/deletion costs (with local edge-degree terms
+    standing in for the quadratic edge costs) — an upper bound on the true
+    edit distance, computed in O(n³). *)
+
+type costs = {
+  node_sub : int -> int -> float;
+      (** cost of substituting pattern node [v] by data node [u] *)
+  node_indel : float;  (** node insertion/deletion cost, per node *)
+  edge_indel : float;  (** edge insertion/deletion cost, per edge *)
+}
+
+val default_costs :
+  Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> costs
+(** Label equality: substitution is free on equal labels and costs 1
+    otherwise; insert/delete cost 1 each. *)
+
+val costs_of_simmat : Phom_sim.Simmat.t -> costs
+(** Substitution cost [1 − mat(v, u)] — the similarity-aware variant. *)
+
+val approx : ?costs:costs -> Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> float
+(** The assignment-based GED upper bound. 0 for identical graphs. *)
+
+val similarity : ?costs:costs -> Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> float
+(** [1 − ged / ged_max] where [ged_max] deletes one graph and inserts the
+    other; in [[0, 1]], 1.0 for identical graphs. *)
+
+val matches :
+  ?costs:costs ->
+  ?threshold:float ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  bool
+(** [similarity ≥ threshold] (default 0.75). *)

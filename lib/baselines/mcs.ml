@@ -1,0 +1,65 @@
+module D = Phom_graph.Digraph
+module Ungraph = Phom_wis.Ungraph
+module Wis = Phom_wis.Wis
+
+type outcome = Completed of Phom.Mapping.t | Timed_out
+
+let default_compat g1 g2 v u = String.equal (D.label g1 v) (D.label g2 u)
+
+let modular_product compat g1 g2 =
+  let n2 = D.n g2 in
+  let pairs = ref [] in
+  for v = D.n g1 - 1 downto 0 do
+    for u = n2 - 1 downto 0 do
+      if compat v u && D.has_edge g1 v v = D.has_edge g2 u u then
+        pairs := (v, u) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  let np = Array.length pairs in
+  let edges = ref [] in
+  for i = 0 to np - 1 do
+    let v1, u1 = pairs.(i) in
+    for j = i + 1 to np - 1 do
+      let v2, u2 = pairs.(j) in
+      if
+        v1 <> v2 && u1 <> u2
+        && D.has_edge g1 v1 v2 = D.has_edge g2 u1 u2
+        && D.has_edge g1 v2 v1 = D.has_edge g2 u2 u1
+      then edges := (i, j) :: !edges
+    done
+  done;
+  (Ungraph.create np !edges, pairs)
+
+let run ?node_compat ?(budget = 10_000_000) ?time_limit g1 g2 =
+  let compat =
+    match node_compat with Some f -> f | None -> default_compat g1 g2
+  in
+  let product, pairs = modular_product compat g1 g2 in
+  let should_stop =
+    match time_limit with
+    | None -> fun () -> false
+    | Some limit ->
+        let started = Sys.time () in
+        fun () -> Sys.time () -. started > limit
+  in
+  match Wis.exact_max_clique ~budget ~should_stop product with
+  | None -> Timed_out
+  | Some clique ->
+      Completed (Phom.Mapping.normalize (List.map (fun i -> pairs.(i)) clique))
+
+let quality g1 m =
+  if D.n g1 = 0 then 1.0
+  else float_of_int (Phom.Mapping.size m) /. float_of_int (D.n g1)
+
+let is_common_subgraph g1 g2 m =
+  Phom.Mapping.is_function m && Phom.Mapping.is_injective m
+  && List.for_all
+       (fun (v1, u1) ->
+         List.for_all
+           (fun (v2, u2) ->
+             v1 = v2
+             || (D.has_edge g1 v1 v2 = D.has_edge g2 u1 u2
+                && D.has_edge g1 v2 v1 = D.has_edge g2 u2 u1))
+           m)
+       m

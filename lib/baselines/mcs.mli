@@ -1,0 +1,34 @@
+(** Maximum common (induced) subgraph — our stand-in for the cdkMCS baseline
+    [1] of the experiments.
+
+    Implemented the classical way: build the modular product of the two
+    graphs (label-compatible node pairs; two pairs adjacent iff they agree
+    on edges in both directions) and find a {e maximum clique} exactly with
+    branch and bound. Exact and exponential — on the α=0.2 skeletons it
+    exhausts any reasonable budget, reproducing the paper's "cdkMCS did not
+    run to completion"; on top-20 skeletons it finishes. *)
+
+type outcome =
+  | Completed of Phom.Mapping.t
+      (** node pairs of a maximum common induced subgraph *)
+  | Timed_out
+
+val run :
+  ?node_compat:(int -> int -> bool) ->
+  ?budget:int ->
+  ?time_limit:float ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  outcome
+(** [time_limit] in seconds of elapsed CPU time (default none); [budget]
+    caps clique search nodes (default 10⁷); [node_compat] defaults to label
+    equality. *)
+
+val quality : Phom_graph.Digraph.t -> Phom.Mapping.t -> float
+(** [|mapping| / |V1|] — the MCS instance of [qualCard] (MCS is the special
+    case of CPH¹⁻¹, Section 3.3). *)
+
+val is_common_subgraph :
+  Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> Phom.Mapping.t -> bool
+(** Test oracle: the mapping is injective and edge-agreeing in both
+    directions (induced-subgraph isomorphism between the two sides). *)

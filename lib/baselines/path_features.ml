@@ -1,0 +1,34 @@
+module D = Phom_graph.Digraph
+
+let fnv_prime = 0x100000001b3
+
+let hash_extend h label =
+  let h = ref h in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime) label;
+  (!h lxor 0xff) * fnv_prime
+
+let seed_hash = 0x4bf29ce484222325
+
+let features ?(max_len = 3) ?(cap = 200_000) g =
+  let out = Hashtbl.create 1024 in
+  let budget = ref cap in
+  let rec walk v h len =
+    if !budget > 0 then begin
+      decr budget;
+      let h = hash_extend h (D.label g v) in
+      Hashtbl.replace out (h land max_int) ();
+      if len < max_len then Array.iter (fun w -> walk w h (len + 1)) (D.succ g v)
+    end
+  in
+  for v = 0 to D.n g - 1 do
+    walk v seed_hash 1
+  done;
+  let arr = Array.of_seq (Hashtbl.to_seq_keys out) in
+  Array.sort compare arr;
+  arr
+
+let similarity ?max_len ?cap g1 g2 =
+  Phom_sim.Shingle.jaccard (features ?max_len ?cap g1) (features ?max_len ?cap g2)
+
+let matches ?max_len ?(threshold = 0.75) g1 g2 =
+  similarity ?max_len g1 g2 >= threshold

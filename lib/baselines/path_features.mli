@@ -1,0 +1,23 @@
+(** The feature-based similarity approach (Joshi et al.'s bag-of-paths [18])
+    — named by the paper's conclusion as the comparison left to future work,
+    implemented here so the comparison can actually run.
+
+    A graph's features are the label sequences of its walks of length
+    1..[max_len]; two graphs are similar when their feature sets overlap
+    (Jaccard). As the paper (citing [25, 30]) predicts, the measure ignores
+    global connectivity: graphs with the same local paths but different
+    wiring score 1.0 — see the ablation bench. *)
+
+val features : ?max_len:int -> ?cap:int -> Phom_graph.Digraph.t -> int array
+(** Sorted distinct hashes of the label paths of length 1..[max_len]
+    (default 3). Enumeration stops after [cap] (default 200,000) walks —
+    feature extraction must stay cheap or the approach loses its one
+    advantage. *)
+
+val similarity :
+  ?max_len:int -> ?cap:int -> Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> float
+(** Jaccard coefficient of the two feature sets (1.0 when both empty). *)
+
+val matches :
+  ?max_len:int -> ?threshold:float -> Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> bool
+(** [similarity ≥ threshold] (default 0.75). *)

@@ -1,0 +1,173 @@
+module D = Phom_graph.Digraph
+module Bitset = Phom_graph.Bitset
+
+let default_compat g1 g2 v u = String.equal (D.label g1 v) (D.label g2 u)
+
+type engine = Naive | Hhk
+
+(* HHK counting refinement: cnt.(v).(u) = |succ2(u) ∩ sim(v)|; a pair (v,u)
+   dies when some pattern child v' of v has cnt.(v').(u) = 0, and every
+   death decrements the counters of the data predecessors. *)
+let compute_hhk compat g1 g2 =
+  let n1 = D.n g1 and n2 = D.n g2 in
+  let sim =
+    Array.init n1 (fun v ->
+        let s = Bitset.create n2 in
+        for u = 0 to n2 - 1 do
+          if compat v u then Bitset.add s u
+        done;
+        s)
+  in
+  let cnt = Array.make_matrix n1 n2 0 in
+  for v = 0 to n1 - 1 do
+    for u = 0 to n2 - 1 do
+      Array.iter
+        (fun u' -> if Bitset.mem sim.(v) u' then cnt.(v).(u) <- cnt.(v).(u) + 1)
+        (D.succ g2 u)
+    done
+  done;
+  let queue = Queue.create () in
+  (* kill is idempotent, so every pair enters the queue at most once and the
+     counters decrement exactly once per genuine removal *)
+  let kill v u =
+    if Bitset.mem sim.(v) u then begin
+      Bitset.remove sim.(v) u;
+      Queue.add (v, u) queue
+    end
+  in
+  (* initial sweep: pairs whose children are unsupported from the start *)
+  for v = 0 to n1 - 1 do
+    let victims =
+      Bitset.fold
+        (fun u acc ->
+          if Array.exists (fun v' -> cnt.(v').(u) = 0) (D.succ g1 v) then
+            u :: acc
+          else acc)
+        sim.(v) []
+    in
+    List.iter (fun u -> kill v u) victims
+  done;
+  while not (Queue.is_empty queue) do
+    let v', u' = Queue.pop queue in
+    (* (v',u') has left sim: data predecessors of u' lose one supporter of
+       pattern node v' *)
+    Array.iter
+      (fun u ->
+        cnt.(v').(u) <- cnt.(v').(u) - 1;
+        if cnt.(v').(u) = 0 then Array.iter (fun v -> kill v u) (D.pred g1 v'))
+      (D.pred g2 u')
+  done;
+  sim
+
+let compute_with compat g1 g2 =
+  let n1 = D.n g1 and n2 = D.n g2 in
+  let sim =
+    Array.init n1 (fun v ->
+        let s = Bitset.create n2 in
+        for u = 0 to n2 - 1 do
+          if compat v u then Bitset.add s u
+        done;
+        s)
+  in
+  (* prune u from sim(v) when some child of v has no simulating successor of
+     u; iterate to the greatest fixpoint *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n1 - 1 do
+      let bad = ref [] in
+      Bitset.iter
+        (fun u ->
+          let ok =
+            Array.for_all
+              (fun v' ->
+                Array.exists (fun u' -> Bitset.mem sim.(v') u') (D.succ g2 u))
+              (D.succ g1 v)
+          in
+          if not ok then bad := u :: !bad)
+        sim.(v);
+      if !bad <> [] then begin
+        changed := true;
+        List.iter (Bitset.remove sim.(v)) !bad
+      end
+    done
+  done;
+  sim
+
+let compute ?(engine = Hhk) ?node_compat g1 g2 =
+  let compat =
+    match node_compat with Some f -> f | None -> default_compat g1 g2
+  in
+  match engine with
+  | Naive -> compute_with compat g1 g2
+  | Hhk -> compute_hhk compat g1 g2
+
+let of_simmat ~mat ~xi g1 g2 =
+  compute_hhk (fun v u -> Phom_sim.Simmat.get mat v u >= xi) g1 g2
+
+let dual ?node_compat g1 g2 =
+  let compat =
+    match node_compat with Some f -> f | None -> default_compat g1 g2
+  in
+  let n1 = D.n g1 and n2 = D.n g2 in
+  let sim =
+    Array.init n1 (fun v ->
+        let s = Bitset.create n2 in
+        for u = 0 to n2 - 1 do
+          if compat v u then Bitset.add s u
+        done;
+        s)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n1 - 1 do
+      let bad =
+        Bitset.fold
+          (fun u acc ->
+            let child_ok =
+              Array.for_all
+                (fun v' ->
+                  Array.exists (fun u' -> Bitset.mem sim.(v') u') (D.succ g2 u))
+                (D.succ g1 v)
+            in
+            let parent_ok =
+              Array.for_all
+                (fun v'' ->
+                  Array.exists (fun u'' -> Bitset.mem sim.(v'') u'') (D.pred g2 u))
+                (D.pred g1 v)
+            in
+            if child_ok && parent_ok then acc else u :: acc)
+          sim.(v) []
+      in
+      if bad <> [] then begin
+        changed := true;
+        List.iter (Bitset.remove sim.(v)) bad
+      end
+    done
+  done;
+  sim
+
+let matches_whole_graph sim =
+  Array.for_all (fun s -> not (Bitset.is_empty s)) sim
+
+let is_simulation ?node_compat g1 g2 sim =
+  let compat =
+    match node_compat with Some f -> f | None -> default_compat g1 g2
+  in
+  let ok = ref (Array.length sim = D.n g1) in
+  Array.iteri
+    (fun v s ->
+      Bitset.iter
+        (fun u ->
+          if not (compat v u) then ok := false;
+          Array.iter
+            (fun v' ->
+              if
+                not
+                  (Array.exists (fun u' -> Bitset.mem sim.(v') u') (D.succ g2 u))
+              then ok := false)
+            (D.succ g1 v))
+        s)
+    sim;
+  !ok

@@ -1,0 +1,58 @@
+(** Graph simulation (Henzinger, Henzinger, Kopke — FOCS 1995 [17]), the
+    "graphSimulation" baseline of the experiments.
+
+    A relation [R ⊆ V1 × V2] is a simulation iff [v R u] implies (a) the
+    nodes are compatible and (b) for every edge [v → v'] of [G1] there is an
+    edge [u → u'] of [G2] with [v' R u']. The {e maximal} simulation is the
+    greatest fixpoint of candidate refinement; we compute it by iterated
+    pruning. Edges map to {e edges} — which is exactly why this baseline
+    finds no matches once an edge is replaced by a path. *)
+
+(** Fixpoint engine. [Naive] re-scans every pair per round (easy to audit,
+    O(n²·m) worst case); [Hhk] is the Henzinger–Henzinger–Kopke
+    counting-based refinement the paper cites — per candidate pair it
+    maintains, for every [G2] successor, the number of its children still
+    simulating, and propagates removals through a worklist, giving
+    O(|V1|·|E2| + |E1|·|V2|)-ish behaviour. Both compute the same greatest
+    simulation (property-tested). *)
+type engine = Naive | Hhk
+
+val compute :
+  ?engine:engine ->
+  ?node_compat:(int -> int -> bool) ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Bitset.t array
+(** [compute g1 g2].(v) is the set of [G2] nodes that simulate [v].
+    [node_compat] defaults to label equality; [engine] to [Hhk]. *)
+
+val of_simmat :
+  mat:Phom_sim.Simmat.t ->
+  xi:float ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Bitset.t array
+(** Same, with [mat(v,u) ≥ ξ] as the compatibility predicate — simulation on
+    the same footing the p-hom algorithms get. *)
+
+val dual :
+  ?node_compat:(int -> int -> bool) ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Bitset.t array
+(** {e Dual} simulation (an extension beyond the paper, from the same
+    group's follow-up work): the child condition of plain simulation plus
+    the symmetric parent condition — every incoming pattern edge must also
+    be matched by an incoming data edge. Strictly contained in {!compute}'s
+    relation; still an edge-to-edge notion, so subdivisions break it too. *)
+
+val matches_whole_graph : Phom_graph.Bitset.t array -> bool
+(** The baseline's match rule: every [G1] node is simulated by some node. *)
+
+val is_simulation :
+  ?node_compat:(int -> int -> bool) ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Bitset.t array ->
+  bool
+(** Test oracle: does the relation satisfy the simulation conditions? *)

@@ -1,0 +1,112 @@
+module D = Phom_graph.Digraph
+module BM = Phom_graph.Bitmatrix
+module Bitset = Phom_graph.Bitset
+module Instance = Phom.Instance
+
+let is_tree g =
+  let ok = ref (Phom_graph.Traversal.is_dag g) in
+  for v = 0 to D.n g - 1 do
+    if D.in_degree g v > 1 then ok := false
+  done;
+  !ok
+
+(* children before parents: reverse topological order of the forest *)
+let bottom_up_order g =
+  match Phom_graph.Traversal.topological_order g with
+  | Some order -> List.rev order
+  | None -> invalid_arg "Tree_match: pattern is not a forest"
+
+let supports (t : Instance.t) =
+  if not (is_tree t.g1) then invalid_arg "Tree_match: pattern is not a forest";
+  let n1 = D.n t.g1 and n2 = D.n t.g2 in
+  let cands = Instance.candidates t in
+  let supp = Array.init n1 (fun _ -> Bitset.create n2) in
+  List.iter
+    (fun v ->
+      Array.iter
+        (fun u ->
+          let children_ok =
+            Array.for_all
+              (fun v' ->
+                Bitset.fold
+                  (fun u' ok -> ok || BM.get t.tc2 u u')
+                  supp.(v') false)
+              (D.succ t.g1 v)
+          in
+          if children_ok then Bitset.add supp.(v) u)
+        cands.(v))
+    (bottom_up_order t.g1);
+  supp
+
+let roots g =
+  List.filter (fun v -> D.in_degree g v = 0) (List.init (D.n g) Fun.id)
+
+let decide (t : Instance.t) =
+  let supp = supports t in
+  (* a total mapping exists iff every node has a supporter; for forests it
+     is enough to check the roots, since a root supporter certifies the
+     whole subtree — but nodes unreachable from any root do not exist in a
+     forest, so check roots only *)
+  List.for_all (fun r -> not (Bitset.is_empty supp.(r))) (roots t.g1)
+
+let witness (t : Instance.t) =
+  let supp = supports t in
+  if not (List.for_all (fun r -> not (Bitset.is_empty supp.(r))) (roots t.g1))
+  then None
+  else begin
+    let mapping = ref [] in
+    (* top-down: give each node a supporter reachable from its parent's
+       choice (choose the smallest; any works) *)
+    let rec assign v u =
+      mapping := (v, u) :: !mapping;
+      Array.iter
+        (fun v' ->
+          let chosen =
+            Bitset.fold
+              (fun u' acc ->
+                match acc with
+                | Some _ -> acc
+                | None -> if BM.get t.tc2 u u' then Some u' else None)
+              supp.(v') None
+          in
+          match chosen with
+          | Some u' -> assign v' u'
+          | None -> assert false (* contradicts v ∈ supp *))
+        (D.succ t.g1 v)
+    in
+    List.iter
+      (fun r ->
+        match Bitset.choose supp.(r) with
+        | Some u -> assign r u
+        | None -> assert false)
+      (roots t.g1);
+    Some (Phom.Mapping.normalize !mapping)
+  end
+
+let count_embeddings (t : Instance.t) =
+  if not (is_tree t.g1) then invalid_arg "Tree_match: pattern is not a forest";
+  let n1 = D.n t.g1 and n2 = D.n t.g2 in
+  let cands = Instance.candidates t in
+  (* count.(v).(u) = number of total mappings of v's subtree with σ(v)=u *)
+  let count = Array.make_matrix n1 n2 0. in
+  List.iter
+    (fun v ->
+      Array.iter
+        (fun u ->
+          let product =
+            Array.fold_left
+              (fun acc v' ->
+                let reachable_total = ref 0. in
+                for u' = 0 to n2 - 1 do
+                  if BM.get t.tc2 u u' then
+                    reachable_total := !reachable_total +. count.(v').(u')
+                done;
+                acc *. !reachable_total)
+              1. (D.succ t.g1 v)
+          in
+          count.(v).(u) <- product)
+        cands.(v))
+    (bottom_up_order t.g1);
+  List.fold_left
+    (fun acc r -> acc *. Array.fold_left ( +. ) 0. count.(r))
+    1. (roots t.g1)

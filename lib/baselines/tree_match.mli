@@ -1,0 +1,34 @@
+(** Exact polynomial-time p-hom matching for {e tree} (and forest) patterns
+    — the tractable fragment behind the stack-based DAG matching of Chen et
+    al. [10] and the fragment-based XML retrieval of Sanz et al. [24].
+
+    For a tree pattern the plain p-hom decision collapses to a bottom-up
+    fixpoint: [u] supports [v] iff [mat(v,u) ≥ ξ] and every child of [v] has
+    a supporter reachable from [u] by a non-empty path. Siblings impose no
+    mutual constraints (a plain p-hom mapping may reuse data nodes), so the
+    supports are exact — giving a PTIME decision, witness extraction and
+    embedding counting.
+
+    This makes the paper's complexity landscape tangible: plain p-hom for
+    tree patterns is in P (this module), while {e 1-1} p-hom is NP-hard
+    already for a tree pattern and a DAG data graph (Theorem 4.1(b), the X3C
+    gadget of {!Phom.Reductions}). *)
+
+val is_tree : Phom_graph.Digraph.t -> bool
+(** Is the pattern a forest of rooted trees (every node has in-degree ≤ 1,
+    no cycles)? *)
+
+val supports : Phom.Instance.t -> Phom_graph.Bitset.t array
+(** [supports t].(v) = the exact set of data nodes that can be [σ(v)] in
+    some total p-hom mapping of the subtree rooted at [v]. Raises
+    [Invalid_argument] if [t.g1] is not a forest. *)
+
+val decide : Phom.Instance.t -> bool
+(** [G1 ⪯(e,p) G2] for a forest pattern, in O(|V1|·|V2|² + closure) time. *)
+
+val witness : Phom.Instance.t -> Phom.Mapping.t option
+(** A total p-hom mapping when one exists (top-down extraction). *)
+
+val count_embeddings : Phom.Instance.t -> float
+(** Number of distinct total p-hom mappings (as a float — counts explode
+    combinatorially). 1.0 for the empty pattern. *)

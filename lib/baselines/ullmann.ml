@@ -1,0 +1,87 @@
+module D = Phom_graph.Digraph
+
+type outcome = Found of Phom.Mapping.t | Not_found_ | Gave_up
+
+let default_compat g1 g2 v u = String.equal (D.label g1 v) (D.label g2 u)
+
+let find ?node_compat ?(budget = 5_000_000) g1 g2 =
+  let compat =
+    match node_compat with Some f -> f | None -> default_compat g1 g2
+  in
+  let n1 = D.n g1 and n2 = D.n g2 in
+  let cands =
+    Array.init n1 (fun v ->
+        let out = ref [] in
+        for u = n2 - 1 downto 0 do
+          if
+            compat v u
+            && D.out_degree g2 u >= D.out_degree g1 v
+            && D.in_degree g2 u >= D.in_degree g1 v
+            && (not (D.has_edge g1 v v) || D.has_edge g2 u u)
+          then out := u :: !out
+        done;
+        Array.of_list !out)
+  in
+  if Array.exists (fun row -> Array.length row = 0) cands then Not_found_
+  else begin
+    let order = Array.init n1 (fun i -> i) in
+    Array.sort (fun a b -> compare (Array.length cands.(a)) (Array.length cands.(b))) order;
+    let assigned = Array.make n1 (-1) in
+    let used = Array.make n2 false in
+    let steps = ref 0 in
+    let exception Out_of_budget in
+    let exception Done in
+    let consistent v u =
+      (not used.(u))
+      && Array.for_all
+           (fun v' -> assigned.(v') < 0 || D.has_edge g2 u assigned.(v'))
+           (D.succ g1 v)
+      && Array.for_all
+           (fun v' -> assigned.(v') < 0 || D.has_edge g2 assigned.(v') u)
+           (D.pred g1 v)
+    in
+    let rec go k =
+      incr steps;
+      if !steps > budget then raise Out_of_budget;
+      if k = n1 then raise Done
+      else begin
+        let v = order.(k) in
+        Array.iter
+          (fun u ->
+            if consistent v u then begin
+              assigned.(v) <- u;
+              used.(u) <- true;
+              go (k + 1);
+              assigned.(v) <- -1;
+              used.(u) <- false
+            end)
+          cands.(v)
+      end
+    in
+    try
+      go 0;
+      Not_found_
+    with
+    | Done ->
+        Found (Phom.Mapping.normalize (List.init n1 (fun v -> (v, assigned.(v)))))
+    | Out_of_budget -> Gave_up
+  end
+
+let exists ?node_compat ?budget g1 g2 =
+  match find ?node_compat ?budget g1 g2 with
+  | Found _ -> Some true
+  | Not_found_ -> Some false
+  | Gave_up -> None
+
+let is_embedding g1 g2 m =
+  Phom.Mapping.size m = D.n g1
+  && Phom.Mapping.is_injective m
+  && List.for_all
+       (fun (v, u) ->
+         Array.for_all
+           (fun v' ->
+             match Phom.Mapping.apply m v' with
+             | None -> false
+             | Some u' -> D.has_edge g2 u u')
+           (D.succ g1 v))
+       m

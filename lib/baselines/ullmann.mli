@@ -1,0 +1,33 @@
+(** Subgraph isomorphism (Ullmann-style backtracking with forward checking)
+    — the conventional 1-1 edge-to-edge matching notion [9] that 1-1 p-hom
+    relaxes.
+
+    Semantics: an injective mapping of {e all} of [G1]'s nodes such that
+    every edge of [G1] maps to an edge of [G2] (non-induced: extra [G2]
+    edges between images are allowed). *)
+
+type outcome =
+  | Found of Phom.Mapping.t
+  | Not_found_
+  | Gave_up  (** search budget exhausted *)
+
+val find :
+  ?node_compat:(int -> int -> bool) ->
+  ?budget:int ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  outcome
+(** [node_compat] defaults to label equality; [budget] caps search nodes
+    (default 5,000,000). *)
+
+val exists :
+  ?node_compat:(int -> int -> bool) ->
+  ?budget:int ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  bool option
+(** [Some true/false], or [None] when the budget ran out. *)
+
+val is_embedding :
+  Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> Phom.Mapping.t -> bool
+(** Test oracle: total, injective, edge-preserving. *)

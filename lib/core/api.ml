@@ -1,0 +1,120 @@
+module D = Phom_graph.Digraph
+
+type problem = CPH | CPH11 | SPH | SPH11
+
+type algorithm = Direct | Naive_product | Exact_bb
+
+type result = { problem : problem; mapping : Mapping.t; quality : float }
+
+let injective = function CPH | SPH -> false | CPH11 | SPH11 -> true
+
+let problem_name = function
+  | CPH -> "CPH"
+  | CPH11 -> "CPH1-1"
+  | SPH -> "SPH"
+  | SPH11 -> "SPH1-1"
+
+let default_weights (t : Instance.t) = Array.make (D.n t.g1) 1.
+
+let solve ?(algorithm = Direct) ?weights ?(partition = false) ?(compress = false)
+    problem (t : Instance.t) =
+  let inj = injective problem in
+  let weights = match weights with Some w -> w | None -> default_weights t in
+  (* [w] below is always re-indexed to the g1 of the sub-instance at hand
+     (partitioning renumbers g1 nodes; compression leaves g1 intact) *)
+  let base_algo (sub : Instance.t) w =
+    match (algorithm, problem) with
+    | Direct, (CPH | CPH11) -> Comp_max_card.run ~injective:inj sub
+    | Direct, (SPH | SPH11) -> Comp_max_sim.run ~injective:inj ~weights:w sub
+    | Naive_product, (CPH | CPH11) -> Naive.max_card ~injective:inj sub
+    | Naive_product, (SPH | SPH11) -> Naive.max_sim ~injective:inj ~weights:w sub
+    | Exact_bb, (CPH | CPH11) ->
+        (Exact.solve ~injective:inj ~objective:Exact.Cardinality sub).Exact.mapping
+    | Exact_bb, (SPH | SPH11) ->
+        (Exact.solve ~injective:inj ~objective:(Exact.Similarity w) sub).Exact.mapping
+  in
+  let compressed_algo sub w =
+    if compress then
+      match (algorithm, problem) with
+      | Direct, (CPH | CPH11) ->
+          (* thread clique capacities through the direct algorithm *)
+          let c = Opts.compress sub in
+          let m =
+            Comp_max_card.run ~injective:inj ~capacities:c.Opts.capacities c.Opts.sub
+          in
+          Opts.decompress ~injective:inj c m
+      | _ -> Opts.with_compression ~injective:inj (fun s -> base_algo s w) sub
+    else base_algo sub w
+  in
+  let mapping =
+    if partition && not inj then
+      Opts.partitioned
+        (fun sub old_of_new ->
+          compressed_algo sub (Array.map (fun ov -> weights.(ov)) old_of_new))
+        t
+    else compressed_algo t weights
+  in
+  let quality =
+    match problem with
+    | CPH | CPH11 -> Instance.qual_card t mapping
+    | SPH | SPH11 -> Instance.qual_sim ~weights t mapping
+  in
+  { problem; mapping; quality }
+
+let matches ?(threshold = 0.75) r = r.quality >= threshold
+
+(* iterate the pattern edges whose endpoints are both mapped *)
+let iter_mapped_edges (t : Instance.t) mapping f =
+  List.iter
+    (fun (v, u) ->
+      Array.iter
+        (fun v' ->
+          match Mapping.apply mapping v' with
+          | Some u' -> f v v' u u'
+          | None -> ())
+        (D.succ t.g1 v))
+    mapping
+
+let report (t : Instance.t) r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: quality %.4f over %d of %d pattern nodes\n"
+       (problem_name r.problem) r.quality
+       (Mapping.size r.mapping)
+       (D.n t.g1));
+  List.iter
+    (fun (v, u) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [%s] -> %d [%s]  (similarity %.2f)\n" v
+           (D.label t.g1 v) u (D.label t.g2 u)
+           (Phom_sim.Simmat.get t.mat v u)))
+    r.mapping;
+  let unmapped =
+    List.filter
+      (fun v -> Mapping.apply r.mapping v = None)
+      (List.init (D.n t.g1) Fun.id)
+  in
+  if unmapped <> [] then begin
+    Buffer.add_string buf "  unmapped pattern nodes:";
+    List.iter
+      (fun v -> Buffer.add_string buf (Printf.sprintf " %d [%s]" v (D.label t.g1 v)))
+      unmapped;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf "edge witnesses:\n";
+  iter_mapped_edges t r.mapping (fun v v' u u' ->
+      match Phom_graph.Traversal.shortest_path t.g2 u u' with
+      | Some path ->
+          Buffer.add_string buf
+            (Printf.sprintf "  (%s -> %s) maps to %s\n" (D.label t.g1 v)
+               (D.label t.g1 v')
+               (String.concat " / " (List.map (D.label t.g2) path)))
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "  (%s -> %s): NO PATH — invalid mapping!\n"
+               (D.label t.g1 v) (D.label t.g1 v')));
+  Buffer.contents buf
+
+let decide_phom ?budget t = Exact.decide ~injective:false ?budget t
+
+let decide_one_one_phom ?budget t = Exact.decide ~injective:true ?budget t

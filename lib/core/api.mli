@@ -1,0 +1,61 @@
+(** High-level entry points, organized around Table 1's four optimization
+    problems.
+
+    Typical use:
+    {[
+      let t = Phom.Instance.make ~g1 ~g2 ~mat ~xi:0.75 () in
+      let r = Phom.Api.solve Phom.Api.CPH t in
+      if Phom.Api.matches r then ...
+    ]} *)
+
+(** The four optimization problems of Table 1. *)
+type problem =
+  | CPH  (** maximum cardinality, p-hom *)
+  | CPH11  (** maximum cardinality, 1-1 p-hom *)
+  | SPH  (** maximum overall similarity, p-hom *)
+  | SPH11  (** maximum overall similarity, 1-1 p-hom *)
+
+(** Which algorithm answers it. *)
+type algorithm =
+  | Direct  (** compMaxCard / compMaxSim — the paper's main algorithms *)
+  | Naive_product  (** Section 5's naive reduction through the product graph *)
+  | Exact_bb  (** branch and bound; exponential, small inputs only *)
+
+type result = {
+  problem : problem;
+  mapping : Mapping.t;
+  quality : float;  (** [qualCard] or [qualSim] of the mapping *)
+}
+
+val injective : problem -> bool
+val problem_name : problem -> string
+(** ["CPH"], ["CPH1-1"], ["SPH"], ["SPH1-1"]. *)
+
+val solve :
+  ?algorithm:algorithm ->
+  ?weights:float array ->
+  ?partition:bool ->
+  ?compress:bool ->
+  problem ->
+  Instance.t ->
+  result
+(** [weights] applies to SPH/SPH¹⁻¹ (default all ones). [partition] enables
+    the Appendix-B G1 partitioning (p-hom problems only — ignored for the
+    1-1 problems, whose mappings cannot be unioned safely); [compress]
+    enables the Appendix-B G2 compression. Both default to [false]. *)
+
+val matches : ?threshold:float -> result -> bool
+(** The experiments' match rule: quality ≥ [threshold] (default 0.75). *)
+
+val report : Instance.t -> result -> string
+(** A human-readable account of a matching result: every mapped pair with
+    its similarity, and for every pattern edge inside the mapping's domain
+    the shortest witness path of [g2] it maps to. The explainability
+    surface of the library — what a reviewer checks before believing a
+    match. *)
+
+val decide_phom : ?budget:int -> Instance.t -> bool option
+(** [G1 ⪯(e,p) G2] — exact, exponential worst case. *)
+
+val decide_one_one_phom : ?budget:int -> Instance.t -> bool option
+(** [G1 ⪯¹⁻¹(e,p) G2]. *)

@@ -1,0 +1,35 @@
+module ML = Matching_list
+
+let initial_caps h =
+  (* every G2 node occurring as a candidate gets capacity 1 *)
+  ML.Int_map.fold
+    (fun _ e acc ->
+      let add u acc = ML.Int_map.add u 1 acc in
+      ML.Int_set.fold add e.ML.minus (ML.Int_set.fold add e.ML.good acc))
+    h ML.Int_map.empty
+
+let run_on ?(injective = false) ?capacities ?(pick = `Best_sim) (t : Instance.t) h0 =
+  let mode =
+    if injective then
+      `Capacitated (Option.value capacities ~default:(initial_caps h0))
+    else `Free
+  in
+  let choose_u =
+    match pick with
+    | `Best_sim -> Instance.choose_best t
+    | `First -> fun _ goods -> ML.Int_set.min_elt goods
+  in
+  let rec loop h best =
+    if ML.size h <= Mapping.size best then best
+    else begin
+      let { Greedy.sigma; conflict } = Greedy.run ~g1:t.g1 ~tc2:t.tc2 ~choose_u ~mode h in
+      let best = if Mapping.size sigma > Mapping.size best then sigma else best in
+      (* [conflict] is non-empty whenever [h] is, so the loop shrinks [h];
+         the guard is pure defensive programming *)
+      if conflict = [] then best else loop (ML.remove_pairs h conflict) best
+    end
+  in
+  loop h0 []
+
+let run ?injective ?capacities ?pick t =
+  run_on ?injective ?capacities ?pick t (ML.of_candidates (Instance.candidates t))

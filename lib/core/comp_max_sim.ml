@@ -1,0 +1,58 @@
+module ML = Matching_list
+module D = Phom_graph.Digraph
+module Simmat = Phom_sim.Simmat
+
+let pair_weight (t : Instance.t) weights v u = weights.(v) *. Simmat.get t.mat v u
+
+let weight_groups (t : Instance.t) weights cands =
+  let n1 = D.n t.g1 and n2 = D.n t.g2 in
+  let w_max = ref 0. in
+  Array.iteri
+    (fun v row ->
+      Array.iter (fun u -> w_max := Float.max !w_max (pair_weight t weights v u)) row)
+    cands;
+  if !w_max <= 0. then []
+  else begin
+    let total = max 2 (n1 * n2) in
+    let classes = max 1 (int_of_float (ceil (log (float_of_int total) /. log 2.))) in
+    let floor_w = !w_max /. float_of_int total in
+    let groups = Array.make classes [] in
+    Array.iteri
+      (fun v row ->
+        Array.iter
+          (fun u ->
+            let w = pair_weight t weights v u in
+            if w >= floor_w then begin
+              let i =
+                min (classes - 1) (max 0 (int_of_float (log (!w_max /. w) /. log 2.)))
+              in
+              groups.(i) <- (v, u) :: groups.(i)
+            end)
+          row)
+      cands;
+    Array.to_list groups |> List.filter (fun g -> g <> [])
+  end
+
+let matching_list_of_pairs pairs =
+  List.fold_left
+    (fun h (v, u) ->
+      Matching_list.set_good h v (ML.Int_set.add u (Matching_list.good h v)))
+    ML.empty pairs
+
+let run ?(injective = false) ?weights ?pick (t : Instance.t) =
+  let weights =
+    match weights with None -> Array.make (D.n t.g1) 1. | Some w -> w
+  in
+  if Array.length weights <> D.n t.g1 then
+    invalid_arg "Comp_max_sim.run: weights length mismatch";
+  let cands = Instance.candidates t in
+  let full = ML.of_candidates cands in
+  let candidates_lists =
+    full :: List.map matching_list_of_pairs (weight_groups t weights cands)
+  in
+  let score = Instance.qual_sim ~weights t in
+  List.fold_left
+    (fun best h ->
+      let m = Comp_max_card.run_on ~injective ?pick t h in
+      if score m > score best then m else best)
+    [] candidates_lists

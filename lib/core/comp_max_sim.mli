@@ -1,0 +1,21 @@
+(** Algorithms compMaxSim and compMaxSim¹⁻¹: approximations for the
+    maximum-overall-similarity problems SPH and SPH¹⁻¹.
+
+    Following Halldórsson's weighted-independent-set strategy [16] as the
+    paper prescribes: candidate pairs with weight [w(v)·mat(v,u)] below
+    [W/(n1·n2)] are discarded, the remaining pairs are bucketed into
+    [log(n1·n2)] geometric weight groups, compMaxCard runs on each group's
+    matching list, and the mapping with the best [qualSim] wins. We also
+    evaluate the ungrouped matching list as one extra candidate — a strict
+    quality improvement that preserves the guarantee (documented in
+    DESIGN.md). *)
+
+val run :
+  ?injective:bool ->
+  ?weights:float array ->
+  ?pick:[ `Best_sim | `First ] ->
+  Instance.t ->
+  Mapping.t
+(** [weights] are the node-importance weights [w(v)] of Section 3.3
+    (hub/authority/degree); they default to all ones, as in the paper's
+    experiments. [pick] as in {!Comp_max_card.run}. *)

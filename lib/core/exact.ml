@@ -1,0 +1,224 @@
+module D = Phom_graph.Digraph
+module BM = Phom_graph.Bitmatrix
+module Simmat = Phom_sim.Simmat
+
+type objective = Cardinality | Similarity of float array
+
+type outcome = { mapping : Mapping.t; optimal : bool }
+
+let pair_value objective (t : Instance.t) v u =
+  match objective with
+  | Cardinality -> 1.
+  | Similarity w -> w.(v) *. Simmat.get t.mat v u
+
+exception Out_of_budget
+exception Solved
+
+let solve ?(injective = false) ?(budget = 5_000_000) ~objective (t : Instance.t) =
+  let n1 = D.n t.g1 in
+  let cands = Instance.candidates t in
+  (* process scarce nodes first: fail early, prune hard *)
+  let order = Array.init n1 (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (Array.length cands.(a)) (Array.length cands.(b)))
+    order;
+  let best_pair_value =
+    Array.map
+      (fun v ->
+        Array.fold_left
+          (fun acc u -> Float.max acc (pair_value objective t v u))
+          0. cands.(v))
+      (Array.init n1 (fun i -> i))
+  in
+  (* suffix_bound.(k) = most value positions k.. of [order] can still add *)
+  let suffix_bound = Array.make (n1 + 1) 0. in
+  for k = n1 - 1 downto 0 do
+    suffix_bound.(k) <- suffix_bound.(k + 1) +. best_pair_value.(order.(k))
+  done;
+  let target = suffix_bound.(0) in
+  let assigned = Array.make n1 (-1) in
+  let used = Hashtbl.create 97 in
+  let best = ref [] and best_value = ref neg_infinity in
+  let steps = ref 0 in
+  let consistent v u =
+    (not (injective && Hashtbl.mem used u))
+    && Array.for_all
+         (fun v' -> assigned.(v') < 0 || BM.get t.tc2 u assigned.(v'))
+         (D.succ t.g1 v)
+    && Array.for_all
+         (fun v' -> assigned.(v') < 0 || BM.get t.tc2 assigned.(v') u)
+         (D.pred t.g1 v)
+  in
+  let record value =
+    if value > !best_value then begin
+      best_value := value;
+      let pairs = ref [] in
+      for v = n1 - 1 downto 0 do
+        if assigned.(v) >= 0 then pairs := (v, assigned.(v)) :: !pairs
+      done;
+      best := !pairs;
+      if !best_value >= target then raise Solved
+    end
+  in
+  let rec go k value =
+    incr steps;
+    if !steps > budget then raise Out_of_budget;
+    if k = n1 then record value
+    else if value +. suffix_bound.(k) <= !best_value then ()
+    else begin
+      let v = order.(k) in
+      Array.iter
+        (fun u ->
+          if consistent v u then begin
+            assigned.(v) <- u;
+            if injective then Hashtbl.add used u ();
+            go (k + 1) (value +. pair_value objective t v u);
+            assigned.(v) <- -1;
+            if injective then Hashtbl.remove used u
+          end)
+        cands.(v);
+      (* skip v *)
+      go (k + 1) value
+    end
+  in
+  let optimal =
+    try
+      go 0 0.;
+      true
+    with
+    | Out_of_budget -> false
+    | Solved -> true
+  in
+  { mapping = Mapping.normalize !best; optimal }
+
+let enumerate_optimal ?(injective = false) ?(budget = 5_000_000) ?(limit = 100)
+    ~objective (t : Instance.t) =
+  let opt = solve ~injective ~budget ~objective t in
+  let target_value =
+    match objective with
+    | Cardinality -> float_of_int (Mapping.size opt.mapping)
+    | Similarity w ->
+        List.fold_left
+          (fun acc (v, u) -> acc +. (w.(v) *. Simmat.get t.mat v u))
+          0. opt.mapping
+  in
+  let eps = 1e-9 in
+  let n1 = D.n t.g1 in
+  let cands = Instance.candidates t in
+  let order = Array.init n1 (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (Array.length cands.(a)) (Array.length cands.(b)))
+    order;
+  let suffix_bound = Array.make (n1 + 1) 0. in
+  for k = n1 - 1 downto 0 do
+    let v = order.(k) in
+    let best =
+      Array.fold_left
+        (fun acc u -> Float.max acc (pair_value objective t v u))
+        0. cands.(v)
+    in
+    suffix_bound.(k) <- suffix_bound.(k + 1) +. best
+  done;
+  let assigned = Array.make n1 (-1) in
+  let used = Hashtbl.create 97 in
+  let found = ref [] and count = ref 0 and steps = ref 0 in
+  let truncated = ref (not opt.optimal) in
+  let consistent v u =
+    (not (injective && Hashtbl.mem used u))
+    && Array.for_all
+         (fun v' -> assigned.(v') < 0 || BM.get t.tc2 u assigned.(v'))
+         (D.succ t.g1 v)
+    && Array.for_all
+         (fun v' -> assigned.(v') < 0 || BM.get t.tc2 assigned.(v') u)
+         (D.pred t.g1 v)
+  in
+  let exception Stop in
+  let rec go k value =
+    incr steps;
+    if !steps > budget then begin
+      truncated := true;
+      raise Stop
+    end;
+    if k = n1 then begin
+      if value >= target_value -. eps then begin
+        let pairs = ref [] in
+        for v = n1 - 1 downto 0 do
+          if assigned.(v) >= 0 then pairs := (v, assigned.(v)) :: !pairs
+        done;
+        found := !pairs :: !found;
+        incr count;
+        if !count >= limit then begin
+          truncated := true;
+          raise Stop
+        end
+      end
+    end
+    else if value +. suffix_bound.(k) < target_value -. eps then ()
+    else begin
+      let v = order.(k) in
+      Array.iter
+        (fun u ->
+          if consistent v u then begin
+            assigned.(v) <- u;
+            if injective then Hashtbl.add used u ();
+            go (k + 1) (value +. pair_value objective t v u);
+            assigned.(v) <- -1;
+            if injective then Hashtbl.remove used u
+          end)
+        cands.(v);
+      go (k + 1) value
+    end
+  in
+  (try go 0 0. with Stop -> ());
+  let mappings = List.sort_uniq compare (List.rev !found) in
+  (mappings, not !truncated)
+
+let decide ?(injective = false) ?(budget = 5_000_000) ?candidates (t : Instance.t) =
+  let n1 = D.n t.g1 in
+  let cands =
+    match candidates with Some c -> c | None -> Instance.candidates t
+  in
+  if Array.exists (fun row -> Array.length row = 0) cands then Some false
+  else begin
+    let order = Array.init n1 (fun i -> i) in
+    Array.sort
+      (fun a b -> compare (Array.length cands.(a)) (Array.length cands.(b)))
+      order;
+    let assigned = Array.make n1 (-1) in
+    let used = Hashtbl.create 97 in
+    let steps = ref 0 in
+    let consistent v u =
+      (not (injective && Hashtbl.mem used u))
+      && Array.for_all
+           (fun v' -> assigned.(v') < 0 || BM.get t.tc2 u assigned.(v'))
+           (D.succ t.g1 v)
+      && Array.for_all
+           (fun v' -> assigned.(v') < 0 || BM.get t.tc2 assigned.(v') u)
+           (D.pred t.g1 v)
+    in
+    let exception Found in
+    let rec go k =
+      incr steps;
+      if !steps > budget then raise Out_of_budget;
+      if k = n1 then raise Found
+      else begin
+        let v = order.(k) in
+        Array.iter
+          (fun u ->
+            if consistent v u then begin
+              assigned.(v) <- u;
+              if injective then Hashtbl.add used u ();
+              go (k + 1);
+              assigned.(v) <- -1;
+              if injective then Hashtbl.remove used u
+            end)
+          cands.(v)
+      end
+    in
+    try
+      go 0;
+      Some false
+    with
+    | Found -> Some true
+    | Out_of_budget -> None
+  end

@@ -1,0 +1,45 @@
+(** Exact solver: optimal (1-1) p-hom mappings and the NP-complete decision
+    problems, by branch-and-bound.
+
+    Exponential in the worst case — Theorems 4.1/4.3 say nothing better is
+    possible — but practical on small graphs. It serves three roles: the
+    optimality oracle for the approximation algorithms' quality tests, the
+    decision procedure [G1 ⪯(e,p) G2] / [G1 ⪯¹⁻¹(e,p) G2], and the
+    end-to-end check of the Appendix-A reductions. *)
+
+type objective =
+  | Cardinality  (** maximize [qualCard] — CPH / CPH¹⁻¹ *)
+  | Similarity of float array  (** maximize [qualSim] with these node weights — SPH / SPH¹⁻¹ *)
+
+type outcome = {
+  mapping : Mapping.t;
+  optimal : bool;
+      (** [false] when the search-node budget ran out; [mapping] is then
+          only the best found so far *)
+}
+
+val solve : ?injective:bool -> ?budget:int -> objective:objective -> Instance.t -> outcome
+(** [budget] caps explored search nodes (default 5,000,000). *)
+
+val enumerate_optimal :
+  ?injective:bool ->
+  ?budget:int ->
+  ?limit:int ->
+  objective:objective ->
+  Instance.t ->
+  Mapping.t list * bool
+(** All optimal mappings (up to [limit], default 100), lexicographically
+    de-duplicated, and whether the enumeration is exhaustive (false when
+    the budget or the limit truncated it). Applications use this to present
+    every witness — e.g. all maximal plagiarism correspondences. *)
+
+val decide :
+  ?injective:bool ->
+  ?budget:int ->
+  ?candidates:int array array ->
+  Instance.t ->
+  bool option
+(** Does a (1-1) p-hom mapping of the {e entire} [G1] exist? [None] when the
+    budget ran out before the answer was determined. [candidates] overrides
+    {!Instance.candidates} — the hook {!Prefilter} uses to hand over its
+    pruned candidate sets. *)

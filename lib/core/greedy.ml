@@ -1,0 +1,88 @@
+module ML = Matching_list
+module Int_set = ML.Int_set
+module Int_map = ML.Int_map
+
+type result = { sigma : Mapping.t; conflict : (int * int) list }
+
+(* Sized lists so that max() comparisons are O(1). *)
+type sized = { size : int; items : (int * int) list }
+
+let sized_empty = { size = 0; items = [] }
+let cons pair s = { size = s.size + 1; items = pair :: s.items }
+
+type caps = int Int_map.t option
+
+type work =
+  | Eval of ML.t * caps
+  | Combine of int * int  (* the pair (v, u) whose two branches to merge *)
+
+let run ~g1 ~tc2 ~choose_u ~mode h0 =
+  let caps0 = match mode with `Free -> None | `Capacitated c -> Some c in
+  let work = ref [ Eval (h0, caps0) ] in
+  let results : (sized * sized) list ref = ref [] in
+  let push_result r = results := r :: !results in
+  let pop_result () =
+    match !results with
+    | r :: rest ->
+        results := rest;
+        r
+    | [] -> assert false
+  in
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | Combine (v, u) :: rest ->
+        work := rest;
+        (* H⁻ was evaluated second, so its result is on top *)
+        let s2, i2 = pop_result () in
+        let s1, i1 = pop_result () in
+        let sigma = if s1.size + 1 >= s2.size then cons (v, u) s1 else s2 in
+        let conflict = if i1.size >= i2.size + 1 then i1 else cons (v, u) i2 in
+        push_result (sigma, conflict)
+    | Eval (h, caps) :: rest -> (
+        work := rest;
+        if ML.is_empty h then push_result (sized_empty, sized_empty)
+        else
+          match ML.pick h with
+          | None ->
+              (* every good set is empty: promote the minus sets (this is
+                 what the recursion does implicitly via the H⁻ branch) *)
+              let _, hminus = ML.split h in
+              work := Eval (hminus, caps) :: !work
+          | Some (v, goods) ->
+              let u = choose_u v goods in
+              if not (Int_set.mem u goods) then
+                invalid_arg "Greedy.run: choose_u returned a non-candidate";
+              (* line 3: H[v].minus := good \ {u}; H[v].good := ∅ *)
+              let h = ML.move_to_minus h v (fun u' -> u' <> u) in
+              let h = ML.set_good h v Int_set.empty in
+              (* line 4: prune neighbours against (v, u) *)
+              let h = Trim.trim ~g1 ~tc2 ~v ~u h in
+              (* 1-1 / capacitated step: if u is exhausted under the
+                 hypothesis (v, u), no other node may keep it in good *)
+              let h, caps_plus =
+                match caps with
+                | None -> (h, None)
+                | Some c ->
+                    let remaining = Option.value ~default:1 (Int_map.find_opt u c) - 1 in
+                    let c' = Some (Int_map.add u remaining c) in
+                    if remaining > 0 then (h, c')
+                    else
+                      ( List.fold_left
+                          (fun h v' ->
+                            if v' = v then h
+                            else ML.move_to_minus h v' (fun u' -> u' = u))
+                          h (ML.nodes h),
+                        c' )
+              in
+              let hplus, hminus = ML.split h in
+              work :=
+                Eval (hplus, caps_plus)
+                :: Eval (hminus, caps)
+                :: Combine (v, u)
+                :: !work)
+  done;
+  match !results with
+  | [ (sigma, conflict) ] ->
+      { sigma = Mapping.normalize sigma.items; conflict = conflict.items }
+  | _ -> assert false

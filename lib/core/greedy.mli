@@ -1,0 +1,34 @@
+(** Procedure greedyMatch (paper Fig. 4), defunctionalized.
+
+    The paper's procedure is a binary recursion: pick a candidate pair
+    [(v, u)], trim, recurse on H⁺ (the world where [(v, u)] holds) and on
+    H⁻ (the world where it doesn't), and keep the better mapping of the two
+    — simultaneously building the set [I] of pairwise-contradictory pairs
+    that the outer loop removes. Its recursion depth is bounded only by the
+    number of candidate pairs, which reaches ~10⁶ at paper scale, so we run
+    it as an explicit work-stack machine over the persistent
+    {!Matching_list} (semantically identical, heap-bounded).
+
+    [mode] generalizes the paper's two variants:
+    - [`Free] — plain p-hom;
+    - [`Capacitated caps] — when [(v, u)] is fixed and [u]'s remaining
+      capacity drops to 0, [u] moves out of every other node's [good]
+      (the paper's 1-1 extra step, with capacity 1; Appendix-B compressed
+      [G2] nodes carry their clique size). *)
+
+type result = {
+  sigma : Mapping.t;  (** the p-hom mapping found *)
+  conflict : (int * int) list;
+      (** the pairwise-contradictory pair set [I]; non-empty whenever the
+          input list is non-empty *)
+}
+
+val run :
+  g1:Phom_graph.Digraph.t ->
+  tc2:Phom_graph.Bitmatrix.t ->
+  choose_u:(int -> Matching_list.Int_set.t -> int) ->
+  mode:[ `Free | `Capacitated of int Matching_list.Int_map.t ] ->
+  Matching_list.t ->
+  result
+(** [choose_u v goods] selects the candidate to try first (compMaxCard uses
+    highest similarity). It must return a member of [goods]. *)

@@ -1,0 +1,38 @@
+(** A matching instance: the tuple [(G1, G2, mat(), ξ)] every problem in the
+    paper takes as input, plus the transitive closure of [G2] that all
+    algorithms share. Build it once and pass it around — the closure is the
+    single most expensive piece of shared state. *)
+
+type t = {
+  g1 : Phom_graph.Digraph.t;
+  g2 : Phom_graph.Digraph.t;
+  mat : Phom_sim.Simmat.t;
+  xi : float;
+  tc2 : Phom_graph.Bitmatrix.t;  (** transitive closure of [g2] *)
+}
+
+val make :
+  ?tc2:Phom_graph.Bitmatrix.t ->
+  g1:Phom_graph.Digraph.t ->
+  g2:Phom_graph.Digraph.t ->
+  mat:Phom_sim.Simmat.t ->
+  xi:float ->
+  unit ->
+  t
+(** Validates dimensions ([mat] must be [n1 × n2], [ξ ∈ [0,1]]) and computes
+    [tc2] unless provided. *)
+
+val candidates : t -> int array array
+(** Initial candidate lists: [u ∈ cands.(v)] iff [mat(v,u) ≥ ξ] and, when
+    [v] carries a self-loop, [u] lies on a cycle of [g2] (so the loop edge
+    has a path to map to). Rows are sorted by decreasing similarity. *)
+
+val choose_best : t -> int -> Matching_list.Int_set.t -> int
+(** The candidate of maximum similarity (ties: smallest id) — the [choose_u]
+    policy of the implemented algorithms. *)
+
+val qual_card : t -> Mapping.t -> float
+val qual_sim : weights:float array -> t -> Mapping.t -> float
+
+val is_valid : ?injective:bool -> t -> Mapping.t -> bool
+(** Validity of a mapping for this instance. *)

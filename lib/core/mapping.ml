@@ -1,0 +1,78 @@
+module D = Phom_graph.Digraph
+module BM = Phom_graph.Bitmatrix
+module Simmat = Phom_sim.Simmat
+
+type t = (int * int) list
+
+let is_function pairs =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun (v, _) ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    pairs
+
+let normalize pairs =
+  if not (is_function pairs) then invalid_arg "Mapping.normalize: duplicate key";
+  List.sort compare pairs
+
+let domain t = List.map fst t
+let size = List.length
+
+let is_injective t =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun (_, u) ->
+      if Hashtbl.mem seen u then false
+      else begin
+        Hashtbl.add seen u ();
+        true
+      end)
+    t
+
+let is_phom ~g1 ~tc2 ~mat ~xi t =
+  is_function t
+  && begin
+       let image = Hashtbl.create 16 in
+       List.iter (fun (v, u) -> Hashtbl.replace image v u) t;
+       List.for_all
+         (fun (v, u) ->
+           Simmat.get mat v u >= xi
+           && Array.for_all
+                (fun v' ->
+                  match Hashtbl.find_opt image v' with
+                  | None -> true
+                  | Some u' -> BM.get tc2 u u')
+                (D.succ g1 v))
+         t
+     end
+
+let is_one_one_phom ~g1 ~tc2 ~mat ~xi t =
+  is_injective t && is_phom ~g1 ~tc2 ~mat ~xi t
+
+let qual_card ~n1 t =
+  if n1 = 0 then 1.0 else float_of_int (size t) /. float_of_int n1
+
+let qual_sim ~weights ~mat t =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then 1.0
+  else begin
+    let gained =
+      List.fold_left
+        (fun acc (v, u) -> acc +. (weights.(v) *. Simmat.get mat v u))
+        0. t
+    in
+    gained /. total
+  end
+
+let apply t v = List.assoc_opt v t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (v, u) -> Format.fprintf ppf "%d↦%d" v u))
+    t

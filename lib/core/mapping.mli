@@ -1,0 +1,53 @@
+(** (1-1) p-hom mappings and the two quality metrics of Section 3.3.
+
+    A mapping is a finite function from [G1] nodes to [G2] nodes, represented
+    as an association list sorted by [G1] node with distinct keys. The domain
+    is the subgraph of [G1] {e induced} by the mapped nodes: validity
+    requires every [G1] edge {e between mapped nodes} to map to a non-empty
+    [G2] path. *)
+
+type t = (int * int) list
+
+val normalize : (int * int) list -> t
+(** Sort by [G1] node; raises [Invalid_argument] on duplicate keys. *)
+
+val domain : t -> int list
+val size : t -> int
+
+val is_function : (int * int) list -> bool
+(** No [G1] node mapped twice. *)
+
+val is_injective : t -> bool
+(** No [G2] node used twice. *)
+
+val is_phom :
+  g1:Phom_graph.Digraph.t ->
+  tc2:Phom_graph.Bitmatrix.t ->
+  mat:Phom_sim.Simmat.t ->
+  xi:float ->
+  t ->
+  bool
+(** Definition 3.2 checked literally: every pair clears the similarity
+    threshold, and every [G1] edge with both endpoints in the domain
+    (including self-loops) maps to a non-empty path of [G2], i.e. an edge of
+    the transitive closure [tc2]. *)
+
+val is_one_one_phom :
+  g1:Phom_graph.Digraph.t ->
+  tc2:Phom_graph.Bitmatrix.t ->
+  mat:Phom_sim.Simmat.t ->
+  xi:float ->
+  t ->
+  bool
+(** {!is_phom} plus injectivity. *)
+
+val qual_card : n1:int -> t -> float
+(** [|dom σ| / |V1|]; defined as 1.0 when [n1 = 0]. *)
+
+val qual_sim : weights:float array -> mat:Phom_sim.Simmat.t -> t -> float
+(** [Σ_{v ∈ dom} w(v)·mat(v, σv) / Σ_{v ∈ V1} w(v)]; 1.0 when the total
+    weight is 0. *)
+
+val apply : t -> int -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+type entry = { good : Int_set.t; minus : Int_set.t }
+type t = entry Int_map.t
+
+let empty = Int_map.empty
+let is_empty = Int_map.is_empty
+
+let of_candidates cands =
+  let h = ref Int_map.empty in
+  Array.iteri
+    (fun v row ->
+      if Array.length row > 0 then
+        h :=
+          Int_map.add v
+            { good = Int_set.of_list (Array.to_list row); minus = Int_set.empty }
+            !h)
+    cands;
+  !h
+
+let size = Int_map.cardinal
+
+let nb_pairs h =
+  Int_map.fold
+    (fun _ e acc -> acc + Int_set.cardinal e.good + Int_set.cardinal e.minus)
+    h 0
+
+let mem h v = Int_map.mem v h
+
+let good h v =
+  match Int_map.find_opt v h with None -> Int_set.empty | Some e -> e.good
+
+let minus h v =
+  match Int_map.find_opt v h with None -> Int_set.empty | Some e -> e.minus
+
+let nodes h = List.map fst (Int_map.bindings h)
+
+let put h v entry =
+  if Int_set.is_empty entry.good && Int_set.is_empty entry.minus then
+    Int_map.remove v h
+  else Int_map.add v entry h
+
+let set_good h v good =
+  match Int_map.find_opt v h with
+  | None -> if Int_set.is_empty good then h else Int_map.add v { good; minus = Int_set.empty } h
+  | Some e -> put h v { e with good }
+
+let move_to_minus h v bad =
+  match Int_map.find_opt v h with
+  | None -> h
+  | Some e ->
+      let moved, kept = Int_set.partition bad e.good in
+      if Int_set.is_empty moved then h
+      else put h v { good = kept; minus = Int_set.union e.minus moved }
+
+let pick h =
+  Int_map.fold
+    (fun v e best ->
+      let c = Int_set.cardinal e.good in
+      if c = 0 then best
+      else
+        match best with
+        | Some (_, g) when Int_set.cardinal g >= c -> best
+        | _ -> Some (v, e.good))
+    h None
+
+let split h =
+  Int_map.fold
+    (fun v e (hplus, hminus) ->
+      let hplus =
+        if Int_set.is_empty e.good then hplus
+        else Int_map.add v { good = e.good; minus = Int_set.empty } hplus
+      in
+      let hminus =
+        if Int_set.is_empty e.minus then hminus
+        else Int_map.add v { good = e.minus; minus = Int_set.empty } hminus
+      in
+      (hplus, hminus))
+    h (Int_map.empty, Int_map.empty)
+
+let remove_pairs h pairs =
+  List.fold_left
+    (fun h (v, u) ->
+      match Int_map.find_opt v h with
+      | None -> h
+      | Some e ->
+          put h v { good = Int_set.remove u e.good; minus = Int_set.remove u e.minus })
+    h pairs
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>";
+  Int_map.iter
+    (fun v e ->
+      Format.fprintf ppf "%d: good=%a minus=%a@," v
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        (Int_set.elements e.good)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        (Int_set.elements e.minus))
+    h;
+  Format.fprintf ppf "@]"

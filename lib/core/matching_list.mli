@@ -1,0 +1,60 @@
+(** The matching list [H] of algorithm compMaxCard (paper Fig. 3).
+
+    For every still-active [G1] node [v], [H[v].good] holds the candidate
+    [G2] matches and [H[v].minus] the candidates ruled out under the current
+    hypothesis. The structure is {e persistent}: the H⁺/H⁻ split inside
+    [greedyMatch] shares substructure instead of copying, which is what
+    makes the (defunctionalized) recursion affordable.
+
+    Invariant maintained by every operation: a node present in the map has
+    [good ∪ minus ≠ ∅]; nodes whose last candidate disappears are dropped
+    (they can never be matched, mirroring the paper's partitioning
+    optimization). *)
+
+module Int_set : Set.S with type elt = int
+module Int_map : Map.S with type key = int
+
+type entry = { good : Int_set.t; minus : Int_set.t }
+type t = entry Int_map.t
+
+val empty : t
+val is_empty : t -> bool
+
+val of_candidates : int array array -> t
+(** [of_candidates cands] builds the initial [H]: [H[v].good = cands.(v)],
+    [H[v].minus = ∅]. Rows with no candidates are dropped. *)
+
+val size : t -> int
+(** Number of nodes in [H] — the [sizeof(H)] of the paper's main loop. *)
+
+val nb_pairs : t -> int
+(** Total number of (good + minus) candidate pairs. *)
+
+val mem : t -> int -> bool
+val good : t -> int -> Int_set.t
+(** Empty set when the node is absent. *)
+
+val minus : t -> int -> Int_set.t
+
+val nodes : t -> int list
+
+val set_good : t -> int -> Int_set.t -> t
+(** Replace [good] (dropping the node if both sets become empty). *)
+
+val move_to_minus : t -> int -> (int -> bool) -> t
+(** [move_to_minus h v bad] moves every [u ∈ good(v)] with [bad u] into
+    [minus(v)]. No-op when [v] is absent. *)
+
+val pick : t -> (int * Int_set.t) option
+(** The node with the largest [good] set (ties: smallest id), with its
+    candidates — the selection of [greedyMatch] line 2. [None] if no node
+    has a non-empty [good]. *)
+
+val split : t -> t * t
+(** The H⁺/H⁻ partition of [greedyMatch] lines 5–9: H⁺ keeps non-empty
+    [good] sets (minus reset), H⁻ turns non-empty [minus] sets into [good]. *)
+
+val remove_pairs : t -> (int * int) list -> t
+(** [H \ I]: delete each pair from both sets, dropping exhausted nodes. *)
+
+val pp : Format.formatter -> t -> unit

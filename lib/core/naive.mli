@@ -1,0 +1,16 @@
+(** The naive approximation algorithms of Section 5: materialize the product
+    graph of the AFP-reduction (Theorem 5.1), find an approximately maximum
+    (weighted) clique with the Boppana–Halldórsson machinery, and translate
+    the clique back into a mapping.
+
+    Same approximation guarantee as compMaxCard/compMaxSim but
+    O(|V1|³·|V2|³)-ish cost through the explicit product graph — exactly the
+    cost the direct algorithms avoid. Kept as a reference implementation:
+    tests cross-check the direct algorithms against it, and the benches
+    show the gap. *)
+
+val max_card : ?injective:bool -> Instance.t -> Mapping.t
+(** Approximate CPH / CPH¹⁻¹ via unweighted clique (ISRemoval). *)
+
+val max_sim : ?injective:bool -> ?weights:float array -> Instance.t -> Mapping.t
+(** Approximate SPH / SPH¹⁻¹ via Halldórsson's weighted clique. *)

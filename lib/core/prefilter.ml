@@ -1,0 +1,32 @@
+module D = Phom_graph.Digraph
+module BM = Phom_graph.Bitmatrix
+
+let refine (t : Instance.t) =
+  let n1 = D.n t.g1 in
+  let cands = Array.map (fun row -> ref (Array.to_list row)) (Instance.candidates t) in
+  let supported v u =
+    (* u supports v iff every G1 edge at v can be continued from u *)
+    Array.for_all
+      (fun v' -> List.exists (fun u' -> BM.get t.tc2 u u') !(cands.(v')))
+      (D.succ t.g1 v)
+    && Array.for_all
+         (fun v' -> List.exists (fun u' -> BM.get t.tc2 u' u) !(cands.(v')))
+         (D.pred t.g1 v)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n1 - 1 do
+      let kept, dropped = List.partition (supported v) !(cands.(v)) in
+      if dropped <> [] then begin
+        cands.(v) := kept;
+        changed := true
+      end
+    done
+  done;
+  Array.map (fun r -> Array.of_list !r) cands
+
+let decide ?injective ?budget (t : Instance.t) =
+  let candidates = refine t in
+  if Array.exists (fun row -> Array.length row = 0) candidates then Some false
+  else Exact.decide ?injective ?budget ~candidates t

@@ -1,0 +1,25 @@
+(** Arc-consistency prefiltering for the decision problems — the
+    indexing/filtering direction the paper's conclusion points at ([10, 27,
+    30]).
+
+    A {e full} p-hom mapping must map every [G1] node, so a candidate [u]
+    for [v] is useless unless every [G1] edge at [v] can be continued:
+    for each child [v'] some candidate [u'] of [v'] with a path [u → u'],
+    and symmetrically for parents. Iterating this pruning to a fixpoint
+    (AC-3 style) shrinks the exact search space — often to the point of
+    deciding the instance outright (an empty row proves non-existence).
+
+    {b Soundness caveat:} this is only sound for the {e decision} problems
+    (total mappings). The optimization problems map induced subgraphs, where
+    a pair can be useful even when a neighbour has no compatible candidate
+    (the neighbour simply stays unmapped) — so {!Comp_max_card} must not
+    use it, and doesn't. *)
+
+val refine : Instance.t -> int array array
+(** The greatest arc-consistent subsets of {!Instance.candidates}. Every
+    total (1-1) p-hom mapping only uses surviving pairs. *)
+
+val decide : ?injective:bool -> ?budget:int -> Instance.t -> bool option
+(** {!refine}, answer [Some false] on an empty row, otherwise
+    {!Exact.decide} over the surviving candidates. Always agrees with
+    {!Exact.decide} (tested), usually much faster on negative instances. *)

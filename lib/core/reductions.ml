@@ -1,0 +1,240 @@
+module D = Phom_graph.Digraph
+module Simmat = Phom_sim.Simmat
+module Ungraph = Phom_wis.Ungraph
+
+(* ------------------------------------------------------------------ *)
+(* 3SAT → p-hom                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type literal = { var : int; positive : bool }
+
+type cnf3 = { nvars : int; clauses : (literal * literal * literal) array }
+
+let check_cnf phi =
+  Array.iter
+    (fun (l1, l2, l3) ->
+      List.iter
+        (fun l ->
+          if l.var < 0 || l.var >= phi.nvars then
+            invalid_arg "Reductions: literal variable out of range")
+        [ l1; l2; l3 ];
+      if l1.var = l2.var || l1.var = l3.var || l2.var = l3.var then
+        invalid_arg "Reductions: clause variables must be distinct")
+    phi.clauses
+
+let literal_satisfied l value = value = l.positive
+
+let rho_satisfies (l1, l2, l3) rho =
+  (* bit k of rho assigns the variable in position k *)
+  literal_satisfied l1 (rho land 1 <> 0)
+  || literal_satisfied l2 (rho land 2 <> 0)
+  || literal_satisfied l3 (rho land 4 <> 0)
+
+let eval_cnf3 phi assignment =
+  Array.for_all
+    (fun (l1, l2, l3) ->
+      List.exists (fun l -> literal_satisfied l assignment.(l.var)) [ l1; l2; l3 ])
+    phi.clauses
+
+let brute_force_sat phi =
+  let m = phi.nvars in
+  let rec try_mask mask =
+    if mask >= 1 lsl m then false
+    else begin
+      let assignment = Array.init m (fun i -> mask land (1 lsl i) <> 0) in
+      eval_cnf3 phi assignment || try_mask (mask + 1)
+    end
+  in
+  try_mask 0
+
+let phom_of_3sat phi =
+  check_cnf phi;
+  let m = phi.nvars and n = Array.length phi.clauses in
+  (* G1: 0 = R1, 1+i = Xi, 1+m+j = Cj *)
+  let x1 i = 1 + i and c1 j = 1 + m + j in
+  let labels1 =
+    Array.init (1 + m + n) (fun id ->
+        if id = 0 then "R1"
+        else if id <= m then "X" ^ string_of_int (id - 1)
+        else "C" ^ string_of_int (id - 1 - m))
+  in
+  let edges1 = ref [] in
+  for i = 0 to m - 1 do
+    edges1 := (0, x1 i) :: !edges1
+  done;
+  Array.iteri
+    (fun j (l1, l2, l3) ->
+      List.iter (fun l -> edges1 := (x1 l.var, c1 j) :: !edges1) [ l1; l2; l3 ])
+    phi.clauses;
+  let g1 = D.make ~labels:labels1 ~edges:!edges1 in
+  (* G2: 0 = R2, 1 = T, 2 = F, 3+2i = XTi, 4+2i = XFi, 3+2m+8j+rho = Cj(rho) *)
+  let xt i = 3 + (2 * i) and xf i = 4 + (2 * i) in
+  let cl j rho = 3 + (2 * m) + (8 * j) + rho in
+  let n2 = 3 + (2 * m) + (8 * n) in
+  let labels2 =
+    Array.init n2 (fun id ->
+        if id = 0 then "R2"
+        else if id = 1 then "T"
+        else if id = 2 then "F"
+        else if id < 3 + (2 * m) then begin
+          let i = (id - 3) / 2 in
+          if (id - 3) mod 2 = 0 then "XT" ^ string_of_int i else "XF" ^ string_of_int i
+        end
+        else begin
+          let off = id - 3 - (2 * m) in
+          Printf.sprintf "C%d(%d)" (off / 8) (off mod 8)
+        end)
+  in
+  let edges2 = ref [ (0, 1); (0, 2) ] in
+  for i = 0 to m - 1 do
+    edges2 := (1, xt i) :: (2, xf i) :: !edges2
+  done;
+  Array.iteri
+    (fun j ((l1, l2, l3) as clause) ->
+      for rho = 0 to 7 do
+        if rho_satisfies clause rho then
+          List.iteri
+            (fun k l ->
+              let bit = rho land (1 lsl k) <> 0 in
+              let src = if bit then xt l.var else xf l.var in
+              edges2 := (src, cl j rho) :: !edges2)
+            [ l1; l2; l3 ]
+      done)
+    phi.clauses;
+  let g2 = D.make ~labels:labels2 ~edges:!edges2 in
+  let mat = Simmat.create ~n1:(D.n g1) ~n2 in
+  Simmat.set mat 0 0 1.;
+  for i = 0 to m - 1 do
+    Simmat.set mat (x1 i) (xt i) 1.;
+    Simmat.set mat (x1 i) (xf i) 1.
+  done;
+  for j = 0 to n - 1 do
+    for rho = 0 to 7 do
+      Simmat.set mat (c1 j) (cl j rho) 1.
+    done
+  done;
+  Instance.make ~g1 ~g2 ~mat ~xi:1.0 ()
+
+let assignment_of_mapping phi mapping =
+  let m = phi.nvars in
+  Array.init m (fun i ->
+      match Mapping.apply mapping (1 + i) with
+      | Some u -> u = 3 + (2 * i) (* XTi *)
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* X3C → 1-1 p-hom                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type x3c = { universe : int; triples : (int * int * int) array }
+
+let check_x3c inst =
+  if inst.universe mod 3 <> 0 then invalid_arg "Reductions: universe must be 3q";
+  Array.iter
+    (fun (a, b, c) ->
+      if a = b || a = c || b = c then invalid_arg "Reductions: triple not distinct";
+      List.iter
+        (fun e ->
+          if e < 0 || e >= inst.universe then
+            invalid_arg "Reductions: triple element out of range")
+        [ a; b; c ])
+    inst.triples
+
+let one_one_phom_of_x3c inst =
+  check_x3c inst;
+  let q = inst.universe / 3 and n = Array.length inst.triples in
+  (* G1 (a tree): 0 = R1, 1+i = C'i, 1+q+3i+k = leaves of C'i *)
+  let ci i = 1 + i and leaf i k = 1 + q + (3 * i) + k in
+  let labels1 =
+    Array.init (1 + (4 * q)) (fun id ->
+        if id = 0 then "R1"
+        else if id <= q then "C'" ^ string_of_int (id - 1)
+        else "X'" ^ string_of_int (id - 1 - q))
+  in
+  let edges1 = ref [] in
+  for i = 0 to q - 1 do
+    edges1 := (0, ci i) :: !edges1;
+    for k = 0 to 2 do
+      edges1 := (ci i, leaf i k) :: !edges1
+    done
+  done;
+  let g1 = D.make ~labels:labels1 ~edges:!edges1 in
+  (* G2 (a DAG): 0 = R2, 1+j = Cj, 1+n+e = element e *)
+  let cj j = 1 + j and elt e = 1 + n + e in
+  let labels2 =
+    Array.init (1 + n + inst.universe) (fun id ->
+        if id = 0 then "R2"
+        else if id <= n then "C" ^ string_of_int (id - 1)
+        else "X" ^ string_of_int (id - 1 - n))
+  in
+  let edges2 = ref [] in
+  Array.iteri
+    (fun j (a, b, c) ->
+      edges2 := (0, cj j) :: !edges2;
+      List.iter (fun e -> edges2 := (cj j, elt e) :: !edges2) [ a; b; c ])
+    inst.triples;
+  let g2 = D.make ~labels:labels2 ~edges:!edges2 in
+  let mat = Simmat.create ~n1:(D.n g1) ~n2:(D.n g2) in
+  Simmat.set mat 0 0 1.;
+  for i = 0 to q - 1 do
+    for j = 0 to n - 1 do
+      Simmat.set mat (ci i) (cj j) 1.
+    done;
+    for k = 0 to 2 do
+      for e = 0 to inst.universe - 1 do
+        Simmat.set mat (leaf i k) (elt e) 1.
+      done
+    done
+  done;
+  Instance.make ~g1 ~g2 ~mat ~xi:1.0 ()
+
+let brute_force_x3c inst =
+  check_x3c inst;
+  if inst.universe > 60 then invalid_arg "Reductions.brute_force_x3c: too large";
+  let full = (1 lsl inst.universe) - 1 in
+  let masks =
+    Array.map (fun (a, b, c) -> (1 lsl a) lor (1 lsl b) lor (1 lsl c)) inst.triples
+  in
+  let n = Array.length masks in
+  let rec go j covered =
+    if covered = full then true
+    else if j >= n then false
+    else if masks.(j) land covered <> 0 then go (j + 1) covered
+    else go (j + 1) (covered lor masks.(j)) || go (j + 1) covered
+  in
+  go 0 0
+
+(* ------------------------------------------------------------------ *)
+(* p-hom → MCP/MSP (Corollary 4.2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mcp_of_phom (t : Instance.t) =
+  let mat' =
+    Simmat.of_fun ~n1:(D.n t.Instance.g1) ~n2:(D.n t.Instance.g2) (fun v u ->
+        let s = Simmat.get t.Instance.mat v u in
+        if s >= t.Instance.xi then 1. else s)
+  in
+  Instance.make ~tc2:t.Instance.tc2 ~g1:t.Instance.g1 ~g2:t.Instance.g2
+    ~mat:mat' ~xi:t.Instance.xi ()
+
+(* ------------------------------------------------------------------ *)
+(* WIS → SPH                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sph_of_wis g =
+  let n = Ungraph.n g in
+  let labels = Array.init n (fun i -> "N" ^ string_of_int i) in
+  (* orient each undirected edge from the smaller to the larger endpoint *)
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    Phom_graph.Bitset.iter
+      (fun v -> if v > u then edges := (u, v) :: !edges)
+      (Ungraph.neighbors g u)
+  done;
+  let g1 = D.make ~labels ~edges:!edges in
+  let g2 = D.make ~labels ~edges:[] in
+  let mat = Simmat.of_label_equality g1 g2 in
+  let weights = Array.init n (Ungraph.weight g) in
+  (Instance.make ~g1 ~g2 ~mat ~xi:1.0 (), weights)
+
+let independent_set_of_mapping mapping = List.map fst mapping

@@ -1,0 +1,62 @@
+(** The hardness-proof gadgets of Appendix A, as executable constructions.
+
+    These serve two purposes: they are end-to-end tests of the decision
+    procedures (a satisfiable 3SAT instance must yield [G1 ⪯(e,p) G2], an
+    exact cover must yield a 1-1 p-hom mapping, and conversely), and they
+    document precisely how p-hom matching encodes NP-hard structure. *)
+
+(** {1 3SAT → p-hom (Theorem 4.1(a))} *)
+
+type literal = { var : int; positive : bool }
+(** Variable index in [0 .. nvars-1]. *)
+
+type cnf3 = { nvars : int; clauses : (literal * literal * literal) array }
+(** Each clause must mention three {e distinct} variables (as in the paper's
+    construction). *)
+
+val phom_of_3sat : cnf3 -> Instance.t
+(** Both graphs are DAGs; [ξ = 1]. [G1 ⪯(e,p) G2] iff the formula is
+    satisfiable. Raises [Invalid_argument] on repeated variables in a
+    clause. *)
+
+val assignment_of_mapping : cnf3 -> Mapping.t -> bool array
+(** Read the truth assignment off a full p-hom mapping (the [Xi ↦ XTi/XFi]
+    choices). *)
+
+val eval_cnf3 : cnf3 -> bool array -> bool
+
+val brute_force_sat : cnf3 -> bool
+(** Oracle for tests: try all assignments ([nvars ≤ 20] or so). *)
+
+(** {1 X3C → 1-1 p-hom (Theorem 4.1(b))} *)
+
+type x3c = { universe : int; triples : (int * int * int) array }
+(** [universe = 3q] elements [0 .. 3q-1]; each triple is a 3-element subset
+    with distinct members. *)
+
+val one_one_phom_of_x3c : x3c -> Instance.t
+(** [G1] is a tree, [G2] a DAG; [ξ = 1]. [G1 ⪯¹⁻¹(e,p) G2] iff an exact
+    cover exists. *)
+
+val brute_force_x3c : x3c -> bool
+(** Oracle for tests: search all sub-collections (small instances only). *)
+
+(** {1 p-hom → maximum cardinality/similarity (Corollary 4.2)} *)
+
+val mcp_of_phom : Instance.t -> Instance.t
+(** The reduction proving the optimization problems NP-complete: boost
+    every pair at or above the threshold to similarity 1 (leaving the rest
+    untouched). A (1-1) p-hom mapping of the whole [G1] exists in the input
+    iff the output instance has a mapping of [qualCard = 1] (equivalently
+    [qualSim = 1] under unit weights). *)
+
+(** {1 WIS → SPH (Theorem 4.3)} *)
+
+val sph_of_wis : Phom_wis.Ungraph.t -> Instance.t * float array
+(** Function [f] of the AFP-reduction: [G1] is an arbitrary orientation of
+    the input, [G2] has the same nodes and {e no} edges, [mat] is the
+    identity, [ξ = 1]; returns the instance and the node weights. The
+    optimal SPH value times the total weight is the optimal WIS weight. *)
+
+val independent_set_of_mapping : Mapping.t -> int list
+(** Function [g]: a solution to the SPH instance is an independent set. *)

@@ -1,0 +1,10 @@
+let close_instance (t : Instance.t) =
+  let g1_plus = Phom_graph.Transitive_closure.graph t.g1 in
+  Instance.make ~tc2:t.tc2 ~g1:g1_plus ~g2:t.g2 ~mat:t.mat ~xi:t.xi ()
+
+let decide ?injective ?budget t = Exact.decide ?injective ?budget (close_instance t)
+
+let max_card ?injective t = Comp_max_card.run ?injective (close_instance t)
+
+let max_sim ?injective ?weights t =
+  Comp_max_sim.run ?injective ?weights (close_instance t)

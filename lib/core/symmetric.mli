@@ -1,0 +1,19 @@
+(** Symmetric (path-to-path) matching, per the Remark of Section 3.2:
+    instead of mapping {e edges} of [G1] to paths of [G2], map {e paths} to
+    paths by first replacing [G1] with its transitive closure [G1⁺] and then
+    asking whether [G1⁺ ⪯(e,p) G2]. *)
+
+val close_instance : Instance.t -> Instance.t
+(** Same instance with [g1] replaced by [G1⁺] (labels and node ids are
+    preserved, so mappings and metrics transfer unchanged). *)
+
+val decide : ?injective:bool -> ?budget:int -> Instance.t -> bool option
+(** [G1⁺ ⪯(e,p) G2] (resp. 1-1), by the exact procedure. *)
+
+val max_card : ?injective:bool -> Instance.t -> Mapping.t
+(** compMaxCard on the closed instance. *)
+
+val max_sim :
+  ?injective:bool -> ?weights:float array -> Instance.t -> Mapping.t
+(** compMaxSim on the closed instance ([G1⁺] has the same nodes, so weights
+    transfer verbatim). *)

@@ -1,0 +1,14 @@
+module D = Phom_graph.Digraph
+module BM = Phom_graph.Bitmatrix
+
+let trim ~g1 ~tc2 ~v ~u h =
+  let h =
+    Array.fold_left
+      (fun h v' ->
+        Matching_list.move_to_minus h v' (fun u' -> not (BM.get tc2 u' u)))
+      h (D.pred g1 v)
+  in
+  Array.fold_left
+    (fun h v' ->
+      Matching_list.move_to_minus h v' (fun u' -> not (BM.get tc2 u u')))
+    h (D.succ g1 v)

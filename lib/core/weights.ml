@@ -1,0 +1,17 @@
+module D = Phom_graph.Digraph
+
+let uniform g = Array.make (D.n g) 1.
+
+let degree g =
+  let mx = float_of_int (D.max_degree g + 1) in
+  Array.init (D.n g) (fun v -> float_of_int (D.degree g v + 1) /. mx)
+
+let max_normalized ?(floor = 1e-6) v =
+  let mx = Array.fold_left Float.max 0. v in
+  if mx <= 0. then Array.map (fun _ -> 1.) v
+  else Array.map (fun x -> Float.max floor (x /. mx)) v
+
+let hub g = max_normalized (Phom_sim.Hits.compute g).Phom_sim.Hits.hub
+
+let authority g =
+  max_normalized (Phom_sim.Hits.compute g).Phom_sim.Hits.authority

@@ -1,0 +1,16 @@
+(** Ready-made node-importance vectors [w(v)] for the overall-similarity
+    problems SPH / SPH¹⁻¹ (Section 3.3: "whether v is a hub, authority, or a
+    node with a high degree"). All vectors are positive and scaled to a
+    maximum of 1 so thresholds stay comparable across choices. *)
+
+val uniform : Phom_graph.Digraph.t -> float array
+(** All ones — the paper's experimental setting. *)
+
+val degree : Phom_graph.Digraph.t -> float array
+(** [(deg v + 1) / (maxDeg + 1)]. *)
+
+val hub : Phom_graph.Digraph.t -> float array
+(** HITS hub score, max-normalized (floor 1e-6 so weights stay positive). *)
+
+val authority : Phom_graph.Digraph.t -> float array
+(** HITS authority score, max-normalized (floor 1e-6). *)

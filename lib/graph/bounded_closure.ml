@@ -1,0 +1,57 @@
+(* reach_i(u) = nodes reachable in 1..i hops; one matrix sweep per round:
+   reach_{i+1}(u) = reach_i(u) ∪ ⋃_{w ∈ succ(u)} reach_i(w) — but that
+   over-counts (reach_i(w) is 1..i hops from w = 2..i+1 from u, fine, plus
+   direct succ gives hop 1). We instead iterate frontiers per node. *)
+
+let compute ~k g =
+  let n = Digraph.n g in
+  let m = Bitmatrix.create ~rows:n ~cols:n in
+  if k <= 0 then m
+  else begin
+    (* frontier BFS per node, capped at depth k; bitset visited *)
+    for u = 0 to n - 1 do
+      let visited = Bitset.create n in
+      let frontier = ref [] in
+      Array.iter
+        (fun w ->
+          if not (Bitset.mem visited w) then begin
+            Bitset.add visited w;
+            Bitmatrix.set m u w true;
+            frontier := w :: !frontier
+          end)
+        (Digraph.succ g u);
+      let depth = ref 1 in
+      while !depth < k && !frontier <> [] do
+        incr depth;
+        let next = ref [] in
+        List.iter
+          (fun x ->
+            Array.iter
+              (fun w ->
+                if not (Bitset.mem visited w) then begin
+                  Bitset.add visited w;
+                  Bitmatrix.set m u w true;
+                  next := w :: !next
+                end)
+              (Digraph.succ g x))
+          !frontier;
+        frontier := !next
+      done
+    done;
+    m
+  end
+
+let distances_within ~k g v =
+  let d = Traversal.distances g v in
+  (* distances gives hop counts with d(v)=0; non-empty-path semantics needs
+     the self distance via a cycle instead *)
+  let n = Digraph.n g in
+  let out = Array.make n (-1) in
+  for u = 0 to n - 1 do
+    if u <> v && d.(u) > 0 && d.(u) <= k then out.(u) <- d.(u)
+  done;
+  (* self: shortest cycle through v *)
+  (match Traversal.shortest_path g v v with
+  | Some path when List.length path - 1 <= k -> out.(v) <- List.length path - 1
+  | _ -> ());
+  out

@@ -1,0 +1,21 @@
+(** Hop-bounded reachability: [(u, v)] iff there is a path from [u] to [v]
+    of length between 1 and [k] edges.
+
+    This generalizes both conventional matching and p-hom: with [k = 1] the
+    relation is the edge relation (edge-to-edge matching), with [k = ∞] it
+    is the transitive closure (unbounded edge-to-path matching), and
+    intermediate [k] gives the fixed-length path semantics of Zou et al.'s
+    distance-join pattern matching ([32] in the paper) — often what an
+    application wants, since a "path" of 40 hyperlinks hardly preserves
+    navigational structure. Plug the resulting matrix into
+    {!Phom.Instance.make}'s [tc2] to run every algorithm under bounded
+    semantics. *)
+
+val compute : k:int -> Digraph.t -> Bitmatrix.t
+(** [compute ~k g] by [k] rounds of BFS frontier expansion; O(k·n·m/w) with
+    bitset rows. [k ≤ 0] yields the empty relation; [k ≥ n] coincides with
+    {!Transitive_closure.compute}. *)
+
+val distances_within : k:int -> Digraph.t -> int -> int array
+(** [distances_within ~k g v].(u) is the length of a shortest non-empty path
+    [v → u] if it is ≤ [k], else [-1]. Mostly a test oracle. *)

@@ -1,0 +1,60 @@
+type t = { comp : int array; count : int }
+
+(* Union-find with path halving and union by size. *)
+let make_uf n = Array.init n (fun i -> i), Array.make n 1
+
+let rec find parent x =
+  let p = parent.(x) in
+  if p = x then x
+  else begin
+    parent.(x) <- parent.(p);
+    find parent parent.(x)
+  end
+
+let union parent size x y =
+  let rx = find parent x and ry = find parent y in
+  if rx <> ry then begin
+    let big, small = if size.(rx) >= size.(ry) then (rx, ry) else (ry, rx) in
+    parent.(small) <- big;
+    size.(big) <- size.(big) + size.(small)
+  end
+
+let normalize parent n =
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    let r = find parent v in
+    if comp.(r) < 0 then begin
+      comp.(r) <- !count;
+      incr count
+    end
+  done;
+  (Array.init n (fun v -> comp.(find parent v)), !count)
+
+let compute g =
+  let n = Digraph.n g in
+  let parent, size = make_uf n in
+  Digraph.iter_edges (fun u v -> union parent size u v) g;
+  let comp, count = normalize parent n in
+  { comp; count }
+
+let members t =
+  let out = Array.make t.count [] in
+  for v = Array.length t.comp - 1 downto 0 do
+    out.(t.comp.(v)) <- v :: out.(t.comp.(v))
+  done;
+  out
+
+let of_subset g nodes =
+  let sub, old_of_new = Digraph.induced g nodes in
+  let t = compute sub in
+  let groups = members t in
+  let translated =
+    Array.to_list (Array.map (List.map (fun v -> old_of_new.(v))) groups)
+  in
+  List.sort
+    (fun a b ->
+      match (a, b) with
+      | x :: _, y :: _ -> compare x y
+      | _ -> compare a b)
+    translated

@@ -1,0 +1,19 @@
+(** Weakly connected components (union-find), used by the Appendix-B
+    partitioning optimization: after dropping unmatchable nodes from [G1],
+    each weak component can be matched independently and the mappings
+    unioned (Proposition 1). *)
+
+type t = {
+  comp : int array;  (** component id per node, ids are [0 .. count-1] *)
+  count : int;
+}
+
+val compute : Digraph.t -> t
+
+val members : t -> int list array
+(** Nodes of each component, ascending. *)
+
+val of_subset : Digraph.t -> int list -> int list list
+(** [of_subset g nodes] groups [nodes] into the weak components of the
+    subgraph of [g] induced by [nodes]. Each group is ascending; groups are
+    ordered by their smallest element. *)

@@ -1,0 +1,40 @@
+type t = {
+  graph : Digraph.t;
+  comp_of_node : int array;
+  members : int list array;
+  cyclic : bool array;
+}
+
+let compress g =
+  let scc = Scc.compute g in
+  let count = scc.Scc.count in
+  let members = Scc.members scc in
+  let cyclic = Array.make count false in
+  Array.iteri (fun c ms -> if List.length ms > 1 then cyclic.(c) <- true) members;
+  Digraph.iter_edges (fun u v -> if u = v then cyclic.(scc.Scc.comp.(u)) <- true) g;
+  (* Component-level reachability: same reverse-topological sweep as the
+     transitive closure, but over component ids. *)
+  let comp_succ = Array.make count [] in
+  List.iter (fun (c, d) -> comp_succ.(c) <- d :: comp_succ.(c)) (Scc.condensation_edges g scc);
+  let reach = Array.init count (fun _ -> Bitset.create count) in
+  let edge_list = ref [] in
+  for c = 0 to count - 1 do
+    List.iter
+      (fun d ->
+        Bitset.add reach.(c) d;
+        Bitset.union_into ~into:reach.(c) reach.(d))
+      comp_succ.(c);
+    Bitset.iter (fun d -> edge_list := (c, d) :: !edge_list) reach.(c);
+    if cyclic.(c) then edge_list := (c, c) :: !edge_list
+  done;
+  let labels = Array.init count (fun c -> "bag:" ^ string_of_int c) in
+  {
+    graph = Digraph.make ~labels ~edges:!edge_list;
+    comp_of_node = scc.Scc.comp;
+    members;
+    cyclic;
+  }
+
+let bag t g2 node = List.map (Digraph.label g2) t.members.(node)
+
+let capacity t node = List.length t.members.(node)

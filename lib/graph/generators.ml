@@ -1,0 +1,173 @@
+let distinct_random_edges rng ~n ~m ~self_loops =
+  let cap = if self_loops then n * n else n * (n - 1) in
+  if m > cap then invalid_arg "Generators: too many edges requested";
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  let count = ref 0 in
+  while !count < m do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if (self_loops || u <> v) && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      edges := (u, v) :: !edges;
+      incr count
+    end
+  done;
+  !edges
+
+let erdos_renyi ~rng ~n ~m ~labels =
+  let edge_list = distinct_random_edges rng ~n ~m ~self_loops:false in
+  Digraph.make ~labels:(Array.init n labels) ~edges:edge_list
+
+let random_dag ~rng ~n ~m ~labels =
+  if m > n * (n - 1) / 2 then invalid_arg "Generators.random_dag: too many edges";
+  (* random permutation = topological order; sample forward pairs *)
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] and count = ref 0 in
+  while !count < m do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then begin
+      let u, v = if pos.(u) < pos.(v) then (u, v) else (v, u) in
+      if not (Hashtbl.mem seen (u, v)) then begin
+        Hashtbl.add seen (u, v) ();
+        edges := (u, v) :: !edges;
+        incr count
+      end
+    end
+  done;
+  Digraph.make ~labels:(Array.init n labels) ~edges:!edges
+
+let random_tree ~rng ~n ~labels =
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (Random.State.int rng v, v) :: !edges
+  done;
+  Digraph.make ~labels:(Array.init n labels) ~edges:!edges
+
+let preferential_attachment ~rng ~n ~out ~labels =
+  let indeg = Array.make n 0 in
+  let edges = ref [] in
+  let pick_target v =
+    (* weight ∝ in-degree + 1 among nodes < v *)
+    let total = ref 0 in
+    for u = 0 to v - 1 do
+      total := !total + indeg.(u) + 1
+    done;
+    let r = ref (Random.State.int rng !total) in
+    let chosen = ref 0 in
+    (try
+       for u = 0 to v - 1 do
+         r := !r - (indeg.(u) + 1);
+         if !r < 0 then begin
+           chosen := u;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !chosen
+  in
+  for v = 1 to n - 1 do
+    for _ = 1 to min out v do
+      let u = pick_target v in
+      edges := (v, u) :: !edges;
+      indeg.(u) <- indeg.(u) + 1
+    done
+  done;
+  Digraph.make ~labels:(Array.init n labels) ~edges:!edges
+
+type label_pool = { nlabels : int; ngroups : int }
+
+let pool_for m =
+  let nlabels = 5 * m in
+  let ngroups = max 1 (int_of_float (sqrt (float_of_int nlabels))) in
+  { nlabels; ngroups }
+
+let label_name i = "L" ^ string_of_int i
+
+let group_of_label pool l =
+  if String.length l < 2 || l.[0] <> 'L' then
+    invalid_arg "Generators.group_of_label: not a pool label";
+  match int_of_string_opt (String.sub l 1 (String.length l - 1)) with
+  | Some i -> i mod pool.ngroups
+  | None -> invalid_arg "Generators.group_of_label: not a pool label"
+
+let random_pool_label rng pool = label_name (Random.State.int rng pool.nlabels)
+
+let paper_pattern ~rng ~m =
+  let pool = pool_for m in
+  let g =
+    erdos_renyi ~rng ~n:m ~m:(4 * m) ~labels:(fun _ -> random_pool_label rng pool)
+  in
+  (g, pool)
+
+let subdivide_edges ~rng ~prob ~max_len ~fresh_label g =
+  let n0 = Digraph.n g in
+  let next = ref n0 in
+  let new_labels = ref [] in
+  let edges = ref [] in
+  Digraph.iter_edges
+    (fun u v ->
+      if Random.State.float rng 1.0 < prob then begin
+        let len = 1 + Random.State.int rng max_len in
+        let path = Array.init len (fun _ ->
+            let id = !next in
+            incr next;
+            new_labels := fresh_label rng :: !new_labels;
+            id)
+        in
+        let prev = ref u in
+        Array.iter
+          (fun w ->
+            edges := (!prev, w) :: !edges;
+            prev := w)
+          path;
+        edges := (!prev, v) :: !edges
+      end
+      else edges := (u, v) :: !edges)
+    g;
+  let labels =
+    Array.append (Digraph.labels g) (Array.of_list (List.rev !new_labels))
+  in
+  Digraph.make ~labels ~edges:!edges
+
+let attach_subgraphs ~rng ~prob ~max_size ~fresh_label g =
+  let next = ref (Digraph.n g) in
+  let new_labels = ref [] in
+  let extra = ref [] in
+  for v = 0 to Digraph.n g - 1 do
+    if Random.State.float rng 1.0 < prob then begin
+      let size = 1 + Random.State.int rng max_size in
+      let ids = Array.init size (fun _ ->
+          let id = !next in
+          incr next;
+          new_labels := fresh_label rng :: !new_labels;
+          id)
+      in
+      (* hook the subgraph below v and sprinkle some internal edges *)
+      extra := (v, ids.(0)) :: !extra;
+      for i = 1 to size - 1 do
+        extra := (ids.(Random.State.int rng i), ids.(i)) :: !extra
+      done;
+      for _ = 1 to size / 2 do
+        let a = ids.(Random.State.int rng size) and b = ids.(Random.State.int rng size) in
+        if a <> b then extra := (a, b) :: !extra
+      done
+    end
+  done;
+  let labels =
+    Array.append (Digraph.labels g) (Array.of_list (List.rev !new_labels))
+  in
+  Digraph.make ~labels ~edges:(List.rev_append !extra (Digraph.edges g))
+
+let paper_data ~rng ~pool ~noise g1 =
+  let fresh_label rng = random_pool_label rng pool in
+  let subdivided = subdivide_edges ~rng ~prob:noise ~max_len:5 ~fresh_label g1 in
+  attach_subgraphs ~rng ~prob:noise ~max_size:10 ~fresh_label subdivided

@@ -1,0 +1,75 @@
+(** Random graph generators.
+
+    All generators are deterministic given the [Random.State.t] they are
+    passed; experiments seed them explicitly so every table and figure is
+    replayable.
+
+    [paper_pattern] and [paper_data] implement the synthetic workload of the
+    paper's Section 6 verbatim: a pattern [G1] with [m] nodes and [4m] edges,
+    and data graphs [G2] derived from [G1] by replacing each edge, with
+    probability [noise], by a path of 1–5 fresh nodes and attaching, with
+    probability [noise], a fresh subgraph of at most 10 nodes to each node.
+    Labels are drawn from a pool of [5m] labels partitioned into [√(5m)]
+    groups (see {!Phom_sim.Labelsim} for the induced similarity). *)
+
+val erdos_renyi :
+  rng:Random.State.t -> n:int -> m:int -> labels:(int -> string) -> Digraph.t
+(** [m] distinct random edges (no self-loops) over [n] nodes. Raises
+    [Invalid_argument] if [m] exceeds [n·(n-1)]. *)
+
+val random_dag :
+  rng:Random.State.t -> n:int -> m:int -> labels:(int -> string) -> Digraph.t
+(** Like {!erdos_renyi} but edges only go forward in a random topological
+    order, so the result is acyclic. *)
+
+val random_tree :
+  rng:Random.State.t -> n:int -> labels:(int -> string) -> Digraph.t
+(** Rooted tree on [n] nodes: node 0 is the root, every other node has one
+    incoming edge from a uniformly random earlier node. *)
+
+val preferential_attachment :
+  rng:Random.State.t -> n:int -> out:int -> labels:(int -> string) -> Digraph.t
+(** Scale-free-ish digraph: each new node links to [out] targets chosen with
+    probability proportional to (in-degree + 1). Produces the hub-heavy
+    degree distributions of web graphs. *)
+
+(** {1 The paper's synthetic workload (Section 6)} *)
+
+type label_pool = { nlabels : int; ngroups : int }
+(** The label pool used by a pattern: [5m] labels in [√(5m)] groups. Label
+    [i] is rendered ["L<i>"] and belongs to group [i mod ngroups]. *)
+
+val pool_for : int -> label_pool
+(** [pool_for m] is the pool the paper prescribes for a pattern of size [m]. *)
+
+val label_name : int -> string
+val group_of_label : label_pool -> string -> int
+(** Group of a label; raises [Invalid_argument] on labels not of the form
+    ["L<i>"]. *)
+
+val paper_pattern : rng:Random.State.t -> m:int -> Digraph.t * label_pool
+(** Pattern graph [G1]: [m] nodes, [4m] distinct random edges, labels drawn
+    uniformly from the pool. *)
+
+val paper_data :
+  rng:Random.State.t ->
+  pool:label_pool ->
+  noise:float ->
+  Digraph.t ->
+  Digraph.t
+(** [paper_data ~rng ~pool ~noise g1] builds a data graph [G2] ⊇ a
+    subdivision of [G1]: nodes [0 .. n1-1] of the result are the copies of
+    [G1]'s nodes (same labels), so the identity is always a p-hom mapping
+    witness. [noise] is a probability in [0, 1]. *)
+
+(** {1 Helpers} *)
+
+val subdivide_edges :
+  rng:Random.State.t ->
+  prob:float ->
+  max_len:int ->
+  fresh_label:(Random.State.t -> string) ->
+  Digraph.t ->
+  Digraph.t
+(** Replace each edge, with probability [prob], by a path through 1 to
+    [max_len] fresh nodes. Original nodes keep their ids. *)

@@ -1,0 +1,182 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "phg 1\n";
+  for v = 0 to Digraph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "node %d %s\n" v (Digraph.label g v))
+  done;
+  Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v))
+    g;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match lines with
+  | [] -> err "empty input"
+  | header :: rest ->
+      if String.trim header <> "phg 1" then err "missing 'phg 1' header"
+      else begin
+        let nodes = Hashtbl.create 64 in
+        let edges = ref [] in
+        let problem = ref None in
+        List.iteri
+          (fun lineno line ->
+            let lineno = lineno + 2 in
+            let line = String.trim line in
+            if !problem = None && line <> "" && line.[0] <> '#' then
+              match String.index_opt line ' ' with
+              | None -> problem := Some (Printf.sprintf "line %d: malformed" lineno)
+              | Some sp -> (
+                  let kw = String.sub line 0 sp in
+                  let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+                  match kw with
+                  | "node" -> (
+                      match String.index_opt rest ' ' with
+                      | None -> (
+                          match int_of_string_opt rest with
+                          | Some id -> Hashtbl.replace nodes id ""
+                          | None ->
+                              problem := Some (Printf.sprintf "line %d: bad node id" lineno))
+                      | Some sp2 -> (
+                          let id_s = String.sub rest 0 sp2 in
+                          let lbl = String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) in
+                          match int_of_string_opt id_s with
+                          | Some id -> Hashtbl.replace nodes id lbl
+                          | None ->
+                              problem := Some (Printf.sprintf "line %d: bad node id" lineno)))
+                  | "edge" -> (
+                      match String.split_on_char ' ' rest with
+                      | [ a; b ] -> (
+                          match (int_of_string_opt a, int_of_string_opt b) with
+                          | Some u, Some v -> edges := (u, v) :: !edges
+                          | _ ->
+                              problem := Some (Printf.sprintf "line %d: bad edge" lineno))
+                      | _ -> problem := Some (Printf.sprintf "line %d: bad edge" lineno))
+                  | _ ->
+                      problem :=
+                        Some (Printf.sprintf "line %d: unknown keyword %S" lineno kw)))
+          rest;
+        match !problem with
+        | Some m -> Error m
+        | None ->
+            let n = Hashtbl.length nodes in
+            let labels = Array.make n "" in
+            let bad = ref None in
+            Hashtbl.iter
+              (fun id lbl ->
+                if id < 0 || id >= n then bad := Some id else labels.(id) <- lbl)
+              nodes;
+            (match !bad with
+            | Some id -> err "node ids must be dense 0..n-1 (saw %d of %d nodes)" id n
+            | None -> (
+                try Ok (Digraph.make ~labels ~edges:!edges)
+                with Invalid_argument m -> Error m))
+      end
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  try
+    let ic = open_in path in
+    let contents =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+    in
+    of_string contents
+  with Sys_error m -> Error m
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_xml s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_graphml g =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+     <graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n\
+    \  <key id=\"label\" for=\"node\" attr.name=\"label\" attr.type=\"string\"/>\n\
+    \  <graph id=\"G\" edgedefault=\"directed\">\n";
+  for v = 0 to Digraph.n g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "    <node id=\"n%d\"><data key=\"label\">%s</data></node>\n"
+         v
+         (escape_xml (Digraph.label g v)))
+  done;
+  Digraph.iter_edges
+    (fun u v ->
+      Buffer.add_string buf
+        (Printf.sprintf "    <edge source=\"n%d\" target=\"n%d\"/>\n" u v))
+    g;
+  Buffer.add_string buf "  </graph>\n</graphml>\n";
+  Buffer.contents buf
+
+let to_dot ?(name = "G") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  for v = 0 to Digraph.n g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%d: %s\"];\n" v v (escape (Digraph.label g v)))
+  done;
+  Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let mapping_to_dot ?(name = "Match") ~g1 ~g2 mapping =
+  let buf = Buffer.create 4096 in
+  let covered = Hashtbl.create 16 in
+  List.iter (fun (v, _) -> Hashtbl.replace covered v ()) mapping;
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  Buffer.add_string buf "  subgraph cluster_pattern {\n    label=\"G1 (pattern)\";\n";
+  for v = 0 to Digraph.n g1 - 1 do
+    let style =
+      if Hashtbl.mem covered v then " style=filled fillcolor=lightblue" else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "    p%d [label=\"%s\"%s];\n" v
+         (escape (Digraph.label g1 v))
+         style)
+  done;
+  Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "    p%d -> p%d;\n" u v))
+    g1;
+  Buffer.add_string buf "  }\n  subgraph cluster_data {\n    label=\"G2 (data)\";\n";
+  for u = 0 to Digraph.n g2 - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "    d%d [label=\"%s\"];\n" u (escape (Digraph.label g2 u)))
+  done;
+  Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "    d%d -> d%d;\n" u v))
+    g2;
+  Buffer.add_string buf "  }\n";
+  List.iter
+    (fun (v, u) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  p%d -> d%d [style=dashed constraint=false color=blue];\n"
+           v u))
+    mapping;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

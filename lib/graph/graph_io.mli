@@ -1,0 +1,32 @@
+(** Plain-text serialization for {!Digraph} and Graphviz export.
+
+    The text format ("phg 1") is line-oriented:
+    {v
+    phg 1
+    node <id> <label ...rest of line>
+    edge <src> <dst>
+    # comments and blank lines are ignored
+    v}
+    Node ids must be the dense range [0 .. n-1] (in any order). *)
+
+val to_string : Digraph.t -> string
+val of_string : string -> (Digraph.t, string) result
+
+val save : string -> Digraph.t -> unit
+(** [save path g] writes the text format to [path]. *)
+
+val load : string -> (Digraph.t, string) result
+(** [load path] parses a file saved by {!save}. *)
+
+val to_dot : ?name:string -> Digraph.t -> string
+(** Graphviz [digraph] rendering, nodes labelled [id: label]. *)
+
+val to_graphml : Digraph.t -> string
+(** GraphML rendering (for Gephi/yEd and friends), with the node label in a
+    ["label"] data key. *)
+
+val mapping_to_dot :
+  ?name:string -> g1:Digraph.t -> g2:Digraph.t -> (int * int) list -> string
+(** Render two graphs as DOT clusters with dashed cross-edges for each
+    mapping pair — the one-glance debugging view of a matching result.
+    Pattern nodes covered by the mapping are highlighted. *)

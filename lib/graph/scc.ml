@@ -1,0 +1,92 @@
+type t = { comp : int array; count : int }
+
+(* Iterative Tarjan. The classic recursive formulation overflows the stack on
+   long paths, so we keep an explicit frame stack of (node, next-successor
+   index) pairs. *)
+let compute g =
+  let n = Digraph.n g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Bitset.create n in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let frames = ref [] in
+  let push_node v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    Bitset.add on_stack v;
+    frames := (v, ref 0) :: !frames
+  in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      push_node root;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, next) :: rest ->
+            let ss = Digraph.succ g v in
+            if !next < Array.length ss then begin
+              let w = ss.(!next) in
+              incr next;
+              if index.(w) < 0 then push_node w
+              else if Bitset.mem on_stack w then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+            end
+            else begin
+              frames := rest;
+              (match rest with
+              | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then begin
+                let c = !next_comp in
+                incr next_comp;
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tl ->
+                      stack := tl;
+                      Bitset.remove on_stack w;
+                      comp.(w) <- c;
+                      if w = v then continue := false
+                done
+              end
+            end
+      done
+    end
+  done;
+  { comp; count = !next_comp }
+
+let members t =
+  let out = Array.make t.count [] in
+  for v = Array.length t.comp - 1 downto 0 do
+    out.(t.comp.(v)) <- v :: out.(t.comp.(v))
+  done;
+  out
+
+let sizes t =
+  let out = Array.make t.count 0 in
+  Array.iter (fun c -> out.(c) <- out.(c) + 1) t.comp;
+  out
+
+let is_trivial g t c =
+  let ms = members t in
+  match ms.(c) with
+  | [ v ] -> not (Digraph.has_edge g v v)
+  | _ -> false
+
+let condensation_edges g t =
+  let seen = Hashtbl.create 97 in
+  Digraph.fold_edges
+    (fun u v acc ->
+      let cu = t.comp.(u) and cv = t.comp.(v) in
+      if cu <> cv && not (Hashtbl.mem seen (cu, cv)) then begin
+        Hashtbl.add seen (cu, cv) ();
+        (cu, cv) :: acc
+      end
+      else acc)
+    g []

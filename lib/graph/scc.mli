@@ -1,0 +1,24 @@
+(** Strongly connected components (iterative Tarjan).
+
+    Components are numbered in reverse topological order of the condensation:
+    if there is an edge from a node of component [c1] to a node of a distinct
+    component [c2], then [c1 > c2]. *)
+
+type t = {
+  comp : int array;  (** component id of each node *)
+  count : int;  (** number of components *)
+}
+
+val compute : Digraph.t -> t
+
+val members : t -> int list array
+(** [members scc] lists the nodes of each component, ascending. *)
+
+val sizes : t -> int array
+
+val is_trivial : Digraph.t -> t -> int -> bool
+(** [is_trivial g scc c] is true when component [c] is a single node without
+    a self-loop — i.e. it contributes no cycle. *)
+
+val condensation_edges : Digraph.t -> t -> (int * int) list
+(** Distinct edges between distinct components, as component-id pairs. *)

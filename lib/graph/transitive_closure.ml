@@ -1,0 +1,53 @@
+let cyclic_comps g scc =
+  let cyclic = Array.make scc.Scc.count false in
+  let sz = Scc.sizes scc in
+  Array.iteri (fun c s -> if s > 1 then cyclic.(c) <- true) sz;
+  Digraph.iter_edges (fun u v -> if u = v then cyclic.(scc.Scc.comp.(u)) <- true) g;
+  cyclic
+
+let compute g =
+  let n = Digraph.n g in
+  let scc = Scc.compute g in
+  let count = scc.Scc.count in
+  let cyclic = cyclic_comps g scc in
+  (* member bits of each component, over node columns *)
+  let memb = Bitmatrix.create ~rows:count ~cols:n in
+  Array.iteri (fun v c -> Bitmatrix.set memb c v true) scc.Scc.comp;
+  (* distinct condensation successors of each component *)
+  let comp_succ = Array.make count [] in
+  List.iter
+    (fun (c, d) -> comp_succ.(c) <- d :: comp_succ.(c))
+    (Scc.condensation_edges g scc);
+  (* components are numbered in reverse topological order: an edge c→d between
+     distinct components has c > d, so sweeping c = 0, 1, ... visits every
+     successor before its predecessors *)
+  let reach = Bitmatrix.create ~rows:count ~cols:n in
+  for c = 0 to count - 1 do
+    List.iter
+      (fun d ->
+        Bitmatrix.or_row ~from:memb ~src:d ~into:reach ~dst:c;
+        Bitmatrix.or_row_into reach ~dst:c ~src:d)
+      comp_succ.(c);
+    if cyclic.(c) then Bitmatrix.or_row ~from:memb ~src:c ~into:reach ~dst:c
+  done;
+  let t = Bitmatrix.create ~rows:n ~cols:n in
+  for u = 0 to n - 1 do
+    Bitmatrix.or_row ~from:reach ~src:scc.Scc.comp.(u) ~into:t ~dst:u
+  done;
+  t
+
+let graph g =
+  let t = compute g in
+  let edge_list = ref [] in
+  for u = 0 to Digraph.n g - 1 do
+    Bitmatrix.iter_row (fun v -> edge_list := (u, v) :: !edge_list) t u
+  done;
+  Digraph.make ~labels:(Digraph.labels g) ~edges:!edge_list
+
+let naive g =
+  let n = Digraph.n g in
+  let t = Bitmatrix.create ~rows:n ~cols:n in
+  for u = 0 to n - 1 do
+    Bitset.iter (fun v -> Bitmatrix.set t u v true) (Traversal.reachable_nonempty g u)
+  done;
+  t

@@ -1,0 +1,20 @@
+(** Transitive closure with the paper's non-empty-path semantics.
+
+    [(u, v) ∈ E⁺] iff there is a path from [u] to [v] with at least one edge;
+    in particular [(u, u) ∈ E⁺] iff [u] lies on a cycle or carries a
+    self-loop. Computed by Tarjan condensation followed by a reverse
+    topological sweep accumulating reachability bitsets (the approach of
+    Nuutila [22] cited by the paper), so cyclic graphs cost no more than
+    their condensation DAG. *)
+
+val compute : Digraph.t -> Bitmatrix.t
+(** [compute g] is the n×n reachability matrix of [g] ([H2] in the paper's
+    algorithm compMaxCard, Fig. 3 lines 5–7). *)
+
+val graph : Digraph.t -> Digraph.t
+(** [graph g] is [G⁺] as a digraph with the same nodes and labels. Used to
+    make matching symmetric (Section 3.2 Remark: check [G1⁺ ⪯(e,p) G2]). *)
+
+val naive : Digraph.t -> Bitmatrix.t
+(** Reference implementation by per-node BFS; O(n·(n+m)). Used by tests as
+    an oracle for {!compute}. *)

@@ -1,0 +1,142 @@
+let bfs_order g src =
+  let seen = Bitset.create (Digraph.n g) in
+  let q = Queue.create () in
+  Bitset.add seen src;
+  Queue.add src q;
+  let out = ref [] in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    out := v :: !out;
+    Array.iter
+      (fun w ->
+        if not (Bitset.mem seen w) then begin
+          Bitset.add seen w;
+          Queue.add w q
+        end)
+      (Digraph.succ g v)
+  done;
+  List.rev !out
+
+let dfs_order g src =
+  let seen = Bitset.create (Digraph.n g) in
+  let stack = ref [ src ] in
+  let out = ref [] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+        stack := rest;
+        if not (Bitset.mem seen v) then begin
+          Bitset.add seen v;
+          out := v :: !out;
+          (* push successors in reverse so the smallest is visited first *)
+          let ss = Digraph.succ g v in
+          for i = Array.length ss - 1 downto 0 do
+            if not (Bitset.mem seen ss.(i)) then stack := ss.(i) :: !stack
+          done
+        end
+  done;
+  List.rev !out
+
+let reachable g src =
+  let seen = Bitset.create (Digraph.n g) in
+  List.iter (Bitset.add seen) (bfs_order g src);
+  seen
+
+let reachable_nonempty g src =
+  let seen = Bitset.create (Digraph.n g) in
+  let q = Queue.create () in
+  Array.iter
+    (fun w ->
+      if not (Bitset.mem seen w) then begin
+        Bitset.add seen w;
+        Queue.add w q
+      end)
+    (Digraph.succ g src);
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if not (Bitset.mem seen w) then begin
+          Bitset.add seen w;
+          Queue.add w q
+        end)
+      (Digraph.succ g v)
+  done;
+  seen
+
+let distances g src =
+  let d = Array.make (Digraph.n g) (-1) in
+  d.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if d.(w) < 0 then begin
+          d.(w) <- d.(v) + 1;
+          Queue.add w q
+        end)
+      (Digraph.succ g v)
+  done;
+  d
+
+let topological_order g =
+  let n = Digraph.n g in
+  let indeg = Array.init n (Digraph.in_degree g) in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v q
+  done;
+  let out = ref [] and seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    incr seen;
+    out := v :: !out;
+    Array.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w q)
+      (Digraph.succ g v)
+  done;
+  if !seen = n then Some (List.rev !out) else None
+
+let is_dag g = topological_order g <> None
+
+let shortest_path g u v =
+  let n = Digraph.n g in
+  if n = 0 then None
+  else begin
+    (* BFS over non-empty paths: parent.(w) set when w first reached. *)
+    let parent = Array.make n (-2) in
+    let q = Queue.create () in
+    Array.iter
+      (fun w ->
+        if parent.(w) = -2 then begin
+          parent.(w) <- u;
+          Queue.add w q
+        end)
+      (Digraph.succ g u);
+    let found = ref (parent.(v) <> -2) in
+    while (not !found) && not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      Array.iter
+        (fun w ->
+          if parent.(w) = -2 then begin
+            parent.(w) <- x;
+            if w = v then found := true;
+            Queue.add w q
+          end)
+        (Digraph.succ g x)
+    done;
+    if parent.(v) = -2 then None
+    else begin
+      (* walk back from v; the first hop out of u has parent u *)
+      let rec walk node acc =
+        let p = parent.(node) in
+        if p = u then u :: node :: acc else walk p (node :: acc)
+      in
+      Some (walk v [])
+    end
+  end

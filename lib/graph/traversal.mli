@@ -1,0 +1,33 @@
+(** Standard traversals over {!Digraph}: BFS, DFS, reachability, topological
+    order. All are iterative (explicit stacks/queues) so they are safe on
+    graphs whose depth exceeds the OCaml call stack. *)
+
+val bfs_order : Digraph.t -> int -> int list
+(** Nodes in BFS order from a source (the source included, reachable nodes
+    only). *)
+
+val dfs_order : Digraph.t -> int -> int list
+(** Nodes in DFS preorder from a source. *)
+
+val reachable : Digraph.t -> int -> Bitset.t
+(** [reachable g v] is the set of nodes reachable from [v], including [v]
+    itself (via the empty path). *)
+
+val reachable_nonempty : Digraph.t -> int -> Bitset.t
+(** [reachable_nonempty g v] is the set of nodes reachable from [v] via a
+    path with at least one edge; [v] itself belongs iff it lies on a
+    cycle through [v] or has a self-loop. This is the path semantics of
+    p-homomorphism. *)
+
+val distances : Digraph.t -> int -> int array
+(** BFS distances from a source; unreachable nodes get [-1]. *)
+
+val topological_order : Digraph.t -> int list option
+(** [Some order] with every edge going forward in [order] when the graph is
+    a DAG, [None] if it has a cycle. *)
+
+val is_dag : Digraph.t -> bool
+
+val shortest_path : Digraph.t -> int -> int -> int list option
+(** [shortest_path g u v] is a minimum-edge-count path [u; ...; v] with at
+    least one edge, or [None]. [u = v] requires a cycle through [u]. *)

@@ -1,0 +1,12 @@
+module D = Phom_graph.Digraph
+
+let similarity ?(iters = 20) g1 g2 =
+  let iters = if iters mod 2 = 0 then iters else iters + 1 in
+  let n1 = D.n g1 and n2 = D.n g2 in
+  let s = ref (Matops.init ~rows:n1 ~cols:n2 (fun _ _ -> 1.)) in
+  for _ = 1 to iters do
+    let child = Matops.right_mul (Matops.left_mul `A g1 !s) `AT g2 in
+    let parent = Matops.right_mul (Matops.left_mul `AT g1 !s) `A g2 in
+    s := Matops.normalize_frobenius (Matops.add child parent)
+  done;
+  Matops.to_simmat (Matops.normalize_max !s)

@@ -1,0 +1,19 @@
+(** Blondel et al.'s vertex similarity (SIAM Review 2004 [6]) — the second
+    vertex-similarity measure the paper mentions (its experiments note it
+    "had results similar to those of SF").
+
+    The iteration is [S ← normalize_F(A·S·Bᵀ + Aᵀ·S·B)] from the all-ones
+    matrix, where [A]/[B] are the adjacency matrices of [G1]/[G2]; the even
+    subsequence converges, so we run an even number of steps. The score of
+    [(v, u)] grows when [v]'s children resemble [u]'s children and [v]'s
+    parents resemble [u]'s parents — the hub/authority structural similarity
+    described in Section 3.1. *)
+
+val similarity :
+  ?iters:int ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  Simmat.t
+(** [similarity g1 g2] runs [iters] steps (default 20; forced up to the next
+    even number) and rescales the result so the maximum entry is 1 — making
+    it usable directly as a [mat()] with a threshold. *)

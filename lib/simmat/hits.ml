@@ -1,0 +1,41 @@
+module D = Phom_graph.Digraph
+
+type scores = { hub : float array; authority : float array }
+
+let l2_normalize v =
+  let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v) in
+  if norm > 0. then Array.map (fun x -> x /. norm) v else v
+
+let compute ?(iters = 50) g =
+  let n = D.n g in
+  if n = 0 then { hub = [||]; authority = [||] }
+  else begin
+    let hub = ref (Array.make n 1.) and auth = ref (Array.make n 1.) in
+    for _ = 1 to iters do
+      let auth' = Array.make n 0. in
+      for v = 0 to n - 1 do
+        Array.iter (fun w -> auth'.(w) <- auth'.(w) +. !hub.(v)) (D.succ g v)
+      done;
+      let auth' = l2_normalize auth' in
+      let hub' = Array.make n 0. in
+      for v = 0 to n - 1 do
+        Array.iter (fun w -> hub'.(v) <- hub'.(v) +. auth'.(w)) (D.succ g v)
+      done;
+      hub := l2_normalize hub';
+      auth := auth'
+    done;
+    let uniform v =
+      if Array.for_all (fun x -> x = 0.) v then
+        Array.make n (1. /. sqrt (float_of_int n))
+      else v
+    in
+    { hub = uniform !hub; authority = uniform !auth }
+  end
+
+let role_similarity s1 s2 =
+  let n1 = Array.length s1.hub and n2 = Array.length s2.hub in
+  Simmat.of_fun ~n1 ~n2 (fun v u ->
+      1.
+      -. ((Float.abs (s1.hub.(v) -. s2.hub.(u))
+          +. Float.abs (s1.authority.(v) -. s2.authority.(u)))
+         /. 2.))

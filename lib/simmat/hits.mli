@@ -1,0 +1,20 @@
+(** Kleinberg's HITS hub/authority scores.
+
+    Section 3.1/3.3 of the paper repeatedly wants to know "whether [v] is a
+    hub, authority, or a node with a high degree": node similarity may
+    require two pages to play a similar role, skeletons keep important
+    nodes, and the SPH weights [w(v)] rank node importance. HITS provides
+    the hub/authority half of that; see {!Phom.Weights} for the ready-made
+    weight vectors. *)
+
+type scores = { hub : float array; authority : float array }
+(** Both vectors are L2-normalized; all entries in [[0, 1]]. *)
+
+val compute : ?iters:int -> Phom_graph.Digraph.t -> scores
+(** Power iteration ([iters] default 50): [auth ← Aᵀ·hub], [hub ← A·auth],
+    normalizing each round. Graphs without edges get uniform scores. *)
+
+val role_similarity : scores -> scores -> Simmat.t
+(** [role_similarity s1 s2].(v,u) = 1 − (|hub₁(v) − hub₂(u)| +
+    |auth₁(v) − auth₂(u)|)/2 — a structural-role [mat()] in the spirit of
+    the hub/authority similarity the paper cites from Blondel et al. [6]. *)

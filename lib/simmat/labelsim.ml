@@ -1,0 +1,29 @@
+type t = { pool : Phom_graph.Generators.label_pool; seed : int }
+
+let make ~pool ~seed = { pool; seed }
+
+(* splitmix64 finalizer over the pair hash; stable across runs. *)
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb in
+  z lxor (z lsr 31)
+
+let string_hash s =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  !h
+
+let sim t a b =
+  if String.equal a b then 1.0
+  else begin
+    let ga = Phom_graph.Generators.group_of_label t.pool a in
+    let gb = Phom_graph.Generators.group_of_label t.pool b in
+    if ga <> gb then 0.0
+    else begin
+      let lo, hi = if compare a b <= 0 then (a, b) else (b, a) in
+      let h = mix (string_hash lo lxor mix (string_hash hi lxor mix t.seed)) in
+      float_of_int (h land 0xfffffff) /. float_of_int 0xfffffff
+    end
+  end
+
+let matrix t g1 g2 = Simmat.of_label_sim (sim t) g1 g2

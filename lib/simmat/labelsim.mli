@@ -1,0 +1,21 @@
+(** The synthetic-data label similarity of the paper's Section 6.
+
+    The pattern generator draws labels from a pool of [5m] labels split into
+    [√(5m)] groups. "Labels in different groups were considered totally
+    different, while labels in the same group were assigned similarities
+    randomly drawn from [0,1]" — and a label is fully similar to itself.
+
+    The random draw is implemented as a pure hash of the (unordered) label
+    pair and a seed, so the similarity table never needs to be materialized
+    and generation is replayable. *)
+
+type t
+
+val make : pool:Phom_graph.Generators.label_pool -> seed:int -> t
+
+val sim : t -> string -> string -> float
+(** 1.0 for equal labels; a pair-deterministic pseudo-random value in
+    [[0, 1]] for distinct labels of the same group; 0.0 across groups. *)
+
+val matrix : t -> Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> Simmat.t
+(** Tabulated over two graphs labelled from the pool. *)

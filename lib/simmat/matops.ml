@@ -1,0 +1,115 @@
+module D = Phom_graph.Digraph
+
+type t = { rows : int; cols : int; a : float array }
+
+let zero ~rows ~cols =
+  { rows; cols; a = Array.make (max 1 (rows * cols)) 0. }
+
+let init ~rows ~cols f =
+  let m = zero ~rows ~cols in
+  for v = 0 to rows - 1 do
+    for u = 0 to cols - 1 do
+      m.a.((v * cols) + u) <- f v u
+    done
+  done;
+  m
+
+let check m v u =
+  if v < 0 || v >= m.rows || u < 0 || u >= m.cols then
+    invalid_arg "Matops: index out of bounds"
+
+let get m v u =
+  check m v u;
+  m.a.((v * m.cols) + u)
+
+let set m v u x =
+  check m v u;
+  m.a.((v * m.cols) + u) <- x
+
+let copy m = { m with a = Array.copy m.a }
+
+let same_dims a b op =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg ("Matops." ^ op ^ ": dimension mismatch")
+
+let entrywise f a b =
+  same_dims a b "entrywise";
+  { a with a = Array.init (Array.length a.a) (fun i -> f a.a.(i) b.a.(i)) }
+
+let add a b = entrywise ( +. ) a b
+
+let map f m = { m with a = Array.map f m.a }
+
+let scale_rows_cols ~row ~col x =
+  if Array.length row <> x.rows || Array.length col <> x.cols then
+    invalid_arg "Matops.scale_rows_cols: dimension mismatch";
+  let out = zero ~rows:x.rows ~cols:x.cols in
+  for v = 0 to x.rows - 1 do
+    let rv = row.(v) in
+    for u = 0 to x.cols - 1 do
+      out.a.((v * x.cols) + u) <- rv *. col.(u) *. x.a.((v * x.cols) + u)
+    done
+  done;
+  out
+
+(* y(v, ·) = Σ_{v' ∈ neigh(v)} x(v', ·), one row-add per sparse entry *)
+let left_mul dir g x =
+  if D.n g <> x.rows then invalid_arg "Matops.left_mul: graph size mismatch";
+  let neigh = match dir with `A -> D.succ g | `AT -> D.pred g in
+  let out = zero ~rows:x.rows ~cols:x.cols in
+  for v = 0 to x.rows - 1 do
+    let base = v * x.cols in
+    Array.iter
+      (fun v' ->
+        let src = v' * x.cols in
+        for u = 0 to x.cols - 1 do
+          out.a.(base + u) <- out.a.(base + u) +. x.a.(src + u)
+        done)
+      (neigh v)
+  done;
+  out
+
+(* y(·, u) = Σ_{u' ∈ neigh(u)} x(·, u') *)
+let right_mul x dir g =
+  if D.n g <> x.cols then invalid_arg "Matops.right_mul: graph size mismatch";
+  (* x·A sums over predecessors of u; x·Aᵀ over successors *)
+  let neigh = match dir with `A -> D.pred g | `AT -> D.succ g in
+  let out = zero ~rows:x.rows ~cols:x.cols in
+  for u = 0 to x.cols - 1 do
+    Array.iter
+      (fun u' ->
+        for v = 0 to x.rows - 1 do
+          out.a.((v * x.cols) + u) <- out.a.((v * x.cols) + u) +. x.a.((v * x.cols) + u')
+        done)
+      (neigh u)
+  done;
+  out
+
+let max_abs_diff a b =
+  same_dims a b "max_abs_diff";
+  let best = ref 0. in
+  for i = 0 to Array.length a.a - 1 do
+    best := Float.max !best (Float.abs (a.a.(i) -. b.a.(i)))
+  done;
+  !best
+
+let normalize_max m =
+  let mx = Array.fold_left Float.max 0. m.a in
+  if mx <= 0. then copy m else map (fun x -> x /. mx) m
+
+let normalize_frobenius m =
+  let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.a) in
+  if norm = 0. then copy m else map (fun x -> x /. norm) m
+
+let to_simmat m =
+  let s = Simmat.create ~n1:m.rows ~n2:m.cols in
+  for v = 0 to m.rows - 1 do
+    for u = 0 to m.cols - 1 do
+      let x = m.a.((v * m.cols) + u) in
+      Simmat.set s v u (if x < 0. then 0. else if x > 1. then 1. else x)
+    done
+  done;
+  s
+
+let of_simmat s =
+  init ~rows:(Simmat.n1 s) ~cols:(Simmat.n2 s) (Simmat.get s)

@@ -1,0 +1,48 @@
+(** Dense n1×n2 float matrices with sparse-adjacency products.
+
+    Shared kernel of the two vertex-similarity baselines
+    ({!Similarity_flooding}, {!Blondel}): both iterate maps of the form
+    [X ↦ A·X·B] where [A], [B] are graph adjacency matrices. Multiplying a
+    dense [X] by a sparse adjacency costs O(|E|·cols) instead of O(n²·cols),
+    which is what makes the fixpoints tractable on skeleton-sized graphs. *)
+
+type t = { rows : int; cols : int; a : float array }
+(** Row-major. The array is owned by the value; helpers never alias. *)
+
+val zero : rows:int -> cols:int -> t
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+
+val add : t -> t -> t
+(** Entry-wise sum; dimensions must agree. *)
+
+val entrywise : (float -> float -> float) -> t -> t -> t
+
+val map : (float -> float) -> t -> t
+
+val scale_rows_cols : row:float array -> col:float array -> t -> t
+(** [scale_rows_cols ~row ~col x] multiplies entry [(v,u)] by
+    [row.(v) *. col.(u)] — used for factorized propagation coefficients. *)
+
+val left_mul : [ `A | `AT ] -> Phom_graph.Digraph.t -> t -> t
+(** [left_mul `A g x] is [A·x] with [A(v,v') = 1] iff [g] has edge [v → v'];
+    [`AT] multiplies by the transpose. [g] must have [x.rows] nodes. *)
+
+val right_mul : t -> [ `A | `AT ] -> Phom_graph.Digraph.t -> t
+(** [right_mul x `A g] is [x·A]; [`AT] is [x·Aᵀ]. [g] must have [x.cols]
+    nodes. *)
+
+val max_abs_diff : t -> t -> float
+
+val normalize_max : t -> t
+(** Divide by the maximum entry (no-op when the maximum is ≤ 0). *)
+
+val normalize_frobenius : t -> t
+(** Divide by the Frobenius norm (no-op when the norm is 0). *)
+
+val to_simmat : t -> Simmat.t
+(** Clamp entries into [[0, 1]] and convert. *)
+
+val of_simmat : Simmat.t -> t

@@ -1,0 +1,112 @@
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let tokenize s =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c -> if is_alnum c then Buffer.add_char buf (Char.lowercase_ascii c) else flush ())
+    s;
+  flush ();
+  List.rev !out
+
+(* FNV-1a over a token window, masked to a non-negative OCaml int *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let hash_tokens tokens =
+  let h = ref fnv_offset in
+  List.iter
+    (fun tok ->
+      String.iter
+        (fun c ->
+          h := (!h lxor Char.code c) * fnv_prime)
+        tok;
+      (* separator so ["ab"; "c"] <> ["a"; "bc"] *)
+      h := (!h lxor 0xff) * fnv_prime)
+    tokens;
+  !h land max_int
+
+let sort_dedup arr =
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n = 0 then arr
+  else begin
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if arr.(i) <> arr.(!k - 1) then begin
+        arr.(!k) <- arr.(i);
+        incr k
+      end
+    done;
+    Array.sub arr 0 !k
+  end
+
+let shingles ?(w = 4) doc =
+  if w <= 0 then invalid_arg "Shingle.shingles: w must be positive";
+  let tokens = Array.of_list (tokenize doc) in
+  let n = Array.length tokens in
+  if n = 0 then [||]
+  else if n < w then [| hash_tokens (Array.to_list tokens) |]
+  else begin
+    let out = Array.make (n - w + 1) 0 in
+    for i = 0 to n - w do
+      out.(i) <- hash_tokens (Array.to_list (Array.sub tokens i w))
+    done;
+    sort_dedup out
+  end
+
+let jaccard a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 && nb = 0 then 1.0
+  else begin
+    let i = ref 0 and j = ref 0 and inter = ref 0 in
+    while !i < na && !j < nb do
+      if a.(!i) = b.(!j) then begin
+        incr inter;
+        incr i;
+        incr j
+      end
+      else if a.(!i) < b.(!j) then incr i
+      else incr j
+    done;
+    let union = na + nb - !inter in
+    float_of_int !inter /. float_of_int union
+  end
+
+let similarity ?w a b = jaccard (shingles ?w a) (shingles ?w b)
+
+let sketch ?(k = 64) sh =
+  if Array.length sh <= k then Array.copy sh else Array.sub sh 0 k
+
+(* Bottom-k estimator: among the k smallest hashes of the union, count the
+   fraction present in both sketches. Exact when |A ∪ B| ≤ k. *)
+let sketch_jaccard a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 && nb = 0 then 1.0
+  else begin
+    let k = max na nb in
+    let i = ref 0 and j = ref 0 and seen = ref 0 and both = ref 0 in
+    while !seen < k && (!i < na || !j < nb) do
+      if !i < na && !j < nb && a.(!i) = b.(!j) then begin
+        incr both;
+        incr i;
+        incr j
+      end
+      else if !j >= nb || (!i < na && a.(!i) < b.(!j)) then incr i
+      else incr j;
+      incr seen
+    done;
+    float_of_int !both /. float_of_int !seen
+  end
+
+let matrix ?w docs1 docs2 =
+  let s1 = Array.map (shingles ?w) docs1 and s2 = Array.map (shingles ?w) docs2 in
+  Simmat.of_fun ~n1:(Array.length docs1) ~n2:(Array.length docs2) (fun v u ->
+      jaccard s1.(v) s2.(u))

@@ -1,0 +1,32 @@
+(** Broder-style w-shingling for textual page similarity [8].
+
+    A document is lowercased, tokenized on non-alphanumeric characters, and
+    every window of [w] consecutive tokens is hashed (FNV-1a) into a shingle.
+    Two documents' similarity is the Jaccard coefficient of their shingle
+    sets — the paper's "common shingles" page checker. A min-hash [sketch]
+    is provided for cheap approximate Jaccard on large documents. *)
+
+val tokenize : string -> string list
+(** Lowercased alphanumeric tokens, in document order. *)
+
+val shingles : ?w:int -> string -> int array
+(** Sorted distinct shingle hashes; [w] defaults to 4. A document with fewer
+    than [w] tokens contributes a single shingle over all of its tokens
+    (none if it has no tokens). *)
+
+val jaccard : int array -> int array -> float
+(** Jaccard coefficient of two sorted distinct arrays; 1.0 when both empty. *)
+
+val similarity : ?w:int -> string -> string -> float
+(** [jaccard (shingles a) (shingles b)]. *)
+
+val sketch : ?k:int -> int array -> int array
+(** The [k] (default 64) smallest shingle hashes — a min-hash sketch. *)
+
+val sketch_jaccard : int array -> int array -> float
+(** Approximate Jaccard from two sketches (exact when the union fits the
+    sketch size). *)
+
+val matrix : ?w:int -> string array -> string array -> Simmat.t
+(** Pairwise similarities of two document collections — the paper's [mat()]
+    for Web graphs, where documents are page contents. *)

@@ -1,0 +1,107 @@
+module D = Phom_graph.Digraph
+
+type config = { max_iters : int; eps : float }
+
+let default_config = { max_iters = 100; eps = 1e-4 }
+
+let inv_degrees g degree =
+  Array.init (D.n g) (fun v ->
+      let d = degree g v in
+      if d = 0 then 0. else 1. /. float_of_int d)
+
+type impl = Edge_pairs | Factorized
+
+let flood ?(config = default_config) ?(impl = Factorized) ~init g1 g2 =
+  if Simmat.n1 init <> D.n g1 || Simmat.n2 init <> D.n g2 then
+    invalid_arg "Similarity_flooding.flood: matrix/graph size mismatch";
+  let sigma0 = Matops.of_simmat init in
+  let inv_out1 = inv_degrees g1 D.out_degree and inv_out2 = inv_degrees g2 D.out_degree in
+  let inv_in1 = inv_degrees g1 D.in_degree and inv_in2 = inv_degrees g2 D.in_degree in
+  let factorized_step x =
+    (* forward: mass at (v,u) splits over its (succ v × succ u) pairs *)
+    let fwd =
+      Matops.right_mul
+        (Matops.left_mul `AT g1 (Matops.scale_rows_cols ~row:inv_out1 ~col:inv_out2 x))
+        `A g2
+    in
+    (* backward: mass at (v',u') splits over its (pred v' × pred u') pairs *)
+    let bwd =
+      Matops.right_mul
+        (Matops.left_mul `A g1 (Matops.scale_rows_cols ~row:inv_in1 ~col:inv_in2 x))
+        `AT g2
+    in
+    Matops.add fwd bwd
+  in
+  let edges1 = Array.of_list (D.edges g1) and edges2 = Array.of_list (D.edges g2) in
+  let edge_pairs_step (x : Matops.t) =
+    (* one pass over the pairwise connectivity graph's edges: the pcg edge
+       ((v,u),(v',u')) exists per (v→v') ∈ E1, (u→u') ∈ E2 *)
+    let out = Matops.zero ~rows:x.Matops.rows ~cols:x.Matops.cols in
+    Array.iter
+      (fun (v, v') ->
+        Array.iter
+          (fun (u, u') ->
+            (* forward propagation along the pcg edge *)
+            Matops.set out v' u'
+              (Matops.get out v' u'
+              +. (inv_out1.(v) *. inv_out2.(u) *. Matops.get x v u));
+            (* backward propagation against it *)
+            Matops.set out v u
+              (Matops.get out v u
+              +. (inv_in1.(v') *. inv_in2.(u') *. Matops.get x v' u')))
+          edges2)
+      edges1;
+    out
+  in
+  let flood_step =
+    match impl with Edge_pairs -> edge_pairs_step | Factorized -> factorized_step
+  in
+  let rec iterate sigma k =
+    if k >= config.max_iters then sigma
+    else begin
+      let base = Matops.add sigma sigma0 in
+      let next = Matops.normalize_max (Matops.add base (flood_step base)) in
+      if Matops.max_abs_diff next sigma < config.eps then next
+      else iterate next (k + 1)
+    end
+  in
+  Matops.to_simmat (iterate (Matops.copy sigma0) 0)
+
+let greedy_assignment m =
+  let n1 = Simmat.n1 m and n2 = Simmat.n2 m in
+  let pairs = ref [] in
+  for v = 0 to n1 - 1 do
+    for u = 0 to n2 - 1 do
+      let s = Simmat.get m v u in
+      if s > 0. then pairs := (s, v, u) :: !pairs
+    done
+  done;
+  let sorted =
+    List.sort (fun (s1, v1, u1) (s2, v2, u2) ->
+        if s1 <> s2 then compare s2 s1 else compare (v1, u1) (v2, u2))
+      !pairs
+  in
+  let used1 = Array.make n1 false and used2 = Array.make n2 false in
+  let out = ref [] in
+  List.iter
+    (fun (_, v, u) ->
+      if (not used1.(v)) && not used2.(u) then begin
+        used1.(v) <- true;
+        used2.(u) <- true;
+        out := (v, u) :: !out
+      end)
+    sorted;
+  List.sort compare !out
+
+let match_quality ~init ~flooded ~xi =
+  let n1 = Simmat.n1 flooded in
+  if n1 = 0 then 1.0
+  else begin
+    let assigned = greedy_assignment flooded in
+    let good =
+      List.fold_left
+        (fun acc (v, u) -> if Simmat.get init v u >= xi then acc + 1 else acc)
+        0 assigned
+    in
+    float_of_int good /. float_of_int n1
+  end

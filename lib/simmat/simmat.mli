@@ -1,0 +1,67 @@
+(** Node-similarity matrices (Section 3.1 of the paper).
+
+    [mat(v, u) ∈ [0, 1]] says how close node [v] of [G1] is to node [u] of
+    [G2]. The matrix is dense (row-major floats); the graphs the paper
+    matches after skeleton extraction have at most a few thousand nodes, so
+    density is the right trade-off and keeps lookups O(1) inside the hot
+    matching loops. *)
+
+type t
+
+val create : n1:int -> n2:int -> t
+(** All-zeros matrix. *)
+
+val of_fun : n1:int -> n2:int -> (int -> int -> float) -> t
+(** Tabulate; values are clamped to [[0, 1]]. *)
+
+val n1 : t -> int
+val n2 : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+(** Raises [Invalid_argument] when the value is outside [[0, 1]] or indices
+    are out of bounds. *)
+
+val of_label_equality : Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> t
+(** The conventional-matching matrix: 1.0 on equal labels, 0.0 otherwise. *)
+
+val of_label_sim :
+  (string -> string -> float) ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  t
+(** Tabulate a label-level similarity over two graphs. *)
+
+val candidates : t -> xi:float -> int array array
+(** [candidates m ~xi].(v) lists the nodes [u] with [mat(v,u) ≥ xi], sorted
+    by decreasing similarity (ties by ascending id). This is the initial
+    [H[v].good] of algorithm compMaxCard. *)
+
+val candidate_count : t -> xi:float -> int
+(** Total number of pairs at or above the threshold. *)
+
+val scale : float -> t -> t
+(** Multiply every entry (result clamped to [[0,1]]). *)
+
+val pointwise_max : t -> t -> t
+(** Entry-wise maximum; dimensions must agree. *)
+
+val restrict : t -> rows:int array -> cols:int array -> t
+(** [restrict m ~rows ~cols] is the submatrix [m.(rows.(i)).(cols.(j))] —
+    used to project a full-graph matrix onto skeleton nodes. *)
+
+val max_value : t -> float
+
+(** {1 Serialization}
+
+    Text format ("phs 1"): a header line, a dimension line [n1 n2], then
+    [n1] lines of [n2] space-separated floats. Lets externally computed
+    matrices (a real page checker, a learned model) drive the matchers via
+    the CLI. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

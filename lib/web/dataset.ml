@@ -1,0 +1,115 @@
+module D = Phom_graph.Digraph
+
+type scale = Full | Reduced of int
+
+type site_spec = {
+  name : string;
+  description : string;
+  params : Site_gen.params;
+}
+
+let scale_int scale x =
+  match scale with Full -> x | Reduced k -> max 10 (x / k)
+
+let sites scale =
+  let s = scale_int scale in
+  [
+    {
+      name = "site 1";
+      description = "online stores";
+      params =
+        {
+          Site_gen.pages = s 20_000;
+          edges = s 42_000;
+          hub_fraction = 0.011;
+          max_degree_fraction = 0.0255;
+          hub_affinity = 0.5;
+          templates = 12;
+          vocab_size = 4_000;
+          page_length = 60;
+          edit_rate = 0.015;
+          rewire_rate = 0.008;
+          page_churn = 0.004;
+          vocab_prefix = "store";
+        };
+    };
+    {
+      name = "site 2";
+      description = "international organizations";
+      params =
+        {
+          Site_gen.pages = s 5_400;
+          edges = s 33_114;
+          hub_fraction = 0.008;
+          max_degree_fraction = 0.12;
+          hub_affinity = 0.02;
+          templates = 8;
+          vocab_size = 3_000;
+          page_length = 60;
+          edit_rate = 0.01;
+          rewire_rate = 0.005;
+          page_churn = 0.002;
+          vocab_prefix = "org";
+        };
+    };
+    {
+      name = "site 3";
+      description = "online newspapers";
+      params =
+        {
+          Site_gen.pages = s 7_000;
+          edges = s 16_800;
+          hub_fraction = 0.02;
+          max_degree_fraction = 0.071;
+          hub_affinity = 0.4;
+          templates = 20;
+          vocab_size = 5_000;
+          page_length = 60;
+          edit_rate = 0.03;
+          rewire_rate = 0.08;
+          page_churn = 0.02;
+          vocab_prefix = "news";
+        };
+    };
+  ]
+
+type table2_row = {
+  site : string;
+  nodes : int;
+  edges : int;
+  avg_deg : float;
+  max_deg : int;
+  skel1_nodes : int;
+  skel1_edges : int;
+  skel2_nodes : int;
+  skel2_edges : int;
+}
+
+let table2_row ~rng ?(alpha = 0.2) ?(k = 20) spec =
+  let site = Site_gen.generate ~rng spec.params in
+  let g = site.Site_gen.graph in
+  let s1 = Skeleton.by_degree ~alpha site in
+  let s2 = Skeleton.top_k site k in
+  {
+    site = spec.name;
+    nodes = D.n g;
+    edges = D.nb_edges g;
+    (* the paper reports average total degree, 2m/n *)
+    avg_deg = 2. *. D.avg_degree g;
+    max_deg = D.max_degree g;
+    skel1_nodes = D.n s1.Skeleton.graph;
+    skel1_edges = D.nb_edges s1.Skeleton.graph;
+    skel2_nodes = D.n s2.Skeleton.graph;
+    skel2_edges = D.nb_edges s2.Skeleton.graph;
+  }
+
+let archive_skeletons ~rng ?(versions = 11) ~skeleton spec =
+  let snapshots = Site_gen.archive ~rng spec.params ~versions in
+  let extract site =
+    match skeleton with
+    | `Alpha alpha -> Skeleton.by_degree ~alpha site
+    | `Top k -> Skeleton.top_k site k
+  in
+  match List.map extract snapshots with
+  | [] -> invalid_arg "Dataset.archive_skeletons: versions must be positive"
+  | pattern :: rest -> (pattern, rest)

@@ -1,0 +1,40 @@
+(** The three site categories of Table 2, with parameters matched to the
+    paper's statistics, and a scale knob so the default bench run stays
+    fast. [Full] reproduces the paper's page counts (20,000 / 5,400 /
+    7,000); [Reduced k] divides page and edge counts by [k]. *)
+
+type scale = Full | Reduced of int
+
+type site_spec = {
+  name : string;  (** "site 1" (online stores), ... *)
+  description : string;
+  params : Site_gen.params;
+}
+
+val sites : scale -> site_spec list
+(** The three categories, in the paper's order. *)
+
+type table2_row = {
+  site : string;
+  nodes : int;
+  edges : int;
+  avg_deg : float;
+  max_deg : int;
+  skel1_nodes : int;
+  skel1_edges : int;
+  skel2_nodes : int;
+  skel2_edges : int;
+}
+
+val table2_row :
+  rng:Random.State.t -> ?alpha:float -> ?k:int -> site_spec -> table2_row
+(** Generate one site and measure it like Table 2 (α = 0.2, k = 20). *)
+
+val archive_skeletons :
+  rng:Random.State.t ->
+  ?versions:int ->
+  skeleton:[ `Alpha of float | `Top of int ] ->
+  site_spec ->
+  Skeleton.t * Skeleton.t list
+(** The Exp-1 data: an archive of [versions] (default 11) snapshots, the
+    oldest as the pattern, skeletons extracted per the chosen rule. *)

@@ -1,0 +1,161 @@
+module D = Phom_graph.Digraph
+module Simmat = Phom_sim.Simmat
+module Shingle = Phom_sim.Shingle
+module SF = Phom_sim.Similarity_flooding
+module Api = Phom.Api
+module Instance = Phom.Instance
+module Mcs = Phom_baselines.Mcs
+module Simulation = Phom_baselines.Simulation
+
+type method_ =
+  | CompMaxCard
+  | CompMaxCard11
+  | CompMaxSim
+  | CompMaxSim11
+  | SF
+  | CdkMcs
+  | GraphSimulation
+  | BlondelSim
+  | PathFeatures
+  | Ged
+
+let method_name = function
+  | CompMaxCard -> "compMaxCard"
+  | CompMaxCard11 -> "compMaxCard1-1"
+  | CompMaxSim -> "compMaxSim"
+  | CompMaxSim11 -> "compMaxSim1-1"
+  | SF -> "SF"
+  | CdkMcs -> "cdkMCS"
+  | GraphSimulation -> "graphSimulation"
+  | BlondelSim -> "blondel"
+  | PathFeatures -> "pathFeatures"
+  | Ged -> "editDistance"
+
+let all_methods =
+  [ CompMaxCard; CompMaxCard11; CompMaxSim; CompMaxSim11; SF; CdkMcs; GraphSimulation ]
+
+let extended_methods = all_methods @ [ BlondelSim; PathFeatures; Ged ]
+
+type verdict = { matched : bool option; quality : float; seconds : float }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let problem_of = function
+  | CompMaxCard -> Api.CPH
+  | CompMaxCard11 -> Api.CPH11
+  | CompMaxSim -> Api.SPH
+  | CompMaxSim11 -> Api.SPH11
+  | SF | CdkMcs | GraphSimulation | BlondelSim | PathFeatures | Ged ->
+      invalid_arg "problem_of"
+
+let match_skeletons ?(xi = 0.75) ?(threshold = 0.75) ?(mcs_time_limit = 10.)
+    ?(sf_impl = Phom_sim.Similarity_flooding.Edge_pairs) method_
+    (pattern : Skeleton.t) (data : Skeleton.t) =
+  let mat = Shingle.matrix pattern.Skeleton.contents data.Skeleton.contents in
+  let g1 = pattern.Skeleton.graph and g2 = data.Skeleton.graph in
+  match method_ with
+  | CompMaxCard | CompMaxCard11 | CompMaxSim | CompMaxSim11 ->
+      let t = Instance.make ~g1 ~g2 ~mat ~xi () in
+      let r, seconds = timed (fun () -> Api.solve (problem_of method_) t) in
+      {
+        matched = Some (r.Api.quality >= threshold);
+        quality = r.Api.quality;
+        seconds;
+      }
+  | SF ->
+      let (flooded : Simmat.t), seconds =
+        timed (fun () -> SF.flood ~impl:sf_impl ~init:mat g1 g2)
+      in
+      let q = SF.match_quality ~init:mat ~flooded ~xi in
+      { matched = Some (q >= threshold); quality = q; seconds }
+  | CdkMcs -> (
+      let outcome, seconds =
+        timed (fun () ->
+            Mcs.run
+              ~node_compat:(fun v u -> Simmat.get mat v u >= xi)
+              ~time_limit:mcs_time_limit g1 g2)
+      in
+      match outcome with
+      | Mcs.Timed_out -> { matched = None; quality = 0.; seconds }
+      | Mcs.Completed m ->
+          let q = Mcs.quality g1 m in
+          { matched = Some (q >= threshold); quality = q; seconds })
+  | BlondelSim ->
+      (* Blondel structural similarity, capped into [0,1], combined with the
+         content similarity and judged by the SF rule *)
+      let flooded, seconds =
+        timed (fun () ->
+            let structural = Phom_sim.Blondel.similarity g1 g2 in
+            Simmat.pointwise_max (Simmat.scale 0.999 structural) mat)
+      in
+      let q = Phom_sim.Similarity_flooding.match_quality ~init:mat ~flooded ~xi in
+      { matched = Some (q >= threshold); quality = q; seconds }
+  | PathFeatures ->
+      let s, seconds =
+        timed (fun () ->
+            let module PF = Phom_baselines.Path_features in
+            (* features over content-hash labels: relabel pages by a coarse
+               content bucket so label paths are comparable across versions *)
+            let bucket doc =
+              match Phom_sim.Shingle.shingles ~w:4 doc with
+              | [||] -> "empty"
+              | sh -> string_of_int (sh.(0) mod 1024)
+            in
+            let relabel (sk : Skeleton.t) =
+              D.map_labels
+                (fun v _ -> bucket sk.Skeleton.contents.(v))
+                sk.Skeleton.graph
+            in
+            PF.similarity (relabel pattern) (relabel data))
+      in
+      { matched = Some (s >= threshold); quality = s; seconds }
+  | Ged ->
+      let s, seconds =
+        timed (fun () ->
+            let module G = Phom_baselines.Ged in
+            G.similarity ~costs:(G.costs_of_simmat mat) g1 g2)
+      in
+      { matched = Some (s >= threshold); quality = s; seconds }
+  | GraphSimulation ->
+      let sim, seconds =
+        timed (fun () -> Simulation.of_simmat ~mat ~xi g1 g2)
+      in
+      let simulated =
+        Array.fold_left
+          (fun acc s -> if Phom_graph.Bitset.is_empty s then acc else acc + 1)
+          0 sim
+      in
+      let q =
+        if D.n g1 = 0 then 1.0
+        else float_of_int simulated /. float_of_int (D.n g1)
+      in
+      {
+        matched = Some (Simulation.matches_whole_graph sim);
+        quality = q;
+        seconds;
+      }
+
+let accuracy ?xi ?threshold ?mcs_time_limit ?sf_impl method_ ~pattern ~versions =
+  let verdicts =
+    List.map
+      (match_skeletons ?xi ?threshold ?mcs_time_limit ?sf_impl method_ pattern)
+      versions
+  in
+  let times = List.map (fun v -> v.seconds) verdicts in
+  let mean_time =
+    match times with
+    | [] -> 0.
+    | _ -> List.fold_left ( +. ) 0. times /. float_of_int (List.length times)
+  in
+  let decided = List.filter_map (fun v -> v.matched) verdicts in
+  if decided = [] then (None, mean_time)
+  else begin
+    let hits = List.length (List.filter Fun.id decided) in
+    (* the paper counts a timeout as a miss only when some runs completed;
+       all-timeout is reported N/A *)
+    let total = List.length verdicts in
+    (Some (100. *. float_of_int hits /. float_of_int total), mean_time)
+  end

@@ -1,0 +1,69 @@
+(** The end-to-end Web-site matching pipeline of Exp-1: skeleton contents →
+    shingle similarity matrix → one of the seven matchers → match decision
+    under the quality threshold of 0.75. *)
+
+type method_ =
+  | CompMaxCard
+  | CompMaxCard11
+  | CompMaxSim
+  | CompMaxSim11
+  | SF  (** similarity flooding over the skeleton graphs *)
+  | CdkMcs  (** exact maximum common subgraph with a time budget *)
+  | GraphSimulation
+  | BlondelSim
+      (** Blondel et al. vertex similarity with the SF match rule — the
+          second vertex-similarity measure the paper tested ("results
+          similar to those of SF") *)
+  | PathFeatures
+      (** the feature-based bag-of-paths measure the paper's conclusion
+          defers to future work *)
+  | Ged
+      (** assignment-based approximate graph edit distance (the
+          edit-distance similarity of ref [31]), with shingle-based node
+          substitution costs *)
+
+val method_name : method_ -> string
+
+val all_methods : method_ list
+(** The seven methods of the paper's Table 3. *)
+
+val extended_methods : method_ list
+(** [all_methods] plus {!BlondelSim}, {!PathFeatures} and {!Ged} — used by
+    the ablation bench. *)
+
+type verdict = {
+  matched : bool option;
+      (** [None] when the method did not run to completion (cdkMCS) *)
+  quality : float;
+  seconds : float;  (** wall-clock time of the matching step *)
+}
+
+val match_skeletons :
+  ?xi:float ->
+  ?threshold:float ->
+  ?mcs_time_limit:float ->
+  ?sf_impl:Phom_sim.Similarity_flooding.impl ->
+  method_ ->
+  Skeleton.t ->
+  Skeleton.t ->
+  verdict
+(** [match_skeletons m pattern data] decides whether [data] matches the
+    [pattern]. [xi] (default 0.75) thresholds the shingle similarities;
+    [threshold] (default 0.75) is the quality cut-off; [mcs_time_limit]
+    (default 10 s) bounds the cdkMCS search. The shingle matrix is computed
+    inside and counted in [seconds] only for SF (whose fixpoint is part of
+    its method); for the other methods [seconds] covers the matching
+    algorithm proper, as in the paper's scalability columns. *)
+
+val accuracy :
+  ?xi:float ->
+  ?threshold:float ->
+  ?mcs_time_limit:float ->
+  ?sf_impl:Phom_sim.Similarity_flooding.impl ->
+  method_ ->
+  pattern:Skeleton.t ->
+  versions:Skeleton.t list ->
+  float option * float
+(** Percentage of versions matched to the pattern (the paper's accuracy
+    measure) and the mean matching time in seconds. [None] when the method
+    timed out on every version (the paper's "N/A"). *)

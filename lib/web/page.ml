@@ -1,0 +1,30 @@
+let vocabulary ~prefix n =
+  Array.init n (fun i -> Printf.sprintf "%sw%d" prefix i)
+
+(* Zipf-ish skew: word rank r is picked with probability ∝ 1/(r+1), via a
+   simple inverse-CDF on the harmonic weights. *)
+let pick_skewed rng vocab =
+  let n = Array.length vocab in
+  let h = log (float_of_int (n + 1)) in
+  let x = Random.State.float rng h in
+  let r = int_of_float (exp x) - 1 in
+  vocab.(min (n - 1) (max 0 r))
+
+let generate ~rng ~vocab ~length =
+  let buf = Buffer.create (length * 8) in
+  for i = 0 to length - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (pick_skewed rng vocab)
+  done;
+  Buffer.contents buf
+
+let mutate ~rng ~vocab ~edit_rate doc =
+  let tokens = String.split_on_char ' ' doc in
+  let mutated =
+    List.map
+      (fun tok ->
+        if Random.State.float rng 1.0 < edit_rate then pick_skewed rng vocab
+        else tok)
+      tokens
+  in
+  String.concat " " mutated

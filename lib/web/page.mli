@@ -1,0 +1,20 @@
+(** Synthetic Web-page contents.
+
+    The experiments only consume page text through shingle similarity, so a
+    page is a bag-of-words document drawn from a category vocabulary. Pages
+    of the same site share vocabulary (so cross-page similarities are
+    non-zero but moderate); a page and its later versions share most tokens
+    (so version similarity is high), with [mutate] controlling the drift. *)
+
+val vocabulary : prefix:string -> int -> string array
+(** [vocabulary ~prefix n] is [n] distinct words ["<prefix>w<i>"]. *)
+
+val generate :
+  rng:Random.State.t -> vocab:string array -> length:int -> string
+(** A document of [length] tokens drawn from [vocab] with a skewed
+    (Zipf-like) distribution, so pages share frequent words. *)
+
+val mutate :
+  rng:Random.State.t -> vocab:string array -> edit_rate:float -> string -> string
+(** Replace each token with probability [edit_rate] by a random vocabulary
+    word — one archive-version step of content drift. *)

@@ -1,0 +1,142 @@
+module D = Phom_graph.Digraph
+
+type t = { graph : D.t; contents : string array }
+
+type params = {
+  pages : int;
+  edges : int;
+  hub_fraction : float;
+  max_degree_fraction : float;
+  hub_affinity : float;
+  templates : int;
+  vocab_size : int;
+  page_length : int;
+  edit_rate : float;
+  rewire_rate : float;
+  page_churn : float;
+  vocab_prefix : string;
+}
+
+let vocab_of p = Page.vocabulary ~prefix:p.vocab_prefix p.vocab_size
+
+(* a page is 90% shared template (boilerplate) + 10% unique tail, so
+   same-template pages sit around Jaccard ≈ 0.8 and a page's own later
+   versions at 1.0 until edited *)
+let template_fraction = 0.9
+
+let fresh_page rng p vocab templates =
+  let t = templates.(Random.State.int rng (Array.length templates)) in
+  let unique_len =
+    max 1 (int_of_float (float_of_int p.page_length *. (1. -. template_fraction)))
+  in
+  t ^ " " ^ Page.generate ~rng ~vocab ~length:unique_len
+
+(* Hub-stratified topology: a uniform tree backbone (every page reachable
+   from the root) plus an explicit stratum of hub pages whose degrees are
+   drawn between the skeleton threshold and [max_degree_fraction·n]. Real
+   Web degree distributions vary a lot per category (Table 2: maxDeg is
+   2.5–12% of n, skeleton sizes 0.8–2% of n), so the stratum is
+   parameterized rather than emergent — this pins the Table-2 statistics at
+   every scale, which emergent preferential attachment does not. *)
+let topology rng p =
+  let n = p.pages in
+  let edges = ref [] in
+  let edge_count = ref 0 in
+  let add u v =
+    if u <> v then begin
+      edges := (u, v) :: !edges;
+      incr edge_count
+    end
+  in
+  (* backbone *)
+  for v = 1 to n - 1 do
+    add (Random.State.int rng v) v
+  done;
+  (* hub stratum *)
+  let nhubs = min (n / 2) (max 40 (int_of_float (p.hub_fraction *. float_of_int n))) in
+  let dmax = max 4 (int_of_float (p.max_degree_fraction *. float_of_int n)) in
+  let avg = 2. *. float_of_int p.edges /. float_of_int n in
+  (* every hub must clear deg ≥ avgDeg + 0.2·maxDeg with margin *)
+  let dmin = int_of_float (avg +. (0.25 *. float_of_int dmax)) in
+  let hub_degree () =
+    let u = Random.State.float rng 1.0 in
+    dmin + int_of_float (float_of_int (dmax - dmin) *. (u ** 3.))
+  in
+  let hubs = Array.init nhubs (fun _ -> Random.State.int rng n) in
+  let wanted = Array.map (fun _ -> hub_degree ()) hubs in
+  (* keep the total within the edge budget by scaling hub degrees *)
+  let budget = max 0 (p.edges - !edge_count) in
+  let total_wanted = Array.fold_left ( + ) 0 wanted in
+  let scale =
+    if total_wanted = 0 then 1.0
+    else Float.min 1.0 (float_of_int budget /. float_of_int total_wanted)
+  in
+  Array.iteri
+    (fun i h ->
+      let d = int_of_float (float_of_int wanted.(i) *. scale) in
+      for _ = 1 to d do
+        let other =
+          if Random.State.float rng 1.0 < p.hub_affinity then
+            hubs.(Random.State.int rng nhubs)
+          else Random.State.int rng n
+        in
+        if Random.State.bool rng then add h other else add other h
+      done)
+    hubs;
+  (* fill any remaining budget with uniform links *)
+  while !edge_count < p.edges do
+    add (Random.State.int rng n) (Random.State.int rng n)
+  done;
+  !edges
+
+let make_templates rng p vocab =
+  let tlen =
+    max 1 (int_of_float (float_of_int p.page_length *. template_fraction))
+  in
+  Array.init (max 1 p.templates) (fun _ -> Page.generate ~rng ~vocab ~length:tlen)
+
+let generate ~rng p =
+  let labels = Array.init p.pages (fun i -> "page" ^ string_of_int i) in
+  let graph = D.make ~labels ~edges:(topology rng p) in
+  let vocab = vocab_of p in
+  let templates = make_templates rng p vocab in
+  let contents = Array.init p.pages (fun _ -> fresh_page rng p vocab templates) in
+  { graph; contents }
+
+let evolve ~rng p site =
+  let vocab = vocab_of p in
+  let templates = make_templates rng p vocab in
+  let contents =
+    Array.map
+      (fun doc ->
+        if Random.State.float rng 1.0 < p.page_churn then
+          fresh_page rng p vocab templates
+        else if Random.State.float rng 1.0 < p.edit_rate then
+          Page.mutate ~rng ~vocab ~edit_rate:0.3 doc
+        else doc)
+      site.contents
+  in
+  let n = D.n site.graph in
+  let edges =
+    List.map
+      (fun (u, v) ->
+        if Random.State.float rng 1.0 < p.rewire_rate then
+          (u, Random.State.int rng n)
+        else (u, v))
+      (D.edges site.graph)
+  in
+  { graph = D.make ~labels:(D.labels site.graph) ~edges; contents }
+
+let archive ~rng p ~versions =
+  if versions <= 0 then []
+  else begin
+    let first = generate ~rng p in
+    let rec go acc prev k =
+      if k = 0 then List.rev acc
+      else begin
+        let next = evolve ~rng p prev in
+        go (next :: acc) next (k - 1)
+      end
+    in
+    go [ first ] first (versions - 1)
+  end

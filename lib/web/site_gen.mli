@@ -1,0 +1,56 @@
+(** Synthetic Web sites and their version archives — the substitute for the
+    Stanford WebBase data of the paper's Exp-1 (see DESIGN.md, substitution
+    table).
+
+    A site is a hyperlink digraph plus per-page contents. The generator
+    produces a hub-heavy hierarchical topology (preferential attachment over
+    a tree backbone), matching the degree statistics of Table 2. [evolve]
+    produces the next archived version: content drift, link rewiring and
+    page churn, at per-category rates — newspapers (site 3) churn an order
+    of magnitude faster than stores and organizations, which is what makes
+    every matcher's accuracy dip on site 3. *)
+
+type t = {
+  graph : Phom_graph.Digraph.t;  (** nodes are pages, labels are page ids *)
+  contents : string array;  (** page text, indexed by node *)
+}
+
+type params = {
+  pages : int;
+  edges : int;  (** target edge count *)
+  hub_fraction : float;
+      (** fraction of pages that are hub/authority pages (with a floor of
+          ~40 so reduced-scale sites still have interesting skeletons);
+          these are the pages the degree-threshold skeletons keep *)
+  max_degree_fraction : float;
+      (** the top hub's degree as a fraction of the page count — Table 2's
+          maxDeg is 2.5–12% of n depending on the category *)
+  hub_affinity : float;
+      (** probability that a hub link points at another hub: controls how
+          dense the skeleton's core is (Table 2's skeleton edge counts range
+          from ~5 to ~43 edges per skeleton node). The dense cores are what
+          make SF expensive and exact MCS intractable on skeletons 1 *)
+  templates : int;
+      (** number of shared page templates ("boilerplate"): pages built from
+          the same template are near-duplicates, as on real sites — this is
+          what gives every page several high-similarity candidates and makes
+          the exact-MCS search space blow up on the large skeletons *)
+  vocab_size : int;
+  page_length : int;
+  edit_rate : float;
+      (** per-version probability that a page is {e edited} (edited pages
+          get ~30% of their tokens rewritten, dropping their shingle
+          similarity with the original below any sensible threshold) *)
+  rewire_rate : float;  (** per-version fraction of links re-targeted *)
+  page_churn : float;  (** per-version fraction of pages replaced outright *)
+  vocab_prefix : string;
+}
+
+val generate : rng:Random.State.t -> params -> t
+
+val evolve : rng:Random.State.t -> params -> t -> t
+(** One archive step. Page ids (node numbering) are preserved so tests can
+    inspect ground truth; the matcher never uses them. *)
+
+val archive : rng:Random.State.t -> params -> versions:int -> t list
+(** [versions] snapshots, oldest first: [generate] then repeated [evolve]. *)

@@ -1,0 +1,43 @@
+module D = Phom_graph.Digraph
+
+type t = { graph : D.t; contents : string array; nodes : int array }
+
+let extract site node_list =
+  let graph, nodes = D.induced site.Site_gen.graph node_list in
+  let contents = Array.map (fun v -> site.Site_gen.contents.(v)) nodes in
+  { graph; contents; nodes }
+
+let by_degree ?(alpha = 0.2) site =
+  let g = site.Site_gen.graph in
+  if D.n g = 0 then extract site []
+  else begin
+  let threshold =
+    D.avg_degree g +. (alpha *. float_of_int (D.max_degree g))
+  in
+  let kept = ref [] in
+  for v = D.n g - 1 downto 0 do
+    if float_of_int (D.degree g v) >= threshold then kept := v :: !kept
+  done;
+  let kept =
+    match !kept with
+    | [] ->
+        (* degenerate graphs: keep the single best node *)
+        let best = ref 0 in
+        for v = 1 to D.n g - 1 do
+          if D.degree g v > D.degree g !best then best := v
+        done;
+        [ !best ]
+    | l -> l
+  in
+  extract site kept
+  end
+
+let top_k site k =
+  let g = site.Site_gen.graph in
+  let order = Array.init (D.n g) Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare (D.degree g b) (D.degree g a) in
+      if c <> 0 then c else compare a b)
+    order;
+  extract site (Array.to_list (Array.sub order 0 (min k (Array.length order))))

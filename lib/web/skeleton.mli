@@ -1,0 +1,20 @@
+(** Skeleton extraction (Section 6, "Skeletons").
+
+    Web graphs are too large to match directly, so the experiments keep only
+    "important" nodes: those with degree at least
+    [avgDeg(G) + α·maxDeg(G)] (skeletons 1, α = 0.2), or simply the top-k
+    nodes by degree (skeletons 2, k = 20, chosen to favour cdkMCS). *)
+
+type t = {
+  graph : Phom_graph.Digraph.t;  (** induced subgraph over skeleton nodes *)
+  contents : string array;  (** contents of those nodes *)
+  nodes : int array;  (** original node ids, ascending *)
+}
+
+val by_degree : ?alpha:float -> Site_gen.t -> t
+(** Keep nodes with [deg ≥ avgDeg + α·maxDeg]; [α] defaults to 0.2. On a
+    non-empty site the result contains at least one node (fallback: the
+    max-degree node); an empty site yields an empty skeleton. *)
+
+val top_k : Site_gen.t -> int -> t
+(** The [k] highest-degree nodes (ties by node id). *)

@@ -1,0 +1,15 @@
+(** Minimum-cost assignment (the Hungarian algorithm with potentials,
+    O(n²·m)).
+
+    Substrate for the assignment-based graph-edit-distance baseline
+    ({!Phom_baselines.Ged}) and anywhere a best 1-1 pairing under a cost
+    matrix is needed. *)
+
+val minimize : float array array -> int array * float
+(** [minimize cost] for an [n × m] matrix with [n ≤ m] returns
+    [(assignment, total)] where [assignment.(i)] is the column assigned to
+    row [i] (all distinct) and [total] the minimum total cost. Raises
+    [Invalid_argument] when [n > m] or rows are ragged. *)
+
+val maximize : float array array -> int array * float
+(** Same with profit maximization (negates the matrix). *)

@@ -1,0 +1,94 @@
+module Bitset = Phom_graph.Bitset
+
+type t = { size : int; adj : Bitset.t array; weights : float array; m : int }
+
+let create ?weights size edges =
+  let weights =
+    match weights with
+    | None -> Array.make size 1.
+    | Some w ->
+        if Array.length w <> size then invalid_arg "Ungraph.create: weights length";
+        Array.copy w
+  in
+  let adj = Array.init size (fun _ -> Bitset.create size) in
+  let m = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Ungraph.create: self-loop";
+      if u < 0 || u >= size || v < 0 || v >= size then
+        invalid_arg "Ungraph.create: node out of range";
+      if not (Bitset.mem adj.(u) v) then begin
+        Bitset.add adj.(u) v;
+        Bitset.add adj.(v) u;
+        incr m
+      end)
+    edges;
+  { size; adj; weights; m = !m }
+
+let n g = g.size
+let nb_edges g = g.m
+
+let check g v =
+  if v < 0 || v >= g.size then invalid_arg "Ungraph: node out of range"
+
+let weight g v =
+  check g v;
+  g.weights.(v)
+
+let adjacent g u v =
+  check g u;
+  check g v;
+  Bitset.mem g.adj.(u) v
+
+let neighbors g v =
+  check g v;
+  g.adj.(v)
+
+let degree g v = Bitset.count (neighbors g v)
+
+let complement g =
+  let edges = ref [] in
+  for u = 0 to g.size - 1 do
+    for v = u + 1 to g.size - 1 do
+      if not (Bitset.mem g.adj.(u) v) then edges := (u, v) :: !edges
+    done
+  done;
+  create ~weights:g.weights g.size !edges
+
+let induced g keep =
+  let old_of_new = Array.of_list (Bitset.to_list keep) in
+  let new_of_old = Array.make g.size (-1) in
+  Array.iteri (fun i v -> new_of_old.(v) <- i) old_of_new;
+  let k = Array.length old_of_new in
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      Bitset.iter
+        (fun w -> if new_of_old.(w) > i then edges := (i, new_of_old.(w)) :: !edges)
+        g.adj.(v))
+    old_of_new;
+  let weights = Array.map (fun v -> g.weights.(v)) old_of_new in
+  (create ~weights k !edges, old_of_new)
+
+let pairwise p g nodes =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun w -> v <> w && p g v w) rest && go rest
+  in
+  go nodes
+
+let is_clique g nodes = pairwise adjacent g nodes
+
+let is_independent g nodes =
+  pairwise (fun g u v -> not (adjacent g u v)) g nodes
+
+let total_weight g nodes =
+  List.fold_left (fun acc v -> acc +. weight g v) 0. nodes
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>ungraph (%d nodes, %d edges)" g.size g.m;
+  for v = 0 to g.size - 1 do
+    Format.fprintf ppf "@,%d (w=%.2f):" v g.weights.(v);
+    Bitset.iter (fun w -> if w > v then Format.fprintf ppf " %d" w) g.adj.(v)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** Undirected, node-weighted graphs with bitset adjacency.
+
+    The substrate of the (weighted) independent-set and clique algorithms of
+    Boppana–Halldórsson [7] and Halldórsson [16]: bitset rows make the
+    neighbourhood intersections inside {!Ramsey} cheap. Self-loops are not
+    representable (the product graphs of Theorem 5.1 exclude them). *)
+
+type t
+
+val create : ?weights:float array -> int -> (int * int) list -> t
+(** [create n edges] builds an undirected graph on nodes [0 .. n-1]; each
+    pair is stored symmetrically, self-loops are rejected. [weights]
+    defaults to all ones; it must have length [n]. *)
+
+val n : t -> int
+val nb_edges : t -> int
+val weight : t -> int -> float
+val adjacent : t -> int -> int -> bool
+
+val neighbors : t -> int -> Phom_graph.Bitset.t
+(** The adjacency row of a node. Owned by the graph — do not mutate. *)
+
+val degree : t -> int -> int
+
+val complement : t -> t
+(** Same nodes and weights; [u ~ v] iff they were non-adjacent ([u ≠ v]). *)
+
+val induced : t -> Phom_graph.Bitset.t -> t * int array
+(** Subgraph induced by a node set, with the old id of each new node. *)
+
+val is_clique : t -> int list -> bool
+(** All nodes pairwise adjacent (and distinct). *)
+
+val is_independent : t -> int list -> bool
+(** All nodes pairwise non-adjacent (and distinct). *)
+
+val total_weight : t -> int list -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+module Bitset = Phom_graph.Bitset
+
+let max_independent_set = Ramsey.clique_removal
+let max_clique = Ramsey.is_removal
+
+let weight_classes g =
+  let n = Ungraph.n g in
+  let w_max = ref 0. in
+  for v = 0 to n - 1 do
+    w_max := Float.max !w_max (Ungraph.weight g v)
+  done;
+  if !w_max <= 0. then []
+  else begin
+    let classes = max 1 (int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.))) in
+    let buckets = Array.init classes (fun _ -> Bitset.create n) in
+    for v = 0 to n - 1 do
+      let w = Ungraph.weight g v in
+      if w >= !w_max /. float_of_int n then begin
+        (* class i holds weights in (W/2^{i+1}, W/2^i]; clamp the tail *)
+        let ratio = !w_max /. w in
+        let i = min (classes - 1) (max 0 (int_of_float (log ratio /. log 2.))) in
+        Bitset.add buckets.(i) v
+      end
+    done;
+    Array.to_list buckets |> List.filter (fun b -> not (Bitset.is_empty b))
+  end
+
+let heaviest_node g =
+  let best = ref (-1) and best_w = ref neg_infinity in
+  for v = 0 to Ungraph.n g - 1 do
+    if Ungraph.weight g v > !best_w then begin
+      best := v;
+      best_w := Ungraph.weight g v
+    end
+  done;
+  if !best < 0 then [] else [ !best ]
+
+let weighted solve g =
+  let candidates =
+    List.map
+      (fun bucket ->
+        let sub, old_of_new = Ungraph.induced g bucket in
+        List.map (fun v -> old_of_new.(v)) (solve sub))
+      (weight_classes g)
+  in
+  let candidates = heaviest_node g :: candidates in
+  let best =
+    List.fold_left
+      (fun acc sol ->
+        if Ungraph.total_weight g sol > Ungraph.total_weight g acc then sol else acc)
+      [] candidates
+  in
+  List.sort compare best
+
+let max_weight_independent_set g = weighted Ramsey.clique_removal g
+let max_weight_clique g = weighted Ramsey.is_removal g
+
+(* Exact maximum clique: Tomita-style branch and bound with a greedy
+   colouring upper bound. *)
+let exact_max_clique ?(budget = 10_000_000) ?(should_stop = fun () -> false) g =
+  let n = Ungraph.n g in
+  let best = ref [] in
+  let steps = ref 0 in
+  let exception Out_of_budget in
+  let colour_bound cand =
+    (* greedy colouring of the candidate set: #colours bounds the clique *)
+    let colours = ref [] in
+    Bitset.iter
+      (fun v ->
+        let rec place = function
+          | [] -> colours := [ ref [ v ] ] @ !colours
+          | cl :: rest ->
+              if List.exists (fun w -> Ungraph.adjacent g v w) !cl then place rest
+              else cl := v :: !cl
+        in
+        place !colours)
+      cand;
+    List.length !colours
+  in
+  let rec expand clique cand =
+    incr steps;
+    if !steps > budget || (!steps land 0x3ff = 0 && should_stop ()) then
+      raise Out_of_budget;
+    if Bitset.is_empty cand then begin
+      if List.length clique > List.length !best then best := clique
+    end
+    else if List.length clique + colour_bound cand <= List.length !best then ()
+    else begin
+      match Bitset.choose cand with
+      | None -> ()
+      | Some v ->
+          (* branch 1: v in the clique *)
+          let cand_v = Bitset.copy cand in
+          Bitset.inter_into ~into:cand_v (Ungraph.neighbors g v);
+          expand (v :: clique) cand_v;
+          if List.length clique + Bitset.count cand - 1 > List.length !best then begin
+            (* branch 2: v excluded *)
+            let cand' = Bitset.copy cand in
+            Bitset.remove cand' v;
+            expand clique cand'
+          end
+    end
+  in
+  try
+    expand [] (Bitset.full n);
+    Some (List.sort compare !best)
+  with Out_of_budget -> None

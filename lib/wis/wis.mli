@@ -1,0 +1,24 @@
+(** Approximate maximum (weighted) independent sets and cliques.
+
+    Unweighted: Boppana–Halldórsson removal ({!Ramsey}). Weighted:
+    Halldórsson's reduction [16] — drop nodes lighter than [W/n], bucket the
+    rest into ⌈log₂ n⌉ geometric weight classes [(W/2ⁱ, W/2ⁱ⁻¹]], solve each
+    class unweighted, return the heaviest answer. The paper's compMaxSim
+    borrows exactly this trick at the matching-list level. *)
+
+val max_independent_set : Ungraph.t -> int list
+(** Cardinality objective; sorted ascending. *)
+
+val max_clique : Ungraph.t -> int list
+
+val max_weight_independent_set : Ungraph.t -> int list
+(** Weight objective. Never returns worse than the single heaviest node. *)
+
+val max_weight_clique : Ungraph.t -> int list
+
+val exact_max_clique :
+  ?budget:int -> ?should_stop:(unit -> bool) -> Ungraph.t -> int list option
+(** Exact branch-and-bound (greedy colouring bound). [budget] caps the
+    number of search nodes (default 10⁷) and [should_stop] is polled
+    periodically (e.g. a wall-clock deadline); [None] when either fires —
+    this is how the cdkMCS baseline "does not run to completion". *)

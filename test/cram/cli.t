@@ -1,0 +1,63 @@
+The phom CLI, end to end. Everything here is seeded and deterministic.
+
+Generate a pattern and a data graph:
+
+  $ ../../bin/main.exe generate tree tree.phg -n 5 --seed 1
+  wrote tree.phg: 5 nodes, 4 edges
+
+  $ ../../bin/main.exe generate pattern g1.phg -n 10 --seed 7
+  wrote g1.phg: 10 nodes, 40 edges
+
+  $ ../../bin/main.exe generate data g2.phg --from g1.phg --noise 0.2 --seed 8
+  wrote g2.phg: 107 nodes, 155 edges
+
+Graph statistics:
+
+  $ ../../bin/main.exe stats tree.phg
+  nodes      : 5
+  edges      : 4
+  avg degree : 0.80
+  max degree : 2
+  SCCs       : 5
+  acyclic    : true
+
+The Figure-1 stores match as 1-1 p-hom at xi = 0.6:
+
+  $ ../../bin/main.exe decide ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 --1-1
+  yes: G1 <=(1-1) G2 at xi = 0.6
+
+...but not at xi = 0.75:
+
+  $ ../../bin/main.exe decide ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.75
+  no
+
+...and not under edge-to-edge semantics (k = 1):
+
+  $ ../../bin/main.exe decide ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 -k 1
+  no
+
+The full mapping:
+
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 -p cph11
+  problem   : CPH1-1
+  quality   : 1.0000
+  matched   : true (threshold 0.75)
+  mapping   : 6 of 6 pattern nodes
+    0 [A] -> 0 [B]
+    1 [books] -> 1 [books]
+    2 [audio] -> 3 [digital]
+    3 [textbooks] -> 5 [school]
+    4 [abooks] -> 7 [audiobooks]
+    5 [albums] -> 13 [albums]
+
+It is the unique optimal 1-1 witness:
+
+  $ ../../bin/main.exe witnesses ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 --1-1
+  1 optimal mapping(s)
+  #1: A->B books->books audio->digital textbooks->school abooks->audiobooks albums->albums
+
+DOT export is well-formed:
+
+  $ ../../bin/main.exe dot tree.phg | head -2
+  digraph G {
+    n0 [label="0: n0"];

@@ -1,0 +1,13 @@
+Every matching notion on the Figure-1 stores at once.
+
+  $ ../../bin/main.exe compare ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6
+  method                 quality    matched@0.75
+  CPH                    1.0000     true
+  CPH1-1                 1.0000     true
+  SPH                    0.7750     true
+  SPH1-1                 0.7750     true
+  graphSimulation        -          false
+  subgraphIsomorphism    -          false
+  maxCommonSubgraph      0.6667     false
+  editDistance           0.5413     false
+  pathFeatures           0.0377     false

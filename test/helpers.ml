@@ -1,0 +1,89 @@
+(* Shared builders, qcheck generators and assertion helpers for the suite. *)
+
+module D = Phom_graph.Digraph
+module Bitset = Phom_graph.Bitset
+module BM = Phom_graph.Bitmatrix
+module TC = Phom_graph.Transitive_closure
+module Simmat = Phom_sim.Simmat
+module Mapping = Phom.Mapping
+module Instance = Phom.Instance
+
+let graph labels edges = D.make ~labels:(Array.of_list labels) ~edges
+
+(* label-equality instance over two graphs, the Fig. 2 setting *)
+let eq_instance ?(xi = 0.5) g1 g2 =
+  Instance.make ~g1 ~g2 ~mat:(Simmat.of_label_equality g1 g2) ~xi ()
+
+let qtest ?(count = 100) name gen print prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name (QCheck.make ~print gen) prop)
+
+(* ---- generators ---- *)
+
+let small_labels = [| "A"; "B"; "C"; "D" |]
+
+let digraph_gen ?(min_n = 1) ?(max_n = 8) ?(labels = small_labels)
+    ?(edge_prob = 0.25) () : D.t QCheck.Gen.t =
+ fun st ->
+  let n = min_n + Random.State.int st (max_n - min_n + 1) in
+  let lbls =
+    Array.init n (fun _ -> labels.(Random.State.int st (Array.length labels)))
+  in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if Random.State.float st 1.0 < edge_prob then edges := (u, v) :: !edges
+    done
+  done;
+  D.make ~labels:lbls ~edges:!edges
+
+let dag_gen ?(min_n = 1) ?(max_n = 8) ?(labels = small_labels)
+    ?(edge_prob = 0.3) () : D.t QCheck.Gen.t =
+ fun st ->
+  let n = min_n + Random.State.int st (max_n - min_n + 1) in
+  let lbls =
+    Array.init n (fun _ -> labels.(Random.State.int st (Array.length labels)))
+  in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float st 1.0 < edge_prob then edges := (u, v) :: !edges
+    done
+  done;
+  D.make ~labels:lbls ~edges:!edges
+
+let print_digraph g = Format.asprintf "%a" D.pp g
+
+(* random instance: pair of graphs plus a random similarity matrix whose
+   entries are snapped to {0, 0.4, 0.8, 1.0} so thresholds bite *)
+let instance_gen ?(max_n1 = 6) ?(max_n2 = 8) ?(xi = 0.5) () :
+    Instance.t QCheck.Gen.t =
+ fun st ->
+  let g1 = digraph_gen ~max_n:max_n1 () st in
+  let g2 = digraph_gen ~max_n:max_n2 () st in
+  let levels = [| 0.; 0.; 0.4; 0.8; 1.0 |] in
+  let mat =
+    Simmat.of_fun ~n1:(D.n g1) ~n2:(D.n g2) (fun _ _ ->
+        levels.(Random.State.int st (Array.length levels)))
+  in
+  Instance.make ~g1 ~g2 ~mat ~xi ()
+
+let print_instance (t : Instance.t) =
+  Format.asprintf "g1=%a@.g2=%a@.mat=%a@.xi=%f" D.pp t.g1 D.pp t.g2 Simmat.pp
+    t.mat t.xi
+
+(* ---- assertions ---- *)
+
+let check_valid ?(injective = false) t m =
+  Alcotest.(check bool)
+    (Format.asprintf "valid %smapping %a" (if injective then "1-1 " else "")
+       Mapping.pp m)
+    true
+    (Instance.is_valid ~injective t m)
+
+let check_mapping = Alcotest.(check (list (pair int int)))
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0

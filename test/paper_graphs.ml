@@ -1,0 +1,156 @@
+(* Concrete reconstructions of the paper's running examples. Figure 1's two
+   online stores are described only pictorially; the structures below are
+   chosen so that every claim the text makes about them holds (see the
+   assertions in Test_paper_examples). *)
+
+module D = Phom_graph.Digraph
+module Simmat = Phom_sim.Simmat
+
+(* ---- Figure 1: the online stores Gp and G ---- *)
+
+(* Gp nodes *)
+let p_a = 0
+let p_books = 1
+let p_audio = 2
+let p_textbooks = 3
+let p_abooks = 4
+let p_albums = 5
+
+let gp =
+  D.make
+    ~labels:[| "A"; "books"; "audio"; "textbooks"; "abooks"; "albums" |]
+    ~edges:
+      [
+        (p_a, p_books);
+        (p_a, p_audio);
+        (p_books, p_textbooks);
+        (p_books, p_abooks);
+        (p_audio, p_abooks);
+        (p_audio, p_albums);
+      ]
+
+(* G nodes *)
+let g_b = 0
+let g_books = 1
+let g_sports = 2
+let g_digital = 3
+let g_categories = 4
+let g_school = 5
+let g_arts = 6
+let g_audiobooks = 7
+let g_booksets = 8
+let g_dvds = 9
+let g_cds = 10
+let g_features = 11
+let g_genres = 12
+let g_albums = 13
+
+let g =
+  D.make
+    ~labels:
+      [|
+        "B"; "books"; "sports"; "digital"; "categories"; "school"; "arts";
+        "audiobooks"; "booksets"; "DVDs"; "CDs"; "features"; "genres"; "albums";
+      |]
+    ~edges:
+      [
+        (g_b, g_books);
+        (g_b, g_sports);
+        (g_b, g_digital);
+        (g_books, g_categories);
+        (g_categories, g_school);
+        (g_categories, g_arts);
+        (g_categories, g_booksets);
+        (g_categories, g_audiobooks);
+        (g_digital, g_features);
+        (g_digital, g_genres);
+        (g_digital, g_dvds);
+        (g_digital, g_cds);
+        (g_features, g_audiobooks);
+        (g_genres, g_albums);
+      ]
+
+(* the page-checker similarity mate() of Example 3.1 *)
+let mate =
+  let m = Simmat.create ~n1:(D.n gp) ~n2:(D.n g) in
+  Simmat.set m p_a g_b 0.7;
+  Simmat.set m p_audio g_digital 0.7;
+  Simmat.set m p_books g_books 1.0;
+  Simmat.set m p_abooks g_audiobooks 0.8;
+  Simmat.set m p_books g_booksets 0.6;
+  Simmat.set m p_textbooks g_school 0.6;
+  Simmat.set m p_albums g_albums 0.85;
+  m
+
+(* the p-hom mapping of Examples 1.1/3.1 (also 1-1, Example 3.2) *)
+let sigma_fig1 =
+  [
+    (p_a, g_b);
+    (p_books, g_books);
+    (p_audio, g_digital);
+    (p_textbooks, g_school);
+    (p_abooks, g_audiobooks);
+    (p_albums, g_albums);
+  ]
+
+(* ---- Figure 2: the three pairs G1..G6 ---- *)
+
+(* G1 ⪯(e,p) G2 but G1 ⋠¹⁻¹ G2: both A nodes share G2's single A *)
+let g1_fig2 = D.make ~labels:[| "A"; "A"; "B"; "C" |] ~edges:[ (0, 2); (1, 2); (2, 3) ]
+let g2_fig2 = D.make ~labels:[| "A"; "B"; "C"; "C" |] ~edges:[ (0, 1); (1, 2); (1, 3) ]
+
+(* G3 ⋠(e,p) G4: G4's two D nodes are reachable from A and B separately *)
+let g3_fig2 = D.make ~labels:[| "A"; "B"; "D" |] ~edges:[ (0, 2); (1, 2) ]
+let g4_fig2 = D.make ~labels:[| "A"; "B"; "D"; "D" |] ~edges:[ (0, 2); (1, 3) ]
+
+(* G5 ⪯(e,p) G6 but not 1-1: both B nodes must take G6's single B *)
+let g5_v1 = 1
+let g5_v2 = 2
+
+let g5_fig2 =
+  D.make
+    ~labels:[| "A"; "B"; "B"; "D"; "E" |]
+    ~edges:[ (0, g5_v1); (0, g5_v2); (g5_v1, 3); (g5_v2, 4) ]
+
+let g6_fig2 =
+  D.make ~labels:[| "A"; "B"; "D"; "E" |] ~edges:[ (0, 1); (1, 2); (1, 3) ]
+
+(* ---- Example 3.3 (metrics): a G5/G6 variant where the paper's numbers
+   hold exactly. In the paper's prose the optimal SPH¹⁻¹ mapping covers
+   {A, v2} at 0.7 while the optimal CPH¹⁻¹ covers {A, v1, D, E} at 0.8 and
+   0.36 similarity; that requires v2's edges to block D and E, so here v2
+   (not v1) is the parent of both. *)
+
+let ex33_g5 =
+  D.make
+    ~labels:[| "A"; "B"; "B"; "D"; "E" |]
+    ~edges:[ (0, 1); (0, 2); (2, 3); (2, 4) ]
+(* v1 = 1, v2 = 2, D = 3, E = 4; v2→D and v2→E *)
+
+let ex33_g6 = D.make ~labels:[| "A"; "B"; "D"; "E" |] ~edges:[ (0, 1) ]
+
+let ex33_mat =
+  let m = Simmat.create ~n1:5 ~n2:4 in
+  Simmat.set m 0 0 1.0;
+  (* mat0(A,A) *)
+  Simmat.set m 3 2 1.0;
+  (* mat0(D,D) *)
+  Simmat.set m 4 3 1.0;
+  (* mat0(E,E) *)
+  Simmat.set m 2 1 1.0;
+  (* mat0(v2,B) *)
+  Simmat.set m 1 1 0.6;
+  (* mat0(v1,B) *)
+  m
+
+let ex33_weights = [| 1.; 1.; 6.; 1.; 1. |]
+
+(* ---- Example 5.1: the subgraphs G1' and G2' of Gp and G ---- *)
+
+let ex51_g1 =
+  (* books, textbooks, abooks *)
+  fst (D.induced gp [ p_books; p_textbooks; p_abooks ])
+
+let ex51_g2 =
+  (* books, categories, booksets, school, audiobooks *)
+  fst (D.induced g [ g_books; g_categories; g_booksets; g_school; g_audiobooks ])

@@ -1,0 +1,78 @@
+open Helpers
+module Api = Phom.Api
+
+let simple () =
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  eq_instance g1 g2
+
+let test_problem_metadata () =
+  Alcotest.(check string) "CPH" "CPH" (Api.problem_name Api.CPH);
+  Alcotest.(check string) "SPH1-1" "SPH1-1" (Api.problem_name Api.SPH11);
+  Alcotest.(check bool) "CPH not injective" false (Api.injective Api.CPH);
+  Alcotest.(check bool) "CPH11 injective" true (Api.injective Api.CPH11)
+
+let test_solve_all_problems () =
+  let t = simple () in
+  List.iter
+    (fun p ->
+      let r = Api.solve p t in
+      Alcotest.(check bool)
+        (Api.problem_name p ^ " full quality")
+        true
+        (r.Api.quality >= 1.0 -. 1e-9);
+      Alcotest.(check bool) "matches at 0.75" true (Api.matches r))
+    [ Api.CPH; Api.CPH11; Api.SPH; Api.SPH11 ]
+
+let test_matches_threshold () =
+  let t = simple () in
+  let r = Api.solve Api.CPH t in
+  Alcotest.(check bool) "custom threshold" true (Api.matches ~threshold:1.0 r)
+
+let test_algorithms_agree_on_simple () =
+  let t = simple () in
+  List.iter
+    (fun algo ->
+      let r = Api.solve ~algorithm:algo Api.CPH t in
+      Alcotest.(check (float 1e-9)) "quality 1" 1.0 r.Api.quality)
+    [ Api.Direct; Api.Naive_product; Api.Exact_bb ]
+
+let prop_all_configurations_valid =
+  qtest ~count:100 "api: every problem/algorithm/flag combination is valid"
+    (instance_gen ~max_n1:4 ~max_n2:5 ()) print_instance (fun t ->
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun algo ->
+              List.for_all
+                (fun (partition, compress) ->
+                  let r = Api.solve ~algorithm:algo ~partition ~compress p t in
+                  Instance.is_valid ~injective:(Api.injective p) t r.Api.mapping)
+                [ (false, false); (true, false); (false, true); (true, true) ])
+            [ Api.Direct; Api.Naive_product; Api.Exact_bb ])
+        [ Api.CPH; Api.CPH11; Api.SPH; Api.SPH11 ])
+
+let prop_quality_matches_metric =
+  qtest ~count:100 "api: reported quality equals the recomputed metric"
+    (instance_gen ()) print_instance (fun t ->
+      let r = Api.solve Api.CPH t in
+      let r' = Api.solve Api.SPH t in
+      abs_float (r.Api.quality -. Instance.qual_card t r.Api.mapping) < 1e-9
+      && abs_float
+           (r'.Api.quality
+           -. Instance.qual_sim ~weights:(Array.make (D.n t.g1) 1.) t r'.Api.mapping)
+         < 1e-9)
+
+let suite =
+  [
+    ( "api",
+      [
+        Alcotest.test_case "problem metadata" `Quick test_problem_metadata;
+        Alcotest.test_case "solve all four problems" `Quick test_solve_all_problems;
+        Alcotest.test_case "match thresholds" `Quick test_matches_threshold;
+        Alcotest.test_case "algorithms agree on easy input" `Quick
+          test_algorithms_agree_on_simple;
+        prop_all_configurations_valid;
+        prop_quality_matches_metric;
+      ] );
+  ]

@@ -1,0 +1,136 @@
+(* API behaviours beyond the basics of Test_api: weight re-indexing under
+   partitioning, and the extended matcher methods. *)
+open Helpers
+module Api = Phom.Api
+module Matcher = Phom_web.Matcher
+
+let test_partition_reindexes_weights () =
+  (* two disconnected pattern components; node 2 (in the second component)
+     is heavy and competes for a scarce target. Partitioning renumbers the
+     second component's nodes, so if weights were not re-indexed through
+     old_of_new, the heavy node would lose its weight. *)
+  let g1 = graph [ "a"; "b"; "c"; "c" ] [ (0, 1) ] in
+  (* target side: one 'c' only; both c-nodes of g1 want it *)
+  let g2 = graph [ "a"; "b"; "c" ] [ (0, 1) ] in
+  let mat = Simmat.of_label_equality g1 g2 in
+  let t = Instance.make ~g1 ~g2 ~mat ~xi:0.5 () in
+  let weights = [| 1.; 1.; 1.; 9. |] in
+  let r = Api.solve ~partition:true ~weights Api.SPH t in
+  (* SPH is not injective so both c nodes can take the target; the point is
+     the quality accounting must weight node 3 by 9 *)
+  Alcotest.(check bool) "full weighted quality" true (r.Api.quality >= 1.0 -. 1e-9);
+  (* and under a 1-1-style conflict (same component), the heavy node wins *)
+  let g1' = graph [ "c"; "c" ] [] in
+  let t' =
+    Instance.make ~g1:g1' ~g2:(graph [ "c" ] [])
+      ~mat:(Simmat.of_label_equality g1' (graph [ "c" ] []))
+      ~xi:0.5 ()
+  in
+  let r' = Api.solve ~weights:[| 1.; 9. |] Api.SPH11 t' in
+  Helpers.check_mapping "heavy node kept" [ (1, 0) ] r'.Api.mapping
+
+let test_weights_module_vectors () =
+  let g = graph [ "a"; "b"; "c" ] [ (0, 1); (0, 2) ] in
+  List.iter
+    (fun (name, w) ->
+      Alcotest.(check int) (name ^ " length") 3 (Array.length w);
+      Array.iter (fun x -> Alcotest.(check bool) (name ^ " positive") true (x > 0.)) w)
+    [
+      ("uniform", Phom.Weights.uniform g);
+      ("degree", Phom.Weights.degree g);
+      ("hub", Phom.Weights.hub g);
+      ("authority", Phom.Weights.authority g);
+    ]
+
+let small_site seed =
+  let rng = Random.State.make [| seed |] in
+  Phom_web.Site_gen.generate ~rng
+    {
+      Phom_web.Site_gen.pages = 80;
+    hub_fraction = 0.02;
+    max_degree_fraction = 0.06;
+    hub_affinity = 0.3;
+      edges = 170;
+      templates = 3;
+      vocab_size = 200;
+      page_length = 30;
+      edit_rate = 0.02;
+      rewire_rate = 0.01;
+      page_churn = 0.005;
+      vocab_prefix = "t";
+    }
+
+let test_extended_methods_run () =
+  let sk = Phom_web.Skeleton.top_k (small_site 3) 12 in
+  List.iter
+    (fun m ->
+      let v = Matcher.match_skeletons m sk sk in
+      Alcotest.(check bool)
+        (Matcher.method_name m ^ " self-match")
+        true
+        (v.Matcher.matched = Some true))
+    [ Matcher.BlondelSim; Matcher.PathFeatures; Matcher.Ged ]
+
+let test_extended_methods_reject_unrelated () =
+  let a = Phom_web.Skeleton.top_k (small_site 4) 12 in
+  let rng = Random.State.make [| 5 |] in
+  let other =
+    Phom_web.Site_gen.generate ~rng
+      {
+        Phom_web.Site_gen.pages = 80;
+    hub_fraction = 0.02;
+    max_degree_fraction = 0.06;
+    hub_affinity = 0.3;
+        edges = 170;
+        templates = 3;
+        vocab_size = 200;
+        page_length = 30;
+        edit_rate = 0.02;
+        rewire_rate = 0.01;
+        page_churn = 0.005;
+        vocab_prefix = "other";
+      }
+  in
+  let b = Phom_web.Skeleton.top_k other 12 in
+  List.iter
+    (fun m ->
+      let v = Matcher.match_skeletons m a b in
+      Alcotest.(check bool)
+        (Matcher.method_name m ^ " rejects unrelated")
+        true
+        (v.Matcher.matched = Some false))
+    [ Matcher.BlondelSim; Matcher.PathFeatures; Matcher.Ged ]
+
+let test_report () =
+  let g1 = graph [ "a"; "b"; "zzz" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  let t = Instance.make ~g1 ~g2 ~mat:(Simmat.of_label_equality g1 g2) ~xi:0.5 () in
+  let r = Api.solve Api.CPH t in
+  let report = Api.report t r in
+  Alcotest.(check bool) "mentions the pair" true
+    (contains_substring ~needle:"0 [a] -> 0 [a]" report);
+  Alcotest.(check bool) "shows the witness path" true
+    (contains_substring ~needle:"(a -> b) maps to a / x / b" report);
+  Alcotest.(check bool) "lists unmapped nodes" true
+    (contains_substring ~needle:"unmapped pattern nodes: 2 [zzz]" report)
+
+let test_method_names_distinct () =
+  let names = List.map Matcher.method_name Matcher.extended_methods in
+  Alcotest.(check int) "distinct names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    ( "api_extended",
+      [
+        Alcotest.test_case "partitioning re-indexes SPH weights" `Quick
+          test_partition_reindexes_weights;
+        Alcotest.test_case "weight vectors" `Quick test_weights_module_vectors;
+        Alcotest.test_case "extended matcher methods self-match" `Quick
+          test_extended_methods_run;
+        Alcotest.test_case "extended matcher methods reject unrelated" `Quick
+          test_extended_methods_reject_unrelated;
+        Alcotest.test_case "match report" `Quick test_report;
+        Alcotest.test_case "method names distinct" `Quick test_method_names_distinct;
+      ] );
+  ]

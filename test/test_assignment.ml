@@ -1,0 +1,91 @@
+open! Helpers
+module A = Phom_wis.Assignment
+
+let test_simple () =
+  (* classic 3×3 *)
+  let cost = [| [| 4.; 1.; 3. |]; [| 2.; 0.; 5. |]; [| 3.; 2.; 2. |] |] in
+  let assignment, total = A.minimize cost in
+  Alcotest.(check (float 1e-9)) "optimal total" 5.0 total;
+  Alcotest.(check (array int)) "assignment" [| 1; 0; 2 |] assignment
+
+let test_rectangular () =
+  (* 2 rows, 3 cols: best picks the cheapest distinct columns *)
+  let cost = [| [| 10.; 1.; 7. |]; [| 1.; 10.; 7. |] |] in
+  let assignment, total = A.minimize cost in
+  Alcotest.(check (float 1e-9)) "total" 2.0 total;
+  Alcotest.(check (array int)) "assignment" [| 1; 0 |] assignment
+
+let test_empty () =
+  let assignment, total = A.minimize [||] in
+  Alcotest.(check int) "empty" 0 (Array.length assignment);
+  Alcotest.(check (float 1e-9)) "zero" 0.0 total
+
+let test_validation () =
+  Alcotest.check_raises "rows > cols"
+    (Invalid_argument "Assignment.minimize: more rows than columns") (fun () ->
+      ignore (A.minimize [| [| 1. |]; [| 2. |] |]));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Assignment.minimize: ragged matrix") (fun () ->
+      ignore (A.minimize [| [| 1.; 2. |]; [| 3. |] |]))
+
+let test_maximize () =
+  let profit = [| [| 1.; 9. |]; [| 8.; 2. |] |] in
+  let assignment, total = A.maximize profit in
+  Alcotest.(check (float 1e-9)) "max profit" 17.0 total;
+  Alcotest.(check (array int)) "assignment" [| 1; 0 |] assignment
+
+let gen_matrix : float array array QCheck.Gen.t =
+ fun st ->
+  let n = 1 + Random.State.int st 6 in
+  let m = n + Random.State.int st 3 in
+  Array.init n (fun _ -> Array.init m (fun _ -> float_of_int (Random.State.int st 20)))
+
+let print_matrix cost =
+  String.concat ";"
+    (Array.to_list
+       (Array.map
+          (fun row ->
+            String.concat ","
+              (Array.to_list (Array.map (fun x -> Printf.sprintf "%.0f" x) row)))
+          cost))
+
+let brute_force cost =
+  let n = Array.length cost and m = Array.length cost.(0) in
+  let best = ref infinity in
+  let used = Array.make m false in
+  let rec go i acc =
+    if i = n then best := Float.min !best acc
+    else
+      for j = 0 to m - 1 do
+        if not used.(j) then begin
+          used.(j) <- true;
+          go (i + 1) (acc +. cost.(i).(j));
+          used.(j) <- false
+        end
+      done
+  in
+  go 0 0.;
+  !best
+
+let prop_matches_brute_force =
+  qtest ~count:100 "assignment: hungarian = brute force" gen_matrix print_matrix
+    (fun cost ->
+      let assignment, total = A.minimize cost in
+      let distinct =
+        List.length (List.sort_uniq compare (Array.to_list assignment))
+        = Array.length assignment
+      in
+      distinct && abs_float (total -. brute_force cost) < 1e-6)
+
+let suite =
+  [
+    ( "assignment",
+      [
+        Alcotest.test_case "3x3" `Quick test_simple;
+        Alcotest.test_case "rectangular" `Quick test_rectangular;
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "maximize" `Quick test_maximize;
+        prop_matches_brute_force;
+      ] );
+  ]

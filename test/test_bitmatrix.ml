@@ -1,0 +1,86 @@
+open Helpers
+module BM = Phom_graph.Bitmatrix
+
+let test_get_set () =
+  let m = BM.create ~rows:5 ~cols:70 in
+  Alcotest.(check int) "initially empty" 0 (BM.count m);
+  BM.set m 0 0 true;
+  BM.set m 4 69 true;
+  BM.set m 2 63 true;
+  Alcotest.(check bool) "get 0 0" true (BM.get m 0 0);
+  Alcotest.(check bool) "get 4 69" true (BM.get m 4 69);
+  Alcotest.(check bool) "get 2 64" false (BM.get m 2 64);
+  BM.set m 2 63 false;
+  Alcotest.(check bool) "cleared" false (BM.get m 2 63);
+  Alcotest.(check int) "count" 2 (BM.count m)
+
+let test_bounds () =
+  let m = BM.create ~rows:2 ~cols:2 in
+  Alcotest.check_raises "row" (Invalid_argument "Bitmatrix: index out of bounds")
+    (fun () -> ignore (BM.get m 2 0))
+
+let test_or_rows () =
+  let m = BM.create ~rows:3 ~cols:100 in
+  BM.set m 0 1 true;
+  BM.set m 0 64 true;
+  BM.set m 1 2 true;
+  BM.or_row_into m ~dst:1 ~src:0;
+  Alcotest.(check int) "row 1 count" 3 (BM.row_count m 1);
+  Alcotest.(check bool) "got 64" true (BM.get m 1 64);
+  let other = BM.create ~rows:2 ~cols:100 in
+  BM.or_row ~from:m ~src:1 ~into:other ~dst:0;
+  Alcotest.(check int) "cross-matrix" 3 (BM.row_count other 0)
+
+let test_word_boundary_isolation () =
+  (* rows are word-aligned: setting the last column of row r must not leak
+     into row r+1 *)
+  let m = BM.create ~rows:2 ~cols:63 in
+  BM.set m 0 62 true;
+  Alcotest.(check bool) "no leak" false (BM.get m 1 0);
+  Alcotest.(check int) "row 1 empty" 0 (BM.row_count m 1)
+
+let test_transpose () =
+  let m = BM.create ~rows:3 ~cols:4 in
+  BM.set m 0 3 true;
+  BM.set m 2 1 true;
+  let t = BM.transpose m in
+  Alcotest.(check int) "dims" 4 (BM.rows t);
+  Alcotest.(check bool) "3,0" true (BM.get t 3 0);
+  Alcotest.(check bool) "1,2" true (BM.get t 1 2);
+  Alcotest.(check bool) "double transpose" true (BM.equal m (BM.transpose t))
+
+let test_iter_row () =
+  let m = BM.create ~rows:1 ~cols:130 in
+  List.iter (fun c -> BM.set m 0 c true) [ 0; 62; 63; 129 ];
+  let seen = ref [] in
+  BM.iter_row (fun c -> seen := c :: !seen) m 0;
+  Alcotest.(check (list int)) "iter_row" [ 0; 62; 63; 129 ] (List.rev !seen)
+
+let gen_cells : (int * int) list QCheck.Gen.t =
+ fun st ->
+  List.init (Random.State.int st 30) (fun _ ->
+      (Random.State.int st 7, Random.State.int st 90))
+
+let prop_set_get =
+  qtest "bitmatrix: set then get" gen_cells
+    (fun l -> String.concat ";" (List.map (fun (r, c) -> Printf.sprintf "%d,%d" r c) l))
+    (fun cells ->
+      let m = BM.create ~rows:7 ~cols:90 in
+      List.iter (fun (r, c) -> BM.set m r c true) cells;
+      List.for_all (fun (r, c) -> BM.get m r c) cells
+      && BM.count m = List.length (List.sort_uniq compare cells))
+
+let suite =
+  [
+    ( "bitmatrix",
+      [
+        Alcotest.test_case "get/set/count" `Quick test_get_set;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        Alcotest.test_case "row OR (same and cross matrix)" `Quick test_or_rows;
+        Alcotest.test_case "word-aligned rows don't leak" `Quick
+          test_word_boundary_isolation;
+        Alcotest.test_case "transpose" `Quick test_transpose;
+        Alcotest.test_case "iter_row across words" `Quick test_iter_row;
+        prop_set_get;
+      ] );
+  ]

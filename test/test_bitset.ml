@@ -1,0 +1,136 @@
+open Helpers
+module Bitset = Phom_graph.Bitset
+
+let test_basic () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "count" 4 (Bitset.count s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 62" false (Bitset.mem s 62);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "to_list" [ 0; 64; 99 ] (Bitset.to_list s)
+
+let test_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> ignore (Bitset.mem s (-1)));
+  Alcotest.check_raises "too big" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.add s 10)
+
+let test_set_ops () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] and b = Bitset.of_list 10 [ 2; 3; 4 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into ~into:u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.to_list u);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~into:i b;
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.to_list i);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~into:d b;
+  Alcotest.(check (list int)) "diff" [ 1 ] (Bitset.to_list d);
+  Alcotest.(check bool) "subset yes" true (Bitset.subset i a);
+  Alcotest.(check bool) "subset no" false (Bitset.subset a b)
+
+let test_universe_mismatch () =
+  let a = Bitset.create 5 and b = Bitset.create 6 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Bitset.union_into: universe mismatch") (fun () ->
+      Bitset.union_into ~into:a b)
+
+let test_full_choose () =
+  let f = Bitset.full 70 in
+  Alcotest.(check int) "full count" 70 (Bitset.count f);
+  Alcotest.(check (option int)) "choose" (Some 0) (Bitset.choose f);
+  Alcotest.(check (option int)) "choose empty" None (Bitset.choose (Bitset.create 3))
+
+let test_iter_order () =
+  let s = Bitset.of_list 200 [ 199; 5; 63; 64; 128 ] in
+  Alcotest.(check (list int)) "ascending" [ 5; 63; 64; 128; 199 ] (Bitset.to_list s)
+
+let gen_int_list : int list QCheck.Gen.t =
+ fun st ->
+  List.init (Random.State.int st 40) (fun _ -> Random.State.int st 120)
+
+let prop_of_list_roundtrip =
+  qtest "bitset: of_list = sorted dedup" gen_int_list
+    (fun l -> String.concat "," (List.map string_of_int l))
+    (fun l ->
+      let s = Bitset.of_list 120 l in
+      Bitset.to_list s = List.sort_uniq compare l)
+
+let prop_count_matches =
+  qtest "bitset: count = |to_list|" gen_int_list
+    (fun l -> String.concat "," (List.map string_of_int l))
+    (fun l ->
+      let s = Bitset.of_list 120 l in
+      Bitset.count s = List.length (Bitset.to_list s))
+
+(* model-based: a random script of operations against Stdlib.Set *)
+module Int_set = Set.Make (Int)
+
+type op = Add of int | Remove of int | Union of int list | Diff of int list
+
+let gen_script : op list QCheck.Gen.t =
+ fun st ->
+  List.init
+    (5 + Random.State.int st 40)
+    (fun _ ->
+      match Random.State.int st 4 with
+      | 0 -> Add (Random.State.int st 80)
+      | 1 -> Remove (Random.State.int st 80)
+      | 2 -> Union (List.init (Random.State.int st 5) (fun _ -> Random.State.int st 80))
+      | _ -> Diff (List.init (Random.State.int st 5) (fun _ -> Random.State.int st 80)))
+
+let print_script ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Add i -> Printf.sprintf "add %d" i
+         | Remove i -> Printf.sprintf "del %d" i
+         | Union l -> "union " ^ String.concat "," (List.map string_of_int l)
+         | Diff l -> "diff " ^ String.concat "," (List.map string_of_int l))
+       ops)
+
+let prop_model_based =
+  qtest ~count:100 "bitset: agrees with Set.Make(Int) on random scripts"
+    gen_script print_script (fun ops ->
+      let s = Bitset.create 80 in
+      let model = ref Int_set.empty in
+      List.iter
+        (function
+          | Add i ->
+              Bitset.add s i;
+              model := Int_set.add i !model
+          | Remove i ->
+              Bitset.remove s i;
+              model := Int_set.remove i !model
+          | Union l ->
+              Bitset.union_into ~into:s (Bitset.of_list 80 l);
+              model := Int_set.union !model (Int_set.of_list l)
+          | Diff l ->
+              Bitset.diff_into ~into:s (Bitset.of_list 80 l);
+              model := Int_set.diff !model (Int_set.of_list l))
+        ops;
+      Bitset.to_list s = Int_set.elements !model
+      && Bitset.count s = Int_set.cardinal !model)
+
+let suite =
+  [
+    ( "bitset",
+      [
+        Alcotest.test_case "basic add/remove/count" `Quick test_basic;
+        Alcotest.test_case "bounds checking" `Quick test_bounds;
+        Alcotest.test_case "union/inter/diff/subset" `Quick test_set_ops;
+        Alcotest.test_case "universe mismatch" `Quick test_universe_mismatch;
+        Alcotest.test_case "full and choose" `Quick test_full_choose;
+        Alcotest.test_case "iteration is ascending" `Quick test_iter_order;
+        prop_of_list_roundtrip;
+        prop_count_matches;
+        prop_model_based;
+      ] );
+  ]

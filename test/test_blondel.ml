@@ -1,0 +1,54 @@
+open Helpers
+module Blondel = Phom_sim.Blondel
+
+let test_runs_and_normalizes () =
+  let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let g2 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let m = Blondel.similarity g1 g2 in
+  Alcotest.(check (float 1e-9)) "max is 1" 1.0 (Simmat.max_value m)
+
+let test_hub_matches_hub () =
+  (* a star centre should be most similar to the other star's centre *)
+  let star n =
+    graph (List.init (n + 1) (fun i -> "n" ^ string_of_int i))
+      (List.init n (fun i -> (0, i + 1)))
+  in
+  let g1 = star 4 and g2 = star 5 in
+  let m = Blondel.similarity g1 g2 in
+  let centre = Simmat.get m 0 0 in
+  Alcotest.(check bool) "centre-centre maximal" true
+    (centre >= Simmat.get m 0 1 && centre >= Simmat.get m 1 0);
+  Alcotest.(check (float 1e-9)) "centre is the max" 1.0 centre
+
+let test_isolated_nodes () =
+  let g1 = graph [ "a" ] [] and g2 = graph [ "b" ] [] in
+  let m = Blondel.similarity g1 g2 in
+  (* no structure at all: iteration collapses to zero and normalization is a
+     no-op; just check it does not blow up *)
+  Alcotest.(check bool) "finite" true (Float.is_finite (Simmat.get m 0 0))
+
+let prop_in_range =
+  qtest ~count:40 "blondel: all entries in [0,1]"
+    (QCheck.Gen.pair (digraph_gen ~max_n:6 ()) (digraph_gen ~max_n:6 ()))
+    (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
+    (fun (g1, g2) ->
+      let m = Blondel.similarity g1 g2 in
+      let ok = ref true in
+      for v = 0 to Simmat.n1 m - 1 do
+        for u = 0 to Simmat.n2 m - 1 do
+          let s = Simmat.get m v u in
+          if not (s >= 0. && s <= 1.) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "blondel",
+      [
+        Alcotest.test_case "runs and normalizes" `Quick test_runs_and_normalizes;
+        Alcotest.test_case "hub matches hub" `Quick test_hub_matches_hub;
+        Alcotest.test_case "isolated nodes" `Quick test_isolated_nodes;
+        prop_in_range;
+      ] );
+  ]

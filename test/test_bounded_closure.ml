@@ -1,0 +1,113 @@
+open Helpers
+module Bounded = Phom_graph.Bounded_closure
+
+let chain () = graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (1, 2); (2, 3) ]
+
+let test_k1_is_edges () =
+  let g = chain () in
+  let m = Bounded.compute ~k:1 g in
+  Alcotest.(check int) "3 edges" 3 (BM.count m);
+  Alcotest.(check bool) "0->1" true (BM.get m 0 1);
+  Alcotest.(check bool) "no skip" false (BM.get m 0 2)
+
+let test_k2 () =
+  let g = chain () in
+  let m = Bounded.compute ~k:2 g in
+  Alcotest.(check bool) "skip one" true (BM.get m 0 2);
+  Alcotest.(check bool) "not two" false (BM.get m 0 3)
+
+let test_k0 () =
+  Alcotest.(check int) "empty" 0 (BM.count (Bounded.compute ~k:0 (chain ())))
+
+let test_large_k_is_tc () =
+  let g = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "k=n equals closure" true
+    (BM.equal (Bounded.compute ~k:3 g) (TC.compute g))
+
+let test_self_loop_counts_one_hop () =
+  let g = graph [ "a" ] [ (0, 0) ] in
+  Alcotest.(check bool) "loop at k=1" true (BM.get (Bounded.compute ~k:1 g) 0 0)
+
+let test_distances_within () =
+  let g = chain () in
+  Alcotest.(check (array int)) "capped at 2" [| -1; 1; 2; -1 |]
+    (Bounded.distances_within ~k:2 g 0)
+
+let test_bounded_matching () =
+  (* a 3-hop stretch: matched at k=3 but not k=2 *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "y"; "b" ] [ (0, 1); (1, 2); (2, 3) ] in
+  let decide k =
+    let tc2 = Bounded.compute ~k g2 in
+    let t =
+      Instance.make ~tc2 ~g1 ~g2 ~mat:(Simmat.of_label_equality g1 g2) ~xi:0.5 ()
+    in
+    Phom.Exact.decide t
+  in
+  Alcotest.(check (option bool)) "k=2 fails" (Some false) (decide 2);
+  Alcotest.(check (option bool)) "k=3 matches" (Some true) (decide 3)
+
+let prop_monotone_in_k =
+  qtest ~count:60 "bounded closure: monotone in k" (digraph_gen ~max_n:8 ())
+    print_digraph (fun g ->
+      let m2 = Bounded.compute ~k:2 g and m4 = Bounded.compute ~k:4 g in
+      let ok = ref true in
+      for u = 0 to D.n g - 1 do
+        for v = 0 to D.n g - 1 do
+          if BM.get m2 u v && not (BM.get m4 u v) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_k_n_equals_tc =
+  qtest ~count:60 "bounded closure: k=n is the transitive closure"
+    (digraph_gen ~max_n:8 ()) print_digraph (fun g ->
+      BM.equal (Bounded.compute ~k:(max 1 (D.n g)) g) (TC.compute g))
+
+let prop_matches_bfs_oracle =
+  qtest ~count:60 "bounded closure: agrees with capped BFS"
+    (digraph_gen ~max_n:7 ()) print_digraph (fun g ->
+      let k = 3 in
+      let m = Bounded.compute ~k g in
+      let ok = ref true in
+      for v = 0 to D.n g - 1 do
+        let d = Bounded.distances_within ~k g v in
+        for u = 0 to D.n g - 1 do
+          if BM.get m v u <> (d.(u) >= 1) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_optimum_monotone_in_k =
+  qtest ~count:50 "bounded matching: exact optimum monotone in k"
+    (QCheck.Gen.pair (digraph_gen ~max_n:4 ()) (digraph_gen ~max_n:6 ()))
+    (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
+    (fun (g1, g2) ->
+      let mat = Simmat.of_label_equality g1 g2 in
+      let opt k =
+        let tc2 = Bounded.compute ~k g2 in
+        let t = Instance.make ~tc2 ~g1 ~g2 ~mat ~xi:0.5 () in
+        Mapping.size
+          (Phom.Exact.solve ~objective:Phom.Exact.Cardinality t).Phom.Exact.mapping
+      in
+      let o1 = opt 1 and o2 = opt 2 and o_inf = opt (max 1 (D.n g2)) in
+      o1 <= o2 && o2 <= o_inf)
+
+let suite =
+  [
+    ( "bounded_closure",
+      [
+        Alcotest.test_case "k=1 is the edge relation" `Quick test_k1_is_edges;
+        Alcotest.test_case "k=2" `Quick test_k2;
+        Alcotest.test_case "k=0 empty" `Quick test_k0;
+        Alcotest.test_case "large k = closure" `Quick test_large_k_is_tc;
+        Alcotest.test_case "self loop" `Quick test_self_loop_counts_one_hop;
+        Alcotest.test_case "distances_within" `Quick test_distances_within;
+        Alcotest.test_case "hop-bounded matching semantics" `Quick
+          test_bounded_matching;
+        prop_monotone_in_k;
+        prop_k_n_equals_tc;
+        prop_matches_bfs_oracle;
+        prop_optimum_monotone_in_k;
+      ] );
+  ]

@@ -1,0 +1,142 @@
+open Helpers
+module CMC = Phom.Comp_max_card
+module Exact = Phom.Exact
+
+let test_edge_to_path () =
+  (* pattern a→b, data a→x→b: homomorphism fails, p-hom succeeds *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  let t = eq_instance g1 g2 in
+  let m = CMC.run t in
+  check_mapping "full mapping" [ (0, 0); (1, 2) ] m
+
+let test_no_candidates () =
+  let g1 = graph [ "a" ] [] and g2 = graph [ "b" ] [] in
+  Alcotest.(check (list (pair int int))) "empty" [] (CMC.run (eq_instance g1 g2))
+
+let test_empty_pattern () =
+  let t = eq_instance (graph [] []) (graph [ "a" ] []) in
+  Alcotest.(check (list (pair int int))) "empty pattern" [] (CMC.run t)
+
+let test_injective_shares_nothing () =
+  (* two a-nodes vs one a-node: plain maps both, 1-1 maps one *)
+  let g1 = graph [ "a"; "a" ] [] and g2 = graph [ "a" ] [] in
+  let t = eq_instance g1 g2 in
+  Alcotest.(check int) "plain maps both" 2 (Mapping.size (CMC.run t));
+  Alcotest.(check int) "1-1 maps one" 1 (Mapping.size (CMC.run ~injective:true t))
+
+let test_cycle_pattern () =
+  (* cyclic pattern into a bigger cycle: every edge becomes a path *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1); (1, 0) ] in
+  let g2 = graph [ "a"; "x"; "b"; "y" ] [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let t = eq_instance g1 g2 in
+  let m = CMC.run t in
+  check_valid t m;
+  Alcotest.(check int) "both mapped" 2 (Mapping.size m)
+
+let test_self_loop_pattern () =
+  let g1 = graph [ "a" ] [ (0, 0) ] in
+  let g2_flat = graph [ "a" ] [] in
+  let g2_cyc = graph [ "a"; "b" ] [ (0, 1); (1, 0) ] in
+  Alcotest.(check int) "no cyclic target" 0
+    (Mapping.size (CMC.run (eq_instance g1 g2_flat)));
+  Alcotest.(check int) "cyclic target works" 1
+    (Mapping.size (CMC.run (eq_instance g1 g2_cyc)))
+
+(* ---- properties ---- *)
+
+let prop_always_valid =
+  qtest ~count:200 "compMaxCard: output is a valid p-hom mapping"
+    (instance_gen ()) print_instance (fun t ->
+      Instance.is_valid t (CMC.run t))
+
+let prop_injective_valid =
+  qtest ~count:200 "compMaxCard1-1: output is a valid 1-1 mapping"
+    (instance_gen ()) print_instance (fun t ->
+      Instance.is_valid ~injective:true t (CMC.run ~injective:true t))
+
+let prop_bounded_by_exact =
+  qtest ~count:120 "compMaxCard: quality ≤ exact optimum" (instance_gen ())
+    print_instance (fun t ->
+      let approx = Instance.qual_card t (CMC.run t) in
+      let e = Exact.solve ~objective:Phom.Exact.Cardinality t in
+      (not e.Phom.Exact.optimal)
+      || approx <= Instance.qual_card t e.Phom.Exact.mapping +. 1e-9)
+
+let prop_injective_leq_plain =
+  qtest ~count:120 "compMaxCard: 1-1 exact ≤ plain exact" (instance_gen ())
+    print_instance (fun t ->
+      let e = Exact.solve ~objective:Phom.Exact.Cardinality t in
+      let e11 = Exact.solve ~injective:true ~objective:Phom.Exact.Cardinality t in
+      Instance.qual_card t e11.Phom.Exact.mapping
+      <= Instance.qual_card t e.Phom.Exact.mapping +. 1e-9)
+
+let prop_identity_when_subgraph =
+  (* plant G1 inside G2: greedy must match everything *)
+  qtest ~count:100 "compMaxCard: finds planted copies"
+    (QCheck.Gen.map
+       (fun g1 ->
+         let g2 = D.disjoint_union g1 (graph [ "Z" ] []) in
+         (g1, g2))
+       (digraph_gen ~max_n:6 ()))
+    (fun (g1, _) -> print_digraph g1)
+    (fun (g1, g2) ->
+      let t = eq_instance g1 g2 in
+      (* the identity embedding exists, so the exact optimum is 1.0; the
+         greedy result must be a valid mapping of some quality, and the
+         exact solver must find the copy *)
+      let e = Exact.solve ~injective:true ~objective:Phom.Exact.Cardinality t in
+      Instance.qual_card t e.Phom.Exact.mapping = 1.0
+      && Instance.is_valid t (CMC.run t))
+
+let prop_more_g2_edges_help =
+  qtest ~count:80 "compMaxCard: adding G2 edges never lowers the exact optimum"
+    (instance_gen ()) print_instance (fun t ->
+      let before =
+        Instance.qual_card t
+          (Exact.solve ~objective:Phom.Exact.Cardinality t).Phom.Exact.mapping
+      in
+      (* add a few arbitrary edges to g2 *)
+      let n2 = D.n t.g2 in
+      if n2 < 2 then true
+      else begin
+        let extra = [ (0, n2 - 1); (n2 - 1, 0) ] in
+        let g2' = D.add_edges t.g2 extra in
+        let t' = Instance.make ~g1:t.g1 ~g2:g2' ~mat:t.mat ~xi:t.xi () in
+        let after =
+          Instance.qual_card t'
+            (Exact.solve ~objective:Phom.Exact.Cardinality t').Phom.Exact.mapping
+        in
+        after >= before -. 1e-9
+      end)
+
+let prop_lower_xi_helps =
+  qtest ~count:80 "compMaxCard: lowering ξ never lowers the exact optimum"
+    (instance_gen ~xi:0.7 ()) print_instance (fun t ->
+      let opt xi =
+        let t' = Instance.make ~g1:t.g1 ~g2:t.g2 ~mat:t.mat ~xi () in
+        Instance.qual_card t'
+          (Exact.solve ~objective:Phom.Exact.Cardinality t').Phom.Exact.mapping
+      in
+      opt 0.3 >= opt 0.7 -. 1e-9)
+
+let suite =
+  [
+    ( "comp_max_card",
+      [
+        Alcotest.test_case "edge-to-path" `Quick test_edge_to_path;
+        Alcotest.test_case "no candidates" `Quick test_no_candidates;
+        Alcotest.test_case "empty pattern" `Quick test_empty_pattern;
+        Alcotest.test_case "1-1 target exclusivity" `Quick
+          test_injective_shares_nothing;
+        Alcotest.test_case "cyclic pattern" `Quick test_cycle_pattern;
+        Alcotest.test_case "self-loop pattern" `Quick test_self_loop_pattern;
+        prop_always_valid;
+        prop_injective_valid;
+        prop_bounded_by_exact;
+        prop_injective_leq_plain;
+        prop_identity_when_subgraph;
+        prop_more_g2_edges_help;
+        prop_lower_xi_helps;
+      ] );
+  ]

@@ -1,0 +1,87 @@
+open Helpers
+module CMS = Phom.Comp_max_sim
+module Exact = Phom.Exact
+
+let weighted_instance () =
+  (* two G1 nodes compete for one target; node 1 is heavy *)
+  let g1 = graph [ "a"; "a" ] [] and g2 = graph [ "a" ] [] in
+  (eq_instance g1 g2, [| 1.; 10. |])
+
+let test_prefers_heavy_node () =
+  let t, weights = weighted_instance () in
+  let m = CMS.run ~injective:true ~weights t in
+  check_valid ~injective:true t m;
+  Alcotest.(check (float 1e-9)) "heavy node wins" (10. /. 11.)
+    (Instance.qual_sim ~weights t m)
+
+let test_default_weights_are_uniform () =
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  let t = eq_instance g1 g2 in
+  let m = CMS.run t in
+  Alcotest.(check (float 1e-9)) "full similarity" 1.0
+    (Instance.qual_sim ~weights:[| 1.; 1. |] t m)
+
+let test_weight_length_checked () =
+  let t, _ = weighted_instance () in
+  Alcotest.check_raises "length" (Invalid_argument "Comp_max_sim.run: weights length mismatch")
+    (fun () -> ignore (CMS.run ~weights:[| 1. |] t))
+
+let test_zero_weights () =
+  let t, _ = weighted_instance () in
+  let m = CMS.run ~weights:[| 0.; 0. |] t in
+  check_valid t m
+
+let prop_always_valid =
+  qtest ~count:150 "compMaxSim: output valid (plain and 1-1)" (instance_gen ())
+    print_instance (fun t ->
+      let n1 = D.n t.g1 in
+      let weights = Array.init n1 (fun i -> float_of_int (1 + (i mod 4))) in
+      Instance.is_valid t (CMS.run ~weights t)
+      && Instance.is_valid ~injective:true t (CMS.run ~injective:true ~weights t))
+
+let prop_bounded_by_exact =
+  qtest ~count:100 "compMaxSim: quality ≤ exact optimum" (instance_gen ())
+    print_instance (fun t ->
+      let n1 = D.n t.g1 in
+      let weights = Array.init n1 (fun i -> float_of_int (1 + (i mod 4))) in
+      let approx = Instance.qual_sim ~weights t (CMS.run ~weights t) in
+      let e = Exact.solve ~objective:(Phom.Exact.Similarity weights) t in
+      (not e.Phom.Exact.optimal)
+      || approx <= Instance.qual_sim ~weights t e.Phom.Exact.mapping +. 1e-9)
+
+(* the top weight group holds pairs in (W/2, W]; greedy returns a non-empty
+   mapping there, so the result is worth at least W/2 *)
+let prop_at_least_best_single_pair =
+  qtest ~count:100 "compMaxSim: ≥ half the single best pair" (instance_gen ())
+    print_instance (fun t ->
+      let n1 = D.n t.g1 and n2 = D.n t.g2 in
+      let weights = Array.init n1 (fun i -> float_of_int (1 + (i mod 4))) in
+      let best_pair = ref 0. in
+      for v = 0 to n1 - 1 do
+        for u = 0 to n2 - 1 do
+          let s = Simmat.get t.mat v u in
+          if s >= t.xi then begin
+            (* a single pair is only a valid mapping if self-loops allow *)
+            if Instance.is_valid t [ (v, u) ] then
+              best_pair := Float.max !best_pair (weights.(v) *. s)
+          end
+        done
+      done;
+      let total = Array.fold_left ( +. ) 0. weights in
+      let got = Instance.qual_sim ~weights t (CMS.run ~weights t) in
+      got >= (!best_pair /. 2. /. total) -. 1e-9)
+
+let suite =
+  [
+    ( "comp_max_sim",
+      [
+        Alcotest.test_case "prefers heavy nodes" `Quick test_prefers_heavy_node;
+        Alcotest.test_case "uniform weights" `Quick test_default_weights_are_uniform;
+        Alcotest.test_case "weights length checked" `Quick test_weight_length_checked;
+        Alcotest.test_case "all-zero weights" `Quick test_zero_weights;
+        prop_always_valid;
+        prop_bounded_by_exact;
+        prop_at_least_best_single_pair;
+      ] );
+  ]

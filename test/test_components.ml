@@ -1,0 +1,42 @@
+open Helpers
+module C = Phom_graph.Components
+
+let test_basic () =
+  let g = graph [ "a"; "b"; "c"; "d"; "e" ] [ (0, 1); (3, 2) ] in
+  let c = C.compute g in
+  Alcotest.(check int) "count" 3 c.C.count;
+  Alcotest.(check bool) "0~1" true (c.C.comp.(0) = c.C.comp.(1));
+  Alcotest.(check bool) "2~3 (direction ignored)" true (c.C.comp.(2) = c.C.comp.(3));
+  Alcotest.(check bool) "4 alone" true
+    (c.C.comp.(4) <> c.C.comp.(0) && c.C.comp.(4) <> c.C.comp.(2))
+
+let test_members () =
+  let g = graph [ "a"; "b"; "c" ] [ (2, 0) ] in
+  let c = C.compute g in
+  let members = C.members c in
+  let sorted = List.sort compare (Array.to_list members) in
+  Alcotest.(check (list (list int))) "members" [ [ 0; 2 ]; [ 1 ] ] sorted
+
+let test_of_subset () =
+  (* removing node 1 disconnects the chain 0-1-2 *)
+  let g = graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check (list (list int))) "subset split" [ [ 0 ]; [ 2; 3 ] ]
+    (C.of_subset g [ 0; 2; 3 ])
+
+let prop_component_counts =
+  qtest "components: singleton groups + edges connect" (digraph_gen ())
+    print_digraph (fun g ->
+      let c = C.compute g in
+      D.fold_edges (fun u v acc -> acc && c.C.comp.(u) = c.C.comp.(v)) g true
+      && Array.for_all (fun id -> id >= 0 && id < c.C.count) c.C.comp)
+
+let suite =
+  [
+    ( "components",
+      [
+        Alcotest.test_case "weak components" `Quick test_basic;
+        Alcotest.test_case "members" `Quick test_members;
+        Alcotest.test_case "of_subset splits at removed nodes" `Quick test_of_subset;
+        prop_component_counts;
+      ] );
+  ]

@@ -1,0 +1,59 @@
+open Helpers
+module Cond = Phom_graph.Condensation
+
+(* the Fig. 10(b) example: G2 with an SCC {A, B, C?}; we use a 4-node graph
+   with a 2-cycle feeding a chain *)
+let test_compress_cycle () =
+  let g = graph [ "A"; "B"; "C"; "D" ] [ (0, 1); (1, 0); (1, 2); (2, 3) ] in
+  let c = Cond.compress g in
+  Alcotest.(check int) "3 components" 3 (D.n c.Cond.graph);
+  let cab = c.Cond.comp_of_node.(0) in
+  Alcotest.(check bool) "A,B merged" true (cab = c.Cond.comp_of_node.(1));
+  Alcotest.(check bool) "cyclic has self loop" true
+    (D.has_edge c.Cond.graph cab cab);
+  Alcotest.(check bool) "trivial has none" false
+    (let cd = c.Cond.comp_of_node.(3) in
+     D.has_edge c.Cond.graph cd cd);
+  Alcotest.(check (list string)) "bag" [ "A"; "B" ] (Cond.bag c g cab);
+  Alcotest.(check int) "capacity" 2 (Cond.capacity c cab)
+
+let test_edges_transitive () =
+  let g = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let c = Cond.compress g in
+  (* in G2* the edge relation is reachability, hence transitively closed *)
+  let ca = c.Cond.comp_of_node.(0) and cc = c.Cond.comp_of_node.(2) in
+  Alcotest.(check bool) "skip edge present" true (D.has_edge c.Cond.graph ca cc)
+
+let prop_compression_matches_tc =
+  qtest ~count:60 "condensation: G2* edges = component reachability"
+    (digraph_gen ~max_n:10 ()) print_digraph (fun g ->
+      let c = Cond.compress g in
+      let t = TC.compute g in
+      let ok = ref true in
+      for u = 0 to D.n g - 1 do
+        for v = 0 to D.n g - 1 do
+          let cu = c.Cond.comp_of_node.(u) and cv = c.Cond.comp_of_node.(v) in
+          (* u reaches v by a non-empty path iff G2* has the edge cu→cv *)
+          if BM.get t u v <> D.has_edge c.Cond.graph cu cv then ok := false
+        done
+      done;
+      !ok)
+
+let prop_members_partition =
+  qtest ~count:60 "condensation: members partition the nodes"
+    (digraph_gen ~max_n:10 ()) print_digraph (fun g ->
+      let c = Cond.compress g in
+      let all = List.concat (Array.to_list c.Cond.members) in
+      List.sort compare all = List.init (D.n g) Fun.id)
+
+let suite =
+  [
+    ( "condensation",
+      [
+        Alcotest.test_case "compressing a cycle" `Quick test_compress_cycle;
+        Alcotest.test_case "compressed edges transitively closed" `Quick
+          test_edges_transitive;
+        prop_compression_matches_tc;
+        prop_members_partition;
+      ] );
+  ]

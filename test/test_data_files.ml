@@ -1,0 +1,33 @@
+(* Integration: the shipped data/ files drive the full pipeline — graph
+   parsing, matrix parsing, and 1-1 p-hom matching reproduce Figure 1. *)
+open Helpers
+module IO = Phom_graph.Graph_io
+
+let data path = Filename.concat "../data" path
+
+let load_or_fail path =
+  match IO.load (data path) with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "loading %s: %s" path e
+
+let test_fig1_files () =
+  let gp = load_or_fail "fig1_pattern.phg" in
+  let g = load_or_fail "fig1_store.phg" in
+  Alcotest.(check int) "pattern size" 6 (D.n gp);
+  Alcotest.(check int) "store size" 14 (D.n g);
+  let mat =
+    match Simmat.load (data "fig1_mate.phs") with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "loading mate: %s" e
+  in
+  let t = Instance.make ~g1:gp ~g2:g ~mat ~xi:0.6 () in
+  Alcotest.(check (option bool)) "Fig 1 matches from files" (Some true)
+    (Phom.Api.decide_one_one_phom t);
+  let r = Phom.Api.solve Phom.Api.CPH11 t in
+  Alcotest.(check (float 1e-9)) "full quality" 1.0 r.Phom.Api.quality
+
+let suite =
+  [
+    ( "data_files",
+      [ Alcotest.test_case "Figure 1 from shipped files" `Quick test_fig1_files ] );
+  ]

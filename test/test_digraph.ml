@@ -1,0 +1,93 @@
+open Helpers
+
+let diamond () =
+  graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_basic () =
+  let g = diamond () in
+  Alcotest.(check int) "n" 4 (D.n g);
+  Alcotest.(check int) "m" 4 (D.nb_edges g);
+  Alcotest.(check string) "label" "c" (D.label g 2);
+  Alcotest.(check (array int)) "succ 0" [| 1; 2 |] (D.succ g 0);
+  Alcotest.(check (array int)) "pred 3" [| 1; 2 |] (D.pred g 3);
+  Alcotest.(check bool) "has_edge" true (D.has_edge g 1 3);
+  Alcotest.(check bool) "no edge" false (D.has_edge g 3 1);
+  Alcotest.(check int) "out_degree" 2 (D.out_degree g 0);
+  Alcotest.(check int) "degree" 2 (D.degree g 0)
+
+let test_dedup_and_self_loop () =
+  let g = graph [ "a"; "b" ] [ (0, 1); (0, 1); (1, 1) ] in
+  Alcotest.(check int) "deduped" 2 (D.nb_edges g);
+  Alcotest.(check bool) "self loop kept" true (D.has_edge g 1 1)
+
+let test_invalid_edge () =
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Digraph.make: edge endpoint out of range") (fun () ->
+      ignore (graph [ "a" ] [ (0, 1) ]))
+
+let test_reverse () =
+  let g = diamond () in
+  let r = D.reverse g in
+  Alcotest.(check bool) "edge flipped" true (D.has_edge r 3 1);
+  Alcotest.(check bool) "double reverse" true (D.equal g (D.reverse r))
+
+let test_induced () =
+  let g = diamond () in
+  let sub, old_of_new = D.induced g [ 0; 1; 3 ] in
+  Alcotest.(check int) "nodes" 3 (D.n sub);
+  Alcotest.(check (array int)) "id map" [| 0; 1; 3 |] old_of_new;
+  Alcotest.(check int) "edges kept" 2 (D.nb_edges sub);
+  Alcotest.(check bool) "0->1" true (D.has_edge sub 0 1);
+  Alcotest.(check bool) "1->3 renamed" true (D.has_edge sub 1 2)
+
+let test_induced_dedups_input () =
+  let g = diamond () in
+  let sub, _ = D.induced g [ 3; 0; 3; 0 ] in
+  Alcotest.(check int) "dedup" 2 (D.n sub)
+
+let test_disjoint_union () =
+  let g = D.disjoint_union (diamond ()) (graph [ "x" ] []) in
+  Alcotest.(check int) "n" 5 (D.n g);
+  Alcotest.(check string) "shifted label" "x" (D.label g 4);
+  Alcotest.(check int) "m" 4 (D.nb_edges g)
+
+let test_add_edges_and_map_labels () =
+  let g = D.add_edges (diamond ()) [ (3, 0) ] in
+  Alcotest.(check bool) "new edge" true (D.has_edge g 3 0);
+  let g2 = D.map_labels (fun i l -> l ^ string_of_int i) g in
+  Alcotest.(check string) "mapped" "b1" (D.label g2 1)
+
+let test_stats () =
+  let g = diamond () in
+  Alcotest.(check (float 1e-9)) "avg" 1.0 (D.avg_degree g);
+  Alcotest.(check int) "max deg" 2 (D.max_degree g);
+  Alcotest.(check (float 1e-9)) "empty avg" 0.0 (D.avg_degree D.empty)
+
+let prop_edges_roundtrip =
+  qtest "digraph: edges/of_edges roundtrip" (digraph_gen ()) print_digraph
+    (fun g ->
+      let g' = D.make ~labels:(D.labels g) ~edges:(D.edges g) in
+      D.equal g g')
+
+let prop_pred_succ_dual =
+  qtest "digraph: pred is dual of succ" (digraph_gen ()) print_digraph (fun g ->
+      D.fold_edges (fun u v acc -> acc && Array.mem u (D.pred g v)) g true
+      && D.nb_edges (D.reverse g) = D.nb_edges g)
+
+let suite =
+  [
+    ( "digraph",
+      [
+        Alcotest.test_case "basic accessors" `Quick test_basic;
+        Alcotest.test_case "dedup and self loops" `Quick test_dedup_and_self_loop;
+        Alcotest.test_case "invalid edges rejected" `Quick test_invalid_edge;
+        Alcotest.test_case "reverse" `Quick test_reverse;
+        Alcotest.test_case "induced subgraph" `Quick test_induced;
+        Alcotest.test_case "induced dedups node list" `Quick test_induced_dedups_input;
+        Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+        Alcotest.test_case "add_edges / map_labels" `Quick test_add_edges_and_map_labels;
+        Alcotest.test_case "degree statistics" `Quick test_stats;
+        prop_edges_roundtrip;
+        prop_pred_succ_dual;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+open Helpers
+module Exact = Phom.Exact
+
+let test_decide_simple () =
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let yes = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  let no = graph [ "a"; "b" ] [ (1, 0) ] in
+  Alcotest.(check (option bool)) "path target" (Some true)
+    (Exact.decide (eq_instance g1 yes));
+  Alcotest.(check (option bool)) "reversed target" (Some false)
+    (Exact.decide (eq_instance g1 no))
+
+let test_decide_budget () =
+  (* adversarial-ish instance with a tiny budget gives None *)
+  let rng = Random.State.make [| 11 |] in
+  let g1 =
+    Phom_graph.Generators.erdos_renyi ~rng ~n:12 ~m:20 ~labels:(fun _ -> "x")
+  in
+  let g2 =
+    Phom_graph.Generators.erdos_renyi ~rng ~n:14 ~m:10 ~labels:(fun _ -> "x")
+  in
+  let t = eq_instance g1 g2 in
+  Alcotest.(check (option bool)) "gives up" None (Exact.decide ~budget:5 t)
+
+let test_solve_optimal_flag () =
+  let g1 = graph [ "a" ] [] and g2 = graph [ "a" ] [] in
+  let t = eq_instance g1 g2 in
+  let r = Exact.solve ~objective:Exact.Cardinality t in
+  Alcotest.(check bool) "optimal" true r.Exact.optimal;
+  Alcotest.(check (float 1e-9)) "quality 1" 1.0 (Instance.qual_card t r.Exact.mapping)
+
+let test_similarity_objective () =
+  (* cardinality would map both light nodes; similarity prefers the heavy *)
+  let g1 = graph [ "a"; "b" ] [] and g2 = graph [ "a" ] [] in
+  let mat = Simmat.of_fun ~n1:2 ~n2:1 (fun _ _ -> 1.0) in
+  let t = Instance.make ~g1 ~g2 ~mat ~xi:0.5 () in
+  let r =
+    Exact.solve ~injective:true ~objective:(Exact.Similarity [| 1.; 5. |]) t
+  in
+  check_mapping "heavy node kept" [ (1, 0) ] r.Exact.mapping
+
+(* brute-force oracle: enumerate every partial function over small search
+   spaces and keep the best valid one *)
+let brute_force_best (t : Instance.t) =
+  let n1 = D.n t.g1 and n2 = D.n t.g2 in
+  let best = ref 0 in
+  let rec go v acc =
+    if v = n1 then begin
+      let m = Mapping.normalize acc in
+      if Instance.is_valid t m then best := max !best (Mapping.size m)
+    end
+    else begin
+      go (v + 1) acc;
+      for u = 0 to n2 - 1 do
+        go (v + 1) ((v, u) :: acc)
+      done
+    end
+  in
+  go 0 [];
+  !best
+
+let prop_matches_brute_force =
+  qtest ~count:60 "exact: agrees with brute force"
+    (instance_gen ~max_n1:3 ~max_n2:4 ()) print_instance (fun t ->
+      let r = Exact.solve ~objective:Exact.Cardinality t in
+      r.Exact.optimal && Mapping.size r.Exact.mapping = brute_force_best t)
+
+let prop_decide_iff_full_mapping =
+  qtest ~count:100 "exact: decide ⟺ optimum covers G1"
+    (instance_gen ~max_n1:4 ~max_n2:5 ()) print_instance (fun t ->
+      let d = Exact.decide t in
+      let r = Exact.solve ~objective:Exact.Cardinality t in
+      match d with
+      | None -> true
+      | Some yes -> yes = (Mapping.size r.Exact.mapping = D.n t.g1))
+
+let prop_solution_valid =
+  qtest ~count:100 "exact: solutions valid under both objectives"
+    (instance_gen ()) print_instance (fun t ->
+      let w = Array.make (D.n t.g1) 2. in
+      Instance.is_valid t (Exact.solve ~objective:Exact.Cardinality t).Exact.mapping
+      && Instance.is_valid ~injective:true t
+           (Exact.solve ~injective:true ~objective:(Exact.Similarity w) t)
+             .Exact.mapping)
+
+let suite =
+  [
+    ( "exact",
+      [
+        Alcotest.test_case "decide" `Quick test_decide_simple;
+        Alcotest.test_case "decide budget" `Quick test_decide_budget;
+        Alcotest.test_case "optimality flag" `Quick test_solve_optimal_flag;
+        Alcotest.test_case "similarity objective" `Quick test_similarity_objective;
+        prop_matches_brute_force;
+        prop_decide_iff_full_mapping;
+        prop_solution_valid;
+      ] );
+  ]

@@ -1,0 +1,68 @@
+open Helpers
+module Ged = Phom_baselines.Ged
+
+let chain labels = graph labels (List.init (List.length labels - 1) (fun i -> (i, i + 1)))
+
+let test_identical () =
+  let g = chain [ "a"; "b"; "c" ] in
+  Alcotest.(check (float 1e-9)) "zero distance" 0.0 (Ged.approx g g);
+  Alcotest.(check (float 1e-9)) "similarity 1" 1.0 (Ged.similarity g g)
+
+let test_empty () =
+  let e = graph [] [] in
+  Alcotest.(check (float 1e-9)) "both empty" 1.0 (Ged.similarity e e);
+  let g = chain [ "a" ] in
+  Alcotest.(check bool) "vs empty" true (Ged.similarity g e < 1.0)
+
+let test_single_label_change () =
+  let g1 = chain [ "a"; "b"; "c" ] and g2 = chain [ "a"; "b"; "z" ] in
+  Alcotest.(check (float 1e-9)) "one substitution" 1.0 (Ged.approx g1 g2);
+  Alcotest.(check bool) "still similar" true (Ged.similarity g1 g2 > 0.8)
+
+let test_size_gap () =
+  let small = chain [ "a" ] and big = chain [ "a"; "a"; "a"; "a"; "a"; "a" ] in
+  Alcotest.(check bool) "big gap" true (Ged.similarity small big < 0.5)
+
+let test_custom_costs () =
+  let g1 = graph [ "x" ] [] and g2 = graph [ "y" ] [] in
+  let mat = Simmat.of_fun ~n1:1 ~n2:1 (fun _ _ -> 0.9) in
+  let c = Ged.costs_of_simmat mat in
+  Alcotest.(check (float 1e-6)) "soft substitution" 0.1 (Ged.approx ~costs:c g1 g2);
+  Alcotest.(check bool) "matches" true (Ged.matches ~costs:c g1 g2)
+
+let test_upper_bound_on_true_ged () =
+  (* the assignment GED over-estimates; sanity-check one known case:
+     a→b vs the same graph plus one extra isolated node = 1 insertion *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "b"; "c" ] [ (0, 1) ] in
+  Alcotest.(check bool) "≥ true distance (1)" true (Ged.approx g1 g2 >= 1.0 -. 1e-9);
+  Alcotest.(check bool) "not wildly over" true (Ged.approx g1 g2 <= 2.0 +. 1e-9)
+
+let prop_bounds =
+  qtest ~count:80 "ged: similarity in [0,1], identical graphs at 1"
+    (QCheck.Gen.pair (digraph_gen ~max_n:6 ()) (digraph_gen ~max_n:6 ()))
+    (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
+    (fun (g1, g2) ->
+      let s = Ged.similarity g1 g2 in
+      s >= 0. && s <= 1. && Ged.similarity g1 g1 = 1.0)
+
+let prop_nonneg_distance =
+  qtest ~count:80 "ged: distances non-negative"
+    (QCheck.Gen.pair (digraph_gen ~max_n:6 ()) (digraph_gen ~max_n:6 ()))
+    (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
+    (fun (g1, g2) -> Ged.approx g1 g2 >= -1e-9)
+
+let suite =
+  [
+    ( "ged",
+      [
+        Alcotest.test_case "identical graphs" `Quick test_identical;
+        Alcotest.test_case "empty graphs" `Quick test_empty;
+        Alcotest.test_case "single substitution" `Quick test_single_label_change;
+        Alcotest.test_case "size gap" `Quick test_size_gap;
+        Alcotest.test_case "simmat costs" `Quick test_custom_costs;
+        Alcotest.test_case "upper-bound behaviour" `Quick test_upper_bound_on_true_ged;
+        prop_bounds;
+        prop_nonneg_distance;
+      ] );
+  ]

@@ -1,0 +1,109 @@
+open Helpers
+module G = Phom_graph.Generators
+
+let rng seed = Random.State.make [| seed |]
+
+let test_erdos_renyi () =
+  let g = G.erdos_renyi ~rng:(rng 1) ~n:20 ~m:40 ~labels:(fun i -> "n" ^ string_of_int i) in
+  Alcotest.(check int) "n" 20 (D.n g);
+  Alcotest.(check int) "m" 40 (D.nb_edges g);
+  Alcotest.(check bool) "no self loops" true
+    (D.fold_edges (fun u v acc -> acc && u <> v) g true)
+
+let test_erdos_renyi_too_many () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Generators: too many edges requested") (fun () ->
+      ignore (G.erdos_renyi ~rng:(rng 1) ~n:3 ~m:7 ~labels:(fun _ -> "x")))
+
+let test_random_dag () =
+  let g = G.random_dag ~rng:(rng 2) ~n:30 ~m:60 ~labels:(fun _ -> "x") in
+  Alcotest.(check bool) "acyclic" true (Phom_graph.Traversal.is_dag g);
+  Alcotest.(check int) "m" 60 (D.nb_edges g)
+
+let test_random_tree () =
+  let g = G.random_tree ~rng:(rng 3) ~n:25 ~labels:(fun _ -> "x") in
+  Alcotest.(check int) "edges" 24 (D.nb_edges g);
+  Alcotest.(check bool) "acyclic" true (Phom_graph.Traversal.is_dag g);
+  let reachable = Phom_graph.Traversal.reachable g 0 in
+  Alcotest.(check int) "rooted at 0" 25 (Bitset.count reachable)
+
+let test_preferential_attachment () =
+  let g = G.preferential_attachment ~rng:(rng 4) ~n:100 ~out:3 ~labels:(fun _ -> "x") in
+  Alcotest.(check int) "n" 100 (D.n g);
+  Alcotest.(check bool) "has hubs" true (D.max_degree g > 8)
+
+let test_pool () =
+  let pool = G.pool_for 500 in
+  Alcotest.(check int) "labels" 2500 pool.G.nlabels;
+  Alcotest.(check int) "groups" 50 pool.G.ngroups;
+  Alcotest.(check int) "group of L51" 1 (G.group_of_label pool "L51");
+  Alcotest.check_raises "bad label"
+    (Invalid_argument "Generators.group_of_label: not a pool label") (fun () ->
+      ignore (G.group_of_label pool "zzz"))
+
+let test_paper_pattern () =
+  let g, pool = G.paper_pattern ~rng:(rng 5) ~m:100 in
+  Alcotest.(check int) "nodes" 100 (D.n g);
+  Alcotest.(check int) "edges 4m" 400 (D.nb_edges g);
+  Alcotest.(check bool) "labels from pool" true
+    (Array.for_all
+       (fun l -> G.group_of_label pool l >= 0)
+       (D.labels g))
+
+let test_paper_data_contains_subdivision () =
+  (* nodes 0..m-1 of G2 are copies of G1, and every G1 edge has a
+     corresponding non-empty path: the identity is a p-hom witness *)
+  let g1, pool = G.paper_pattern ~rng:(rng 6) ~m:40 in
+  let g2 = G.paper_data ~rng:(rng 7) ~pool ~noise:0.3 g1 in
+  Alcotest.(check bool) "bigger" true (D.n g2 >= D.n g1);
+  for v = 0 to D.n g1 - 1 do
+    Alcotest.(check string)
+      (Printf.sprintf "label of copy %d" v)
+      (D.label g1 v) (D.label g2 v)
+  done;
+  let t = TC.compute g2 in
+  Alcotest.(check bool) "identity is a p-hom witness" true
+    (D.fold_edges (fun u v acc -> acc && BM.get t u v) g1 true)
+
+let test_paper_data_zero_noise () =
+  let g1, pool = G.paper_pattern ~rng:(rng 8) ~m:30 in
+  let g2 = G.paper_data ~rng:(rng 9) ~pool ~noise:0.0 g1 in
+  Alcotest.(check bool) "no noise = same graph" true (D.equal g1 g2)
+
+let test_subdivide () =
+  let g = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g' =
+    G.subdivide_edges ~rng:(rng 10) ~prob:1.0 ~max_len:3
+      ~fresh_label:(fun _ -> "fresh")
+      g
+  in
+  Alcotest.(check bool) "original edge replaced" false (D.has_edge g' 0 1);
+  Alcotest.(check bool) "path exists" true (BM.get (TC.compute g') 0 1);
+  Alcotest.(check bool) "fresh nodes appended" true (D.n g' > 2)
+
+let test_determinism () =
+  let a, _ = G.paper_pattern ~rng:(rng 42) ~m:50 in
+  let b, _ = G.paper_pattern ~rng:(rng 42) ~m:50 in
+  Alcotest.(check bool) "same seed same graph" true (D.equal a b)
+
+let suite =
+  [
+    ( "generators",
+      [
+        Alcotest.test_case "erdos-renyi" `Quick test_erdos_renyi;
+        Alcotest.test_case "erdos-renyi capacity check" `Quick
+          test_erdos_renyi_too_many;
+        Alcotest.test_case "random dag" `Quick test_random_dag;
+        Alcotest.test_case "random tree" `Quick test_random_tree;
+        Alcotest.test_case "preferential attachment" `Quick
+          test_preferential_attachment;
+        Alcotest.test_case "label pool" `Quick test_pool;
+        Alcotest.test_case "paper pattern: m nodes, 4m edges" `Quick
+          test_paper_pattern;
+        Alcotest.test_case "paper data embeds a subdivision" `Quick
+          test_paper_data_contains_subdivision;
+        Alcotest.test_case "zero noise is identity" `Quick test_paper_data_zero_noise;
+        Alcotest.test_case "edge subdivision" `Quick test_subdivide;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+      ] );
+  ]

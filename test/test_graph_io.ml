@@ -1,0 +1,96 @@
+open Helpers
+module IO = Phom_graph.Graph_io
+
+let test_roundtrip () =
+  let g = graph [ "hello world"; "b"; "c" ] [ (0, 1); (1, 2); (2, 0) ] in
+  match IO.of_string (IO.to_string g) with
+  | Error e -> Alcotest.fail e
+  | Ok g' -> Alcotest.(check bool) "roundtrip" true (D.equal g g')
+
+let test_parse_errors () =
+  let check_err name input =
+    match IO.of_string input with
+    | Ok _ -> Alcotest.failf "%s: expected error" name
+    | Error _ -> ()
+  in
+  check_err "no header" "node 0 a\n";
+  check_err "bad edge" "phg 1\nedge 0\n";
+  check_err "bad id" "phg 1\nnode x lbl\n";
+  check_err "sparse ids" "phg 1\nnode 0 a\nnode 5 b\n";
+  check_err "edge out of range" "phg 1\nnode 0 a\nedge 0 3\n"
+
+let test_comments_and_blanks () =
+  let input = "phg 1\n# comment\n\nnode 0 a\nnode 1 b\nedge 0 1\n" in
+  match IO.of_string input with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      Alcotest.(check int) "nodes" 2 (D.n g);
+      Alcotest.(check int) "edges" 1 (D.nb_edges g)
+
+let test_file_roundtrip () =
+  let g = graph [ "a"; "b" ] [ (0, 1) ] in
+  let path = Filename.temp_file "phom_test" ".phg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      IO.save path g;
+      match IO.load path with
+      | Error e -> Alcotest.fail e
+      | Ok g' -> Alcotest.(check bool) "file roundtrip" true (D.equal g g'))
+
+let test_load_missing () =
+  match IO.load "/nonexistent/definitely/missing.phg" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_dot () =
+  let g = graph [ "a\"quote" ] [ (0, 0) ] in
+  let dot = IO.to_dot ~name:"T" g in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 10 && String.sub dot 0 9 = "digraph T");
+  Alcotest.(check bool) "escaped quote" true
+    (contains_substring ~needle:"a\\\"quote" dot)
+
+let test_graphml () =
+  let g = graph [ "a<b"; "c&d" ] [ (0, 1) ] in
+  let xml = IO.to_graphml g in
+  Alcotest.(check bool) "escaped lt" true (contains_substring ~needle:"a&lt;b" xml);
+  Alcotest.(check bool) "escaped amp" true (contains_substring ~needle:"c&amp;d" xml);
+  Alcotest.(check bool) "edge present" true
+    (contains_substring ~needle:"<edge source=\"n0\" target=\"n1\"/>" xml);
+  Alcotest.(check bool) "well-formed-ish" true
+    (contains_substring ~needle:"</graphml>" xml)
+
+let test_mapping_dot () =
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  let dot = IO.mapping_to_dot ~g1 ~g2 [ (0, 0); (1, 2) ] in
+  Alcotest.(check bool) "pattern cluster" true
+    (contains_substring ~needle:"cluster_pattern" dot);
+  Alcotest.(check bool) "cross edge" true
+    (contains_substring ~needle:"p1 -> d2 [style=dashed" dot);
+  Alcotest.(check bool) "covered highlight" true
+    (contains_substring ~needle:"fillcolor=lightblue" dot)
+
+let prop_roundtrip =
+  qtest "graph_io: to_string/of_string roundtrip" (digraph_gen ()) print_digraph
+    (fun g ->
+      match IO.of_string (IO.to_string g) with
+      | Ok g' -> D.equal g g'
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "graph_io",
+      [
+        Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
+        Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        Alcotest.test_case "missing file" `Quick test_load_missing;
+        Alcotest.test_case "dot export" `Quick test_dot;
+        Alcotest.test_case "graphml export" `Quick test_graphml;
+        Alcotest.test_case "mapping dot" `Quick test_mapping_dot;
+        prop_roundtrip;
+      ] );
+  ]

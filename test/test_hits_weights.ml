@@ -1,0 +1,75 @@
+open Helpers
+module Hits = Phom_sim.Hits
+module Weights = Phom.Weights
+
+let star_out n =
+  (* node 0 points at everyone: the hub *)
+  graph (List.init (n + 1) (fun i -> "n" ^ string_of_int i))
+    (List.init n (fun i -> (0, i + 1)))
+
+let test_hub_of_star () =
+  let g = star_out 5 in
+  let s = Hits.compute g in
+  for v = 1 to 5 do
+    Alcotest.(check bool) "centre is the hub" true (s.Hits.hub.(0) > s.Hits.hub.(v));
+    Alcotest.(check bool) "leaves are authorities" true
+      (s.Hits.authority.(v) > s.Hits.authority.(0))
+  done
+
+let test_empty_and_edgeless () =
+  let s = Hits.compute (graph [] []) in
+  Alcotest.(check int) "empty" 0 (Array.length s.Hits.hub);
+  let s2 = Hits.compute (graph [ "a"; "b" ] []) in
+  Alcotest.(check bool) "edgeless uniform" true
+    (s2.Hits.hub.(0) = s2.Hits.hub.(1) && s2.Hits.hub.(0) > 0.)
+
+let test_role_similarity () =
+  let g1 = star_out 4 and g2 = star_out 6 in
+  let m = Hits.role_similarity (Hits.compute g1) (Hits.compute g2) in
+  (* hub should be most similar to hub *)
+  Alcotest.(check bool) "hub-hub beats hub-leaf" true
+    (Simmat.get m 0 0 > Simmat.get m 0 1)
+
+let test_weights () =
+  let g = star_out 4 in
+  Alcotest.(check (float 1e-9)) "uniform" 1.0 (Weights.uniform g).(3);
+  let d = Weights.degree g in
+  Alcotest.(check (float 1e-9)) "hub degree weight" 1.0 d.(0);
+  Alcotest.(check bool) "leaf lighter" true (d.(1) < 1.0);
+  let h = Weights.hub g in
+  Alcotest.(check (float 1e-9)) "hub weight max" 1.0 h.(0);
+  let a = Weights.authority g in
+  Alcotest.(check bool) "leaf is the authority" true (a.(1) > a.(0));
+  Array.iter (fun x -> Alcotest.(check bool) "positive" true (x > 0.)) a
+
+let test_weights_drive_sph () =
+  (* same instance as the Example-3.3-style conflict but weights from degree:
+     the hub must win the single target *)
+  let g1 = star_out 2 in
+  (* two nodes of g1 compete for one target u: centre (hub) and a leaf *)
+  let g2 = graph [ "n0" ] [] in
+  let mat = Simmat.of_fun ~n1:3 ~n2:1 (fun _ _ -> 1.0) in
+  let t = Instance.make ~g1 ~g2 ~mat ~xi:0.5 () in
+  let w = Weights.degree g1 in
+  let m = Phom.Comp_max_sim.run ~injective:true ~weights:w t in
+  check_mapping "hub takes the target" [ (0, 0) ] m
+
+let prop_scores_in_range =
+  qtest ~count:60 "hits: scores in [0,1]" (digraph_gen ()) print_digraph
+    (fun g ->
+      let s = Hits.compute g in
+      Array.for_all (fun x -> x >= 0. && x <= 1.) s.Hits.hub
+      && Array.for_all (fun x -> x >= 0. && x <= 1.) s.Hits.authority)
+
+let suite =
+  [
+    ( "hits_weights",
+      [
+        Alcotest.test_case "hub/authority of a star" `Quick test_hub_of_star;
+        Alcotest.test_case "degenerate graphs" `Quick test_empty_and_edgeless;
+        Alcotest.test_case "role similarity" `Quick test_role_similarity;
+        Alcotest.test_case "weight vectors" `Quick test_weights;
+        Alcotest.test_case "weights drive SPH" `Quick test_weights_drive_sph;
+        prop_scores_in_range;
+      ] );
+  ]

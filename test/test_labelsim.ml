@@ -1,0 +1,59 @@
+open Helpers
+module G = Phom_graph.Generators
+module L = Phom_sim.Labelsim
+
+let pool = G.pool_for 20 (* 100 labels, 10 groups *)
+
+let t = L.make ~pool ~seed:99
+
+let test_identity () =
+  Alcotest.(check (float 1e-9)) "same label" 1.0 (L.sim t "L7" "L7")
+
+let test_cross_group_zero () =
+  (* L0 is in group 0, L1 in group 1 *)
+  Alcotest.(check (float 1e-9)) "cross group" 0.0 (L.sim t "L0" "L1")
+
+let test_same_group_in_range () =
+  (* L0 and L10 share group 0 *)
+  let s = L.sim t "L0" "L10" in
+  Alcotest.(check bool) "in range" true (s >= 0. && s <= 1.)
+
+let test_symmetric_deterministic () =
+  Alcotest.(check (float 1e-12)) "symmetric" (L.sim t "L0" "L20") (L.sim t "L20" "L0");
+  let t' = L.make ~pool ~seed:99 in
+  Alcotest.(check (float 1e-12)) "deterministic" (L.sim t "L0" "L20")
+    (L.sim t' "L0" "L20");
+  let t2 = L.make ~pool ~seed:100 in
+  Alcotest.(check bool) "seed-sensitive" true
+    (L.sim t "L0" "L20" <> L.sim t2 "L0" "L20")
+
+let test_matrix () =
+  let g1 = graph [ "L0"; "L5" ] [] and g2 = graph [ "L0"; "L10" ] [] in
+  let m = L.matrix t g1 g2 in
+  Alcotest.(check (float 1e-9)) "diag" 1.0 (Simmat.get m 0 0);
+  Alcotest.(check (float 1e-9)) "L5 vs L10 different groups" 0.0
+    (Simmat.get m 1 1);
+  Alcotest.(check (float 1e-9)) "L5 vs L0 different groups" 0.0 (Simmat.get m 1 0)
+
+let test_distribution () =
+  (* same-group similarities should spread over [0,1], not cluster *)
+  let lows = ref 0 and highs = ref 0 in
+  for i = 1 to 50 do
+    let s = L.sim t "L0" ("L" ^ string_of_int (i * 10)) in
+    if s < 0.5 then incr lows else incr highs
+  done;
+  Alcotest.(check bool) "both halves populated" true (!lows > 5 && !highs > 5)
+
+let suite =
+  [
+    ( "labelsim",
+      [
+        Alcotest.test_case "identity" `Quick test_identity;
+        Alcotest.test_case "cross-group is 0" `Quick test_cross_group_zero;
+        Alcotest.test_case "same-group in [0,1]" `Quick test_same_group_in_range;
+        Alcotest.test_case "symmetric + deterministic + seeded" `Quick
+          test_symmetric_deterministic;
+        Alcotest.test_case "matrix over graphs" `Quick test_matrix;
+        Alcotest.test_case "values spread over [0,1]" `Quick test_distribution;
+      ] );
+  ]

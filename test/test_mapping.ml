@@ -1,0 +1,94 @@
+open Helpers
+
+let t_simple () =
+  (* g1: a→b, g2: a→x→b *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  eq_instance g1 g2
+
+let test_normalize () =
+  Alcotest.(check (list (pair int int))) "sorts" [ (0, 1); (2, 0) ]
+    (Mapping.normalize [ (2, 0); (0, 1) ]);
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Mapping.normalize: duplicate key") (fun () ->
+      ignore (Mapping.normalize [ (0, 1); (0, 2) ]))
+
+let test_function_injective () =
+  Alcotest.(check bool) "function" true (Mapping.is_function [ (0, 1); (1, 1) ]);
+  Alcotest.(check bool) "not function" false (Mapping.is_function [ (0, 1); (0, 2) ]);
+  Alcotest.(check bool) "injective" true (Mapping.is_injective [ (0, 1); (1, 2) ]);
+  Alcotest.(check bool) "not injective" false
+    (Mapping.is_injective [ (0, 1); (1, 1) ])
+
+let test_is_phom_edge_to_path () =
+  let t = t_simple () in
+  check_valid t [ (0, 0); (1, 2) ];
+  (* mapping an edge backwards fails *)
+  Alcotest.(check bool) "backwards invalid" false
+    (Instance.is_valid t [ (0, 2); (1, 0) ])
+
+let test_is_phom_threshold () =
+  let g1 = graph [ "a" ] [] and g2 = graph [ "a" ] [] in
+  let mat = Simmat.of_fun ~n1:1 ~n2:1 (fun _ _ -> 0.4) in
+  let t = Instance.make ~g1 ~g2 ~mat ~xi:0.5 () in
+  Alcotest.(check bool) "below threshold" false (Instance.is_valid t [ (0, 0) ])
+
+let test_is_phom_self_loop () =
+  let g1 = graph [ "a" ] [ (0, 0) ] in
+  let g2_loop = graph [ "a" ] [ (0, 0) ] in
+  let g2_flat = graph [ "a" ] [] in
+  Alcotest.(check bool) "loop to loop" true
+    (Instance.is_valid (eq_instance g1 g2_loop) [ (0, 0) ]);
+  Alcotest.(check bool) "loop to flat" false
+    (Instance.is_valid (eq_instance g1 g2_flat) [ (0, 0) ])
+
+let test_partial_mapping_ignores_outside_edges () =
+  (* edge 0→1 doesn't constrain a mapping whose domain excludes 1 *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "b" ] [] in
+  check_valid (eq_instance g1 g2) [ (0, 0) ]
+
+let test_qual_card () =
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Mapping.qual_card ~n1:4 [ (0, 0); (1, 1) ]);
+  Alcotest.(check (float 1e-9)) "empty graph" 1.0 (Mapping.qual_card ~n1:0 [])
+
+let test_qual_sim () =
+  let mat = Simmat.of_fun ~n1:2 ~n2:1 (fun v _ -> if v = 0 then 1.0 else 0.5) in
+  let weights = [| 2.; 3. |] in
+  Alcotest.(check (float 1e-9)) "weighted"
+    ((2. +. 1.5) /. 5.)
+    (Mapping.qual_sim ~weights ~mat [ (0, 0); (1, 0) ]);
+  Alcotest.(check (float 1e-9)) "zero weights" 1.0
+    (Mapping.qual_sim ~weights:[| 0.; 0. |] ~mat [])
+
+let test_empty_mapping_always_valid () =
+  let t = t_simple () in
+  check_valid t [];
+  check_valid ~injective:true t []
+
+let prop_restriction_stays_valid =
+  qtest ~count:80 "mapping: restriction of a valid mapping is valid"
+    (instance_gen ()) print_instance (fun t ->
+      let e = Phom.Exact.solve ~objective:Phom.Exact.Cardinality t in
+      let m = e.Phom.Exact.mapping in
+      (* drop every other pair *)
+      let restricted = List.filteri (fun i _ -> i mod 2 = 0) m in
+      Instance.is_valid t m && Instance.is_valid t restricted)
+
+let suite =
+  [
+    ( "mapping",
+      [
+        Alcotest.test_case "normalize" `Quick test_normalize;
+        Alcotest.test_case "function / injective" `Quick test_function_injective;
+        Alcotest.test_case "edge-to-path validity" `Quick test_is_phom_edge_to_path;
+        Alcotest.test_case "threshold" `Quick test_is_phom_threshold;
+        Alcotest.test_case "self loops" `Quick test_is_phom_self_loop;
+        Alcotest.test_case "partial domains" `Quick
+          test_partial_mapping_ignores_outside_edges;
+        Alcotest.test_case "qualCard" `Quick test_qual_card;
+        Alcotest.test_case "qualSim" `Quick test_qual_sim;
+        Alcotest.test_case "empty mapping" `Quick test_empty_mapping_always_valid;
+        prop_restriction_stays_valid;
+      ] );
+  ]

@@ -1,0 +1,65 @@
+open! Helpers
+module ML = Phom.Matching_list
+
+let ml cands = ML.of_candidates (Array.of_list (List.map Array.of_list cands))
+
+let test_of_candidates () =
+  let h = ml [ [ 1; 2 ]; []; [ 3 ] ] in
+  Alcotest.(check int) "size skips empty rows" 2 (ML.size h);
+  Alcotest.(check bool) "node 1 absent" false (ML.mem h 1);
+  Alcotest.(check (list int)) "good 0" [ 1; 2 ] (ML.Int_set.elements (ML.good h 0));
+  Alcotest.(check int) "pairs" 3 (ML.nb_pairs h)
+
+let test_pick_max_good () =
+  let h = ml [ [ 1 ]; [ 1; 2; 3 ]; [ 1; 2 ] ] in
+  match ML.pick h with
+  | Some (v, goods) ->
+      Alcotest.(check int) "largest good" 1 v;
+      Alcotest.(check int) "its size" 3 (ML.Int_set.cardinal goods)
+  | None -> Alcotest.fail "expected a pick"
+
+let test_move_to_minus_and_split () =
+  let h = ml [ [ 1; 2 ]; [ 3 ] ] in
+  let h = ML.move_to_minus h 0 (fun u -> u = 2) in
+  Alcotest.(check (list int)) "good" [ 1 ] (ML.Int_set.elements (ML.good h 0));
+  Alcotest.(check (list int)) "minus" [ 2 ] (ML.Int_set.elements (ML.minus h 0));
+  let hplus, hminus = ML.split h in
+  Alcotest.(check int) "H+ has both nodes" 2 (ML.size hplus);
+  Alcotest.(check int) "H- has node 0 only" 1 (ML.size hminus);
+  Alcotest.(check (list int)) "H- promotes minus" [ 2 ]
+    (ML.Int_set.elements (ML.good hminus 0));
+  Alcotest.(check (list int)) "H- minus reset" []
+    (ML.Int_set.elements (ML.minus hminus 0))
+
+let test_remove_pairs () =
+  let h = ml [ [ 1; 2 ]; [ 3 ] ] in
+  let h = ML.remove_pairs h [ (0, 1); (1, 3) ] in
+  Alcotest.(check int) "node 1 dropped when exhausted" 1 (ML.size h);
+  Alcotest.(check (list int)) "pair removed" [ 2 ]
+    (ML.Int_set.elements (ML.good h 0))
+
+let test_set_good_drops_empty () =
+  let h = ml [ [ 1 ] ] in
+  let h = ML.set_good h 0 ML.Int_set.empty in
+  Alcotest.(check bool) "dropped" true (ML.is_empty h)
+
+let test_pick_none_when_all_minus () =
+  let h = ml [ [ 1 ] ] in
+  let h = ML.move_to_minus h 0 (fun _ -> true) in
+  Alcotest.(check bool) "still present" true (ML.mem h 0);
+  Alcotest.(check bool) "no pick" true (ML.pick h = None)
+
+let suite =
+  [
+    ( "matching_list",
+      [
+        Alcotest.test_case "of_candidates" `Quick test_of_candidates;
+        Alcotest.test_case "pick = max good" `Quick test_pick_max_good;
+        Alcotest.test_case "move_to_minus and split" `Quick
+          test_move_to_minus_and_split;
+        Alcotest.test_case "remove_pairs" `Quick test_remove_pairs;
+        Alcotest.test_case "empty entries dropped" `Quick test_set_good_drops_empty;
+        Alcotest.test_case "pick on all-minus lists" `Quick
+          test_pick_none_when_all_minus;
+      ] );
+  ]

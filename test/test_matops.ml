@@ -1,0 +1,99 @@
+open Helpers
+module M = Phom_sim.Matops
+
+let chain = lazy (graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ])
+
+(* dense oracle: adjacency as a 0/1 matrix, textbook multiplication *)
+let adjacency g =
+  let n = D.n g in
+  let a = Array.make_matrix n n 0. in
+  D.iter_edges (fun u v -> a.(u).(v) <- 1.) g;
+  a
+
+let dense_mul a b =
+  let n = Array.length a and m = Array.length b.(0) in
+  let k = Array.length b in
+  Array.init n (fun i ->
+      Array.init m (fun j ->
+          let acc = ref 0. in
+          for l = 0 to k - 1 do
+            acc := !acc +. (a.(i).(l) *. b.(l).(j))
+          done;
+          !acc))
+
+let of_matrix rows =
+  M.init ~rows:(Array.length rows) ~cols:(Array.length rows.(0)) (fun i j ->
+      rows.(i).(j))
+
+let matrices_equal a b eps =
+  let ok = ref (a.M.rows = Array.length b) in
+  for i = 0 to a.M.rows - 1 do
+    for j = 0 to a.M.cols - 1 do
+      if abs_float (M.get a i j -. b.(i).(j)) > eps then ok := false
+    done
+  done;
+  !ok
+
+let test_left_mul () =
+  let g = Lazy.force chain in
+  let x = of_matrix [| [| 1.; 0. |]; [| 0.; 2. |]; [| 3.; 0. |] |] in
+  let xa = Array.init 3 (fun i -> Array.init 2 (M.get x i)) in
+  Alcotest.(check bool) "A·x" true
+    (matrices_equal (M.left_mul `A g x) (dense_mul (adjacency g) xa) 1e-9);
+  let at =
+    Array.init 3 (fun i -> Array.init 3 (fun j -> (adjacency g).(j).(i)))
+  in
+  Alcotest.(check bool) "Aᵀ·x" true
+    (matrices_equal (M.left_mul `AT g x) (dense_mul at xa) 1e-9)
+
+let test_right_mul () =
+  let g = Lazy.force chain in
+  let x = of_matrix [| [| 1.; 2.; 3. |]; [| 0.; 1.; 0. |] |] in
+  let xa = Array.init 2 (fun i -> Array.init 3 (M.get x i)) in
+  Alcotest.(check bool) "x·A" true
+    (matrices_equal (M.right_mul x `A g) (dense_mul xa (adjacency g)) 1e-9)
+
+let test_normalize () =
+  let m = of_matrix [| [| 2.; 4. |] |] in
+  let n = M.normalize_max m in
+  Alcotest.(check (float 1e-9)) "max is 1" 1.0 (M.get n 0 1);
+  let f = M.normalize_frobenius (of_matrix [| [| 3.; 4. |] |]) in
+  Alcotest.(check (float 1e-9)) "frobenius" 0.8 (M.get f 0 1);
+  (* zero matrices are untouched *)
+  let z = M.normalize_max (M.zero ~rows:1 ~cols:1) in
+  Alcotest.(check (float 1e-9)) "zero safe" 0.0 (M.get z 0 0)
+
+let test_scale_rows_cols () =
+  let m = M.scale_rows_cols ~row:[| 2.; 3. |] ~col:[| 10. |]
+      (of_matrix [| [| 1. |]; [| 1. |] |])
+  in
+  Alcotest.(check (float 1e-9)) "(0,0)" 20. (M.get m 0 0);
+  Alcotest.(check (float 1e-9)) "(1,0)" 30. (M.get m 1 0)
+
+let test_dimension_checks () =
+  Alcotest.check_raises "add" (Invalid_argument "Matops.entrywise: dimension mismatch")
+    (fun () -> ignore (M.add (M.zero ~rows:1 ~cols:2) (M.zero ~rows:2 ~cols:1)));
+  Alcotest.check_raises "left_mul"
+    (Invalid_argument "Matops.left_mul: graph size mismatch") (fun () ->
+      ignore (M.left_mul `A (Lazy.force chain) (M.zero ~rows:2 ~cols:2)))
+
+let prop_left_mul_matches_oracle =
+  qtest ~count:60 "matops: A·x = dense oracle" (digraph_gen ~max_n:6 ())
+    print_digraph (fun g ->
+      let n = D.n g in
+      let x = M.init ~rows:n ~cols:3 (fun i j -> float_of_int ((i + (2 * j)) mod 5)) in
+      let xa = Array.init n (fun i -> Array.init 3 (M.get x i)) in
+      matrices_equal (M.left_mul `A g x) (dense_mul (adjacency g) xa) 1e-9)
+
+let suite =
+  [
+    ( "matops",
+      [
+        Alcotest.test_case "left multiplication" `Quick test_left_mul;
+        Alcotest.test_case "right multiplication" `Quick test_right_mul;
+        Alcotest.test_case "normalization" `Quick test_normalize;
+        Alcotest.test_case "row/col scaling" `Quick test_scale_rows_cols;
+        Alcotest.test_case "dimension checks" `Quick test_dimension_checks;
+        prop_left_mul_matches_oracle;
+      ] );
+  ]

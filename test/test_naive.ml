@@ -1,0 +1,53 @@
+open Helpers
+module Naive = Phom.Naive
+module CMC = Phom.Comp_max_card
+
+let test_simple () =
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  let t = eq_instance g1 g2 in
+  check_mapping "full mapping" [ (0, 0); (1, 2) ] (Naive.max_card t)
+
+let test_weighted_preference () =
+  (* two pattern nodes, one target: the weighted clique keeps the heavy one *)
+  let g1 = graph [ "a"; "a" ] [] and g2 = graph [ "a" ] [] in
+  let t = eq_instance g1 g2 in
+  let m = Naive.max_sim ~injective:true ~weights:[| 1.; 7. |] t in
+  check_mapping "heavy node wins" [ (1, 0) ] m
+
+let prop_valid =
+  qtest ~count:150 "naive: outputs valid mappings (all four problems)"
+    (instance_gen ~max_n1:5 ~max_n2:6 ()) print_instance (fun t ->
+      let w = Array.init (D.n t.g1) (fun i -> float_of_int (1 + (i mod 3))) in
+      Instance.is_valid t (Naive.max_card t)
+      && Instance.is_valid ~injective:true t (Naive.max_card ~injective:true t)
+      && Instance.is_valid t (Naive.max_sim ~weights:w t)
+      && Instance.is_valid ~injective:true t (Naive.max_sim ~injective:true ~weights:w t))
+
+let prop_bounded_by_exact =
+  qtest ~count:100 "naive: ≤ exact optimum" (instance_gen ~max_n1:5 ~max_n2:6 ())
+    print_instance (fun t ->
+      let e = Phom.Exact.solve ~objective:Phom.Exact.Cardinality t in
+      (not e.Phom.Exact.optimal)
+      || Instance.qual_card t (Naive.max_card t)
+         <= Instance.qual_card t e.Phom.Exact.mapping +. 1e-9)
+
+let prop_comparable_to_direct =
+  (* both are heuristics; we only require both to be valid and to agree on
+     "is there anything to find at all" *)
+  qtest ~count:100 "naive vs direct: agree on emptiness"
+    (instance_gen ~max_n1:5 ~max_n2:6 ()) print_instance (fun t ->
+      let a = Naive.max_card t and b = CMC.run t in
+      (a = []) = (b = []))
+
+let suite =
+  [
+    ( "naive",
+      [
+        Alcotest.test_case "edge-to-path via product" `Quick test_simple;
+        Alcotest.test_case "weighted preference" `Quick test_weighted_preference;
+        prop_valid;
+        prop_bounded_by_exact;
+        prop_comparable_to_direct;
+      ] );
+  ]

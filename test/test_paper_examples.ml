@@ -1,0 +1,132 @@
+(* Every worked example in the paper, end to end. *)
+open Helpers
+module PG = Paper_graphs
+module Exact = Phom.Exact
+module CMC = Phom.Comp_max_card
+module CMS = Phom.Comp_max_sim
+module Api = Phom.Api
+
+let fig1_instance ?(xi = 0.6) () =
+  Instance.make ~g1:PG.gp ~g2:PG.g ~mat:PG.mate ~xi ()
+
+(* Example 1.1: conventional notions reject the match *)
+let test_fig1_conventional_fail () =
+  let module Sim = Phom_baselines.Simulation in
+  let module Ull = Phom_baselines.Ullmann in
+  Alcotest.(check bool) "graph simulation fails" false
+    (Sim.matches_whole_graph (Sim.compute PG.gp PG.g));
+  Alcotest.(check (option bool)) "subgraph isomorphism fails" (Some false)
+    (Ull.exists PG.gp PG.g)
+
+(* Examples 3.1/3.2: Gp ⪯(e,p) G and even ⪯¹⁻¹ w.r.t. mate and ξ ≤ 0.6 *)
+let test_fig1_phom () =
+  let t = fig1_instance () in
+  check_valid t PG.sigma_fig1;
+  check_valid ~injective:true t PG.sigma_fig1;
+  Alcotest.(check (option bool)) "decide p-hom" (Some true) (Api.decide_phom t);
+  Alcotest.(check (option bool)) "decide 1-1 p-hom" (Some true)
+    (Api.decide_one_one_phom t)
+
+let test_fig1_comp_max_card_finds_full_mapping () =
+  let t = fig1_instance () in
+  let m = CMC.run t in
+  check_valid t m;
+  Alcotest.(check (float 1e-9)) "full cardinality" 1.0 (Instance.qual_card t m);
+  let m11 = CMC.run ~injective:true t in
+  check_valid ~injective:true t m11;
+  Alcotest.(check (float 1e-9)) "full 1-1 cardinality" 1.0
+    (Instance.qual_card t m11)
+
+let test_fig1_higher_threshold () =
+  (* at ξ = 0.7 textbooks (0.6) and books↦booksets (0.6) drop out *)
+  let t = fig1_instance ~xi:0.7 () in
+  Alcotest.(check (option bool)) "no full mapping" (Some false)
+    (Api.decide_phom t);
+  let e = Exact.solve ~objective:Exact.Cardinality t in
+  Alcotest.(check bool) "optimal" true e.Exact.optimal;
+  (* everything except textbooks is still matchable *)
+  Alcotest.(check (float 1e-9)) "5 of 6" (5. /. 6.)
+    (Instance.qual_card t e.Exact.mapping)
+
+(* Figure 2, pair 1 *)
+let test_fig2_g1_g2 () =
+  let t = eq_instance PG.g1_fig2 PG.g2_fig2 in
+  Alcotest.(check (option bool)) "G1 ⪯ G2" (Some true) (Api.decide_phom t);
+  Alcotest.(check (option bool)) "G1 ⋠ 1-1 G2" (Some false)
+    (Api.decide_one_one_phom t);
+  let m = CMC.run t in
+  Alcotest.(check (float 1e-9)) "greedy finds it" 1.0 (Instance.qual_card t m)
+
+(* Figure 2, pair 2 *)
+let test_fig2_g3_g4 () =
+  let t = eq_instance PG.g3_fig2 PG.g4_fig2 in
+  Alcotest.(check (option bool)) "G3 ⋠ G4" (Some false) (Api.decide_phom t);
+  (* but 2 of 3 nodes match: {A↦A, D↦D} or {B↦B, D↦D'} *)
+  let e = Exact.solve ~objective:Exact.Cardinality t in
+  Alcotest.(check (float 1e-9)) "best partial" (2. /. 3.)
+    (Instance.qual_card t e.Exact.mapping)
+
+(* Figure 2, pair 3 *)
+let test_fig2_g5_g6 () =
+  let t = eq_instance PG.g5_fig2 PG.g6_fig2 in
+  Alcotest.(check (option bool)) "G5 ⪯ G6" (Some true) (Api.decide_phom t);
+  Alcotest.(check (option bool)) "not 1-1" (Some false) (Api.decide_one_one_phom t)
+
+(* Example 3.3: the quality metrics, with the paper's exact numbers *)
+let test_example_3_3 () =
+  let t = Instance.make ~g1:PG.ex33_g5 ~g2:PG.ex33_g6 ~mat:PG.ex33_mat ~xi:0.6 () in
+  Alcotest.(check (option bool)) "not 1-1 p-hom" (Some false)
+    (Api.decide_one_one_phom t);
+  (* CPH¹⁻¹ optimum: qualCard = 4/5 = 0.8 via {A, v1, D, E} *)
+  let card = Exact.solve ~injective:true ~objective:Exact.Cardinality t in
+  Alcotest.(check bool) "card optimal" true card.Exact.optimal;
+  Alcotest.(check (float 1e-9)) "qualCard(σc) = 0.8" 0.8
+    (Instance.qual_card t card.Exact.mapping);
+  Alcotest.(check (float 1e-9)) "qualSim(σc) = 0.36" 0.36
+    (Instance.qual_sim ~weights:PG.ex33_weights t card.Exact.mapping);
+  (* SPH¹⁻¹ optimum: qualSim = 0.7 via {A, v2} *)
+  let sim =
+    Exact.solve ~injective:true
+      ~objective:(Exact.Similarity PG.ex33_weights) t
+  in
+  Alcotest.(check bool) "sim optimal" true sim.Exact.optimal;
+  Helpers.check_mapping "σs = {A↦A, v2↦B}" [ (0, 0); (2, 1) ] sim.Exact.mapping;
+  Alcotest.(check (float 1e-9)) "qualSim(σs) = 0.7" 0.7
+    (Instance.qual_sim ~weights:PG.ex33_weights t sim.Exact.mapping);
+  (* and the approximation algorithms respect validity and don't overshoot *)
+  let approx = CMS.run ~injective:true ~weights:PG.ex33_weights t in
+  check_valid ~injective:true t approx;
+  Alcotest.(check bool) "approx ≤ opt" true
+    (Instance.qual_sim ~weights:PG.ex33_weights t approx <= 0.7 +. 1e-9)
+
+(* Example 5.1: compMaxCard on the Gp/G subgraphs *)
+let test_example_5_1 () =
+  let rows = [| PG.p_books; PG.p_textbooks; PG.p_abooks |] in
+  let cols = [| PG.g_books; PG.g_categories; PG.g_school; PG.g_audiobooks; PG.g_booksets |] in
+  let mat = Phom_sim.Simmat.restrict PG.mate ~rows ~cols in
+  let t = Instance.make ~g1:PG.ex51_g1 ~g2:PG.ex51_g2 ~mat ~xi:0.5 () in
+  let m = CMC.run t in
+  check_valid t m;
+  (* books↦books, textbooks↦school, abooks↦audiobooks — all three nodes.
+     In the induced graphs: g1 nodes are books=0, textbooks=1, abooks=2;
+     g2 nodes are books=0, categories=1, school=2, audiobooks=3, booksets=4 *)
+  Helpers.check_mapping "the mapping of Example 5.1" [ (0, 0); (1, 2); (2, 3) ] m
+
+let suite =
+  [
+    ( "paper_examples",
+      [
+        Alcotest.test_case "Fig 1: conventional matching fails" `Quick
+          test_fig1_conventional_fail;
+        Alcotest.test_case "Fig 1: Gp is (1-1) p-hom to G" `Quick test_fig1_phom;
+        Alcotest.test_case "Fig 1: compMaxCard finds the full mapping" `Quick
+          test_fig1_comp_max_card_finds_full_mapping;
+        Alcotest.test_case "Fig 1: threshold 0.7 breaks the match" `Quick
+          test_fig1_higher_threshold;
+        Alcotest.test_case "Fig 2: G1/G2" `Quick test_fig2_g1_g2;
+        Alcotest.test_case "Fig 2: G3/G4" `Quick test_fig2_g3_g4;
+        Alcotest.test_case "Fig 2: G5/G6" `Quick test_fig2_g5_g6;
+        Alcotest.test_case "Example 3.3: metrics" `Quick test_example_3_3;
+        Alcotest.test_case "Example 5.1: compMaxCard trace" `Quick test_example_5_1;
+      ] );
+  ]

@@ -1,0 +1,79 @@
+open Helpers
+module PF = Phom_baselines.Path_features
+
+let test_identical () =
+  let g = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  Alcotest.(check (float 1e-9)) "self similarity" 1.0 (PF.similarity g g)
+
+let test_disjoint_labels () =
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "x"; "y" ] [ (0, 1) ] in
+  Alcotest.(check (float 1e-9)) "no common features" 0.0 (PF.similarity g1 g2)
+
+let test_blind_to_global_structure () =
+  (* the paper's criticism (citing [25,30]): same local paths, different
+     wiring. A 6-cycle of ab and three disjoint ab-cycles have identical
+     length-≤2 walk label sets. *)
+  let six_cycle =
+    graph [ "a"; "b"; "a"; "b"; "a"; "b" ]
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ]
+  in
+  let three_two_cycles =
+    graph [ "a"; "b"; "a"; "b"; "a"; "b" ]
+      [ (0, 1); (1, 0); (2, 3); (3, 2); (4, 5); (5, 4) ]
+  in
+  Alcotest.(check (float 1e-9)) "feature-blind" 1.0
+    (PF.similarity ~max_len:2 six_cycle three_two_cycles);
+  (* while 1-1 p-hom distinguishes them at ξ=1: the 6-cycle maps into the
+     2-cycles only via paths, and injectivity is satisfiable, so check the
+     reverse direction: a 2-cycle pattern maps into the 6-cycle easily *)
+  Alcotest.(check bool) "they are not isomorphic" true
+    (Phom_baselines.Ullmann.exists six_cycle three_two_cycles <> Some true
+    || Phom_baselines.Ullmann.exists three_two_cycles six_cycle <> Some true)
+
+let test_max_len () =
+  let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let g2 = graph [ "a"; "b"; "c" ] [ (0, 1) ] in
+  (* at max_len 1 both have features {a,b,c}; g1 has extra longer paths *)
+  Alcotest.(check (float 1e-9)) "unigrams equal" 1.0
+    (PF.similarity ~max_len:1 g1 g2);
+  Alcotest.(check bool) "longer paths differ" true
+    (PF.similarity ~max_len:3 g1 g2 < 1.0)
+
+let test_matches_threshold () =
+  let g = graph [ "a"; "b" ] [ (0, 1) ] in
+  Alcotest.(check bool) "self matches" true (PF.matches g g);
+  Alcotest.(check bool) "custom threshold" true (PF.matches ~threshold:1.0 g g)
+
+let test_cap () =
+  (* tiny cap still terminates and returns something sane *)
+  let rng = Random.State.make [| 4 |] in
+  let g =
+    Phom_graph.Generators.erdos_renyi ~rng ~n:50 ~m:400 ~labels:(fun i ->
+        "l" ^ string_of_int (i mod 5))
+  in
+  let f = PF.features ~max_len:4 ~cap:100 g in
+  Alcotest.(check bool) "bounded" true (Array.length f <= 100)
+
+let prop_bounds_and_symmetry =
+  qtest ~count:60 "path features: similarity in [0,1], symmetric"
+    (QCheck.Gen.pair (digraph_gen ~max_n:6 ()) (digraph_gen ~max_n:6 ()))
+    (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
+    (fun (g1, g2) ->
+      let s = PF.similarity g1 g2 in
+      s >= 0. && s <= 1. && abs_float (s -. PF.similarity g2 g1) < 1e-12)
+
+let suite =
+  [
+    ( "path_features",
+      [
+        Alcotest.test_case "identical graphs" `Quick test_identical;
+        Alcotest.test_case "disjoint labels" `Quick test_disjoint_labels;
+        Alcotest.test_case "blind to global structure" `Quick
+          test_blind_to_global_structure;
+        Alcotest.test_case "max_len" `Quick test_max_len;
+        Alcotest.test_case "match threshold" `Quick test_matches_threshold;
+        Alcotest.test_case "feature cap" `Quick test_cap;
+        prop_bounds_and_symmetry;
+      ] );
+  ]

@@ -1,0 +1,83 @@
+open Helpers
+module Prefilter = Phom.Prefilter
+module Exact = Phom.Exact
+
+let test_prunes_unsupported () =
+  (* g1: a→b; g2 has an 'a' that reaches a 'b' and an 'a' that doesn't *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "a"; "b" ] [ (0, 2) ] in
+  let t = eq_instance g1 g2 in
+  let c = Prefilter.refine t in
+  Alcotest.(check (array int)) "only the good a" [| 0 |] c.(0);
+  Alcotest.(check (array int)) "b kept" [| 2 |] c.(1)
+
+let test_propagates () =
+  (* chain a→b→c: g2's b loses support (no c below it), which then kills a *)
+  let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let g2 = graph [ "a"; "b"; "c" ] [ (0, 1) ] in
+  let t = eq_instance g1 g2 in
+  let c = Prefilter.refine t in
+  Alcotest.(check int) "b pruned" 0 (Array.length c.(1));
+  Alcotest.(check int) "a pruned transitively" 0 (Array.length c.(0));
+  Alcotest.(check (option bool)) "decide short-circuits" (Some false)
+    (Prefilter.decide t)
+
+let test_keeps_valid_instances () =
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  let t = eq_instance g1 g2 in
+  Alcotest.(check (option bool)) "still decides yes" (Some true)
+    (Prefilter.decide t)
+
+let prop_agrees_with_exact =
+  qtest ~count:150 "prefilter: decide agrees with Exact.decide"
+    (instance_gen ()) print_instance (fun t ->
+      match (Prefilter.decide t, Exact.decide t) with
+      | Some a, Some b -> a = b
+      | _ -> true)
+
+let prop_agrees_injective =
+  qtest ~count:100 "prefilter: 1-1 decide agrees too" (instance_gen ())
+    print_instance (fun t ->
+      match (Prefilter.decide ~injective:true t, Exact.decide ~injective:true t) with
+      | Some a, Some b -> a = b
+      | _ -> true)
+
+let prop_subset_of_candidates =
+  qtest ~count:100 "prefilter: refined sets are candidate subsets"
+    (instance_gen ()) print_instance (fun t ->
+      let full = Instance.candidates t in
+      let refined = Prefilter.refine t in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun v row ->
+             Array.for_all (fun u -> Array.mem u full.(v)) row)
+           refined))
+
+let prop_total_mappings_survive =
+  qtest ~count:100 "prefilter: total mappings only use surviving pairs"
+    (instance_gen ~max_n1:4 ~max_n2:5 ()) print_instance (fun t ->
+      match Exact.decide t with
+      | Some true ->
+          (* find a total mapping and check all its pairs survive *)
+          let e = Exact.solve ~objective:Exact.Cardinality t in
+          let refined = Prefilter.refine t in
+          Mapping.size e.Exact.mapping < D.n t.g1
+          || List.for_all (fun (v, u) -> Array.mem u refined.(v)) e.Exact.mapping
+      | _ -> true)
+
+let suite =
+  [
+    ( "prefilter",
+      [
+        Alcotest.test_case "prunes unsupported candidates" `Quick
+          test_prunes_unsupported;
+        Alcotest.test_case "propagates to a fixpoint" `Quick test_propagates;
+        Alcotest.test_case "keeps positive instances" `Quick
+          test_keeps_valid_instances;
+        prop_agrees_with_exact;
+        prop_agrees_injective;
+        prop_subset_of_candidates;
+        prop_total_mappings_survive;
+      ] );
+  ]

@@ -1,0 +1,85 @@
+open Helpers
+module Product = Phom_wis.Product
+module U = Phom_wis.Ungraph
+
+let build ?injective (t : Instance.t) =
+  Product.build ?injective ~g1:t.g1 ~tc2:t.tc2 ~mat:t.mat ~xi:t.xi ()
+
+let test_pairs_respect_threshold () =
+  let g1 = graph [ "a"; "b" ] [] and g2 = graph [ "a"; "c" ] [] in
+  let t = eq_instance g1 g2 in
+  let p = build t in
+  Alcotest.(check int) "only (a,a)" 1 (Array.length p.Product.pairs);
+  Alcotest.(check (list (pair int int))) "the pair" [ (0, 0) ]
+    (Array.to_list p.Product.pairs)
+
+let test_self_loop_filter () =
+  let g1 = graph [ "a" ] [ (0, 0) ] and g2 = graph [ "a" ] [] in
+  let p = build (eq_instance g1 g2) in
+  Alcotest.(check int) "loop node needs cyclic target" 0
+    (Array.length p.Product.pairs)
+
+let test_injective_edges () =
+  (* two pattern nodes, one shared target: compatible only when not 1-1 *)
+  let g1 = graph [ "a"; "a" ] [] and g2 = graph [ "a" ] [] in
+  let t = eq_instance g1 g2 in
+  let plain = build t in
+  let inj = build ~injective:true t in
+  Alcotest.(check int) "plain: compatible" 1 (U.nb_edges plain.Product.graph);
+  Alcotest.(check int) "1-1: conflicting" 0 (U.nb_edges inj.Product.graph)
+
+let test_weights () =
+  let g1 = graph [ "a" ] [] and g2 = graph [ "a" ] [] in
+  let t = eq_instance g1 g2 in
+  let p =
+    Product.build ~weights:[| 3. |] ~g1:t.g1 ~tc2:t.tc2 ~mat:t.mat ~xi:t.xi ()
+  in
+  Alcotest.(check (float 1e-9)) "w(v)·mat(v,u)" 3.0 (U.weight p.Product.graph 0)
+
+(* Claim 2 of the paper: cliques of the product graph are exactly the p-hom
+   mappings of induced subgraphs *)
+let prop_cliques_are_mappings =
+  qtest ~count:120 "product: cliques ↔ valid mappings (Claim 2)"
+    (instance_gen ~max_n1:5 ~max_n2:5 ()) print_instance (fun t ->
+      let p = build t in
+      let np = Array.length p.Product.pairs in
+      if np = 0 then true
+      else begin
+        (* enumerate all subsets of product nodes up to size limits *)
+        let ok = ref true in
+        let limit = min np 10 in
+        for mask = 0 to (1 lsl limit) - 1 do
+          let nodes = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init limit Fun.id) in
+          if List.length nodes <= 4 then begin
+            let mapping_pairs = List.map (fun i -> p.Product.pairs.(i)) nodes in
+            let is_clique = U.is_clique p.Product.graph nodes in
+            let is_mapping =
+              Mapping.is_function mapping_pairs
+              && Instance.is_valid t (List.sort compare mapping_pairs)
+            in
+            if is_clique <> is_mapping then ok := false
+          end
+        done;
+        !ok
+      end)
+
+let prop_injective_cliques_are_1_1 =
+  qtest ~count:100 "product: 1-1 cliques are injective mappings"
+    (instance_gen ~max_n1:4 ~max_n2:5 ()) print_instance (fun t ->
+      let p = build ~injective:true t in
+      let clique = Phom_wis.Wis.max_clique p.Product.graph in
+      let m = Product.mapping_of_clique p clique in
+      Instance.is_valid ~injective:true t m)
+
+let suite =
+  [
+    ( "product",
+      [
+        Alcotest.test_case "pairs respect ξ" `Quick test_pairs_respect_threshold;
+        Alcotest.test_case "self-loop filter" `Quick test_self_loop_filter;
+        Alcotest.test_case "1-1 adjacency" `Quick test_injective_edges;
+        Alcotest.test_case "node weights" `Quick test_weights;
+        prop_cliques_are_mappings;
+        prop_injective_cliques_are_1_1;
+      ] );
+  ]

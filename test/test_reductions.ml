@@ -1,0 +1,244 @@
+open Helpers
+module R = Phom.Reductions
+module Exact = Phom.Exact
+
+let lit var positive = { R.var; positive }
+
+(* (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ ¬x1 ∨ x3) — satisfiable *)
+let sat_instance =
+  {
+    R.nvars = 4;
+    clauses =
+      [|
+        (lit 0 true, lit 1 true, lit 2 true);
+        (lit 0 false, lit 1 false, lit 3 true);
+      |];
+  }
+
+(* all eight sign patterns over three variables — unsatisfiable *)
+let unsat_instance =
+  let c a b c' = (lit 0 a, lit 1 b, lit 2 c') in
+  {
+    R.nvars = 3;
+    clauses =
+      [|
+        c true true true; c true true false; c true false true;
+        c true false false; c false true true; c false true false;
+        c false false true; c false false false;
+      |];
+  }
+
+let test_brute_force_oracle () =
+  Alcotest.(check bool) "sat" true (R.brute_force_sat sat_instance);
+  Alcotest.(check bool) "unsat" false (R.brute_force_sat unsat_instance)
+
+let test_3sat_reduction_sat () =
+  let t = R.phom_of_3sat sat_instance in
+  Alcotest.(check bool) "both DAGs" true
+    (Phom_graph.Traversal.is_dag t.Instance.g1
+    && Phom_graph.Traversal.is_dag t.Instance.g2);
+  Alcotest.(check (option bool)) "p-hom iff satisfiable" (Some true)
+    (Exact.decide t);
+  (* and the mapping decodes to a satisfying assignment *)
+  let e = Exact.solve ~objective:Exact.Cardinality t in
+  let assignment = R.assignment_of_mapping sat_instance e.Exact.mapping in
+  Alcotest.(check bool) "decoded assignment satisfies φ" true
+    (R.eval_cnf3 sat_instance assignment)
+
+let test_3sat_reduction_unsat () =
+  let t = R.phom_of_3sat unsat_instance in
+  Alcotest.(check (option bool)) "no p-hom" (Some false) (Exact.decide t)
+
+(* the paper's worked gadget (Fig. 7): φ = C1 ∧ C2 with C1 = x1 ∨ x2 ∨ x3
+   and C2 = x̄2 ∨ x3 ∨ x4 — pin the construction's shape *)
+let test_fig7_gadget_shape () =
+  let phi =
+    {
+      R.nvars = 4;
+      clauses =
+        [|
+          (lit 0 true, lit 1 true, lit 2 true);
+          (lit 1 false, lit 2 true, lit 3 true);
+        |];
+    }
+  in
+  let t = R.phom_of_3sat phi in
+  (* V1 = {R1} ∪ {X1..X4} ∪ {C1, C2} *)
+  Alcotest.(check int) "|V1|" 7 (D.n t.Instance.g1);
+  (* V2 = {R2, T, F} ∪ {XT_i, XF_i} ∪ 8 constants per clause *)
+  Alcotest.(check int) "|V2|" (3 + 8 + 16) (D.n t.Instance.g2);
+  (* E'2 has 7×3 edges per clause, plus R2→{T,F} and T/F→XT/XF *)
+  Alcotest.(check int) "|E2|" (2 + 8 + (2 * 21)) (D.nb_edges t.Instance.g2);
+  Alcotest.(check (option bool)) "satisfiable" (Some true) (Phom.Exact.decide t)
+
+let test_3sat_rejects_repeated_vars () =
+  let bad =
+    { R.nvars = 2; clauses = [| (lit 0 true, lit 0 false, lit 1 true) |] }
+  in
+  Alcotest.check_raises "distinct"
+    (Invalid_argument "Reductions: clause variables must be distinct") (fun () ->
+      ignore (R.phom_of_3sat bad))
+
+(* X3C: universe {0..5}, triples where an exact cover exists *)
+let x3c_yes =
+  { R.universe = 6; triples = [| (0, 1, 2); (0, 1, 3); (3, 4, 5) |] }
+
+(* no exact cover: every triple contains element 0 *)
+let x3c_no =
+  { R.universe = 6; triples = [| (0, 1, 2); (0, 3, 4); (0, 4, 5) |] }
+
+let test_x3c_oracle () =
+  Alcotest.(check bool) "yes" true (R.brute_force_x3c x3c_yes);
+  Alcotest.(check bool) "no" false (R.brute_force_x3c x3c_no)
+
+let test_x3c_reduction () =
+  let t_yes = R.one_one_phom_of_x3c x3c_yes in
+  Alcotest.(check bool) "G1 is a tree (DAG)" true
+    (Phom_graph.Traversal.is_dag t_yes.Instance.g1);
+  Alcotest.(check (option bool)) "cover ⟹ 1-1 p-hom" (Some true)
+    (Exact.decide ~injective:true t_yes);
+  (* plain p-hom is easier and also holds *)
+  Alcotest.(check (option bool)) "plain holds too" (Some true)
+    (Exact.decide t_yes);
+  let t_no = R.one_one_phom_of_x3c x3c_no in
+  Alcotest.(check (option bool)) "no cover ⟹ no 1-1 p-hom" (Some false)
+    (Exact.decide ~injective:true t_no)
+
+let test_mcp_reduction () =
+  (* Corollary 4.2: full mapping exists iff boosted instance reaches
+     qualCard = qualSim = 1 *)
+  let check t =
+    let boosted = R.mcp_of_phom t in
+    let e = Exact.solve ~objective:Exact.Cardinality boosted in
+    let card_one =
+      Phom.Instance.qual_card boosted e.Exact.mapping >= 1.0 -. 1e-9
+    in
+    let w = Array.make (D.n t.Instance.g1) 1. in
+    let es = Exact.solve ~objective:(Exact.Similarity w) boosted in
+    let sim_one =
+      Phom.Instance.qual_sim ~weights:w boosted es.Exact.mapping >= 1.0 -. 1e-9
+    in
+    (Exact.decide t, card_one && sim_one)
+  in
+  (* positive instance *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  let yes = check (eq_instance g1 g2) in
+  Alcotest.(check (pair (option bool) bool)) "positive" (Some true, true) yes;
+  (* negative instance *)
+  let g2' = graph [ "a"; "b" ] [ (1, 0) ] in
+  let no = check (eq_instance g1 g2') in
+  Alcotest.(check (pair (option bool) bool)) "negative" (Some false, false) no
+
+let prop_mcp_reduction =
+  Helpers.qtest ~count:80 "reductions: Corollary 4.2 on random instances"
+    (Helpers.instance_gen ~max_n1:4 ~max_n2:5 ()) Helpers.print_instance
+    (fun t ->
+      let boosted = R.mcp_of_phom t in
+      let e = Exact.solve ~objective:Exact.Cardinality boosted in
+      match Exact.decide t with
+      | None -> true
+      | Some yes ->
+          yes = (Phom.Instance.qual_card boosted e.Exact.mapping >= 1.0 -. 1e-9))
+
+let test_wis_reduction () =
+  (* path 0-1-2-3: max weight IS with weights 1,5,1,5 is {1,3} = 10 *)
+  let g = Phom_wis.Ungraph.create ~weights:[| 1.; 5.; 1.; 5. |] 4
+      [ (0, 1); (1, 2); (2, 3) ]
+  in
+  let t, weights = R.sph_of_wis g in
+  let e = Exact.solve ~objective:(Exact.Similarity weights) t in
+  Alcotest.(check bool) "optimal" true e.Exact.optimal;
+  let s = R.independent_set_of_mapping e.Exact.mapping in
+  Alcotest.(check bool) "independent" true (Phom_wis.Ungraph.is_independent g s);
+  Alcotest.(check (float 1e-9)) "weight 10 of 12" (10. /. 12.)
+    (Instance.qual_sim ~weights t e.Exact.mapping)
+
+let gen_cnf : R.cnf3 QCheck.Gen.t =
+ fun st ->
+  let nvars = 3 + Random.State.int st 3 in
+  let nclauses = 1 + Random.State.int st 5 in
+  let clause _ =
+    (* three distinct variables *)
+    let a = Random.State.int st nvars in
+    let b = (a + 1 + Random.State.int st (nvars - 1)) mod nvars in
+    let rec pick_c () =
+      let c = Random.State.int st nvars in
+      if c = a || c = b then pick_c () else c
+    in
+    let c = pick_c () in
+    let l v = { R.var = v; positive = Random.State.bool st } in
+    (l a, l b, l c)
+  in
+  { R.nvars; clauses = Array.init nclauses clause }
+
+let print_cnf phi =
+  String.concat " ∧ "
+    (Array.to_list
+       (Array.map
+          (fun (a, b, c) ->
+            Printf.sprintf "(%s%d ∨ %s%d ∨ %s%d)"
+              (if a.R.positive then "" else "¬")
+              a.R.var
+              (if b.R.positive then "" else "¬")
+              b.R.var
+              (if c.R.positive then "" else "¬")
+              c.R.var)
+          phi.R.clauses))
+
+let prop_3sat_reduction_correct =
+  qtest ~count:60 "reductions: p-hom decision = 3SAT satisfiability" gen_cnf
+    print_cnf (fun phi ->
+      Exact.decide (R.phom_of_3sat phi) = Some (R.brute_force_sat phi))
+
+let gen_x3c : R.x3c QCheck.Gen.t =
+ fun st ->
+  let q = 1 + Random.State.int st 2 in
+  let universe = 3 * q in
+  let n = 1 + Random.State.int st 5 in
+  let triple _ =
+    let a = Random.State.int st universe in
+    let b = (a + 1 + Random.State.int st (universe - 1)) mod universe in
+    let rec pick_c () =
+      let c = Random.State.int st universe in
+      if c = a || c = b then pick_c () else c
+    in
+    (a, b, pick_c ())
+  in
+  { R.universe; triples = Array.init n triple }
+
+let print_x3c inst =
+  Printf.sprintf "universe=%d triples=%s" inst.R.universe
+    (String.concat ";"
+       (Array.to_list
+          (Array.map (fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c)
+             inst.R.triples)))
+
+let prop_x3c_reduction_correct =
+  qtest ~count:60 "reductions: 1-1 p-hom decision = X3C" gen_x3c print_x3c
+    (fun inst ->
+      inst.R.universe = 0
+      || Exact.decide ~injective:true (R.one_one_phom_of_x3c inst)
+         = Some (R.brute_force_x3c inst))
+
+let suite =
+  [
+    ( "reductions",
+      [
+        Alcotest.test_case "SAT brute-force oracle" `Quick test_brute_force_oracle;
+        Alcotest.test_case "3SAT gadget (satisfiable)" `Quick test_3sat_reduction_sat;
+        Alcotest.test_case "3SAT gadget (unsatisfiable)" `Quick
+          test_3sat_reduction_unsat;
+        Alcotest.test_case "3SAT input validation" `Quick
+          test_3sat_rejects_repeated_vars;
+        Alcotest.test_case "Fig 7 gadget shape" `Quick test_fig7_gadget_shape;
+        Alcotest.test_case "X3C brute-force oracle" `Quick test_x3c_oracle;
+        Alcotest.test_case "X3C gadget" `Quick test_x3c_reduction;
+        Alcotest.test_case "p-hom → MCP/MSP (Corollary 4.2)" `Quick
+          test_mcp_reduction;
+        prop_mcp_reduction;
+        Alcotest.test_case "WIS → SPH (Theorem 4.3)" `Quick test_wis_reduction;
+        prop_3sat_reduction_correct;
+        prop_x3c_reduction_correct;
+      ] );
+  ]

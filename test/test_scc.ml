@@ -1,0 +1,95 @@
+open Helpers
+module Scc = Phom_graph.Scc
+
+let two_cycles () =
+  (* 0↔1 → 2↔3, plus isolated 4 *)
+  graph [ "a"; "b"; "c"; "d"; "e" ]
+    [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ]
+
+let test_components () =
+  let g = two_cycles () in
+  let scc = Scc.compute g in
+  Alcotest.(check int) "count" 3 scc.Scc.count;
+  Alcotest.(check bool) "0 and 1 together" true (scc.Scc.comp.(0) = scc.Scc.comp.(1));
+  Alcotest.(check bool) "2 and 3 together" true (scc.Scc.comp.(2) = scc.Scc.comp.(3));
+  Alcotest.(check bool) "separate" true (scc.Scc.comp.(0) <> scc.Scc.comp.(2));
+  (* reverse topological numbering: the 0-1 component points at the 2-3
+     component, so it gets the larger id *)
+  Alcotest.(check bool) "reverse topo ids" true
+    (scc.Scc.comp.(0) > scc.Scc.comp.(2))
+
+let test_members_sizes () =
+  let g = two_cycles () in
+  let scc = Scc.compute g in
+  let members = Scc.members scc in
+  Alcotest.(check (list int)) "members of comp of 0" [ 0; 1 ]
+    members.(scc.Scc.comp.(0));
+  Alcotest.(check int) "sizes sum" 5
+    (Array.fold_left ( + ) 0 (Scc.sizes scc))
+
+let test_trivial () =
+  let g = graph [ "a"; "b" ] [ (0, 0); (0, 1) ] in
+  let scc = Scc.compute g in
+  Alcotest.(check bool) "self loop not trivial" false
+    (Scc.is_trivial g scc scc.Scc.comp.(0));
+  Alcotest.(check bool) "plain node trivial" true
+    (Scc.is_trivial g scc scc.Scc.comp.(1))
+
+let test_condensation_edges () =
+  let g = two_cycles () in
+  let scc = Scc.compute g in
+  let edges = Scc.condensation_edges g scc in
+  Alcotest.(check int) "one cross edge" 1 (List.length edges);
+  let c01 = scc.Scc.comp.(0) and c23 = scc.Scc.comp.(2) in
+  Alcotest.(check (list (pair int int))) "direction" [ (c01, c23) ] edges
+
+let test_deep_path_no_stack_overflow () =
+  let n = 200_000 in
+  let g =
+    D.make
+      ~labels:(Array.make n "x")
+      ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+  in
+  let scc = Scc.compute g in
+  Alcotest.(check int) "all singletons" n scc.Scc.count
+
+let prop_mutual_reachability =
+  qtest ~count:60 "scc: same component iff mutually reachable" (digraph_gen ())
+    print_digraph (fun g ->
+      let scc = Scc.compute g in
+      let module T = Phom_graph.Traversal in
+      let reach = Array.init (D.n g) (fun v -> T.reachable g v) in
+      let ok = ref true in
+      for u = 0 to D.n g - 1 do
+        for v = 0 to D.n g - 1 do
+          let together = scc.Scc.comp.(u) = scc.Scc.comp.(v) in
+          let mutual = Bitset.mem reach.(u) v && Bitset.mem reach.(v) u in
+          if together <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+let prop_edge_numbering =
+  qtest ~count:60 "scc: cross edges go to smaller ids" (digraph_gen ())
+    print_digraph (fun g ->
+      let scc = Scc.compute g in
+      D.fold_edges
+        (fun u v acc ->
+          acc
+          && (scc.Scc.comp.(u) = scc.Scc.comp.(v) || scc.Scc.comp.(u) > scc.Scc.comp.(v)))
+        g true)
+
+let suite =
+  [
+    ( "scc",
+      [
+        Alcotest.test_case "two cycles" `Quick test_components;
+        Alcotest.test_case "members and sizes" `Quick test_members_sizes;
+        Alcotest.test_case "triviality" `Quick test_trivial;
+        Alcotest.test_case "condensation edges" `Quick test_condensation_edges;
+        Alcotest.test_case "200k-node path (iterative Tarjan)" `Quick
+          test_deep_path_no_stack_overflow;
+        prop_mutual_reachability;
+        prop_edge_numbering;
+      ] );
+  ]

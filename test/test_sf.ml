@@ -1,0 +1,98 @@
+open Helpers
+module SF = Phom_sim.Similarity_flooding
+
+let two_chains () =
+  (* isomorphic 3-chains with ambiguous labels: flooding should use the
+     structure to align them *)
+  let g1 = graph [ "x"; "x"; "x" ] [ (0, 1); (1, 2) ] in
+  let g2 = graph [ "x"; "x"; "x" ] [ (0, 1); (1, 2) ] in
+  (g1, g2)
+
+let test_flood_runs () =
+  let g1, g2 = two_chains () in
+  let init = Simmat.of_label_equality g1 g2 in
+  let flooded = SF.flood ~init g1 g2 in
+  Alcotest.(check int) "dims" 3 (Simmat.n1 flooded);
+  Alcotest.(check (float 1e-9)) "normalized max" 1.0 (Simmat.max_value flooded)
+
+let test_structure_disambiguates () =
+  (* middle node of a chain should align with middle node *)
+  let g1, g2 = two_chains () in
+  let init = Simmat.of_label_equality g1 g2 in
+  let flooded = SF.flood ~init g1 g2 in
+  Alcotest.(check bool) "middle beats ends" true
+    (Simmat.get flooded 1 1 > Simmat.get flooded 1 0
+    && Simmat.get flooded 1 1 > Simmat.get flooded 1 2)
+
+let test_impls_agree () =
+  let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2); (2, 0) ] in
+  let g2 = graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (1, 2); (1, 3) ] in
+  let init = Simmat.of_label_equality g1 g2 in
+  let a = SF.flood ~impl:SF.Factorized ~init g1 g2 in
+  let b = SF.flood ~impl:SF.Edge_pairs ~init g1 g2 in
+  for v = 0 to 2 do
+    for u = 0 to 3 do
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "entry (%d,%d)" v u)
+        (Simmat.get a v u) (Simmat.get b v u)
+    done
+  done
+
+let test_greedy_assignment () =
+  let m = Simmat.create ~n1:2 ~n2:2 in
+  Simmat.set m 0 0 0.9;
+  Simmat.set m 0 1 0.8;
+  Simmat.set m 1 0 0.85;
+  (* greedy takes (0,0) first, then (1,0) is blocked; 1 gets nothing *)
+  Alcotest.(check (list (pair int int))) "assignment" [ (0, 0) ]
+    (SF.greedy_assignment m);
+  Simmat.set m 1 1 0.1;
+  Alcotest.(check (list (pair int int))) "assignment with fallback"
+    [ (0, 0); (1, 1) ]
+    (SF.greedy_assignment m)
+
+let test_match_quality () =
+  let g1, g2 = two_chains () in
+  let init = Simmat.of_label_equality g1 g2 in
+  let flooded = SF.flood ~init g1 g2 in
+  Alcotest.(check (float 1e-9)) "perfect copy" 1.0
+    (SF.match_quality ~init ~flooded ~xi:0.75)
+
+let test_empty_graphs () =
+  let g = graph [] [] in
+  let init = Simmat.create ~n1:0 ~n2:0 in
+  let flooded = SF.flood ~init g g in
+  Alcotest.(check (float 1e-9)) "vacuous quality" 1.0
+    (SF.match_quality ~init ~flooded ~xi:0.5)
+
+let prop_impls_agree =
+  qtest ~count:40 "sf: factorized = edge-pairs"
+    (QCheck.Gen.pair (digraph_gen ~max_n:5 ()) (digraph_gen ~max_n:5 ()))
+    (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
+    (fun (g1, g2) ->
+      let init = Simmat.of_label_equality g1 g2 in
+      let a = SF.flood ~impl:SF.Factorized ~init g1 g2 in
+      let b = SF.flood ~impl:SF.Edge_pairs ~init g1 g2 in
+      let ok = ref true in
+      for v = 0 to Simmat.n1 a - 1 do
+        for u = 0 to Simmat.n2 a - 1 do
+          if abs_float (Simmat.get a v u -. Simmat.get b v u) > 1e-6 then
+            ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "similarity_flooding",
+      [
+        Alcotest.test_case "flood runs and normalizes" `Quick test_flood_runs;
+        Alcotest.test_case "structure disambiguates" `Quick
+          test_structure_disambiguates;
+        Alcotest.test_case "both implementations agree" `Quick test_impls_agree;
+        Alcotest.test_case "greedy assignment" `Quick test_greedy_assignment;
+        Alcotest.test_case "match quality on a copy" `Quick test_match_quality;
+        Alcotest.test_case "empty graphs" `Quick test_empty_graphs;
+        prop_impls_agree;
+      ] );
+  ]

@@ -1,0 +1,86 @@
+open Helpers
+module Sh = Phom_sim.Shingle
+
+let test_tokenize () =
+  Alcotest.(check (list string)) "splits and lowercases"
+    [ "hello"; "world"; "42" ]
+    (Sh.tokenize "Hello, WORLD!  42.");
+  Alcotest.(check (list string)) "empty" [] (Sh.tokenize " ,;! ")
+
+let test_identical () =
+  Alcotest.(check (float 1e-9)) "identical docs" 1.0
+    (Sh.similarity "the quick brown fox jumps over the lazy dog"
+       "the quick brown fox jumps over the lazy dog")
+
+let test_disjoint () =
+  Alcotest.(check (float 1e-9)) "disjoint docs" 0.0
+    (Sh.similarity "aa bb cc dd ee" "ff gg hh ii jj")
+
+let test_empty_docs () =
+  Alcotest.(check (float 1e-9)) "both empty" 1.0 (Sh.similarity "" "");
+  Alcotest.(check (float 1e-9)) "one empty" 0.0 (Sh.similarity "" "a b c d e")
+
+let test_short_doc () =
+  (* fewer than w tokens: one shingle over everything *)
+  Alcotest.(check int) "one shingle" 1 (Array.length (Sh.shingles ~w:4 "a b"));
+  Alcotest.(check (float 1e-9)) "short equal" 1.0 (Sh.similarity "a b" "a b")
+
+let test_window_sensitivity () =
+  (* token order matters *)
+  let a = "a b c d e f" and b = "f e d c b a" in
+  Alcotest.(check bool) "reordered less similar" true (Sh.similarity a b < 1.0)
+
+let test_separator_injection () =
+  (* ["ab"; "c"] must not hash like ["a"; "bc"] *)
+  let s1 = Sh.shingles ~w:2 "ab c" and s2 = Sh.shingles ~w:2 "a bc" in
+  Alcotest.(check bool) "distinct" false (s1 = s2)
+
+let test_matrix () =
+  let m = Sh.matrix [| "a b c d"; "x y z w" |] [| "a b c d" |] in
+  Alcotest.(check (float 1e-9)) "same" 1.0 (Simmat.get m 0 0);
+  Alcotest.(check (float 1e-9)) "diff" 0.0 (Simmat.get m 1 0)
+
+let test_sketch () =
+  let s = Sh.shingles (String.concat " " (List.init 300 string_of_int)) in
+  let k = 32 in
+  let sk = Sh.sketch ~k s in
+  Alcotest.(check int) "sketch size" k (Array.length sk);
+  Alcotest.(check (float 1e-9)) "self sketch jaccard" 1.0 (Sh.sketch_jaccard sk sk)
+
+let gen_doc : string QCheck.Gen.t =
+ fun st ->
+  String.concat " "
+    (List.init
+       (Random.State.int st 30)
+       (fun _ -> Printf.sprintf "w%d" (Random.State.int st 12)))
+
+let prop_jaccard_bounds =
+  qtest "shingle: similarity in [0,1] and symmetric"
+    (QCheck.Gen.pair gen_doc gen_doc)
+    (fun (a, b) -> Printf.sprintf "%S vs %S" a b)
+    (fun (a, b) ->
+      let s = Sh.similarity a b in
+      s >= 0. && s <= 1. && abs_float (s -. Sh.similarity b a) < 1e-12)
+
+let prop_self_similarity =
+  qtest "shingle: self similarity = 1" gen_doc
+    (fun d -> d)
+    (fun d -> Sh.similarity d d = 1.0)
+
+let suite =
+  [
+    ( "shingle",
+      [
+        Alcotest.test_case "tokenize" `Quick test_tokenize;
+        Alcotest.test_case "identical docs" `Quick test_identical;
+        Alcotest.test_case "disjoint docs" `Quick test_disjoint;
+        Alcotest.test_case "empty docs" `Quick test_empty_docs;
+        Alcotest.test_case "short docs" `Quick test_short_doc;
+        Alcotest.test_case "order sensitivity" `Quick test_window_sensitivity;
+        Alcotest.test_case "token separator" `Quick test_separator_injection;
+        Alcotest.test_case "similarity matrix" `Quick test_matrix;
+        Alcotest.test_case "min-hash sketch" `Quick test_sketch;
+        prop_jaccard_bounds;
+        prop_self_similarity;
+      ] );
+  ]

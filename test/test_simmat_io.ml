@@ -1,0 +1,79 @@
+open Helpers
+
+let test_roundtrip () =
+  let m = Simmat.of_fun ~n1:3 ~n2:2 (fun v u -> float_of_int ((v + u) mod 2) /. 2.) in
+  match Simmat.of_string (Simmat.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      for v = 0 to 2 do
+        for u = 0 to 1 do
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "(%d,%d)" v u)
+            (Simmat.get m v u) (Simmat.get m' v u)
+        done
+      done
+
+let test_parse_errors () =
+  let check_err name input =
+    match Simmat.of_string input with
+    | Ok _ -> Alcotest.failf "%s: expected error" name
+    | Error _ -> ()
+  in
+  check_err "no header" "1 1\n0.5\n";
+  check_err "bad dims" "phs 1\nx y\n";
+  check_err "short row" "phs 1\n1 3\n0.5 0.5\n";
+  check_err "out of range" "phs 1\n1 1\n1.5\n";
+  check_err "bad float" "phs 1\n1 1\nabc\n";
+  check_err "missing rows" "phs 1\n2 1\n0.5\n"
+
+let test_empty_matrix () =
+  let m = Simmat.create ~n1:0 ~n2:0 in
+  match Simmat.of_string (Simmat.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      Alcotest.(check int) "n1" 0 (Simmat.n1 m');
+      Alcotest.(check int) "n2" 0 (Simmat.n2 m')
+
+let test_file_roundtrip () =
+  let m = Simmat.of_fun ~n1:2 ~n2:2 (fun v u -> if v = u then 1.0 else 0.25) in
+  let path = Filename.temp_file "phom_simmat" ".phs" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Simmat.save path m;
+      match Simmat.load path with
+      | Error e -> Alcotest.fail e
+      | Ok m' -> Alcotest.(check (float 1e-9)) "diag" 1.0 (Simmat.get m' 1 1))
+
+let prop_roundtrip =
+  let gen : Simmat.t QCheck.Gen.t =
+   fun st ->
+    let n1 = Random.State.int st 5 and n2 = Random.State.int st 5 in
+    Simmat.of_fun ~n1 ~n2 (fun _ _ -> Random.State.float st 1.0)
+  in
+  qtest ~count:60 "simmat io: roundtrip within 1e-6" gen
+    (fun m -> Simmat.to_string m)
+    (fun m ->
+      match Simmat.of_string (Simmat.to_string m) with
+      | Error _ -> false
+      | Ok m' ->
+          let ok = ref true in
+          for v = 0 to Simmat.n1 m - 1 do
+            for u = 0 to Simmat.n2 m - 1 do
+              if abs_float (Simmat.get m v u -. Simmat.get m' v u) > 1e-6 then
+                ok := false
+            done
+          done;
+          !ok)
+
+let suite =
+  [
+    ( "simmat_io",
+      [
+        Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "empty matrix" `Quick test_empty_matrix;
+        Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        prop_roundtrip;
+      ] );
+  ]

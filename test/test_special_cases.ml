@@ -1,0 +1,65 @@
+(* Section 3.2's subsumption claims, as executable properties:
+   - graph homomorphism is a special case of p-hom,
+   - subgraph isomorphism is a special case of 1-1 p-hom (also covered from
+     the Ullmann side in Test_ullmann),
+   - the maximum-common-subgraph metric is a special case of CPH¹⁻¹
+     (covered in Test_mcs). *)
+open Helpers
+
+(* a random quotient: merge nodes of g1 by a random surjection f; the image
+   graph g2 with labels pulled back through f makes f a label-preserving
+   edge-to-edge homomorphism g1 → g2 by construction *)
+let quotient_gen : (D.t * D.t * int array) QCheck.Gen.t =
+ fun st ->
+  let g = digraph_gen ~min_n:2 ~max_n:8 () st in
+  let n = D.n g in
+  let k = 1 + Random.State.int st n in
+  let f = Array.init n (fun _ -> Random.State.int st k) in
+  (* class labels; g1's labels are re-pulled from its class *)
+  let class_labels =
+    Array.init k (fun _ ->
+        small_labels.(Random.State.int st (Array.length small_labels)))
+  in
+  let g1 =
+    D.map_labels (fun v _ -> class_labels.(f.(v))) g
+  in
+  let edges2 = List.map (fun (u, v) -> (f.(u), f.(v))) (D.edges g) in
+  let g2 = D.make ~labels:class_labels ~edges:edges2 in
+  (g1, g2, f)
+
+let print_quotient (g1, g2, f) =
+  Printf.sprintf "%s => %s via [%s]" (print_digraph g1) (print_digraph g2)
+    (String.concat ";" (Array.to_list (Array.map string_of_int f)))
+
+let prop_homomorphism_implies_phom =
+  qtest ~count:120 "special cases: homomorphism ⟹ p-hom" quotient_gen
+    print_quotient (fun (g1, g2, f) ->
+      let t = eq_instance ~xi:1.0 g1 g2 in
+      (* the homomorphism itself is a valid p-hom mapping (each edge maps to
+         a path of length exactly 1) ... *)
+      let mapping =
+        Mapping.normalize (List.init (D.n g1) (fun v -> (v, f.(v))))
+      in
+      Instance.is_valid t mapping
+      (* ... and the decision procedure agrees *)
+      && Phom.Exact.decide t = Some true)
+
+let prop_phom_does_not_imply_homomorphism =
+  (* sanity in the other direction: p-hom can hold where no edge-to-edge
+     homomorphism exists (the subdivision trick) — so the inclusion is
+     strict *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1 ~name:"special cases: the inclusion is strict"
+       (QCheck.make (fun _ -> ()))
+       (fun () ->
+         let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+         let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+         let t = eq_instance ~xi:1.0 g1 g2 in
+         Phom.Exact.decide t = Some true
+         && Phom_baselines.Ullmann.exists g1 g2 = Some false))
+
+let suite =
+  [
+    ( "special_cases",
+      [ prop_homomorphism_implies_phom; prop_phom_does_not_imply_homomorphism ] );
+  ]

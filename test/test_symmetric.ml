@@ -1,0 +1,71 @@
+open Helpers
+module Symmetric = Phom.Symmetric
+
+let test_close_instance () =
+  (* a→b→c: G1⁺ gains the skip edge a→c *)
+  let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let g2 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let t = eq_instance g1 g2 in
+  let closed = Symmetric.close_instance t in
+  Alcotest.(check bool) "skip edge" true (D.has_edge closed.Instance.g1 0 2);
+  Alcotest.(check int) "g2 untouched" 2 (D.nb_edges closed.Instance.g2)
+
+let test_symmetric_decide () =
+  (* pattern chain a→b→c vs data with the same reachability: symmetric
+     matching asks for paths to paths and still succeeds *)
+  let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let g2 = graph [ "a"; "x"; "b"; "c" ] [ (0, 1); (1, 2); (2, 3) ] in
+  let t = eq_instance g1 g2 in
+  Alcotest.(check (option bool)) "paths to paths" (Some true)
+    (Symmetric.decide t)
+
+let test_symmetric_stricter_than_plain () =
+  (* a→b plus separate b→c: plain p-hom of the chain holds on data where
+     a reaches b and b reaches c, but the closed pattern also needs a→c *)
+  let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  (* data: a→b, and a *different* path b→c, but a cannot reach c?
+     impossible by transitivity — instead break it with labels: c only
+     reachable from a different b-node *)
+  let g2 = graph [ "a"; "b"; "b"; "c" ] [ (0, 1); (2, 3) ] in
+  let t = eq_instance g1 g2 in
+  Alcotest.(check (option bool)) "plain fails too here" (Some false)
+    (Phom.Api.decide_phom t);
+  Alcotest.(check (option bool)) "symmetric fails" (Some false)
+    (Symmetric.decide t)
+
+let test_symmetric_max_sim () =
+  let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let g2 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
+  let t = eq_instance g1 g2 in
+  let m = Symmetric.max_sim ~weights:[| 1.; 2.; 1. |] t in
+  let closed = Symmetric.close_instance t in
+  Alcotest.(check bool) "valid on G1⁺" true (Instance.is_valid closed m);
+  Alcotest.(check (float 1e-9)) "full weighted similarity" 1.0
+    (Instance.qual_sim ~weights:[| 1.; 2.; 1. |] closed m)
+
+let prop_symmetric_implies_harder =
+  qtest ~count:80 "symmetric: G1⁺ ⪯ G2 implies G1 ⪯ G2" (instance_gen ())
+    print_instance (fun t ->
+      match (Symmetric.decide t, Phom.Api.decide_phom t) with
+      | Some true, Some plain -> plain
+      | _ -> true)
+
+let prop_symmetric_max_card_valid =
+  qtest ~count:80 "symmetric: greedy mapping valid on the closed instance"
+    (instance_gen ()) print_instance (fun t ->
+      let closed = Symmetric.close_instance t in
+      Instance.is_valid closed (Symmetric.max_card t))
+
+let suite =
+  [
+    ( "symmetric",
+      [
+        Alcotest.test_case "close_instance" `Quick test_close_instance;
+        Alcotest.test_case "decide over paths" `Quick test_symmetric_decide;
+        Alcotest.test_case "stricter than plain" `Quick
+          test_symmetric_stricter_than_plain;
+        Alcotest.test_case "symmetric max_sim" `Quick test_symmetric_max_sim;
+        prop_symmetric_implies_harder;
+        prop_symmetric_max_card_valid;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+open Helpers
+module T = Phom_graph.Traversal
+
+let chain () = graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (1, 2); (2, 3) ]
+
+let cycle () = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2); (2, 0) ]
+
+let test_bfs_dfs () =
+  let g = graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  Alcotest.(check (list int)) "bfs" [ 0; 1; 2; 3 ] (T.bfs_order g 0);
+  Alcotest.(check (list int)) "dfs" [ 0; 1; 3; 2 ] (T.dfs_order g 0);
+  Alcotest.(check (list int)) "from sink" [ 3 ] (T.bfs_order g 3)
+
+let test_reachable () =
+  let g = chain () in
+  Alcotest.(check (list int)) "incl self" [ 1; 2; 3 ]
+    (Bitset.to_list (T.reachable g 1));
+  Alcotest.(check (list int)) "nonempty excl self" [ 2; 3 ]
+    (Bitset.to_list (T.reachable_nonempty g 1))
+
+let test_reachable_nonempty_cycle () =
+  let g = cycle () in
+  Alcotest.(check (list int)) "cycle reaches itself" [ 0; 1; 2 ]
+    (Bitset.to_list (T.reachable_nonempty g 0))
+
+let test_self_loop () =
+  let g = graph [ "a" ] [ (0, 0) ] in
+  Alcotest.(check (list int)) "self loop" [ 0 ]
+    (Bitset.to_list (T.reachable_nonempty g 0))
+
+let test_distances () =
+  let g = graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (1, 2) ] in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; -1 |] (T.distances g 0)
+
+let test_topo () =
+  let g = chain () in
+  Alcotest.(check (option (list int))) "chain topo" (Some [ 0; 1; 2; 3 ])
+    (T.topological_order g);
+  Alcotest.(check bool) "chain is dag" true (T.is_dag g);
+  Alcotest.(check bool) "cycle is not" false (T.is_dag (cycle ()))
+
+let test_shortest_path () =
+  let g = graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  Alcotest.(check (option (list int))) "direct" (Some [ 0; 3 ])
+    (T.shortest_path g 0 3);
+  Alcotest.(check (option (list int))) "two hops" (Some [ 0; 1; 2 ])
+    (T.shortest_path g 0 2);
+  Alcotest.(check (option (list int))) "unreachable" None (T.shortest_path g 3 0);
+  (* same endpoints need a genuine cycle *)
+  Alcotest.(check (option (list int))) "no cycle at 0" None (T.shortest_path g 0 0);
+  let c = cycle () in
+  Alcotest.(check (option (list int))) "cycle back" (Some [ 0; 1; 2; 0 ])
+    (T.shortest_path c 0 0)
+
+let prop_topo_respects_edges =
+  qtest "traversal: topo order respects edges" (dag_gen ()) print_digraph
+    (fun g ->
+      match T.topological_order g with
+      | None -> false
+      | Some order ->
+          let pos = Array.make (D.n g) 0 in
+          List.iteri (fun i v -> pos.(v) <- i) order;
+          D.fold_edges (fun u v acc -> acc && pos.(u) < pos.(v)) g true)
+
+let prop_shortest_path_is_path =
+  qtest "traversal: shortest_path returns real edges" (digraph_gen ())
+    print_digraph (fun g ->
+      let ok = ref true in
+      for u = 0 to D.n g - 1 do
+        for v = 0 to D.n g - 1 do
+          match T.shortest_path g u v with
+          | None -> ()
+          | Some path ->
+              let rec edges_ok = function
+                | a :: (b :: _ as rest) ->
+                    D.has_edge g a b && edges_ok rest
+                | _ -> true
+              in
+              if
+                not
+                  (List.length path >= 2
+                  && List.hd path = u
+                  && List.hd (List.rev path) = v
+                  && edges_ok path)
+              then ok := false
+        done
+      done;
+      !ok)
+
+let prop_reachable_nonempty_matches_paths =
+  qtest "traversal: reachable_nonempty agrees with shortest_path"
+    (digraph_gen ()) print_digraph (fun g ->
+      let ok = ref true in
+      for u = 0 to D.n g - 1 do
+        let r = T.reachable_nonempty g u in
+        for v = 0 to D.n g - 1 do
+          let has_path = T.shortest_path g u v <> None in
+          if Bitset.mem r v <> has_path then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "traversal",
+      [
+        Alcotest.test_case "bfs/dfs order" `Quick test_bfs_dfs;
+        Alcotest.test_case "reachable variants" `Quick test_reachable;
+        Alcotest.test_case "nonempty reach on a cycle" `Quick
+          test_reachable_nonempty_cycle;
+        Alcotest.test_case "self loop reaches itself" `Quick test_self_loop;
+        Alcotest.test_case "bfs distances" `Quick test_distances;
+        Alcotest.test_case "topological order" `Quick test_topo;
+        Alcotest.test_case "shortest non-empty path" `Quick test_shortest_path;
+        prop_topo_respects_edges;
+        prop_shortest_path_is_path;
+        prop_reachable_nonempty_matches_paths;
+      ] );
+  ]

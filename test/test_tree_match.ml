@@ -1,0 +1,127 @@
+open Helpers
+module TM = Phom_baselines.Tree_match
+module Exact = Phom.Exact
+
+let tree_pattern () =
+  (* a → {b, c} *)
+  graph [ "a"; "b"; "c" ] [ (0, 1); (0, 2) ]
+
+let test_is_tree () =
+  Alcotest.(check bool) "tree" true (TM.is_tree (tree_pattern ()));
+  Alcotest.(check bool) "forest" true (TM.is_tree (graph [ "a"; "b" ] []));
+  Alcotest.(check bool) "diamond not" false
+    (TM.is_tree (graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (0, 2); (1, 3); (2, 3) ]));
+  Alcotest.(check bool) "cycle not" false
+    (TM.is_tree (graph [ "a"; "b" ] [ (0, 1); (1, 0) ]))
+
+let test_decide_paths () =
+  let g1 = tree_pattern () in
+  (* data: a → x → b, a → c: both children reachable by paths *)
+  let g2 = graph [ "a"; "x"; "b"; "c" ] [ (0, 1); (1, 2); (0, 3) ] in
+  let t = eq_instance g1 g2 in
+  Alcotest.(check bool) "matches" true (TM.decide t);
+  (match TM.witness t with
+  | None -> Alcotest.fail "expected a witness"
+  | Some m ->
+      check_valid t m;
+      Alcotest.(check int) "total" 3 (Mapping.size m));
+  (* break it: no c anywhere below a *)
+  let g2' = graph [ "a"; "b"; "c" ] [ (0, 1) ] in
+  Alcotest.(check bool) "no match" false (TM.decide (eq_instance g1 g2'))
+
+let test_rejects_non_tree () =
+  let dag = graph [ "a"; "b"; "c"; "d" ] [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let t = eq_instance dag dag in
+  Alcotest.check_raises "not a forest"
+    (Invalid_argument "Tree_match: pattern is not a forest") (fun () ->
+      ignore (TM.supports t))
+
+let test_count_embeddings () =
+  (* pattern a→b over data a→{b,b}: two embeddings *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "b"; "b" ] [ (0, 1); (0, 2) ] in
+  Alcotest.(check (float 1e-9)) "two" 2.0
+    (TM.count_embeddings (eq_instance g1 g2));
+  (* forest of two independent 'a' roots over data with 3 a's: 3 × 3 *)
+  let f = graph [ "a"; "a" ] [] in
+  let d = graph [ "a"; "a"; "a" ] [] in
+  Alcotest.(check (float 1e-9)) "product" 9.0 (TM.count_embeddings (eq_instance f d));
+  (* empty pattern: exactly the empty mapping *)
+  Alcotest.(check (float 1e-9)) "empty" 1.0
+    (TM.count_embeddings (eq_instance (graph [] []) d))
+
+let tree_gen ?(max_n = 6) () : D.t QCheck.Gen.t =
+ fun st ->
+  let n = 1 + Random.State.int st max_n in
+  let labels =
+    Array.init n (fun _ ->
+        small_labels.(Random.State.int st (Array.length small_labels)))
+  in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (Random.State.int st v, v) :: !edges
+  done;
+  D.make ~labels ~edges:!edges
+
+let tree_instance_gen () : Instance.t QCheck.Gen.t =
+ fun st ->
+  let g1 = tree_gen () st in
+  let g2 = digraph_gen ~max_n:7 () st in
+  Instance.make ~g1 ~g2 ~mat:(Simmat.of_label_equality g1 g2) ~xi:0.5 ()
+
+let prop_agrees_with_exact =
+  qtest ~count:150 "tree_match: decision agrees with the exact solver"
+    (tree_instance_gen ()) print_instance (fun t ->
+      match Exact.decide t with
+      | None -> true
+      | Some answer -> TM.decide t = answer)
+
+let prop_witness_valid_and_total =
+  qtest ~count:100 "tree_match: witnesses are valid total mappings"
+    (tree_instance_gen ()) print_instance (fun t ->
+      match TM.witness t with
+      | None -> TM.decide t = false
+      | Some m -> Instance.is_valid t m && Mapping.size m = D.n t.g1)
+
+let prop_count_matches_enumeration =
+  qtest ~count:80 "tree_match: count = exhaustive enumeration"
+    (QCheck.Gen.map
+       (fun t -> t)
+       ((fun st ->
+          let g1 = tree_gen ~max_n:3 () st in
+          let g2 = digraph_gen ~max_n:4 () st in
+          Instance.make ~g1 ~g2 ~mat:(Simmat.of_label_equality g1 g2) ~xi:0.5 ())
+         : Instance.t QCheck.Gen.t))
+    print_instance
+    (fun t ->
+      (* brute force: all total functions that are valid mappings *)
+      let n1 = D.n t.g1 and n2 = D.n t.g2 in
+      let total = ref 0 in
+      let rec go v acc =
+        if v = n1 then begin
+          if Instance.is_valid t (Mapping.normalize acc) then incr total
+        end
+        else
+          for u = 0 to n2 - 1 do
+            go (v + 1) ((v, u) :: acc)
+          done
+      in
+      if n2 = 0 then true
+      else begin
+        go 0 [];
+        abs_float (TM.count_embeddings t -. float_of_int !total) < 1e-6
+      end)
+
+let suite =
+  [
+    ( "tree_match",
+      [
+        Alcotest.test_case "is_tree" `Quick test_is_tree;
+        Alcotest.test_case "decide over paths" `Quick test_decide_paths;
+        Alcotest.test_case "rejects non-tree patterns" `Quick test_rejects_non_tree;
+        Alcotest.test_case "embedding counting" `Quick test_count_embeddings;
+        prop_agrees_with_exact;
+        prop_witness_valid_and_total;
+        prop_count_matches_enumeration;
+      ] );
+  ]

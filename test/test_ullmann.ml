@@ -1,0 +1,87 @@
+open Helpers
+module Ull = Phom_baselines.Ullmann
+
+let test_triangle_in_k4 () =
+  let tri = graph [ "x"; "x"; "x" ] [ (0, 1); (1, 2); (2, 0) ] in
+  let k4 =
+    graph [ "x"; "x"; "x"; "x" ]
+      [ (0, 1); (1, 2); (2, 0); (0, 3); (3, 1); (2, 3) ]
+  in
+  match Ull.find tri k4 with
+  | Ull.Found m ->
+      Alcotest.(check bool) "embedding" true (Ull.is_embedding tri k4 m)
+  | _ -> Alcotest.fail "expected an embedding"
+
+let test_labels_block () =
+  let g1 = graph [ "a" ] [] and g2 = graph [ "b" ] [] in
+  Alcotest.(check (option bool)) "label mismatch" (Some false) (Ull.exists g1 g2)
+
+let test_subdivision_blocks () =
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "x"; "b" ] [ (0, 1); (1, 2) ] in
+  Alcotest.(check (option bool)) "edge-to-edge only" (Some false)
+    (Ull.exists g1 g2)
+
+let test_non_induced () =
+  (* non-induced semantics: extra data edges between images are fine *)
+  let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
+  let g2 = graph [ "a"; "b" ] [ (0, 1); (1, 0) ] in
+  Alcotest.(check (option bool)) "extra back edge ok" (Some true)
+    (Ull.exists g1 g2)
+
+let test_self_loop () =
+  let g1 = graph [ "a" ] [ (0, 0) ] in
+  Alcotest.(check (option bool)) "needs a loop" (Some false)
+    (Ull.exists g1 (graph [ "a" ] []));
+  Alcotest.(check (option bool)) "finds a loop" (Some true)
+    (Ull.exists g1 (graph [ "a" ] [ (0, 0) ]))
+
+let test_budget () =
+  let rng = Random.State.make [| 3 |] in
+  let g1 = Phom_graph.Generators.erdos_renyi ~rng ~n:10 ~m:12 ~labels:(fun _ -> "x") in
+  let g2 = Phom_graph.Generators.erdos_renyi ~rng ~n:12 ~m:30 ~labels:(fun _ -> "x") in
+  match Ull.find ~budget:3 g1 g2 with
+  | Ull.Gave_up -> ()
+  | Ull.Found _ | Ull.Not_found_ -> Alcotest.fail "expected Gave_up"
+
+let prop_found_is_embedding =
+  qtest ~count:100 "ullmann: Found results are embeddings"
+    (QCheck.Gen.pair (digraph_gen ~max_n:5 ()) (digraph_gen ~max_n:6 ()))
+    (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
+    (fun (g1, g2) ->
+      match Ull.find g1 g2 with
+      | Ull.Found m -> Ull.is_embedding g1 g2 m
+      | Ull.Not_found_ | Ull.Gave_up -> true)
+
+let prop_iso_implies_one_one_phom =
+  (* Section 3.2: subgraph isomorphism is a special case of 1-1 p-hom *)
+  qtest ~count:80 "ullmann: subgraph iso ⟹ 1-1 p-hom"
+    (QCheck.Gen.pair (digraph_gen ~max_n:4 ()) (digraph_gen ~max_n:5 ()))
+    (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
+    (fun (g1, g2) ->
+      match Ull.find g1 g2 with
+      | Ull.Found m ->
+          let t = eq_instance ~xi:1.0 g1 g2 in
+          Instance.is_valid ~injective:true t m
+          && Phom.Api.decide_one_one_phom t = Some true
+      | Ull.Not_found_ | Ull.Gave_up -> true)
+
+let prop_self_embedding =
+  qtest ~count:80 "ullmann: every graph embeds in itself" (digraph_gen ())
+    print_digraph (fun g -> Ull.exists g g = Some true)
+
+let suite =
+  [
+    ( "ullmann",
+      [
+        Alcotest.test_case "triangle in K4" `Quick test_triangle_in_k4;
+        Alcotest.test_case "labels block" `Quick test_labels_block;
+        Alcotest.test_case "subdivision blocks" `Quick test_subdivision_blocks;
+        Alcotest.test_case "non-induced semantics" `Quick test_non_induced;
+        Alcotest.test_case "self loops" `Quick test_self_loop;
+        Alcotest.test_case "budget" `Quick test_budget;
+        prop_found_is_embedding;
+        prop_iso_implies_one_one_phom;
+        prop_self_embedding;
+      ] );
+  ]

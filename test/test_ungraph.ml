@@ -1,0 +1,59 @@
+open Helpers
+module U = Phom_wis.Ungraph
+
+let square () = U.create 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+let test_basic () =
+  let g = square () in
+  Alcotest.(check int) "n" 4 (U.n g);
+  Alcotest.(check int) "m" 4 (U.nb_edges g);
+  Alcotest.(check bool) "symmetric" true (U.adjacent g 1 0 && U.adjacent g 0 1);
+  Alcotest.(check int) "degree" 2 (U.degree g 0);
+  Alcotest.(check (float 1e-9)) "default weight" 1.0 (U.weight g 0)
+
+let test_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Ungraph.create: self-loop")
+    (fun () -> ignore (U.create 2 [ (1, 1) ]));
+  Alcotest.check_raises "weights length"
+    (Invalid_argument "Ungraph.create: weights length") (fun () ->
+      ignore (U.create ~weights:[| 1. |] 2 []))
+
+let test_dedup () =
+  let g = U.create 3 [ (0, 1); (1, 0); (0, 1) ] in
+  Alcotest.(check int) "dedup" 1 (U.nb_edges g)
+
+let test_complement () =
+  let g = square () in
+  let c = U.complement g in
+  Alcotest.(check int) "complement edges" 2 (U.nb_edges c);
+  Alcotest.(check bool) "diagonals" true (U.adjacent c 0 2 && U.adjacent c 1 3);
+  Alcotest.(check bool) "old edges gone" false (U.adjacent c 0 1)
+
+let test_cliques_and_independents () =
+  let g = square () in
+  Alcotest.(check bool) "edge is clique" true (U.is_clique g [ 0; 1 ]);
+  Alcotest.(check bool) "diagonal not" false (U.is_clique g [ 0; 2 ]);
+  Alcotest.(check bool) "diagonal independent" true (U.is_independent g [ 0; 2 ]);
+  Alcotest.(check bool) "repeat node rejected" false (U.is_clique g [ 0; 0 ]);
+  Alcotest.(check (float 1e-9)) "total weight" 2.0 (U.total_weight g [ 0; 2 ])
+
+let test_induced () =
+  let g = square () in
+  let sub, old_of_new = U.induced g (Bitset.of_list 4 [ 0; 1; 2 ]) in
+  Alcotest.(check int) "nodes" 3 (U.n sub);
+  Alcotest.(check int) "edges" 2 (U.nb_edges sub);
+  Alcotest.(check (array int)) "map" [| 0; 1; 2 |] old_of_new
+
+let suite =
+  [
+    ( "ungraph",
+      [
+        Alcotest.test_case "basics" `Quick test_basic;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "edge dedup" `Quick test_dedup;
+        Alcotest.test_case "complement" `Quick test_complement;
+        Alcotest.test_case "clique/independent predicates" `Quick
+          test_cliques_and_independents;
+        Alcotest.test_case "induced" `Quick test_induced;
+      ] );
+  ]

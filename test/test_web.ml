@@ -1,0 +1,238 @@
+open Helpers
+module Site_gen = Phom_web.Site_gen
+module Skeleton = Phom_web.Skeleton
+module Matcher = Phom_web.Matcher
+module Dataset = Phom_web.Dataset
+module Page = Phom_web.Page
+
+let rng seed = Random.State.make [| seed |]
+
+let small_params =
+  {
+    Site_gen.pages = 120;
+    hub_fraction = 0.02;
+    max_degree_fraction = 0.06;
+    hub_affinity = 0.3;
+    edges = 260;
+    templates = 4;
+    vocab_size = 300;
+    page_length = 40;
+    edit_rate = 0.02;
+    rewire_rate = 0.01;
+    page_churn = 0.005;
+    vocab_prefix = "t";
+  }
+
+let test_page_generation () =
+  let vocab = Page.vocabulary ~prefix:"x" 50 in
+  Alcotest.(check int) "vocab size" 50 (Array.length vocab);
+  let doc = Page.generate ~rng:(rng 1) ~vocab ~length:30 in
+  Alcotest.(check int) "token count" 30
+    (List.length (String.split_on_char ' ' doc));
+  let doc' = Page.mutate ~rng:(rng 2) ~vocab ~edit_rate:0.0 doc in
+  Alcotest.(check string) "zero edit keeps doc" doc doc';
+  let doc'' = Page.mutate ~rng:(rng 2) ~vocab ~edit_rate:1.0 doc in
+  Alcotest.(check bool) "full edit changes doc" true (doc <> doc'')
+
+let test_site_generation () =
+  let s = Site_gen.generate ~rng:(rng 3) small_params in
+  Alcotest.(check int) "pages" 120 (D.n s.Site_gen.graph);
+  Alcotest.(check int) "contents" 120 (Array.length s.Site_gen.contents);
+  Alcotest.(check bool) "edge count near target" true
+    (abs (D.nb_edges s.Site_gen.graph - 260) < 30);
+  (* tree backbone: everything reachable from the root *)
+  Alcotest.(check int) "reachable from root" 120
+    (Bitset.count (Phom_graph.Traversal.reachable s.Site_gen.graph 0))
+
+let test_archive_similarity_ordering () =
+  (* consecutive versions are more similar than distant ones *)
+  let snapshots = Site_gen.archive ~rng:(rng 4) small_params ~versions:6 in
+  let first = List.nth snapshots 0 in
+  let second = List.nth snapshots 1 in
+  let last = List.nth snapshots 5 in
+  let avg_sim a b =
+    let total = ref 0. in
+    for i = 0 to D.n a.Site_gen.graph - 1 do
+      total :=
+        !total
+        +. Phom_sim.Shingle.similarity a.Site_gen.contents.(i)
+             b.Site_gen.contents.(i)
+    done;
+    !total /. float_of_int (D.n a.Site_gen.graph)
+  in
+  Alcotest.(check bool) "drift accumulates" true
+    (avg_sim first second >= avg_sim first last)
+
+let test_skeleton_by_degree () =
+  let s = Site_gen.generate ~rng:(rng 5) small_params in
+  let sk = Skeleton.by_degree ~alpha:0.2 s in
+  let g = s.Site_gen.graph in
+  let threshold = D.avg_degree g +. (0.2 *. float_of_int (D.max_degree g)) in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "above threshold" true
+        (float_of_int (D.degree g v) >= threshold))
+    sk.Skeleton.nodes;
+  Alcotest.(check int) "contents restricted" (D.n sk.Skeleton.graph)
+    (Array.length sk.Skeleton.contents)
+
+let test_skeleton_top_k () =
+  let s = Site_gen.generate ~rng:(rng 6) small_params in
+  let sk = Skeleton.top_k s 10 in
+  Alcotest.(check int) "k nodes" 10 (D.n sk.Skeleton.graph);
+  (* every kept node has degree ≥ every dropped node *)
+  let kept = Array.to_list sk.Skeleton.nodes in
+  let g = s.Site_gen.graph in
+  let min_kept =
+    List.fold_left (fun acc v -> min acc (D.degree g v)) max_int kept
+  in
+  for v = 0 to D.n g - 1 do
+    if not (List.mem v kept) then
+      Alcotest.(check bool) "dominates dropped" true (D.degree g v <= min_kept)
+  done
+
+let test_matcher_identity () =
+  (* a site matches itself under every complete method *)
+  let s = Site_gen.generate ~rng:(rng 7) small_params in
+  let sk = Skeleton.top_k s 12 in
+  List.iter
+    (fun m ->
+      let v = Matcher.match_skeletons m sk sk in
+      match v.Matcher.matched with
+      | Some ok ->
+          Alcotest.(check bool) (Matcher.method_name m ^ " self-match") true ok
+      | None -> ())
+    Matcher.all_methods
+
+let test_matcher_disjoint () =
+  (* two unrelated sites (different vocabularies) never match *)
+  let a = Site_gen.generate ~rng:(rng 8) small_params in
+  let b =
+    Site_gen.generate ~rng:(rng 9) { small_params with vocab_prefix = "zzz" }
+  in
+  let ska = Skeleton.top_k a 10 and skb = Skeleton.top_k b 10 in
+  List.iter
+    (fun m ->
+      let v = Matcher.match_skeletons m ska skb in
+      match v.Matcher.matched with
+      | Some ok ->
+          Alcotest.(check bool) (Matcher.method_name m ^ " no false match") false ok
+      | None -> ())
+    [ Matcher.CompMaxCard; Matcher.CompMaxSim; Matcher.SF; Matcher.GraphSimulation ]
+
+let test_accuracy_all_or_nothing () =
+  let s = Site_gen.generate ~rng:(rng 10) small_params in
+  let sk = Skeleton.top_k s 10 in
+  let acc, _ =
+    Matcher.accuracy Matcher.CompMaxCard ~pattern:sk ~versions:[ sk; sk ]
+  in
+  Alcotest.(check (option (float 1e-9))) "100%" (Some 100.) acc
+
+let test_evolve_invariants () =
+  let rng = rng 13 in
+  let site = Site_gen.generate ~rng small_params in
+  let next = Site_gen.evolve ~rng small_params site in
+  Alcotest.(check int) "page count stable" (D.n site.Site_gen.graph)
+    (D.n next.Site_gen.graph);
+  Alcotest.(check int) "edge count stable"
+    (D.nb_edges site.Site_gen.graph)
+    (D.nb_edges next.Site_gen.graph);
+  (* with these gentle rates most pages are untouched verbatim *)
+  let same = ref 0 in
+  Array.iteri
+    (fun i doc -> if String.equal doc next.Site_gen.contents.(i) then incr same)
+    site.Site_gen.contents;
+  Alcotest.(check bool) "most pages untouched" true
+    (!same > D.n site.Site_gen.graph * 8 / 10)
+
+let test_template_near_duplicates () =
+  (* pages sharing a template sit above the 0.75 threshold; this is the
+     property that makes exact-MCS searches blow up on real sites *)
+  let rng = rng 14 in
+  let site =
+    Site_gen.generate ~rng { small_params with pages = 40; templates = 1 }
+  in
+  let sims = ref [] in
+  for i = 0 to 9 do
+    for j = i + 1 to 9 do
+      sims :=
+        Phom_sim.Shingle.similarity site.Site_gen.contents.(i)
+          site.Site_gen.contents.(j)
+        :: !sims
+    done
+  done;
+  let avg = List.fold_left ( +. ) 0. !sims /. float_of_int (List.length !sims) in
+  Alcotest.(check bool) "near-duplicates" true (avg >= 0.7)
+
+let test_skeleton_edge_cases () =
+  (* empty site *)
+  let empty = { Site_gen.graph = D.empty; contents = [||] } in
+  Alcotest.(check int) "empty skeleton" 0
+    (D.n (Skeleton.by_degree empty).Skeleton.graph);
+  Alcotest.(check int) "empty top-k" 0 (D.n (Skeleton.top_k empty 5).Skeleton.graph);
+  (* single page: the fallback keeps it *)
+  let one = { Site_gen.graph = graph [ "p" ] []; contents = [| "doc" |] } in
+  Alcotest.(check int) "singleton skeleton" 1
+    (D.n (Skeleton.by_degree one).Skeleton.graph);
+  (* top-k larger than the site *)
+  Alcotest.(check int) "k capped" 1 (D.n (Skeleton.top_k one 99).Skeleton.graph)
+
+let test_matcher_thresholds () =
+  (* xi=1.0 restricts candidates to exact-content pages; a site still
+     matches itself, and a stricter quality threshold can flip the verdict *)
+  let s = Site_gen.generate ~rng:(rng 15) small_params in
+  let sk = Skeleton.top_k s 8 in
+  let strict = Matcher.match_skeletons ~xi:1.0 Matcher.CompMaxCard sk sk in
+  Alcotest.(check (option bool)) "self match at xi=1" (Some true)
+    strict.Matcher.matched;
+  let impossible =
+    Matcher.match_skeletons ~threshold:1.01 Matcher.CompMaxCard sk sk
+  in
+  Alcotest.(check (option bool)) "unreachable threshold" (Some false)
+    impossible.Matcher.matched
+
+let test_dataset_rows () =
+  let rng = rng 11 in
+  List.iter
+    (fun spec ->
+      let row = Dataset.table2_row ~rng spec in
+      Alcotest.(check bool)
+        (spec.Dataset.name ^ " row sane")
+        true
+        (row.Dataset.nodes > 0
+        && row.Dataset.edges > 0
+        && row.Dataset.skel1_nodes > 0
+        && row.Dataset.skel2_nodes <= 20))
+    (Dataset.sites (Dataset.Reduced 50))
+
+let test_dataset_archive () =
+  let rng = rng 12 in
+  let spec = List.hd (Dataset.sites (Dataset.Reduced 50)) in
+  let pattern, versions =
+    Dataset.archive_skeletons ~rng ~versions:4 ~skeleton:(`Top 8) spec
+  in
+  Alcotest.(check int) "3 later versions" 3 (List.length versions);
+  Alcotest.(check int) "pattern has 8 nodes" 8 (D.n pattern.Phom_web.Skeleton.graph)
+
+let suite =
+  [
+    ( "web",
+      [
+        Alcotest.test_case "page generation and mutation" `Quick test_page_generation;
+        Alcotest.test_case "site generation" `Quick test_site_generation;
+        Alcotest.test_case "archive drift ordering" `Quick
+          test_archive_similarity_ordering;
+        Alcotest.test_case "degree skeleton" `Quick test_skeleton_by_degree;
+        Alcotest.test_case "top-k skeleton" `Quick test_skeleton_top_k;
+        Alcotest.test_case "matcher: self match" `Quick test_matcher_identity;
+        Alcotest.test_case "matcher: unrelated sites" `Quick test_matcher_disjoint;
+        Alcotest.test_case "accuracy aggregation" `Quick test_accuracy_all_or_nothing;
+        Alcotest.test_case "evolve invariants" `Quick test_evolve_invariants;
+        Alcotest.test_case "template near-duplicates" `Quick
+          test_template_near_duplicates;
+        Alcotest.test_case "skeleton edge cases" `Quick test_skeleton_edge_cases;
+        Alcotest.test_case "matcher thresholds" `Quick test_matcher_thresholds;
+        Alcotest.test_case "table 2 rows" `Quick test_dataset_rows;
+        Alcotest.test_case "archive skeletons" `Quick test_dataset_archive;
+      ] );
+  ]

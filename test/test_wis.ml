@@ -1,0 +1,125 @@
+open Helpers
+module U = Phom_wis.Ungraph
+module Ramsey = Phom_wis.Ramsey
+module Wis = Phom_wis.Wis
+
+let ungraph_gen ?(max_n = 10) () : U.t QCheck.Gen.t =
+ fun st ->
+  let n = 1 + Random.State.int st max_n in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float st 1.0 < 0.4 then edges := (u, v) :: !edges
+    done
+  done;
+  let weights =
+    Array.init n (fun _ -> float_of_int (1 + Random.State.int st 9))
+  in
+  U.create ~weights n !edges
+
+let print_ungraph g = Format.asprintf "%a" U.pp g
+
+let test_ramsey_on_square () =
+  let g = U.create 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let clique, indep = Ramsey.ramsey g (Bitset.full 4) in
+  Alcotest.(check bool) "clique valid" true (U.is_clique g clique);
+  Alcotest.(check bool) "indep valid" true (U.is_independent g indep);
+  Alcotest.(check bool) "nonempty" true (clique <> [] && indep <> [])
+
+let test_removal_on_known_graphs () =
+  (* K4: max clique 4, max IS 1 *)
+  let k4 = U.create 4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  Alcotest.(check int) "K4 clique" 4 (List.length (Wis.max_clique k4));
+  Alcotest.(check int) "K4 IS" 1 (List.length (Wis.max_independent_set k4));
+  (* empty graph on 5 nodes: the duals *)
+  let e5 = U.create 5 [] in
+  Alcotest.(check int) "E5 clique" 1 (List.length (Wis.max_clique e5));
+  Alcotest.(check int) "E5 IS" 5 (List.length (Wis.max_independent_set e5))
+
+let test_weighted_prefers_heavy () =
+  (* path 0-1-2 with a heavy middle: the heavy node alone beats both ends *)
+  let g = U.create ~weights:[| 1.; 10.; 1. |] 3 [ (0, 1); (1, 2) ] in
+  let s = Wis.max_weight_independent_set g in
+  Alcotest.(check (list int)) "picks the heavy node" [ 1 ] s;
+  (* unweighted would pick the two ends *)
+  Alcotest.(check (list int)) "cardinality picks ends" [ 0; 2 ]
+    (Wis.max_independent_set g)
+
+let test_exact_clique () =
+  let g =
+    U.create 6 [ (0, 1); (0, 2); (1, 2); (2, 3); (3, 4); (4, 5); (3, 5) ]
+  in
+  match Wis.exact_max_clique g with
+  | None -> Alcotest.fail "budget should suffice"
+  | Some c ->
+      Alcotest.(check int) "size 3" 3 (List.length c);
+      Alcotest.(check bool) "is clique" true (U.is_clique g c)
+
+let test_exact_clique_budget () =
+  (* dense-ish random graph with a tiny budget gives up *)
+  let rng = Random.State.make [| 5 |] in
+  let n = 40 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < 0.5 then edges := (u, v) :: !edges
+    done
+  done;
+  let g = U.create n !edges in
+  Alcotest.(check bool) "gives up" true (Wis.exact_max_clique ~budget:10 g = None)
+
+let prop_outputs_valid =
+  qtest ~count:80 "wis: removal outputs are valid" (ungraph_gen ())
+    print_ungraph (fun g ->
+      U.is_clique g (Wis.max_clique g)
+      && U.is_independent g (Wis.max_independent_set g)
+      && U.is_clique g (Wis.max_weight_clique g)
+      && U.is_independent g (Wis.max_weight_independent_set g))
+
+let prop_exact_geq_approx =
+  qtest ~count:60 "wis: exact clique ≥ approx clique" (ungraph_gen ~max_n:9 ())
+    print_ungraph (fun g ->
+      match Wis.exact_max_clique g with
+      | None -> true
+      | Some exact -> List.length exact >= List.length (Wis.max_clique g))
+
+let prop_weighted_geq_heaviest =
+  qtest ~count:60 "wis: weighted IS ≥ heaviest node" (ungraph_gen ())
+    print_ungraph (fun g ->
+      let s = Wis.max_weight_independent_set g in
+      let heaviest = ref 0. in
+      for v = 0 to U.n g - 1 do
+        heaviest := Float.max !heaviest (U.weight g v)
+      done;
+      U.total_weight g s >= !heaviest -. 1e-9)
+
+let prop_ramsey_subset =
+  qtest ~count:60 "ramsey: respects the subset" (ungraph_gen ()) print_ungraph
+    (fun g ->
+      let n = U.n g in
+      let subset = Bitset.create n in
+      for v = 0 to n - 1 do
+        if v mod 2 = 0 then Bitset.add subset v
+      done;
+      let clique, indep = Ramsey.ramsey g subset in
+      List.for_all (fun v -> Bitset.mem subset v) clique
+      && List.for_all (fun v -> Bitset.mem subset v) indep
+      && U.is_clique g clique
+      && U.is_independent g indep)
+
+let suite =
+  [
+    ( "wis",
+      [
+        Alcotest.test_case "ramsey on a square" `Quick test_ramsey_on_square;
+        Alcotest.test_case "removal on K4 / E5" `Quick test_removal_on_known_graphs;
+        Alcotest.test_case "weighted prefers heavy nodes" `Quick
+          test_weighted_prefers_heavy;
+        Alcotest.test_case "exact clique" `Quick test_exact_clique;
+        Alcotest.test_case "exact clique budget" `Quick test_exact_clique_budget;
+        prop_outputs_valid;
+        prop_exact_geq_approx;
+        prop_weighted_geq_heaviest;
+        prop_ramsey_subset;
+      ] );
+  ]
