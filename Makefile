@@ -1,9 +1,14 @@
-.PHONY: all build test bench bench-full ablations micro examples clean
+.PHONY: all build check test bench bench-full ablations micro examples clean
 
 all: build
 
 build:
 	dune build @all
+
+# full gate: build everything, then the unit + property + cram suites
+check:
+	dune build @all
+	dune runtest
 
 test:
 	dune runtest

@@ -49,7 +49,7 @@ let tests =
       Test.make ~name:"compMaxSim/synthetic-m100"
         (Staged.stage (fun () -> ignore (Phom.Comp_max_sim.run inst100)));
       Test.make ~name:"exact-decide/synthetic-m100"
-        (Staged.stage (fun () -> ignore (Phom.Exact.decide ~budget:200_000 inst100)));
+        (Staged.stage (fun () -> ignore (Phom.Exact.decide ~budget:(Phom_graph.Budget.create ~steps:200_000 ()) inst100)));
       Test.make ~name:"simulation/synthetic-m100"
         (Staged.stage (fun () ->
              ignore

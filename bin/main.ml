@@ -1,33 +1,56 @@
 (* The phom command-line tool: generate graphs, compute (1-1) p-hom
    matchings between graph files, decide the exact problems, and export DOT.
 
-   Graph files use the "phg 1" text format of Phom_graph.Graph_io. *)
+   Graph files use the "phg 1" text format of Phom_graph.Graph_io.
+
+   Exit codes: 0 = success, 1 = error (bad input, bad flags), 2 = the
+   command answered but a resource budget (--timeout / --steps) ran out
+   first, so the answer may be incomplete. *)
 
 open Cmdliner
 module D = Phom_graph.Digraph
 module IO = Phom_graph.Graph_io
 module G = Phom_graph.Generators
+module Budget = Phom_graph.Budget
 module Simmat = Phom_sim.Simmat
 module Shingle = Phom_sim.Shingle
 module Api = Phom.Api
 
+(* captured before any work so --timeout charges startup + parsing against
+   the deadline *)
+let start_time = Unix.gettimeofday ()
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("error: " ^ s);
+      exit 1)
+    fmt
+
+(* every user-input failure becomes "error: ..." on stderr + exit 1, never
+   an uncaught exception *)
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg | Sys_error msg -> die "%s" msg
+
 let load_graph path =
   match IO.load path with
   | Ok g -> g
-  | Error msg ->
-      Printf.eprintf "error loading %s: %s\n" path msg;
-      exit 1
+  | Error msg -> die "loading %s: %s" path msg
 
 (* ---- shared arguments ---- *)
 
 let pattern_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"PATTERN" ~doc:"Pattern graph file (G1).")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PATTERN" ~doc:"Pattern graph file (G1).")
 
 let data_arg =
-  Arg.(required & pos 1 (some file) None & info [] ~docv:"DATA" ~doc:"Data graph file (G2).")
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"DATA" ~doc:"Data graph file (G2).")
 
 let xi_arg =
   Arg.(value & opt float 0.75 & info [ "xi" ] ~docv:"XI" ~doc:"Similarity threshold in [0,1].")
+
+let check_xi xi =
+  if not (xi >= 0. && xi <= 1.) then die "--xi must be in [0,1] (got %g)" xi
 
 let sim_arg =
   let choices = Arg.enum [ ("equality", `Equality); ("shingles", `Shingles) ] in
@@ -50,15 +73,11 @@ let matrix_of ?file kind g1 g2 =
   | Some path -> (
       match Simmat.load path with
       | Ok m ->
-          if Simmat.n1 m <> D.n g1 || Simmat.n2 m <> D.n g2 then begin
-            Printf.eprintf "error: matrix in %s is %dx%d but graphs are %dx%d\n"
-              path (Simmat.n1 m) (Simmat.n2 m) (D.n g1) (D.n g2);
-            exit 1
-          end
+          if Simmat.n1 m <> D.n g1 || Simmat.n2 m <> D.n g2 then
+            die "matrix in %s is %dx%d but graphs are %dx%d" path (Simmat.n1 m)
+              (Simmat.n2 m) (D.n g1) (D.n g2)
           else m
-      | Error msg ->
-          Printf.eprintf "error loading %s: %s\n" path msg;
-          exit 1)
+      | Error msg -> die "loading %s: %s" path msg)
   | None -> (
       match kind with
       | `Equality -> Simmat.of_label_equality g1 g2
@@ -71,13 +90,79 @@ let hops_arg =
         ~doc:"Bound mapped paths to at most $(docv) hops (default unbounded; \
               1 = conventional edge-to-edge matching).")
 
-let instance_of ?hops g1 g2 mat xi =
+let instance_of ?budget ?hops g1 g2 mat xi =
   let tc2 =
     match hops with
     | None -> None
-    | Some k -> Some (Phom_graph.Bounded_closure.compute ~k g2)
+    | Some k when k < 1 -> die "--hops must be at least 1 (got %d)" k
+    | Some k -> Some (Phom_graph.Bounded_closure.compute ?budget ~k g2)
   in
-  Phom.Instance.make ?tc2 ~g1 ~g2 ~mat ~xi ()
+  Phom.Instance.make ?budget ?tc2 ~g1 ~g2 ~mat ~xi ()
+
+(* ---- budget arguments ---- *)
+
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Wall-clock budget in seconds, anchored at process start. When \
+              it runs out the command reports the best answer found so far \
+              and exits with code 2.")
+
+let steps_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "steps" ] ~docv:"N"
+        ~doc:"Deterministic work-step budget (search nodes, fixpoint rows). \
+              Exhaustion reports the best answer so far and exits with \
+              code 2.")
+
+let check_budget_flags timeout steps =
+  (match timeout with
+  | Some s when not (s > 0.) -> die "--timeout must be positive (got %g)" s
+  | _ -> ());
+  match steps with
+  | Some n when n < 0 -> die "--steps must be non-negative (got %d)" n
+  | _ -> ()
+
+(* The fork/exec and OCaml runtime boot happen before [start_time] is
+   captured, so a deadline anchored there would under-count what the user
+   actually waits for.  Charge a conservative allowance for that pre-main
+   work: --timeout bounds the observed end-to-end command, and a timeout at
+   or below the allowance honestly reports incomplete instead of pretending
+   the command fit inside it. *)
+let startup_allowance = 0.005
+
+(* [None] when neither flag is given (solvers then use their own defaults),
+   otherwise a single token shared by the whole command *)
+let budget_of ?default_steps timeout steps =
+  check_budget_flags timeout steps;
+  match (timeout, steps) with
+  | None, None -> (
+      match default_steps with
+      | None -> None
+      | Some n -> Some (Budget.create ~steps:n ()))
+  | _ ->
+      Some
+        (Budget.create
+           ~anchor:(start_time -. startup_allowance)
+           ?timeout ?steps ())
+
+(* final check for fast paths that finished between poll points: a command
+   that beat its own solver but overshot the deadline still reports 2 *)
+let tripped budget status =
+  match status with
+  | Budget.Exhausted _ -> true
+  | Budget.Complete -> (
+      match budget with Some b -> not (Budget.poll b) | None -> false)
+
+let exhausted_line budget =
+  match budget with
+  | Some b -> (
+      match Budget.why b with
+      | Some r -> Printf.sprintf "incomplete (budget exhausted: %s)" (Budget.string_of_reason r)
+      | None -> "incomplete (budget exhausted)")
+  | None -> "incomplete (budget exhausted)"
 
 let weights_arg =
   let choices =
@@ -140,12 +225,15 @@ let match_cmd =
                 path for every mapped pattern edge.")
   in
   let run pattern data xi sim mat_file problem algorithm partition compress hops
-      weights dot_out explain =
+      weights dot_out explain timeout steps =
+    guard @@ fun () ->
+    check_xi xi;
+    let budget = budget_of timeout steps in
     let g1 = load_graph pattern and g2 = load_graph data in
     let mat = matrix_of ?file:mat_file sim g1 g2 in
-    let t = instance_of ?hops g1 g2 mat xi in
+    let t = instance_of ?budget ?hops g1 g2 mat xi in
     let weights = weights_of weights g1 in
-    let r = Api.solve ~algorithm ~partition ~compress ~weights problem t in
+    let r = Api.solve_within ~algorithm ~partition ~compress ~weights ?budget problem t in
     if explain then print_string (Api.report t r)
     else begin
       Printf.printf "problem   : %s\n" (Api.problem_name problem);
@@ -158,72 +246,114 @@ let match_cmd =
           Printf.printf "  %d [%s] -> %d [%s]\n" v (D.label g1 v) u (D.label g2 u))
         r.Api.mapping
     end;
-    match dot_out with
+    (match dot_out with
     | None -> ()
     | Some path ->
         let oc = open_out path in
         Fun.protect
           ~finally:(fun () -> close_out oc)
           (fun () -> output_string oc (IO.mapping_to_dot ~g1 ~g2 r.Api.mapping));
-        Printf.printf "wrote %s\n" path
+        Printf.printf "wrote %s\n" path);
+    if tripped budget r.Api.status then begin
+      Printf.printf "status    : %s\n" (exhausted_line budget);
+      exit 2
+    end
   in
   let term =
     Term.(
       const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
       $ problem_arg $ algorithm_arg $ partition_arg $ compress_arg $ hops_arg
-      $ weights_arg $ dot_out_arg $ explain_arg)
+      $ weights_arg $ dot_out_arg $ explain_arg $ timeout_arg $ steps_arg)
   in
   Cmd.v
     (Cmd.info "match"
-       ~doc:"Compute a maximum (1-1) p-hom mapping between two graph files.")
+       ~doc:"Compute a maximum (1-1) p-hom mapping between two graph files. \
+             Exits 2 when --timeout/--steps ran out (best-so-far answer).")
     term
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run pattern data xi sim mat_file hops =
+  let run pattern data xi sim mat_file hops timeout steps =
+    guard @@ fun () ->
+    check_xi xi;
+    check_budget_flags timeout steps;
+    let any_tripped = ref false in
+    (* a fresh token per method, so one runaway baseline cannot starve the
+       rest of the table; each gets the full allowance *)
+    let fresh ?timeout:dt ?steps:ds () =
+      match (timeout, steps, dt, ds) with
+      | None, None, None, None -> None
+      | None, None, _, _ -> Some (Budget.create ?timeout:dt ?steps:ds ())
+      | _ -> Some (Budget.create ?timeout ?steps ())
+    in
+    let note budget =
+      match budget with
+      | Some b when Budget.exhausted b -> any_tripped := true
+      | _ -> ()
+    in
     let g1 = load_graph pattern and g2 = load_graph data in
     let mat = matrix_of ?file:mat_file sim g1 g2 in
     let t = instance_of ?hops g1 g2 mat xi in
     Printf.printf "%-22s %-10s %s\n" "method" "quality" "matched@0.75";
     List.iter
       (fun p ->
-        let r = Api.solve p t in
+        let budget = fresh () in
+        let r = Api.solve_within ?budget p t in
+        (match r.Api.status with Budget.Exhausted _ -> any_tripped := true | _ -> ());
         Printf.printf "%-22s %-10.4f %b\n" (Api.problem_name p) r.Api.quality
           (Api.matches r))
       [ Api.CPH; Api.CPH11; Api.SPH; Api.SPH11 ];
     let module Sim = Phom_baselines.Simulation in
-    let sim_rel = Sim.of_simmat ~mat ~xi g1 g2 in
+    let sim_budget = fresh () in
+    let sim_rel = Sim.of_simmat ?budget:sim_budget ~mat ~xi g1 g2 in
+    note sim_budget;
     Printf.printf "%-22s %-10s %b\n" "graphSimulation" "-"
       (Sim.matches_whole_graph sim_rel);
     let module Ull = Phom_baselines.Ullmann in
     Printf.printf "%-22s %-10s %s\n" "subgraphIsomorphism" "-"
-      (match Ull.exists ~node_compat:(fun v u -> Simmat.get mat v u >= xi) g1 g2 with
+      (match
+         Ull.exists
+           ~node_compat:(fun v u -> Simmat.get mat v u >= xi)
+           ?budget:(fresh ()) g1 g2
+       with
       | Some b -> string_of_bool b
-      | None -> "gave up");
+      | None ->
+          any_tripped := true;
+          "gave up");
     let module Mcs = Phom_baselines.Mcs in
     (match
-       Mcs.run ~node_compat:(fun v u -> Simmat.get mat v u >= xi) ~time_limit:10. g1 g2
+       Mcs.run
+         ~node_compat:(fun v u -> Simmat.get mat v u >= xi)
+         ?budget:(fresh ~timeout:10. ~steps:10_000_000 ())
+         g1 g2
      with
     | Mcs.Completed m ->
         Printf.printf "%-22s %-10.4f %b\n" "maxCommonSubgraph" (Mcs.quality g1 m)
           (Mcs.quality g1 m >= 0.75)
-    | Mcs.Timed_out -> Printf.printf "%-22s %-10s timeout\n" "maxCommonSubgraph" "-");
+    | Mcs.Timed_out m ->
+        any_tripped := true;
+        Printf.printf "%-22s %-10.4f timeout (best so far)\n" "maxCommonSubgraph"
+          (Mcs.quality g1 m));
     let module Ged = Phom_baselines.Ged in
-    let s = Ged.similarity ~costs:(Ged.costs_of_simmat mat) g1 g2 in
+    let ged_budget = fresh () in
+    let s = Ged.similarity ~costs:(Ged.costs_of_simmat mat) ?budget:ged_budget g1 g2 in
+    note ged_budget;
     Printf.printf "%-22s %-10.4f %b\n" "editDistance" s (s >= 0.75);
     let module PF = Phom_baselines.Path_features in
     let pf = PF.similarity g1 g2 in
-    Printf.printf "%-22s %-10.4f %b\n" "pathFeatures" pf (pf >= 0.75)
+    Printf.printf "%-22s %-10.4f %b\n" "pathFeatures" pf (pf >= 0.75);
+    if !any_tripped then exit 2
   in
   let term =
     Term.(
       const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
-      $ hops_arg)
+      $ hops_arg $ timeout_arg $ steps_arg)
   in
   Cmd.v
     (Cmd.info "compare"
-       ~doc:"Run every matching notion on two graph files and tabulate.")
+       ~doc:"Run every matching notion on two graph files and tabulate. Exits \
+             2 when any method's budget ran out.")
     term
 
 (* ---- decide ---- *)
@@ -232,14 +362,15 @@ let decide_cmd =
   let injective_arg =
     Arg.(value & flag & info [ "injective"; "1-1" ] ~doc:"Decide 1-1 p-hom instead of p-hom.")
   in
-  let budget_arg =
-    Arg.(value & opt int 5_000_000 & info [ "budget" ] ~doc:"Search-node budget.")
-  in
-  let run pattern data xi sim mat_file injective budget hops =
+  let run pattern data xi sim mat_file injective hops timeout steps =
+    guard @@ fun () ->
+    check_xi xi;
+    (* an unbudgeted exact decision could run forever; keep the old default *)
+    let budget = budget_of ~default_steps:5_000_000 timeout steps in
     let g1 = load_graph pattern and g2 = load_graph data in
     let mat = matrix_of ?file:mat_file sim g1 g2 in
-    let t = instance_of ?hops g1 g2 mat xi in
-    match Phom.Prefilter.decide ~injective ~budget t with
+    let t = instance_of ?budget ?hops g1 g2 mat xi in
+    match Phom.Prefilter.decide ~injective ?budget t with
     | Some true ->
         Printf.printf "yes: G1 %s G2 at xi = %g\n"
           (if injective then "<=(1-1)" else "<=(e,p)")
@@ -252,10 +383,12 @@ let decide_cmd =
   let term =
     Term.(
       const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
-      $ injective_arg $ budget_arg $ hops_arg)
+      $ injective_arg $ hops_arg $ timeout_arg $ steps_arg)
   in
   Cmd.v
-    (Cmd.info "decide" ~doc:"Decide the NP-complete (1-1) p-hom problem exactly.")
+    (Cmd.info "decide"
+       ~doc:"Decide the NP-complete (1-1) p-hom problem exactly. Exits 2 when \
+             undecided within the budget (default: 5,000,000 steps).")
     term
 
 (* ---- witnesses ---- *)
@@ -267,12 +400,15 @@ let witnesses_cmd =
   let limit_arg =
     Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Maximum mappings to list.")
   in
-  let run pattern data xi sim mat_file hops injective limit =
+  let run pattern data xi sim mat_file hops injective limit timeout steps =
+    guard @@ fun () ->
+    check_xi xi;
+    let budget = budget_of timeout steps in
     let g1 = load_graph pattern and g2 = load_graph data in
     let mat = matrix_of ?file:mat_file sim g1 g2 in
-    let t = instance_of ?hops g1 g2 mat xi in
+    let t = instance_of ?budget ?hops g1 g2 mat xi in
     let mappings, exhaustive =
-      Phom.Exact.enumerate_optimal ~injective ~limit
+      Phom.Exact.enumerate_optimal ~injective ~limit ?budget
         ~objective:Phom.Exact.Cardinality t
     in
     Printf.printf "%d optimal mapping(s)%s\n" (List.length mappings)
@@ -285,16 +421,20 @@ let witnesses_cmd =
             Printf.printf " %s->%s" (D.label g1 v) (D.label g2 u))
           m;
         print_newline ())
-      mappings
+      mappings;
+    match budget with
+    | Some b when Budget.exhausted b || not (Budget.poll b) -> exit 2
+    | _ -> ()
   in
   let term =
     Term.(
       const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
-      $ hops_arg $ injective_arg $ limit_arg)
+      $ hops_arg $ injective_arg $ limit_arg $ timeout_arg $ steps_arg)
   in
   Cmd.v
     (Cmd.info "witnesses"
-       ~doc:"Enumerate all optimal (1-1) p-hom mappings between two graphs.")
+       ~doc:"Enumerate all optimal (1-1) p-hom mappings between two graphs. \
+             Exits 2 when --timeout/--steps truncated the enumeration.")
     term
 
 (* ---- generate ---- *)
@@ -322,6 +462,8 @@ let generate_cmd =
     Arg.(value & opt (some file) None & info [ "from" ] ~doc:"Pattern file (for data graphs).")
   in
   let run kind out n m seed noise from =
+    guard @@ fun () ->
+    if n < 0 then die "--nodes must be non-negative (got %d)" n;
     let rng = Random.State.make [| seed |] in
     let labels i = "n" ^ string_of_int i in
     let g =
@@ -332,9 +474,7 @@ let generate_cmd =
       | `Pattern -> fst (G.paper_pattern ~rng ~m:n)
       | `Data -> (
           match from with
-          | None ->
-              Printf.eprintf "data generation needs --from PATTERN\n";
-              exit 1
+          | None -> die "data generation needs --from PATTERN"
           | Some path ->
               let g1 = load_graph path in
               let pool = G.pool_for (D.n g1) in
@@ -352,9 +492,10 @@ let generate_cmd =
 
 let stats_cmd =
   let file_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Graph file.")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Graph file.")
   in
   let run path =
+    guard @@ fun () ->
     let g = load_graph path in
     let scc = Phom_graph.Scc.compute g in
     Printf.printf "nodes      : %d\n" (D.n g);
@@ -370,9 +511,9 @@ let stats_cmd =
 
 let dot_cmd =
   let file_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Graph file.")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Graph file.")
   in
-  let run path = print_string (IO.to_dot (load_graph path)) in
+  let run path = guard @@ fun () -> print_string (IO.to_dot (load_graph path)) in
   Cmd.v (Cmd.info "dot" ~doc:"Convert a graph file to Graphviz DOT on stdout.") Term.(const run $ file_arg)
 
 let () =

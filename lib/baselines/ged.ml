@@ -27,7 +27,7 @@ let costs_of_simmat mat =
      top-right     n1×n1  deletions (diagonal; ∞ off it)
      bottom-left   n2×n2  insertions (diagonal; ∞ off it)
      bottom-right  n2×n1  zeros (ε → ε)                          *)
-let approx ?costs g1 g2 =
+let approx ?costs ?budget g1 g2 =
   let c = match costs with Some c -> c | None -> default_costs g1 g2 in
   let n1 = D.n g1 and n2 = D.n g2 in
   if n1 = 0 && n2 = 0 then 0.
@@ -65,8 +65,15 @@ let approx ?costs g1 g2 =
       done
       (* bottom-right block stays 0 *)
     done;
-    let _, total = Assignment.minimize cost in
-    total
+    (* A half-finished assignment has no usable partial answer; fall back to
+       the trivial upper bound (delete one graph, insert the other) when the
+       budget trips — still an upper bound on the true edit distance, so
+       [similarity] degrades monotonically towards 0. *)
+    match Assignment.minimize ?budget cost with
+    | _, total -> total
+    | exception Phom_graph.Budget.Exhausted_budget ->
+        (c.node_indel *. float_of_int (n1 + n2))
+        +. (c.edge_indel *. float_of_int (D.nb_edges g1 + D.nb_edges g2))
   end
 
 let ged_max ?costs g1 g2 =
@@ -74,12 +81,13 @@ let ged_max ?costs g1 g2 =
   (c.node_indel *. float_of_int (D.n g1 + D.n g2))
   +. (c.edge_indel *. float_of_int (D.nb_edges g1 + D.nb_edges g2))
 
-let similarity ?costs g1 g2 =
+let similarity ?costs ?budget g1 g2 =
   if D.n g1 = 0 && D.n g2 = 0 then 1.0
   else begin
     let mx = ged_max ?costs g1 g2 in
     if mx <= 0. then 1.0
-    else Float.max 0. (1. -. (approx ?costs g1 g2 /. mx))
+    else Float.max 0. (1. -. (approx ?costs ?budget g1 g2 /. mx))
   end
 
-let matches ?costs ?(threshold = 0.75) g1 g2 = similarity ?costs g1 g2 >= threshold
+let matches ?costs ?budget ?(threshold = 0.75) g1 g2 =
+  similarity ?costs ?budget g1 g2 >= threshold

@@ -24,15 +24,29 @@ val default_costs :
 val costs_of_simmat : Phom_sim.Simmat.t -> costs
 (** Substitution cost [1 − mat(v, u)] — the similarity-aware variant. *)
 
-val approx : ?costs:costs -> Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> float
-(** The assignment-based GED upper bound. 0 for identical graphs. *)
+val approx :
+  ?costs:costs ->
+  ?budget:Phom_graph.Budget.t ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  float
+(** The assignment-based GED upper bound. 0 for identical graphs. An
+    exhausted [budget] falls back to the trivial upper bound (delete one
+    graph, insert the other) — still an upper bound, never raises. *)
 
-val similarity : ?costs:costs -> Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> float
+val similarity :
+  ?costs:costs ->
+  ?budget:Phom_graph.Budget.t ->
+  Phom_graph.Digraph.t ->
+  Phom_graph.Digraph.t ->
+  float
 (** [1 − ged / ged_max] where [ged_max] deletes one graph and inserts the
-    other; in [[0, 1]], 1.0 for identical graphs. *)
+    other; in [[0, 1]], 1.0 for identical graphs. Under an exhausted
+    [budget] this degrades towards 0 (never above the unbudgeted value). *)
 
 val matches :
   ?costs:costs ->
+  ?budget:Phom_graph.Budget.t ->
   ?threshold:float ->
   Phom_graph.Digraph.t ->
   Phom_graph.Digraph.t ->

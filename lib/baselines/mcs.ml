@@ -1,12 +1,13 @@
 module D = Phom_graph.Digraph
+module Budget = Phom_graph.Budget
 module Ungraph = Phom_wis.Ungraph
 module Wis = Phom_wis.Wis
 
-type outcome = Completed of Phom.Mapping.t | Timed_out
+type outcome = Completed of Phom.Mapping.t | Timed_out of Phom.Mapping.t
 
 let default_compat g1 g2 v u = String.equal (D.label g1 v) (D.label g2 u)
 
-let modular_product compat g1 g2 =
+let modular_product budget compat g1 g2 =
   let n2 = D.n g2 in
   let pairs = ref [] in
   for v = D.n g1 - 1 downto 0 do
@@ -18,35 +19,38 @@ let modular_product compat g1 g2 =
   let pairs = Array.of_list !pairs in
   let np = Array.length pairs in
   let edges = ref [] in
-  for i = 0 to np - 1 do
-    let v1, u1 = pairs.(i) in
-    for j = i + 1 to np - 1 do
-      let v2, u2 = pairs.(j) in
-      if
-        v1 <> v2 && u1 <> u2
-        && D.has_edge g1 v1 v2 = D.has_edge g2 u1 u2
-        && D.has_edge g1 v2 v1 = D.has_edge g2 u2 u1
-      then edges := (i, j) :: !edges
-    done
-  done;
+  (* Budget trips mid-construction leave a prefix of the edge rows: the
+     partial product is a subgraph of the full one, so any clique found in
+     it is still a valid (if smaller) common subgraph. *)
+  (try
+     for i = 0 to np - 1 do
+       Budget.tick_exn budget;
+       let v1, u1 = pairs.(i) in
+       for j = i + 1 to np - 1 do
+         let v2, u2 = pairs.(j) in
+         if
+           v1 <> v2 && u1 <> u2
+           && D.has_edge g1 v1 v2 = D.has_edge g2 u1 u2
+           && D.has_edge g1 v2 v1 = D.has_edge g2 u2 u1
+         then edges := (i, j) :: !edges
+       done
+     done
+   with Budget.Exhausted_budget -> ());
   (Ungraph.create np !edges, pairs)
 
-let run ?node_compat ?(budget = 10_000_000) ?time_limit g1 g2 =
+let run ?node_compat ?budget g1 g2 =
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ~steps:10_000_000 ()
+  in
   let compat =
     match node_compat with Some f -> f | None -> default_compat g1 g2
   in
-  let product, pairs = modular_product compat g1 g2 in
-  let should_stop =
-    match time_limit with
-    | None -> fun () -> false
-    | Some limit ->
-        let started = Sys.time () in
-        fun () -> Sys.time () -. started > limit
-  in
-  match Wis.exact_max_clique ~budget ~should_stop product with
-  | None -> Timed_out
-  | Some clique ->
-      Completed (Phom.Mapping.normalize (List.map (fun i -> pairs.(i)) clique))
+  let product, pairs = modular_product budget compat g1 g2 in
+  let clique, status = Wis.exact_max_clique ~budget product in
+  let m = Phom.Mapping.normalize (List.map (fun i -> pairs.(i)) clique) in
+  match status with
+  | Budget.Complete -> Completed m
+  | Budget.Exhausted _ -> Timed_out m
 
 let quality g1 m =
   if D.n g1 = 0 then 1.0

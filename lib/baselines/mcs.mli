@@ -11,18 +11,21 @@
 type outcome =
   | Completed of Phom.Mapping.t
       (** node pairs of a maximum common induced subgraph *)
-  | Timed_out
+  | Timed_out of Phom.Mapping.t
+      (** budget exhausted; carries the largest common subgraph found so
+          far (valid per {!is_common_subgraph}, possibly empty) *)
 
 val run :
   ?node_compat:(int -> int -> bool) ->
-  ?budget:int ->
-  ?time_limit:float ->
+  ?budget:Phom_graph.Budget.t ->
   Phom_graph.Digraph.t ->
   Phom_graph.Digraph.t ->
   outcome
-(** [time_limit] in seconds of elapsed CPU time (default none); [budget]
-    caps clique search nodes (default 10⁷); [node_compat] defaults to label
-    equality. *)
+(** [budget] covers both the modular-product construction (one tick per
+    product row) and the clique search (one tick per search node); defaults
+    to a fresh 10⁷-step token. [node_compat] defaults to label equality.
+    Pass [Budget.create ~timeout:secs ()] to reproduce the old
+    [time_limit] behaviour. *)
 
 val quality : Phom_graph.Digraph.t -> Phom.Mapping.t -> float
 (** [|mapping| / |V1|] — the MCS instance of [qualCard] (MCS is the special

@@ -1,14 +1,25 @@
 module D = Phom_graph.Digraph
 module Bitset = Phom_graph.Bitset
+module Budget = Phom_graph.Budget
 
 let default_compat g1 g2 v u = String.equal (D.label g1 v) (D.label g2 u)
 
 type engine = Naive | Hhk
 
+let resolve = function Some b -> b | None -> Budget.unlimited ()
+
+(* All three fixpoints refine downward from the full compatibility relation,
+   so stopping early returns an over-approximation of the greatest
+   simulation: every truly simulating pair is still present, but some pairs
+   that further rounds would prune may remain. Conservative for the match
+   rule (no missed matches, possibly spurious ones) — the mirror image of
+   the closure under-approximation. *)
+
 (* HHK counting refinement: cnt.(v).(u) = |succ2(u) ∩ sim(v)|; a pair (v,u)
    dies when some pattern child v' of v has cnt.(v').(u) = 0, and every
    death decrements the counters of the data predecessors. *)
-let compute_hhk compat g1 g2 =
+let compute_hhk ?budget compat g1 g2 =
+  let budget = resolve budget in
   let n1 = D.n g1 and n2 = D.n g2 in
   let sim =
     Array.init n1 (fun v ->
@@ -35,31 +46,36 @@ let compute_hhk compat g1 g2 =
       Queue.add (v, u) queue
     end
   in
-  (* initial sweep: pairs whose children are unsupported from the start *)
-  for v = 0 to n1 - 1 do
-    let victims =
-      Bitset.fold
-        (fun u acc ->
-          if Array.exists (fun v' -> cnt.(v').(u) = 0) (D.succ g1 v) then
-            u :: acc
-          else acc)
-        sim.(v) []
-    in
-    List.iter (fun u -> kill v u) victims
-  done;
-  while not (Queue.is_empty queue) do
-    let v', u' = Queue.pop queue in
-    (* (v',u') has left sim: data predecessors of u' lose one supporter of
-       pattern node v' *)
-    Array.iter
-      (fun u ->
-        cnt.(v').(u) <- cnt.(v').(u) - 1;
-        if cnt.(v').(u) = 0 then Array.iter (fun v -> kill v u) (D.pred g1 v'))
-      (D.pred g2 u')
-  done;
+  (try
+     (* initial sweep: pairs whose children are unsupported from the start *)
+     for v = 0 to n1 - 1 do
+       Budget.tick_exn budget;
+       let victims =
+         Bitset.fold
+           (fun u acc ->
+             if Array.exists (fun v' -> cnt.(v').(u) = 0) (D.succ g1 v) then
+               u :: acc
+             else acc)
+           sim.(v) []
+       in
+       List.iter (fun u -> kill v u) victims
+     done;
+     while not (Queue.is_empty queue) do
+       Budget.tick_exn budget;
+       let v', u' = Queue.pop queue in
+       (* (v',u') has left sim: data predecessors of u' lose one supporter of
+          pattern node v' *)
+       Array.iter
+         (fun u ->
+           cnt.(v').(u) <- cnt.(v').(u) - 1;
+           if cnt.(v').(u) = 0 then Array.iter (fun v -> kill v u) (D.pred g1 v'))
+         (D.pred g2 u')
+     done
+   with Budget.Exhausted_budget -> ());
   sim
 
-let compute_with compat g1 g2 =
+let compute_with ?budget compat g1 g2 =
+  let budget = resolve budget in
   let n1 = D.n g1 and n2 = D.n g2 in
   let sim =
     Array.init n1 (fun v ->
@@ -71,44 +87,48 @@ let compute_with compat g1 g2 =
   in
   (* prune u from sim(v) when some child of v has no simulating successor of
      u; iterate to the greatest fixpoint *)
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for v = 0 to n1 - 1 do
-      let bad = ref [] in
-      Bitset.iter
-        (fun u ->
-          let ok =
-            Array.for_all
-              (fun v' ->
-                Array.exists (fun u' -> Bitset.mem sim.(v') u') (D.succ g2 u))
-              (D.succ g1 v)
-          in
-          if not ok then bad := u :: !bad)
-        sim.(v);
-      if !bad <> [] then begin
-        changed := true;
-        List.iter (Bitset.remove sim.(v)) !bad
-      end
-    done
-  done;
+  (try
+     let changed = ref true in
+     while !changed do
+       changed := false;
+       for v = 0 to n1 - 1 do
+         Budget.tick_exn budget;
+         let bad = ref [] in
+         Bitset.iter
+           (fun u ->
+             let ok =
+               Array.for_all
+                 (fun v' ->
+                   Array.exists (fun u' -> Bitset.mem sim.(v') u') (D.succ g2 u))
+                 (D.succ g1 v)
+             in
+             if not ok then bad := u :: !bad)
+           sim.(v);
+         if !bad <> [] then begin
+           changed := true;
+           List.iter (Bitset.remove sim.(v)) !bad
+         end
+       done
+     done
+   with Budget.Exhausted_budget -> ());
   sim
 
-let compute ?(engine = Hhk) ?node_compat g1 g2 =
+let compute ?(engine = Hhk) ?node_compat ?budget g1 g2 =
   let compat =
     match node_compat with Some f -> f | None -> default_compat g1 g2
   in
   match engine with
-  | Naive -> compute_with compat g1 g2
-  | Hhk -> compute_hhk compat g1 g2
+  | Naive -> compute_with ?budget compat g1 g2
+  | Hhk -> compute_hhk ?budget compat g1 g2
 
-let of_simmat ~mat ~xi g1 g2 =
-  compute_hhk (fun v u -> Phom_sim.Simmat.get mat v u >= xi) g1 g2
+let of_simmat ?budget ~mat ~xi g1 g2 =
+  compute_hhk ?budget (fun v u -> Phom_sim.Simmat.get mat v u >= xi) g1 g2
 
-let dual ?node_compat g1 g2 =
+let dual ?node_compat ?budget g1 g2 =
   let compat =
     match node_compat with Some f -> f | None -> default_compat g1 g2
   in
+  let budget = resolve budget in
   let n1 = D.n g1 and n2 = D.n g2 in
   let sim =
     Array.init n1 (fun v ->
@@ -118,34 +138,37 @@ let dual ?node_compat g1 g2 =
         done;
         s)
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for v = 0 to n1 - 1 do
-      let bad =
-        Bitset.fold
-          (fun u acc ->
-            let child_ok =
-              Array.for_all
-                (fun v' ->
-                  Array.exists (fun u' -> Bitset.mem sim.(v') u') (D.succ g2 u))
-                (D.succ g1 v)
-            in
-            let parent_ok =
-              Array.for_all
-                (fun v'' ->
-                  Array.exists (fun u'' -> Bitset.mem sim.(v'') u'') (D.pred g2 u))
-                (D.pred g1 v)
-            in
-            if child_ok && parent_ok then acc else u :: acc)
-          sim.(v) []
-      in
-      if bad <> [] then begin
-        changed := true;
-        List.iter (Bitset.remove sim.(v)) bad
-      end
-    done
-  done;
+  (try
+     let changed = ref true in
+     while !changed do
+       changed := false;
+       for v = 0 to n1 - 1 do
+         Budget.tick_exn budget;
+         let bad =
+           Bitset.fold
+             (fun u acc ->
+               let child_ok =
+                 Array.for_all
+                   (fun v' ->
+                     Array.exists (fun u' -> Bitset.mem sim.(v') u') (D.succ g2 u))
+                   (D.succ g1 v)
+               in
+               let parent_ok =
+                 Array.for_all
+                   (fun v'' ->
+                     Array.exists (fun u'' -> Bitset.mem sim.(v'') u'') (D.pred g2 u))
+                   (D.pred g1 v)
+               in
+               if child_ok && parent_ok then acc else u :: acc)
+             sim.(v) []
+         in
+         if bad <> [] then begin
+           changed := true;
+           List.iter (Bitset.remove sim.(v)) bad
+         end
+       done
+     done
+   with Budget.Exhausted_budget -> ());
   sim
 
 let matches_whole_graph sim =

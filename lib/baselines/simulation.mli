@@ -20,13 +20,21 @@ type engine = Naive | Hhk
 val compute :
   ?engine:engine ->
   ?node_compat:(int -> int -> bool) ->
+  ?budget:Phom_graph.Budget.t ->
   Phom_graph.Digraph.t ->
   Phom_graph.Digraph.t ->
   Phom_graph.Bitset.t array
 (** [compute g1 g2].(v) is the set of [G2] nodes that simulate [v].
-    [node_compat] defaults to label equality; [engine] to [Hhk]. *)
+    [node_compat] defaults to label equality; [engine] to [Hhk].
+
+    The fixpoint refines downward from full compatibility, so an exhausted
+    [budget] (one tick per worklist pop / fixpoint row) stops the pruning
+    early and returns an {e over-approximation} of the greatest simulation:
+    no truly simulating pair is ever missing, some doomed pairs may remain
+    — conservative for {!matches_whole_graph}. *)
 
 val of_simmat :
+  ?budget:Phom_graph.Budget.t ->
   mat:Phom_sim.Simmat.t ->
   xi:float ->
   Phom_graph.Digraph.t ->
@@ -37,6 +45,7 @@ val of_simmat :
 
 val dual :
   ?node_compat:(int -> int -> bool) ->
+  ?budget:Phom_graph.Budget.t ->
   Phom_graph.Digraph.t ->
   Phom_graph.Digraph.t ->
   Phom_graph.Bitset.t array

@@ -1,10 +1,14 @@
 module D = Phom_graph.Digraph
+module Budget = Phom_graph.Budget
 
-type outcome = Found of Phom.Mapping.t | Not_found_ | Gave_up
+type outcome = Found of Phom.Mapping.t | Not_found_ | Gave_up of Phom.Mapping.t
 
 let default_compat g1 g2 v u = String.equal (D.label g1 v) (D.label g2 u)
 
-let find ?node_compat ?(budget = 5_000_000) g1 g2 =
+let find ?node_compat ?budget g1 g2 =
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ~steps:5_000_000 ()
+  in
   let compat =
     match node_compat with Some f -> f | None -> default_compat g1 g2
   in
@@ -28,8 +32,10 @@ let find ?node_compat ?(budget = 5_000_000) g1 g2 =
     Array.sort (fun a b -> compare (Array.length cands.(a)) (Array.length cands.(b))) order;
     let assigned = Array.make n1 (-1) in
     let used = Array.make n2 false in
-    let steps = ref 0 in
-    let exception Out_of_budget in
+    (* deepest consistent partial assignment seen — the anytime answer when
+       the budget trips (every prefix along [order] is a partial embedding) *)
+    let best_depth = ref 0 in
+    let best = ref [] in
     let exception Done in
     let consistent v u =
       (not used.(u))
@@ -41,8 +47,11 @@ let find ?node_compat ?(budget = 5_000_000) g1 g2 =
            (D.pred g1 v)
     in
     let rec go k =
-      incr steps;
-      if !steps > budget then raise Out_of_budget;
+      Budget.tick_exn budget;
+      if k > !best_depth then begin
+        best_depth := k;
+        best := List.init k (fun i -> (order.(i), assigned.(order.(i))))
+      end;
       if k = n1 then raise Done
       else begin
         let v = order.(k) in
@@ -64,14 +73,14 @@ let find ?node_compat ?(budget = 5_000_000) g1 g2 =
     with
     | Done ->
         Found (Phom.Mapping.normalize (List.init n1 (fun v -> (v, assigned.(v)))))
-    | Out_of_budget -> Gave_up
+    | Budget.Exhausted_budget -> Gave_up (Phom.Mapping.normalize !best)
   end
 
 let exists ?node_compat ?budget g1 g2 =
   match find ?node_compat ?budget g1 g2 with
   | Found _ -> Some true
   | Not_found_ -> Some false
-  | Gave_up -> None
+  | Gave_up _ -> None
 
 let is_embedding g1 g2 m =
   Phom.Mapping.size m = D.n g1
@@ -82,6 +91,18 @@ let is_embedding g1 g2 m =
            (fun v' ->
              match Phom.Mapping.apply m v' with
              | None -> false
+             | Some u' -> D.has_edge g2 u u')
+           (D.succ g1 v))
+       m
+
+let is_partial_embedding g1 g2 m =
+  Phom.Mapping.is_injective m
+  && List.for_all
+       (fun (v, u) ->
+         Array.for_all
+           (fun v' ->
+             match Phom.Mapping.apply m v' with
+             | None -> true
              | Some u' -> D.has_edge g2 u u')
            (D.succ g1 v))
        m

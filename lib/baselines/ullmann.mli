@@ -9,20 +9,23 @@
 type outcome =
   | Found of Phom.Mapping.t
   | Not_found_
-  | Gave_up  (** search budget exhausted *)
+  | Gave_up of Phom.Mapping.t
+      (** budget exhausted; carries the deepest consistent {e partial}
+          embedding reached (valid per {!is_partial_embedding}, possibly
+          empty) *)
 
 val find :
   ?node_compat:(int -> int -> bool) ->
-  ?budget:int ->
+  ?budget:Phom_graph.Budget.t ->
   Phom_graph.Digraph.t ->
   Phom_graph.Digraph.t ->
   outcome
-(** [node_compat] defaults to label equality; [budget] caps search nodes
-    (default 5,000,000). *)
+(** [node_compat] defaults to label equality; [budget] defaults to a fresh
+    5·10⁶-step token (one tick per search node). *)
 
 val exists :
   ?node_compat:(int -> int -> bool) ->
-  ?budget:int ->
+  ?budget:Phom_graph.Budget.t ->
   Phom_graph.Digraph.t ->
   Phom_graph.Digraph.t ->
   bool option
@@ -31,3 +34,8 @@ val exists :
 val is_embedding :
   Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> Phom.Mapping.t -> bool
 (** Test oracle: total, injective, edge-preserving. *)
+
+val is_partial_embedding :
+  Phom_graph.Digraph.t -> Phom_graph.Digraph.t -> Phom.Mapping.t -> bool
+(** Test oracle for anytime results: injective and edge-preserving on the
+    mapped nodes only (edges with an unmapped endpoint are unconstrained). *)

@@ -1,10 +1,16 @@
 module D = Phom_graph.Digraph
+module Budget = Phom_graph.Budget
 
 type problem = CPH | CPH11 | SPH | SPH11
 
 type algorithm = Direct | Naive_product | Exact_bb
 
-type result = { problem : problem; mapping : Mapping.t; quality : float }
+type result = {
+  problem : problem;
+  mapping : Mapping.t;
+  quality : float;
+  status : Budget.status;
+}
 
 let injective = function CPH | SPH -> false | CPH11 | SPH11 -> true
 
@@ -16,22 +22,32 @@ let problem_name = function
 
 let default_weights (t : Instance.t) = Array.make (D.n t.g1) 1.
 
-let solve ?(algorithm = Direct) ?weights ?(partition = false) ?(compress = false)
-    problem (t : Instance.t) =
+let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
+    ?(compress = false) ?budget problem (t : Instance.t) =
   let inj = injective problem in
   let weights = match weights with Some w -> w | None -> default_weights t in
+  (* Exact_bb without an explicit budget runs on its own default token;
+     record a trip so the caller still learns the result may be partial. *)
+  let inner_status = ref Budget.Complete in
+  let exact sub objective =
+    let o = Exact.solve ~injective:inj ?budget ~objective sub in
+    (match o.Exact.status with
+    | Budget.Exhausted _ as s -> inner_status := s
+    | Budget.Complete -> ());
+    o.Exact.mapping
+  in
   (* [w] below is always re-indexed to the g1 of the sub-instance at hand
      (partitioning renumbers g1 nodes; compression leaves g1 intact) *)
   let base_algo (sub : Instance.t) w =
     match (algorithm, problem) with
-    | Direct, (CPH | CPH11) -> Comp_max_card.run ~injective:inj sub
-    | Direct, (SPH | SPH11) -> Comp_max_sim.run ~injective:inj ~weights:w sub
-    | Naive_product, (CPH | CPH11) -> Naive.max_card ~injective:inj sub
-    | Naive_product, (SPH | SPH11) -> Naive.max_sim ~injective:inj ~weights:w sub
-    | Exact_bb, (CPH | CPH11) ->
-        (Exact.solve ~injective:inj ~objective:Exact.Cardinality sub).Exact.mapping
-    | Exact_bb, (SPH | SPH11) ->
-        (Exact.solve ~injective:inj ~objective:(Exact.Similarity w) sub).Exact.mapping
+    | Direct, (CPH | CPH11) -> Comp_max_card.run ~injective:inj ?budget sub
+    | Direct, (SPH | SPH11) ->
+        Comp_max_sim.run ~injective:inj ?budget ~weights:w sub
+    | Naive_product, (CPH | CPH11) -> Naive.max_card ~injective:inj ?budget sub
+    | Naive_product, (SPH | SPH11) ->
+        Naive.max_sim ~injective:inj ?budget ~weights:w sub
+    | Exact_bb, (CPH | CPH11) -> exact sub Exact.Cardinality
+    | Exact_bb, (SPH | SPH11) -> exact sub (Exact.Similarity w)
   in
   let compressed_algo sub w =
     if compress then
@@ -40,7 +56,8 @@ let solve ?(algorithm = Direct) ?weights ?(partition = false) ?(compress = false
           (* thread clique capacities through the direct algorithm *)
           let c = Opts.compress sub in
           let m =
-            Comp_max_card.run ~injective:inj ~capacities:c.Opts.capacities c.Opts.sub
+            Comp_max_card.run ~injective:inj ?budget
+              ~capacities:c.Opts.capacities c.Opts.sub
           in
           Opts.decompress ~injective:inj c m
       | _ -> Opts.with_compression ~injective:inj (fun s -> base_algo s w) sub
@@ -59,7 +76,18 @@ let solve ?(algorithm = Direct) ?weights ?(partition = false) ?(compress = false
     | CPH | CPH11 -> Instance.qual_card t mapping
     | SPH | SPH11 -> Instance.qual_sim ~weights t mapping
   in
-  { problem; mapping; quality }
+  let status =
+    match budget with
+    | Some b -> (
+        match Budget.status b with
+        | Budget.Exhausted _ as s -> s
+        | Budget.Complete -> !inner_status)
+    | None -> !inner_status
+  in
+  { problem; mapping; quality; status }
+
+let solve ?algorithm ?weights ?partition ?compress problem t =
+  solve_within ?algorithm ?weights ?partition ?compress problem t
 
 let matches ?(threshold = 0.75) r = r.quality >= threshold
 
@@ -82,6 +110,12 @@ let report (t : Instance.t) r =
        (problem_name r.problem) r.quality
        (Mapping.size r.mapping)
        (D.n t.g1));
+  (match r.status with
+  | Budget.Complete -> ()
+  | Budget.Exhausted reason ->
+      Buffer.add_string buf
+        (Printf.sprintf "  (budget exhausted: %s — best result found so far)\n"
+           (Budget.string_of_reason reason)));
   List.iter
     (fun (v, u) ->
       Buffer.add_string buf

@@ -6,6 +6,15 @@
       let t = Phom.Instance.make ~g1 ~g2 ~mat ~xi:0.75 () in
       let r = Phom.Api.solve Phom.Api.CPH t in
       if Phom.Api.matches r then ...
+    ]}
+
+    With a resource budget (anytime use — e.g. answer within 100ms):
+    {[
+      let budget = Phom_graph.Budget.create ~timeout:0.1 () in
+      let r = Phom.Api.solve_within ~budget Phom.Api.CPH t in
+      match r.Phom.Api.status with
+      | Phom_graph.Budget.Complete -> ...      (* full-quality answer *)
+      | Phom_graph.Budget.Exhausted _ -> ...   (* valid, best found so far *)
     ]} *)
 
 (** The four optimization problems of Table 1. *)
@@ -25,11 +34,37 @@ type result = {
   problem : problem;
   mapping : Mapping.t;
   quality : float;  (** [qualCard] or [qualSim] of the mapping *)
+  status : Phom_graph.Budget.status;
+      (** [Complete] when the solver ran to its natural end; [Exhausted _]
+          when the budget tripped and [mapping] is the (valid) best found
+          so far *)
 }
 
 val injective : problem -> bool
 val problem_name : problem -> string
 (** ["CPH"], ["CPH1-1"], ["SPH"], ["SPH1-1"]. *)
+
+val solve_within :
+  ?algorithm:algorithm ->
+  ?weights:float array ->
+  ?partition:bool ->
+  ?compress:bool ->
+  ?budget:Phom_graph.Budget.t ->
+  problem ->
+  Instance.t ->
+  result
+(** [weights] applies to SPH/SPH¹⁻¹ (default all ones). [partition] enables
+    the Appendix-B G1 partitioning (p-hom problems only — ignored for the
+    1-1 problems, whose mappings cannot be unioned safely); [compress]
+    enables the Appendix-B G2 compression. Both default to [false].
+
+    [budget] is a single token shared by every phase the call runs
+    (prefilters, clique search, branch and bound); when it trips, the
+    returned [mapping] is still a valid (1-1) p-hom mapping — the best
+    found so far — and [status] is [Exhausted _]. Without [budget] the
+    approximation algorithms run to completion; [Exact_bb] retains its
+    internal safety budget (a 5·10⁶-step token) and reports through
+    [status] if it tripped. *)
 
 val solve :
   ?algorithm:algorithm ->
@@ -39,10 +74,7 @@ val solve :
   problem ->
   Instance.t ->
   result
-(** [weights] applies to SPH/SPH¹⁻¹ (default all ones). [partition] enables
-    the Appendix-B G1 partitioning (p-hom problems only — ignored for the
-    1-1 problems, whose mappings cannot be unioned safely); [compress]
-    enables the Appendix-B G2 compression. Both default to [false]. *)
+(** {!solve_within} without a budget. *)
 
 val matches : ?threshold:float -> result -> bool
 (** The experiments' match rule: quality ≥ [threshold] (default 0.75). *)
@@ -52,10 +84,13 @@ val report : Instance.t -> result -> string
     its similarity, and for every pattern edge inside the mapping's domain
     the shortest witness path of [g2] it maps to. The explainability
     surface of the library — what a reviewer checks before believing a
-    match. *)
+    match. Notes an exhausted budget when [status] is [Exhausted _]. *)
 
-val decide_phom : ?budget:int -> Instance.t -> bool option
-(** [G1 ⪯(e,p) G2] — exact, exponential worst case. *)
+val decide_phom :
+  ?budget:Phom_graph.Budget.t -> Instance.t -> bool option
+(** [G1 ⪯(e,p) G2] — exact, exponential worst case. [None] when the budget
+    tripped before an answer was reached. *)
 
-val decide_one_one_phom : ?budget:int -> Instance.t -> bool option
+val decide_one_one_phom :
+  ?budget:Phom_graph.Budget.t -> Instance.t -> bool option
 (** [G1 ⪯¹⁻¹(e,p) G2]. *)

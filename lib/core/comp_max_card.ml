@@ -8,7 +8,11 @@ let initial_caps h =
       ML.Int_set.fold add e.ML.minus (ML.Int_set.fold add e.ML.good acc))
     h ML.Int_map.empty
 
-let run_on ?(injective = false) ?capacities ?(pick = `Best_sim) (t : Instance.t) h0 =
+let run_on ?(injective = false) ?budget ?capacities ?(pick = `Best_sim)
+    (t : Instance.t) h0 =
+  let budget =
+    match budget with Some b -> b | None -> Phom_graph.Budget.unlimited ()
+  in
   let mode =
     if injective then
       `Capacitated (Option.value capacities ~default:(initial_caps h0))
@@ -20,9 +24,12 @@ let run_on ?(injective = false) ?capacities ?(pick = `Best_sim) (t : Instance.t)
     | `First -> fun _ goods -> ML.Int_set.min_elt goods
   in
   let rec loop h best =
-    if ML.size h <= Mapping.size best then best
+    if ML.size h <= Mapping.size best || Phom_graph.Budget.exhausted budget then
+      best
     else begin
-      let { Greedy.sigma; conflict } = Greedy.run ~g1:t.g1 ~tc2:t.tc2 ~choose_u ~mode h in
+      let { Greedy.sigma; conflict } =
+        Greedy.run ~budget ~g1:t.g1 ~tc2:t.tc2 ~choose_u ~mode h
+      in
       let best = if Mapping.size sigma > Mapping.size best then sigma else best in
       (* [conflict] is non-empty whenever [h] is, so the loop shrinks [h];
          the guard is pure defensive programming *)
@@ -31,5 +38,6 @@ let run_on ?(injective = false) ?capacities ?(pick = `Best_sim) (t : Instance.t)
   in
   loop h0 []
 
-let run ?injective ?capacities ?pick t =
-  run_on ?injective ?capacities ?pick t (ML.of_candidates (Instance.candidates t))
+let run ?injective ?budget ?capacities ?pick t =
+  run_on ?injective ?budget ?capacities ?pick t
+    (ML.of_candidates (Instance.candidates t))

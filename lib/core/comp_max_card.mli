@@ -9,12 +9,16 @@
 
 val run :
   ?injective:bool ->
+  ?budget:Phom_graph.Budget.t ->
   ?capacities:int Matching_list.Int_map.t ->
   ?pick:[ `Best_sim | `First ] ->
   Instance.t ->
   Mapping.t
 (** The returned mapping is always a valid (1-1 when [injective]) p-hom
-    mapping from an induced subgraph of [g1] to [g2].
+    mapping from an induced subgraph of [g1] to [g2] — also under an
+    exhausted [budget], which stops the greedyMatch iteration early and
+    returns the best mapping found so far (check
+    {!Phom_graph.Budget.status} on the token to distinguish).
 
     [capacities] (only meaningful with [injective]) overrides the per-target
     capacity of 1 — the hook used when [g2] is an Appendix-B compressed
@@ -28,6 +32,7 @@ val run :
 
 val run_on :
   ?injective:bool ->
+  ?budget:Phom_graph.Budget.t ->
   ?capacities:int Matching_list.Int_map.t ->
   ?pick:[ `Best_sim | `First ] ->
   Instance.t ->

@@ -39,7 +39,10 @@ let matching_list_of_pairs pairs =
       Matching_list.set_good h v (ML.Int_set.add u (Matching_list.good h v)))
     ML.empty pairs
 
-let run ?(injective = false) ?weights ?pick (t : Instance.t) =
+let run ?(injective = false) ?budget ?weights ?pick (t : Instance.t) =
+  let budget =
+    match budget with Some b -> b | None -> Phom_graph.Budget.unlimited ()
+  in
   let weights =
     match weights with None -> Array.make (D.n t.g1) 1. | Some w -> w
   in
@@ -51,8 +54,13 @@ let run ?(injective = false) ?weights ?pick (t : Instance.t) =
     full :: List.map matching_list_of_pairs (weight_groups t weights cands)
   in
   let score = Instance.qual_sim ~weights t in
+  (* the weight groups share one token; once it trips, the remaining groups
+     are skipped and the best mapping scored so far is returned *)
   List.fold_left
     (fun best h ->
-      let m = Comp_max_card.run_on ~injective ?pick t h in
-      if score m > score best then m else best)
+      if Phom_graph.Budget.exhausted budget then best
+      else begin
+        let m = Comp_max_card.run_on ~injective ~budget ?pick t h in
+        if score m > score best then m else best
+      end)
     [] candidates_lists

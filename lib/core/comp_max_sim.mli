@@ -12,10 +12,13 @@
 
 val run :
   ?injective:bool ->
+  ?budget:Phom_graph.Budget.t ->
   ?weights:float array ->
   ?pick:[ `Best_sim | `First ] ->
   Instance.t ->
   Mapping.t
 (** [weights] are the node-importance weights [w(v)] of Section 3.3
     (hub/authority/degree); they default to all ones, as in the paper's
-    experiments. [pick] as in {!Comp_max_card.run}. *)
+    experiments. [pick] as in {!Comp_max_card.run}. The weight groups draw
+    on a single [budget] token; exhaustion skips the remaining groups and
+    returns the best (still valid) mapping scored so far. *)

@@ -1,20 +1,27 @@
 module D = Phom_graph.Digraph
 module BM = Phom_graph.Bitmatrix
+module Budget = Phom_graph.Budget
 module Simmat = Phom_sim.Simmat
 
 type objective = Cardinality | Similarity of float array
 
-type outcome = { mapping : Mapping.t; optimal : bool }
+type outcome = { mapping : Mapping.t; status : Budget.status }
 
 let pair_value objective (t : Instance.t) v u =
   match objective with
   | Cardinality -> 1.
   | Similarity w -> w.(v) *. Simmat.get t.mat v u
 
-exception Out_of_budget
 exception Solved
 
-let solve ?(injective = false) ?(budget = 5_000_000) ~objective (t : Instance.t) =
+(* preserve the historical safety net: an un-budgeted call still stops after
+   5M search nodes rather than running away on an adversarial instance *)
+let default_budget () = Budget.create ~steps:5_000_000 ()
+
+let resolve_budget = function Some b -> b | None -> default_budget ()
+
+let solve ?(injective = false) ?budget ~objective (t : Instance.t) =
+  let budget = resolve_budget budget in
   let n1 = D.n t.g1 in
   let cands = Instance.candidates t in
   (* process scarce nodes first: fail early, prune hard *)
@@ -39,7 +46,6 @@ let solve ?(injective = false) ?(budget = 5_000_000) ~objective (t : Instance.t)
   let assigned = Array.make n1 (-1) in
   let used = Hashtbl.create 97 in
   let best = ref [] and best_value = ref neg_infinity in
-  let steps = ref 0 in
   let consistent v u =
     (not (injective && Hashtbl.mem used u))
     && Array.for_all
@@ -61,8 +67,7 @@ let solve ?(injective = false) ?(budget = 5_000_000) ~objective (t : Instance.t)
     end
   in
   let rec go k value =
-    incr steps;
-    if !steps > budget then raise Out_of_budget;
+    Budget.tick_exn budget;
     if k = n1 then record value
     else if value +. suffix_bound.(k) <= !best_value then ()
     else begin
@@ -81,18 +86,20 @@ let solve ?(injective = false) ?(budget = 5_000_000) ~objective (t : Instance.t)
       go (k + 1) value
     end
   in
-  let optimal =
+  let status =
     try
       go 0 0.;
-      true
+      Budget.Complete
     with
-    | Out_of_budget -> false
-    | Solved -> true
+    | Budget.Exhausted_budget -> Budget.status budget
+    | Solved -> Budget.Complete
   in
-  { mapping = Mapping.normalize !best; optimal }
+  { mapping = Mapping.normalize !best; status }
 
-let enumerate_optimal ?(injective = false) ?(budget = 5_000_000) ?(limit = 100)
+let enumerate_optimal ?(injective = false) ?budget ?(limit = 100)
     ~objective (t : Instance.t) =
+  (* one token covers both the optimization and the enumeration pass *)
+  let budget = resolve_budget budget in
   let opt = solve ~injective ~budget ~objective t in
   let target_value =
     match objective with
@@ -121,8 +128,8 @@ let enumerate_optimal ?(injective = false) ?(budget = 5_000_000) ?(limit = 100)
   done;
   let assigned = Array.make n1 (-1) in
   let used = Hashtbl.create 97 in
-  let found = ref [] and count = ref 0 and steps = ref 0 in
-  let truncated = ref (not opt.optimal) in
+  let found = ref [] and count = ref 0 in
+  let truncated = ref (opt.status <> Budget.Complete) in
   let consistent v u =
     (not (injective && Hashtbl.mem used u))
     && Array.for_all
@@ -134,8 +141,7 @@ let enumerate_optimal ?(injective = false) ?(budget = 5_000_000) ?(limit = 100)
   in
   let exception Stop in
   let rec go k value =
-    incr steps;
-    if !steps > budget then begin
+    if not (Budget.tick budget) then begin
       truncated := true;
       raise Stop
     end;
@@ -173,7 +179,8 @@ let enumerate_optimal ?(injective = false) ?(budget = 5_000_000) ?(limit = 100)
   let mappings = List.sort_uniq compare (List.rev !found) in
   (mappings, not !truncated)
 
-let decide ?(injective = false) ?(budget = 5_000_000) ?candidates (t : Instance.t) =
+let decide ?(injective = false) ?budget ?candidates (t : Instance.t) =
+  let budget = resolve_budget budget in
   let n1 = D.n t.g1 in
   let cands =
     match candidates with Some c -> c | None -> Instance.candidates t
@@ -186,7 +193,6 @@ let decide ?(injective = false) ?(budget = 5_000_000) ?candidates (t : Instance.
       order;
     let assigned = Array.make n1 (-1) in
     let used = Hashtbl.create 97 in
-    let steps = ref 0 in
     let consistent v u =
       (not (injective && Hashtbl.mem used u))
       && Array.for_all
@@ -198,8 +204,7 @@ let decide ?(injective = false) ?(budget = 5_000_000) ?candidates (t : Instance.
     in
     let exception Found in
     let rec go k =
-      incr steps;
-      if !steps > budget then raise Out_of_budget;
+      Budget.tick_exn budget;
       if k = n1 then raise Found
       else begin
         let v = order.(k) in
@@ -220,5 +225,5 @@ let decide ?(injective = false) ?(budget = 5_000_000) ?candidates (t : Instance.
       Some false
     with
     | Found -> Some true
-    | Out_of_budget -> None
+    | Budget.Exhausted_budget -> None
   end

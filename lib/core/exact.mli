@@ -13,17 +13,25 @@ type objective =
 
 type outcome = {
   mapping : Mapping.t;
-  optimal : bool;
-      (** [false] when the search-node budget ran out; [mapping] is then
-          only the best found so far *)
+      (** always a valid (1-1 when [injective]) p-hom mapping — the best
+          found so far when the budget ran out *)
+  status : Phom_graph.Budget.status;
+      (** [Complete] when the search finished (so [mapping] is optimal);
+          [Exhausted _] when the budget tripped first *)
 }
 
-val solve : ?injective:bool -> ?budget:int -> objective:objective -> Instance.t -> outcome
-(** [budget] caps explored search nodes (default 5,000,000). *)
+val solve :
+  ?injective:bool ->
+  ?budget:Phom_graph.Budget.t ->
+  objective:objective ->
+  Instance.t ->
+  outcome
+(** One budget tick per explored search node. When [budget] is omitted a
+    fresh 5,000,000-step token is used — the historical safety net. *)
 
 val enumerate_optimal :
   ?injective:bool ->
-  ?budget:int ->
+  ?budget:Phom_graph.Budget.t ->
   ?limit:int ->
   objective:objective ->
   Instance.t ->
@@ -35,7 +43,7 @@ val enumerate_optimal :
 
 val decide :
   ?injective:bool ->
-  ?budget:int ->
+  ?budget:Phom_graph.Budget.t ->
   ?candidates:int array array ->
   Instance.t ->
   bool option

@@ -16,7 +16,10 @@ type work =
   | Eval of ML.t * caps
   | Combine of int * int  (* the pair (v, u) whose two branches to merge *)
 
-let run ~g1 ~tc2 ~choose_u ~mode h0 =
+let run ?budget ~g1 ~tc2 ~choose_u ~mode h0 =
+  let budget =
+    match budget with Some b -> b | None -> Phom_graph.Budget.unlimited ()
+  in
   let caps0 = match mode with `Free -> None | `Capacitated c -> Some c in
   let work = ref [ Eval (h0, caps0) ] in
   let results : (sized * sized) list ref = ref [] in
@@ -41,7 +44,14 @@ let run ~g1 ~tc2 ~choose_u ~mode h0 =
         push_result (sigma, conflict)
     | Eval (h, caps) :: rest -> (
         work := rest;
-        if ML.is_empty h then push_result (sized_empty, sized_empty)
+        (* one tick per evaluated sub-list. When the budget trips, every
+           pending branch evaluates to the empty mapping/conflict pair;
+           the Combine frames still run, so the overall result is the best
+           mapping assembled from the branches explored so far — always a
+           valid (capacitated) p-hom mapping, just possibly smaller. *)
+        if not (Phom_graph.Budget.tick budget) then
+          push_result (sized_empty, sized_empty)
+        else if ML.is_empty h then push_result (sized_empty, sized_empty)
         else
           match ML.pick h with
           | None ->

@@ -24,6 +24,7 @@ type result = {
 }
 
 val run :
+  ?budget:Phom_graph.Budget.t ->
   g1:Phom_graph.Digraph.t ->
   tc2:Phom_graph.Bitmatrix.t ->
   choose_u:(int -> Matching_list.Int_set.t -> int) ->
@@ -31,4 +32,9 @@ val run :
   Matching_list.t ->
   result
 (** [choose_u v goods] selects the candidate to try first (compMaxCard uses
-    highest similarity). It must return a member of [goods]. *)
+    highest similarity). It must return a member of [goods].
+
+    One [budget] tick per evaluated sub-list. An exhausted budget makes the
+    remaining branches evaluate to the empty mapping, so [sigma] is still a
+    valid mapping — assembled from whatever was explored before the trip —
+    and [run] returns promptly instead of raising. *)

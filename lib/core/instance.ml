@@ -11,7 +11,7 @@ type t = {
   tc2 : BM.t;
 }
 
-let make ?tc2 ~g1 ~g2 ~mat ~xi () =
+let make ?budget ?tc2 ~g1 ~g2 ~mat ~xi () =
   if Simmat.n1 mat <> D.n g1 || Simmat.n2 mat <> D.n g2 then
     invalid_arg "Instance.make: mat dimensions do not match the graphs";
   if not (xi >= 0. && xi <= 1.) then invalid_arg "Instance.make: xi outside [0,1]";
@@ -21,7 +21,7 @@ let make ?tc2 ~g1 ~g2 ~mat ~xi () =
         if BM.rows m <> D.n g2 || BM.cols m <> D.n g2 then
           invalid_arg "Instance.make: tc2 dimensions do not match g2";
         m
-    | None -> TC.compute g2
+    | None -> TC.compute ?budget g2
   in
   { g1; g2; mat; xi; tc2 }
 

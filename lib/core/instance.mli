@@ -12,6 +12,7 @@ type t = {
 }
 
 val make :
+  ?budget:Phom_graph.Budget.t ->
   ?tc2:Phom_graph.Bitmatrix.t ->
   g1:Phom_graph.Digraph.t ->
   g2:Phom_graph.Digraph.t ->
@@ -20,7 +21,9 @@ val make :
   unit ->
   t
 (** Validates dimensions ([mat] must be [n1 × n2], [ξ ∈ [0,1]]) and computes
-    [tc2] unless provided. *)
+    [tc2] unless provided. The closure computation draws on [budget] (see
+    {!Phom_graph.Transitive_closure.compute}); a truncated closure is a
+    sound under-approximation, so anytime results remain valid. *)
 
 val candidates : t -> int array array
 (** Initial candidate lists: [u ∈ cands.(v)] iff [mat(v,u) ≥ ξ] and, when

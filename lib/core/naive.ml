@@ -5,14 +5,15 @@ module Wis = Phom_wis.Wis
 let build ?injective ?weights (t : Instance.t) =
   Product.build ?injective ?weights ~g1:t.g1 ~tc2:t.tc2 ~mat:t.mat ~xi:t.xi ()
 
-let max_card ?(injective = false) t =
+let max_card ?(injective = false) ?budget t =
   let p = build ~injective t in
-  Mapping.normalize (Product.mapping_of_clique p (Wis.max_clique p.Product.graph))
+  Mapping.normalize
+    (Product.mapping_of_clique p (Wis.max_clique ?budget p.Product.graph))
 
-let max_sim ?(injective = false) ?weights (t : Instance.t) =
+let max_sim ?(injective = false) ?budget ?weights (t : Instance.t) =
   let weights =
     match weights with None -> Array.make (D.n t.g1) 1. | Some w -> w
   in
   let p = build ~injective ~weights t in
   Mapping.normalize
-    (Product.mapping_of_clique p (Wis.max_weight_clique p.Product.graph))
+    (Product.mapping_of_clique p (Wis.max_weight_clique ?budget p.Product.graph))

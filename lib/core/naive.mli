@@ -9,8 +9,16 @@
     tests cross-check the direct algorithms against it, and the benches
     show the gap. *)
 
-val max_card : ?injective:bool -> Instance.t -> Mapping.t
-(** Approximate CPH / CPH¹⁻¹ via unweighted clique (ISRemoval). *)
+val max_card : ?injective:bool -> ?budget:Phom_graph.Budget.t -> Instance.t -> Mapping.t
+(** Approximate CPH / CPH¹⁻¹ via unweighted clique (ISRemoval). An
+    exhausted [budget] truncates the clique search; the translated mapping
+    is the (valid) best found so far. *)
 
-val max_sim : ?injective:bool -> ?weights:float array -> Instance.t -> Mapping.t
-(** Approximate SPH / SPH¹⁻¹ via Halldórsson's weighted clique. *)
+val max_sim :
+  ?injective:bool ->
+  ?budget:Phom_graph.Budget.t ->
+  ?weights:float array ->
+  Instance.t ->
+  Mapping.t
+(** Approximate SPH / SPH¹⁻¹ via Halldórsson's weighted clique; anytime as
+    {!max_card}. *)

@@ -1,7 +1,9 @@
 module D = Phom_graph.Digraph
 module BM = Phom_graph.Bitmatrix
+module Budget = Phom_graph.Budget
 
-let refine (t : Instance.t) =
+let refine ?budget (t : Instance.t) =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n1 = D.n t.g1 in
   let cands = Array.map (fun row -> ref (Array.to_list row)) (Instance.candidates t) in
   let supported v u =
@@ -13,20 +15,28 @@ let refine (t : Instance.t) =
          (fun v' -> List.exists (fun u' -> BM.get t.tc2 u' u) !(cands.(v')))
          (D.pred t.g1 v)
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for v = 0 to n1 - 1 do
-      let kept, dropped = List.partition (supported v) !(cands.(v)) in
-      if dropped <> [] then begin
-        cands.(v) := kept;
-        changed := true
-      end
-    done
-  done;
+  (* An interrupted fixpoint leaves a superset of the arc-consistent
+     candidates — still sound (no valid pair is ever dropped), just less
+     pruned. *)
+  begin
+    try
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for v = 0 to n1 - 1 do
+          Budget.tick_exn budget;
+          let kept, dropped = List.partition (supported v) !(cands.(v)) in
+          if dropped <> [] then begin
+            cands.(v) := kept;
+            changed := true
+          end
+        done
+      done
+    with Budget.Exhausted_budget -> ()
+  end;
   Array.map (fun r -> Array.of_list !r) cands
 
 let decide ?injective ?budget (t : Instance.t) =
-  let candidates = refine t in
+  let candidates = refine ?budget t in
   if Array.exists (fun row -> Array.length row = 0) candidates then Some false
   else Exact.decide ?injective ?budget ~candidates t

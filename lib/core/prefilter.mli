@@ -15,11 +15,14 @@
     (the neighbour simply stays unmapped) — so {!Comp_max_card} must not
     use it, and doesn't. *)
 
-val refine : Instance.t -> int array array
+val refine : ?budget:Phom_graph.Budget.t -> Instance.t -> int array array
 (** The greatest arc-consistent subsets of {!Instance.candidates}. Every
-    total (1-1) p-hom mapping only uses surviving pairs. *)
+    total (1-1) p-hom mapping only uses surviving pairs. An exhausted
+    [budget] interrupts the fixpoint, leaving a sound superset (less
+    pruned, never wrong). *)
 
-val decide : ?injective:bool -> ?budget:int -> Instance.t -> bool option
+val decide :
+  ?injective:bool -> ?budget:Phom_graph.Budget.t -> Instance.t -> bool option
 (** {!refine}, answer [Some false] on an empty row, otherwise
     {!Exact.decide} over the surviving candidates. Always agrees with
     {!Exact.decide} (tested), usually much faster on negative instances. *)

@@ -1,10 +1,12 @@
-let close_instance (t : Instance.t) =
-  let g1_plus = Phom_graph.Transitive_closure.graph t.g1 in
+let close_instance ?budget (t : Instance.t) =
+  let g1_plus = Phom_graph.Transitive_closure.graph ?budget t.g1 in
   Instance.make ~tc2:t.tc2 ~g1:g1_plus ~g2:t.g2 ~mat:t.mat ~xi:t.xi ()
 
-let decide ?injective ?budget t = Exact.decide ?injective ?budget (close_instance t)
+let decide ?injective ?budget t =
+  Exact.decide ?injective ?budget (close_instance ?budget t)
 
-let max_card ?injective t = Comp_max_card.run ?injective (close_instance t)
+let max_card ?injective ?budget t =
+  Comp_max_card.run ?injective ?budget (close_instance ?budget t)
 
-let max_sim ?injective ?weights t =
-  Comp_max_sim.run ?injective ?weights (close_instance t)
+let max_sim ?injective ?budget ?weights t =
+  Comp_max_sim.run ?injective ?budget ?weights (close_instance ?budget t)

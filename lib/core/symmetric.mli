@@ -3,17 +3,26 @@
     paths by first replacing [G1] with its transitive closure [G1⁺] and then
     asking whether [G1⁺ ⪯(e,p) G2]. *)
 
-val close_instance : Instance.t -> Instance.t
+val close_instance : ?budget:Phom_graph.Budget.t -> Instance.t -> Instance.t
 (** Same instance with [g1] replaced by [G1⁺] (labels and node ids are
-    preserved, so mappings and metrics transfer unchanged). *)
+    preserved, so mappings and metrics transfer unchanged). A truncated
+    closure (exhausted [budget]) under-approximates [G1⁺]: matching then
+    enforces only the closed-so-far paths — still a superset of plain
+    edge-to-path semantics. *)
 
-val decide : ?injective:bool -> ?budget:int -> Instance.t -> bool option
+val decide :
+  ?injective:bool -> ?budget:Phom_graph.Budget.t -> Instance.t -> bool option
 (** [G1⁺ ⪯(e,p) G2] (resp. 1-1), by the exact procedure. *)
 
-val max_card : ?injective:bool -> Instance.t -> Mapping.t
+val max_card :
+  ?injective:bool -> ?budget:Phom_graph.Budget.t -> Instance.t -> Mapping.t
 (** compMaxCard on the closed instance. *)
 
 val max_sim :
-  ?injective:bool -> ?weights:float array -> Instance.t -> Mapping.t
+  ?injective:bool ->
+  ?budget:Phom_graph.Budget.t ->
+  ?weights:float array ->
+  Instance.t ->
+  Mapping.t
 (** compMaxSim on the closed instance ([G1⁺] has the same nodes, so weights
     transfer verbatim). *)

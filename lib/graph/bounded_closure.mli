@@ -11,9 +11,11 @@
     {!Phom.Instance.make}'s [tc2] to run every algorithm under bounded
     semantics. *)
 
-val compute : k:int -> Digraph.t -> Bitmatrix.t
+val compute : ?budget:Budget.t -> k:int -> Digraph.t -> Bitmatrix.t
 (** [compute ~k g] by [k] rounds of BFS frontier expansion; O(k·n·m/w) with
     bitset rows. [k ≤ 0] yields the empty relation; [k ≥ n] coincides with
+    {!Transitive_closure.compute}. An exhausted [budget] (one tick per BFS
+    expansion) stops early with an under-approximation, as in
     {!Transitive_closure.compute}. *)
 
 val distances_within : k:int -> Digraph.t -> int -> int array

@@ -9,9 +9,14 @@ let to_string g =
     g;
   Buffer.contents buf
 
-let of_string s =
-  let lines = String.split_on_char '\n' s in
+let default_max_bytes = 64 * 1024 * 1024
+
+let of_string ?(max_bytes = default_max_bytes) s =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if String.length s > max_bytes then
+    err "input too large (%d bytes; limit %d bytes)" (String.length s) max_bytes
+  else
+  let lines = String.split_on_char '\n' s in
   match lines with
   | [] -> err "empty input"
   | header :: rest ->
@@ -20,6 +25,11 @@ let of_string s =
         let nodes = Hashtbl.create 64 in
         let edges = ref [] in
         let problem = ref None in
+        let add_node lineno id lbl =
+          if Hashtbl.mem nodes id then
+            problem := Some (Printf.sprintf "line %d: duplicate node %d" lineno id)
+          else Hashtbl.add nodes id lbl
+        in
         List.iteri
           (fun lineno line ->
             let lineno = lineno + 2 in
@@ -35,14 +45,14 @@ let of_string s =
                       match String.index_opt rest ' ' with
                       | None -> (
                           match int_of_string_opt rest with
-                          | Some id -> Hashtbl.replace nodes id ""
+                          | Some id -> add_node lineno id ""
                           | None ->
                               problem := Some (Printf.sprintf "line %d: bad node id" lineno))
                       | Some sp2 -> (
                           let id_s = String.sub rest 0 sp2 in
                           let lbl = String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) in
                           match int_of_string_opt id_s with
-                          | Some id -> Hashtbl.replace nodes id lbl
+                          | Some id -> add_node lineno id lbl
                           | None ->
                               problem := Some (Printf.sprintf "line %d: bad node id" lineno)))
                   | "edge" -> (
@@ -80,14 +90,24 @@ let save path g =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string g))
 
-let load path =
+let load ?(max_bytes = default_max_bytes) path =
   try
-    let ic = open_in path in
-    let contents =
-      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
-    in
-    of_string contents
-  with Sys_error m -> Error m
+    if Sys.is_directory path then Error (path ^ ": is a directory")
+    else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (* refuse pathological files before reading them into memory *)
+        let len = in_channel_length ic in
+        if len > max_bytes then
+          Error
+            (Printf.sprintf "%s: file too large (%d bytes; limit %d bytes)" path
+               len max_bytes)
+        else of_string ~max_bytes (really_input_string ic len))
+  with
+  | Sys_error m -> Error m
+  | End_of_file -> Error (path ^ ": truncated read")
 
 let escape s =
   let buf = Buffer.create (String.length s) in

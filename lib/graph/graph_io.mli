@@ -10,13 +10,21 @@
     Node ids must be the dense range [0 .. n-1] (in any order). *)
 
 val to_string : Digraph.t -> string
-val of_string : string -> (Digraph.t, string) result
+
+val of_string : ?max_bytes:int -> string -> (Digraph.t, string) result
+(** Parse errors — a malformed line, a duplicate [node] definition, sparse
+    ids, an edge endpoint out of range, or input larger than [max_bytes]
+    (default 64 MiB) — are reported as [Error] with a line number, never as
+    an exception. *)
 
 val save : string -> Digraph.t -> unit
 (** [save path g] writes the text format to [path]. *)
 
-val load : string -> (Digraph.t, string) result
-(** [load path] parses a file saved by {!save}. *)
+val load : ?max_bytes:int -> string -> (Digraph.t, string) result
+(** [load path] parses a file saved by {!save}. Files larger than
+    [max_bytes] (default 64 MiB) are rejected {e before} being read into
+    memory, so a multi-GB or pathological file fails fast with a clear
+    message instead of OOMing the process. *)
 
 val to_dot : ?name:string -> Digraph.t -> string
 (** Graphviz [digraph] rendering, nodes labelled [id: label]. *)

@@ -5,7 +5,8 @@ let cyclic_comps g scc =
   Digraph.iter_edges (fun u v -> if u = v then cyclic.(scc.Scc.comp.(u)) <- true) g;
   cyclic
 
-let compute g =
+let compute ?budget g =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n = Digraph.n g in
   let scc = Scc.compute g in
   let count = scc.Scc.count in
@@ -20,24 +21,31 @@ let compute g =
     (Scc.condensation_edges g scc);
   (* components are numbered in reverse topological order: an edge c→d between
      distinct components has c > d, so sweeping c = 0, 1, ... visits every
-     successor before its predecessors *)
+     successor before its predecessors. An exhausted budget stops the sweep:
+     the matrix built from a prefix under-approximates reachability, which
+     every client treats conservatively (fewer candidate paths, never a
+     spurious one). *)
   let reach = Bitmatrix.create ~rows:count ~cols:n in
-  for c = 0 to count - 1 do
-    List.iter
-      (fun d ->
-        Bitmatrix.or_row ~from:memb ~src:d ~into:reach ~dst:c;
-        Bitmatrix.or_row_into reach ~dst:c ~src:d)
-      comp_succ.(c);
-    if cyclic.(c) then Bitmatrix.or_row ~from:memb ~src:c ~into:reach ~dst:c
-  done;
+  (try
+     for c = 0 to count - 1 do
+       List.iter
+         (fun d ->
+           Budget.tick_exn budget;
+           Bitmatrix.or_row ~from:memb ~src:d ~into:reach ~dst:c;
+           Bitmatrix.or_row_into reach ~dst:c ~src:d)
+         comp_succ.(c);
+       Budget.tick_exn budget;
+       if cyclic.(c) then Bitmatrix.or_row ~from:memb ~src:c ~into:reach ~dst:c
+     done
+   with Budget.Exhausted_budget -> ());
   let t = Bitmatrix.create ~rows:n ~cols:n in
   for u = 0 to n - 1 do
     Bitmatrix.or_row ~from:reach ~src:scc.Scc.comp.(u) ~into:t ~dst:u
   done;
   t
 
-let graph g =
-  let t = compute g in
+let graph ?budget g =
+  let t = compute ?budget g in
   let edge_list = ref [] in
   for u = 0 to Digraph.n g - 1 do
     Bitmatrix.iter_row (fun v -> edge_list := (u, v) :: !edge_list) t u

@@ -7,13 +7,18 @@
     Nuutila [22] cited by the paper), so cyclic graphs cost no more than
     their condensation DAG. *)
 
-val compute : Digraph.t -> Bitmatrix.t
+val compute : ?budget:Budget.t -> Digraph.t -> Bitmatrix.t
 (** [compute g] is the n×n reachability matrix of [g] ([H2] in the paper's
-    algorithm compMaxCard, Fig. 3 lines 5–7). *)
+    algorithm compMaxCard, Fig. 3 lines 5–7). An exhausted [budget] (one
+    tick per condensation row operation) stops the sweep early and yields
+    an {e under-approximation} of reachability — downstream matchers then
+    see fewer candidate paths, never a spurious one, so anytime results
+    stay valid. *)
 
-val graph : Digraph.t -> Digraph.t
+val graph : ?budget:Budget.t -> Digraph.t -> Digraph.t
 (** [graph g] is [G⁺] as a digraph with the same nodes and labels. Used to
-    make matching symmetric (Section 3.2 Remark: check [G1⁺ ⪯(e,p) G2]). *)
+    make matching symmetric (Section 3.2 Remark: check [G1⁺ ⪯(e,p) G2]).
+    Budget semantics as {!compute}. *)
 
 val naive : Digraph.t -> Bitmatrix.t
 (** Reference implementation by per-node BFS; O(n·(n+m)). Used by tests as

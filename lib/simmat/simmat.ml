@@ -88,6 +88,10 @@ let to_string m =
   done;
   Buffer.contents buf
 
+(* refuse to allocate a matrix the file cannot plausibly back: a forged
+   dimension line like "1000000 1000000" must not OOM the process *)
+let max_cells = 100_000_000
+
 let of_string s =
   let err fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
   match String.split_on_char '\n' s with
@@ -97,6 +101,8 @@ let of_string s =
         match String.split_on_char ' ' (String.trim dims) with
         | [ a; b ] -> (
             match (int_of_string_opt a, int_of_string_opt b) with
+            | Some n1, Some n2 when n1 > 0 && n2 > 0 && n2 > max_cells / n1 ->
+                err "matrix too large (%d x %d; limit %d cells)" n1 n2 max_cells
             | Some n1, Some n2 when n1 >= 0 && n2 >= 0 -> (
                 let m = create ~n1 ~n2 in
                 let problem = ref None in
@@ -140,6 +146,8 @@ let save path m =
 
 let load path =
   try
+    if Sys.is_directory path then Error (path ^ ": is a directory")
+    else
     let ic = open_in path in
     let contents =
       Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)

@@ -76,10 +76,11 @@ let match_skeletons ?(xi = 0.75) ?(threshold = 0.75) ?(mcs_time_limit = 10.)
         timed (fun () ->
             Mcs.run
               ~node_compat:(fun v u -> Simmat.get mat v u >= xi)
-              ~time_limit:mcs_time_limit g1 g2)
+              ~budget:(Phom_graph.Budget.create ~timeout:mcs_time_limit ())
+              g1 g2)
       in
       match outcome with
-      | Mcs.Timed_out -> { matched = None; quality = 0.; seconds }
+      | Mcs.Timed_out _ -> { matched = None; quality = 0.; seconds }
       | Mcs.Completed m ->
           let q = Mcs.quality g1 m in
           { matched = Some (q >= threshold); quality = q; seconds })

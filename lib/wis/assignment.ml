@@ -1,7 +1,10 @@
 (* Hungarian algorithm with row/column potentials (the classic e-maxx
    formulation, 1-indexed internally). *)
 
-let minimize cost =
+module Budget = Phom_graph.Budget
+
+let minimize ?budget cost =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n = Array.length cost in
   if n = 0 then ([||], 0.)
   else begin
@@ -22,6 +25,7 @@ let minimize cost =
       let used = Array.make (m + 1) false in
       let continue = ref true in
       while !continue do
+        Budget.tick_exn budget;
         used.(!j0) <- true;
         let i0 = p.(!j0) in
         let delta = ref infinity and j1 = ref 0 in
@@ -67,7 +71,7 @@ let minimize cost =
     (assignment, total)
   end
 
-let maximize cost =
+let maximize ?budget cost =
   let neg = Array.map (Array.map (fun x -> -.x)) cost in
-  let assignment, total = minimize neg in
+  let assignment, total = minimize ?budget neg in
   (assignment, -.total)

@@ -5,11 +5,19 @@
     ({!Phom_baselines.Ged}) and anywhere a best 1-1 pairing under a cost
     matrix is needed. *)
 
-val minimize : float array array -> int array * float
+val minimize :
+  ?budget:Phom_graph.Budget.t -> float array array -> int array * float
 (** [minimize cost] for an [n × m] matrix with [n ≤ m] returns
     [(assignment, total)] where [assignment.(i)] is the column assigned to
     row [i] (all distinct) and [total] the minimum total cost. Raises
-    [Invalid_argument] when [n > m] or rows are ragged. *)
+    [Invalid_argument] when [n > m] or rows are ragged.
 
-val maximize : float array array -> int array * float
+    One [budget] tick per augmenting step. Unlike the search algorithms, a
+    half-finished assignment has no meaningful "best so far", so exhaustion
+    {e raises} {!Phom_graph.Budget.Exhausted_budget} — callers substitute
+    their own fallback (e.g. {!Phom_baselines.Ged} falls back to the
+    trivial upper bound). *)
+
+val maximize :
+  ?budget:Phom_graph.Budget.t -> float array array -> int array * float
 (** Same with profit maximization (negates the matrix). *)

@@ -1,4 +1,5 @@
 module Bitset = Phom_graph.Bitset
+module Budget = Phom_graph.Budget
 
 let pick_pivot g subset =
   (* max degree within [subset] *)
@@ -15,8 +16,12 @@ let pick_pivot g subset =
     subset;
   !best
 
-let rec ramsey g subset =
-  if Bitset.is_empty subset then ([], [])
+let rec ramsey_budgeted budget g subset =
+  (* an exhausted budget makes unexplored subtrees contribute the empty
+     clique/IS pair; the combination step below still yields a valid clique
+     and a valid independent set (a pivot alone is both), so truncation
+     degrades quality, never validity *)
+  if Bitset.is_empty subset || not (Budget.tick budget) then ([], [])
   else begin
     let v = pick_pivot g subset in
     let nbrs = Bitset.copy (Ungraph.neighbors g v) in
@@ -26,25 +31,31 @@ let rec ramsey g subset =
     let outside = Bitset.copy subset in
     Bitset.diff_into ~into:outside nbrs;
     Bitset.remove outside v;
-    let c1, i1 = ramsey g inside in
-    let c2, i2 = ramsey g outside in
+    let c1, i1 = ramsey_budgeted budget g inside in
+    let c2, i2 = ramsey_budgeted budget g outside in
     let clique = if List.length c1 + 1 >= List.length c2 then v :: c1 else c2 in
     let indep = if List.length i2 + 1 >= List.length i1 then v :: i2 else i1 in
     (clique, indep)
   end
 
-let removal ~keep g =
+let ramsey ?budget g subset =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  ramsey_budgeted budget g subset
+
+let removal ~keep ?budget g =
   (* Repeatedly run ramsey, drop one of the two sets from the graph, and keep
      the best instance of the other. [keep] selects which set is collected:
      `Clique removes independent sets (ISRemoval), `Indep removes cliques
      (CliqueRemoval). *)
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let remaining = Bitset.full (Ungraph.n g) in
   let best = ref [] in
   let continue = ref true in
   while !continue do
-    if Bitset.is_empty remaining then continue := false
+    if Bitset.is_empty remaining || Budget.exhausted budget then
+      continue := false
     else begin
-      let clique, indep = ramsey g remaining in
+      let clique, indep = ramsey_budgeted budget g remaining in
       let collected, removed =
         match keep with `Clique -> (clique, indep) | `Indep -> (indep, clique)
       in
@@ -58,5 +69,5 @@ let removal ~keep g =
   done;
   List.sort compare !best
 
-let clique_removal g = removal ~keep:`Indep g
-let is_removal g = removal ~keep:`Clique g
+let clique_removal ?budget g = removal ~keep:`Indep ?budget g
+let is_removal ?budget g = removal ~keep:`Clique ?budget g

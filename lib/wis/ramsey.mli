@@ -8,16 +8,23 @@
     Theorem 5.1, the O(log²(n1·n2)/(n1·n2)) guarantee of the paper's
     matching algorithms. *)
 
-val ramsey : Ungraph.t -> Phom_graph.Bitset.t -> int list * int list
+val ramsey :
+  ?budget:Phom_graph.Budget.t ->
+  Ungraph.t ->
+  Phom_graph.Bitset.t ->
+  int list * int list
 (** [ramsey g subset] is [(clique, independent)] within [subset]. Pivots are
     chosen with maximum degree inside the current subset (any choice
-    preserves the guarantee; this one helps in practice). *)
+    preserves the guarantee; this one helps in practice). One [budget] tick
+    per recursion node; truncated subtrees contribute empty sets, so the
+    answer stays a valid clique/IS pair, only possibly smaller. *)
 
-val clique_removal : Ungraph.t -> int list
+val clique_removal : ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
 (** Approximate {b maximum independent set}: repeatedly run {!ramsey} and
-    remove the clique found; return the largest independent set seen. *)
+    remove the clique found; return the largest independent set seen —
+    the best so far when [budget] trips. *)
 
-val is_removal : Ungraph.t -> int list
+val is_removal : ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
 (** Approximate {b maximum clique}: the dual (paper Fig. 9, ISRemoval) —
     repeatedly remove the independent set found; return the largest
-    clique seen. *)
+    clique seen — the best so far when [budget] trips. *)

@@ -1,7 +1,8 @@
 module Bitset = Phom_graph.Bitset
+module Budget = Phom_graph.Budget
 
-let max_independent_set = Ramsey.clique_removal
-let max_clique = Ramsey.is_removal
+let max_independent_set ?budget g = Ramsey.clique_removal ?budget g
+let max_clique ?budget g = Ramsey.is_removal ?budget g
 
 let weight_classes g =
   let n = Ungraph.n g in
@@ -35,12 +36,18 @@ let heaviest_node g =
   done;
   if !best < 0 then [] else [ !best ]
 
-let weighted solve g =
+let weighted ?budget solve g =
+  (* the weight classes share one token: once it trips, the remaining
+     classes contribute nothing and the heaviest-node fallback (always
+     computed, cheap) guarantees a non-trivial valid answer *)
   let candidates =
     List.map
       (fun bucket ->
-        let sub, old_of_new = Ungraph.induced g bucket in
-        List.map (fun v -> old_of_new.(v)) (solve sub))
+        match budget with
+        | Some b when Budget.exhausted b -> []
+        | _ ->
+            let sub, old_of_new = Ungraph.induced g bucket in
+            List.map (fun v -> old_of_new.(v)) (solve sub))
       (weight_classes g)
   in
   let candidates = heaviest_node g :: candidates in
@@ -52,16 +59,19 @@ let weighted solve g =
   in
   List.sort compare best
 
-let max_weight_independent_set g = weighted Ramsey.clique_removal g
-let max_weight_clique g = weighted Ramsey.is_removal g
+let max_weight_independent_set ?budget g =
+  weighted ?budget (Ramsey.clique_removal ?budget) g
+
+let max_weight_clique ?budget g = weighted ?budget (Ramsey.is_removal ?budget) g
 
 (* Exact maximum clique: Tomita-style branch and bound with a greedy
    colouring upper bound. *)
-let exact_max_clique ?(budget = 10_000_000) ?(should_stop = fun () -> false) g =
+let exact_max_clique ?budget g =
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ~steps:10_000_000 ()
+  in
   let n = Ungraph.n g in
   let best = ref [] in
-  let steps = ref 0 in
-  let exception Out_of_budget in
   let colour_bound cand =
     (* greedy colouring of the candidate set: #colours bounds the clique *)
     let colours = ref [] in
@@ -78,9 +88,7 @@ let exact_max_clique ?(budget = 10_000_000) ?(should_stop = fun () -> false) g =
     List.length !colours
   in
   let rec expand clique cand =
-    incr steps;
-    if !steps > budget || (!steps land 0x3ff = 0 && should_stop ()) then
-      raise Out_of_budget;
+    Budget.tick_exn budget;
     if Bitset.is_empty cand then begin
       if List.length clique > List.length !best then best := clique
     end
@@ -101,7 +109,10 @@ let exact_max_clique ?(budget = 10_000_000) ?(should_stop = fun () -> false) g =
           end
     end
   in
-  try
-    expand [] (Bitset.full n);
-    Some (List.sort compare !best)
-  with Out_of_budget -> None
+  let status =
+    try
+      expand [] (Bitset.full n);
+      Budget.Complete
+    with Budget.Exhausted_budget -> Budget.status budget
+  in
+  (List.sort compare !best, status)

@@ -6,19 +6,26 @@
     class unweighted, return the heaviest answer. The paper's compMaxSim
     borrows exactly this trick at the matching-list level. *)
 
-val max_independent_set : Ungraph.t -> int list
-(** Cardinality objective; sorted ascending. *)
+val max_independent_set : ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
+(** Cardinality objective; sorted ascending. All four approximations are
+    anytime: an exhausted [budget] yields the best valid set found so far
+    (check the token's {!Phom_graph.Budget.status} to distinguish). *)
 
-val max_clique : Ungraph.t -> int list
+val max_clique : ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
 
-val max_weight_independent_set : Ungraph.t -> int list
-(** Weight objective. Never returns worse than the single heaviest node. *)
+val max_weight_independent_set :
+  ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
+(** Weight objective. Never returns worse than the single heaviest node,
+    even under an exhausted budget. *)
 
-val max_weight_clique : Ungraph.t -> int list
+val max_weight_clique : ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
 
 val exact_max_clique :
-  ?budget:int -> ?should_stop:(unit -> bool) -> Ungraph.t -> int list option
-(** Exact branch-and-bound (greedy colouring bound). [budget] caps the
-    number of search nodes (default 10⁷) and [should_stop] is polled
-    periodically (e.g. a wall-clock deadline); [None] when either fires —
-    this is how the cdkMCS baseline "does not run to completion". *)
+  ?budget:Phom_graph.Budget.t ->
+  Ungraph.t ->
+  int list * Phom_graph.Budget.status
+(** Exact branch-and-bound (greedy colouring bound), one budget tick per
+    search node (default: a fresh 10⁷-step token). Always returns the best
+    clique found; [Exhausted _] marks it possibly suboptimal — this is how
+    the cdkMCS baseline "does not run to completion" while still reporting
+    its partial answer. *)

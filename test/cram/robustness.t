@@ -1,0 +1,109 @@
+Robustness: resource budgets and hardened error paths. Exit codes are part
+of the CLI contract: 0 = success, 1 = bad input, 2 = answered incompletely
+because a --timeout / --steps budget ran out.
+
+A zero step budget exhausts immediately: the command still answers (with
+the best mapping found so far, here none) and exits 2.
+
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 --steps 0
+  problem   : CPH
+  quality   : 0.0000
+  matched   : false (threshold 0.75)
+  mapping   : 0 of 6 pattern nodes
+  status    : incomplete (budget exhausted: steps)
+  [2]
+
+A wall-clock budget smaller than the process startup allowance can never be
+met end to end, so the command reports incomplete in bounded time.
+
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 --timeout 0.001
+  problem   : CPH
+  quality   : 0.0000
+  matched   : false (threshold 0.75)
+  mapping   : 0 of 6 pattern nodes
+  status    : incomplete (budget exhausted: deadline)
+  [2]
+
+With an ample budget the same command completes normally (exit 0, no
+status line).
+
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 --steps 1000000 -p cph11
+  problem   : CPH1-1
+  quality   : 1.0000
+  matched   : true (threshold 0.75)
+  mapping   : 6 of 6 pattern nodes
+    0 [A] -> 0 [B]
+    1 [books] -> 1 [books]
+    2 [audio] -> 3 [digital]
+    3 [textbooks] -> 5 [school]
+    4 [abooks] -> 7 [audiobooks]
+    5 [albums] -> 13 [albums]
+
+Decision procedures degrade to "undecided" instead of guessing.
+
+  $ ../../bin/main.exe decide ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 --steps 0
+  undecided (budget exhausted)
+  [2]
+
+Witness enumeration reports a truncated listing.
+
+  $ ../../bin/main.exe witnesses ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6 --1-1 --steps 0
+  0 optimal mapping(s) (truncated)
+  [2]
+
+Budget flags are validated up front.
+
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --xi 0.6 --timeout 0
+  error: --timeout must be positive (got 0)
+  [1]
+
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --xi 0.6 --steps=-1
+  error: --steps must be non-negative (got -1)
+  [1]
+
+Malformed inputs: every user-input failure is "error: ..." on stderr plus
+exit 1 — never a backtrace.
+
+A graph file that declares the same node twice:
+
+  $ printf 'phg 1\nnode 0 a\nnode 1 b\nnode 0 c\n' > dup.phg
+  $ ../../bin/main.exe stats dup.phg
+  error: loading dup.phg: line 4: duplicate node 0
+  [1]
+
+A file that is not a phg graph at all:
+
+  $ printf 'not a graph\n' > junk.phg
+  $ ../../bin/main.exe stats junk.phg
+  error: loading junk.phg: missing 'phg 1' header
+  [1]
+
+A missing file:
+
+  $ ../../bin/main.exe stats no_such_file.phg
+  error: loading no_such_file.phg: no_such_file.phg: No such file or directory
+  [1]
+
+A similarity matrix with too few rows:
+
+  $ printf 'phs 1\n2 2\n1.0 0.5\n' > short.phs
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat short.phs --xi 0.5
+  error: loading short.phs: missing rows
+  [1]
+
+A matrix whose shape does not fit the graphs:
+
+  $ printf 'phs 1\n2 2\n1.0 0.5\n0.5 1.0\n' > tiny.phs
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat tiny.phs --xi 0.5
+  error: matrix in tiny.phs is 2x2 but graphs are 6x14
+  [1]
+
+Out-of-range parameters:
+
+  $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --xi 1.5
+  error: --xi must be in [0,1] (got 1.5)
+  [1]
+
+  $ ../../bin/main.exe decide ../../data/fig1_pattern.phg ../../data/fig1_store.phg --xi 0.6 --hops 0
+  error: --hops must be at least 1 (got 0)
+  [1]

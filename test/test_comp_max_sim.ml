@@ -47,7 +47,7 @@ let prop_bounded_by_exact =
       let weights = Array.init n1 (fun i -> float_of_int (1 + (i mod 4))) in
       let approx = Instance.qual_sim ~weights t (CMS.run ~weights t) in
       let e = Exact.solve ~objective:(Phom.Exact.Similarity weights) t in
-      (not e.Phom.Exact.optimal)
+      (e.Phom.Exact.status <> Phom_graph.Budget.Complete)
       || approx <= Instance.qual_sim ~weights t e.Phom.Exact.mapping +. 1e-9)
 
 (* the top weight group holds pairs in (W/2, W]; greedy returns a non-empty

@@ -20,13 +20,13 @@ let test_decide_budget () =
     Phom_graph.Generators.erdos_renyi ~rng ~n:14 ~m:10 ~labels:(fun _ -> "x")
   in
   let t = eq_instance g1 g2 in
-  Alcotest.(check (option bool)) "gives up" None (Exact.decide ~budget:5 t)
+  Alcotest.(check (option bool)) "gives up" None (Exact.decide ~budget:(Phom_graph.Budget.trip_after 5) t)
 
 let test_solve_optimal_flag () =
   let g1 = graph [ "a" ] [] and g2 = graph [ "a" ] [] in
   let t = eq_instance g1 g2 in
   let r = Exact.solve ~objective:Exact.Cardinality t in
-  Alcotest.(check bool) "optimal" true r.Exact.optimal;
+  Alcotest.(check bool) "optimal" true (r.Exact.status = Phom_graph.Budget.Complete);
   Alcotest.(check (float 1e-9)) "quality 1" 1.0 (Instance.qual_card t r.Exact.mapping)
 
 let test_similarity_objective () =
@@ -63,7 +63,7 @@ let prop_matches_brute_force =
   qtest ~count:60 "exact: agrees with brute force"
     (instance_gen ~max_n1:3 ~max_n2:4 ()) print_instance (fun t ->
       let r = Exact.solve ~objective:Exact.Cardinality t in
-      r.Exact.optimal && Mapping.size r.Exact.mapping = brute_force_best t)
+      r.Exact.status = Phom_graph.Budget.Complete && Mapping.size r.Exact.mapping = brute_force_best t)
 
 let prop_decide_iff_full_mapping =
   qtest ~count:100 "exact: decide ⟺ optimum covers G1"

@@ -1,0 +1,189 @@
+(* Hardened-I/O tests: a corpus of malformed inputs for the graph and
+   similarity-matrix parsers (every entry must come back as [Error] with a
+   useful message — never an exception, never a silent acceptance), plus
+   randomized round-trip properties. *)
+
+open Helpers
+module IO = Phom_graph.Graph_io
+
+let check_graph_error name input needle =
+  Alcotest.test_case name `Quick (fun () ->
+      match IO.of_string input with
+      | Ok _ -> Alcotest.failf "%s: parser accepted malformed input" name
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error %S mentions %S" name msg needle)
+            true
+            (contains_substring ~needle msg))
+
+let graph_corpus =
+  [
+    check_graph_error "empty input" "" "header";
+    check_graph_error "wrong magic" "phg 2\nnode 0 a\n" "header";
+    check_graph_error "duplicate node" "phg 1\nnode 0 a\nnode 1 b\nnode 0 c\n"
+      "duplicate node 0";
+    check_graph_error "duplicate node line number"
+      "phg 1\nnode 0 a\nnode 1 b\nnode 0 c\n" "line 4";
+    check_graph_error "sparse node ids" "phg 1\nnode 0 a\nnode 2 b\n" "dense";
+    check_graph_error "negative node id" "phg 1\nnode -1 a\n" "dense";
+    check_graph_error "bad node id" "phg 1\nnode x a\n" "bad node id";
+    check_graph_error "dangling edge id" "phg 1\nnode 0 a\nedge 0 5\n" "";
+    check_graph_error "negative edge id" "phg 1\nnode 0 a\nedge 0 -3\n" "";
+    check_graph_error "one-endpoint edge" "phg 1\nnode 0 a\nedge 0\n" "bad edge";
+    check_graph_error "three-endpoint edge" "phg 1\nnode 0 a\nedge 0 0 0\n" "bad edge";
+    check_graph_error "unknown keyword" "phg 1\nvertex 0 a\n" "unknown keyword";
+    check_graph_error "keyword only" "phg 1\nnode\n" "malformed";
+  ]
+
+let test_graph_crlf () =
+  (* Windows line endings parse like Unix ones *)
+  match IO.of_string "phg 1\r\nnode 0 a\r\nnode 1 b\r\nedge 0 1\r\n" with
+  | Error msg -> Alcotest.failf "CRLF rejected: %s" msg
+  | Ok g ->
+      Alcotest.(check int) "two nodes" 2 (Phom_graph.Digraph.n g);
+      Alcotest.(check string) "label survives trim" "a" (Phom_graph.Digraph.label g 0);
+      Alcotest.(check bool) "edge" true (Phom_graph.Digraph.has_edge g 0 1)
+
+let test_graph_size_cap () =
+  let big = "phg 1\n" ^ String.concat "\n" (List.init 50 (fun i -> Printf.sprintf "node %d x" i)) in
+  (match IO.of_string ~max_bytes:100 big with
+  | Ok _ -> Alcotest.fail "size cap ignored"
+  | Error msg ->
+      Alcotest.(check bool) "mentions the limit" true (contains_substring ~needle:"too large" msg));
+  (* the default cap leaves ordinary inputs alone *)
+  match IO.of_string big with
+  | Ok g -> Alcotest.(check int) "parsed" 50 (Phom_graph.Digraph.n g)
+  | Error msg -> Alcotest.failf "default cap rejected ordinary input: %s" msg
+
+let test_graph_load_missing_file () =
+  match IO.load "/nonexistent/path/graph.phg" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error _ -> ()
+
+let test_graph_load_size_cap () =
+  let path = Filename.temp_file "phom_io" ".phg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "phg 1\nnode 0 some-label-that-makes-this-long\n";
+      close_out oc;
+      match IO.load ~max_bytes:10 path with
+      | Ok _ -> Alcotest.fail "load ignored max_bytes"
+      | Error msg ->
+          Alcotest.(check bool)
+            "rejected before parsing" true
+            (contains_substring ~needle:"too large" msg))
+
+let test_graph_label_with_spaces () =
+  let g = graph [ "hello world"; "x y z" ] [ (0, 1) ] in
+  match IO.of_string (IO.to_string g) with
+  | Ok g' -> Alcotest.(check bool) "round-trips" true (Phom_graph.Digraph.equal g g')
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+
+let prop_graph_roundtrip =
+  qtest ~count:200 "graph_io: to_string/of_string round-trip" (digraph_gen ~max_n:12 ())
+    print_digraph (fun g ->
+      match IO.of_string (IO.to_string g) with
+      | Ok g' -> Phom_graph.Digraph.equal g g'
+      | Error _ -> false)
+
+let prop_graph_save_load_roundtrip =
+  qtest ~count:50 "graph_io: save/load round-trip" (digraph_gen ~max_n:10 ())
+    print_digraph (fun g ->
+      let path = Filename.temp_file "phom_io" ".phg" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          IO.save path g;
+          match IO.load path with Ok g' -> Phom_graph.Digraph.equal g g' | Error _ -> false))
+
+(* ---- similarity matrices ---- *)
+
+module Simmat = Phom_sim.Simmat
+
+let check_mat_error name input needle =
+  Alcotest.test_case name `Quick (fun () ->
+      match Simmat.of_string input with
+      | Ok _ -> Alcotest.failf "%s: parser accepted malformed input" name
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error %S mentions %S" name msg needle)
+            true
+            (contains_substring ~needle msg))
+
+let mat_corpus =
+  [
+    check_mat_error "empty input" "" "truncated";
+    check_mat_error "header only" "phs 1" "truncated";
+    check_mat_error "wrong magic" "psh 1\n1 1\n0.5\n" "header";
+    check_mat_error "missing rows" "phs 1\n2 2\n1.0 0.5\n" "missing rows";
+    check_mat_error "one dimension" "phs 1\n2\n" "bad dimension";
+    check_mat_error "negative dimension" "phs 1\n-3 4\n" "bad dimension";
+    check_mat_error "non-numeric dimension" "phs 1\ntwo 2\n" "bad dimension";
+    check_mat_error "short row" "phs 1\n1 2\n0.5\n" "expected 2 values";
+    check_mat_error "value above 1" "phs 1\n1 1\n1.5\n" "outside [0,1]";
+    check_mat_error "negative value" "phs 1\n1 1\n-0.5\n" "outside [0,1]";
+    check_mat_error "bad float" "phs 1\n1 1\nabc\n" "bad float";
+  ]
+
+let test_mat_size_cap () =
+  (* 10⁵ × 10⁵ = 10¹⁰ cells: must fail fast on the dimension line, without
+     attempting the 80 GB allocation *)
+  match Simmat.of_string "phs 1\n100000 100000\n" with
+  | Ok _ -> Alcotest.fail "accepted a 10-billion-cell matrix"
+  | Error msg ->
+      Alcotest.(check bool)
+        "mentions the cell limit" true
+        (contains_substring ~needle:"too large" msg)
+
+let test_mat_load_missing_file () =
+  match Simmat.load "/nonexistent/path/matrix.phs" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error _ -> ()
+
+let simmat_gen ?(max_n = 6) () : Simmat.t QCheck.Gen.t =
+ fun st ->
+  let n1 = 1 + Random.State.int st max_n and n2 = 1 + Random.State.int st max_n in
+  Simmat.of_fun ~n1 ~n2 (fun _ _ -> float_of_int (Random.State.int st 101) /. 100.)
+
+let simmat_equal a b =
+  Simmat.n1 a = Simmat.n1 b
+  && Simmat.n2 a = Simmat.n2 b
+  &&
+  let ok = ref true in
+  for v = 0 to Simmat.n1 a - 1 do
+    for u = 0 to Simmat.n2 a - 1 do
+      if Float.abs (Simmat.get a v u -. Simmat.get b v u) > 1e-9 then ok := false
+    done
+  done;
+  !ok
+
+let prop_mat_roundtrip =
+  qtest ~count:200 "simmat: to_string/of_string round-trip" (simmat_gen ())
+    (fun m -> Format.asprintf "%a" Simmat.pp m)
+    (fun m ->
+      match Simmat.of_string (Simmat.to_string m) with
+      | Ok m' -> simmat_equal m m'
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "io_robustness",
+      graph_corpus
+      @ [
+          Alcotest.test_case "CRLF accepted" `Quick test_graph_crlf;
+          Alcotest.test_case "size cap (of_string)" `Quick test_graph_size_cap;
+          Alcotest.test_case "missing file" `Quick test_graph_load_missing_file;
+          Alcotest.test_case "size cap (load)" `Quick test_graph_load_size_cap;
+          Alcotest.test_case "labels with spaces" `Quick test_graph_label_with_spaces;
+          prop_graph_roundtrip;
+          prop_graph_save_load_roundtrip;
+        ]
+      @ mat_corpus
+      @ [
+          Alcotest.test_case "matrix size cap" `Quick test_mat_size_cap;
+          Alcotest.test_case "matrix missing file" `Quick test_mat_load_missing_file;
+          prop_mat_roundtrip;
+        ] );
+  ]

@@ -4,7 +4,7 @@ module Mcs = Phom_baselines.Mcs
 let test_identical_graphs () =
   let g = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
   match Mcs.run g g with
-  | Mcs.Timed_out -> Alcotest.fail "should complete"
+  | Mcs.Timed_out _ -> Alcotest.fail "should complete"
   | Mcs.Completed m ->
       Alcotest.(check int) "full common subgraph" 3 (Mapping.size m);
       Alcotest.(check bool) "valid" true (Mcs.is_common_subgraph g g m);
@@ -15,7 +15,7 @@ let test_partial_overlap () =
   let g1 = graph [ "a"; "b"; "c" ] [ (0, 1); (1, 2) ] in
   let g2 = graph [ "a"; "b"; "z" ] [ (0, 1); (1, 2) ] in
   match Mcs.run g1 g2 with
-  | Mcs.Timed_out -> Alcotest.fail "should complete"
+  | Mcs.Timed_out _ -> Alcotest.fail "should complete"
   | Mcs.Completed m ->
       Alcotest.(check int) "two common nodes" 2 (Mapping.size m);
       Alcotest.(check bool) "valid" true (Mcs.is_common_subgraph g1 g2 m)
@@ -26,7 +26,7 @@ let test_induced_semantics () =
   let g1 = graph [ "a"; "b" ] [ (0, 1) ] in
   let g2 = graph [ "a"; "b" ] [] in
   match Mcs.run g1 g2 with
-  | Mcs.Timed_out -> Alcotest.fail "should complete"
+  | Mcs.Timed_out _ -> Alcotest.fail "should complete"
   | Mcs.Completed m -> Alcotest.(check int) "only one node" 1 (Mapping.size m)
 
 let test_timeout () =
@@ -34,15 +34,15 @@ let test_timeout () =
   let rng = Random.State.make [| 9 |] in
   let g1 = Phom_graph.Generators.erdos_renyi ~rng ~n:30 ~m:90 ~labels:(fun _ -> "x") in
   let g2 = Phom_graph.Generators.erdos_renyi ~rng ~n:30 ~m:90 ~labels:(fun _ -> "x") in
-  match Mcs.run ~budget:100 g1 g2 with
-  | Mcs.Timed_out -> ()
+  match Mcs.run ~budget:(Phom_graph.Budget.trip_after 100) g1 g2 with
+  | Mcs.Timed_out _ -> ()
   | Mcs.Completed _ -> Alcotest.fail "expected timeout"
 
 let test_custom_compat () =
   let g1 = graph [ "a" ] [] and g2 = graph [ "b" ] [] in
   match Mcs.run ~node_compat:(fun _ _ -> true) g1 g2 with
   | Mcs.Completed m -> Alcotest.(check int) "compat overridden" 1 (Mapping.size m)
-  | Mcs.Timed_out -> Alcotest.fail "should complete"
+  | Mcs.Timed_out _ -> Alcotest.fail "should complete"
 
 let prop_valid_and_mcs_is_cph11_special_case =
   qtest ~count:80 "mcs: results are common subgraphs and 1-1 p-hom mappings"
@@ -50,7 +50,7 @@ let prop_valid_and_mcs_is_cph11_special_case =
     (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
     (fun (g1, g2) ->
       match Mcs.run g1 g2 with
-      | Mcs.Timed_out -> true
+      | Mcs.Timed_out _ -> true
       | Mcs.Completed m ->
           Mcs.is_common_subgraph g1 g2 m
           (* Section 3.3: MCS is a special case of CPH¹⁻¹, so any common
@@ -63,11 +63,11 @@ let prop_mcs_leq_cph11 =
     (fun (a, b) -> print_digraph a ^ " / " ^ print_digraph b)
     (fun (g1, g2) ->
       match Mcs.run g1 g2 with
-      | Mcs.Timed_out -> true
+      | Mcs.Timed_out _ -> true
       | Mcs.Completed m ->
           let t = eq_instance ~xi:1.0 g1 g2 in
           let e = Phom.Exact.solve ~injective:true ~objective:Phom.Exact.Cardinality t in
-          (not e.Phom.Exact.optimal)
+          (e.Phom.Exact.status <> Phom_graph.Budget.Complete)
           || Mapping.size m <= Mapping.size e.Phom.Exact.mapping)
 
 let suite =

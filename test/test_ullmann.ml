@@ -40,8 +40,8 @@ let test_budget () =
   let rng = Random.State.make [| 3 |] in
   let g1 = Phom_graph.Generators.erdos_renyi ~rng ~n:10 ~m:12 ~labels:(fun _ -> "x") in
   let g2 = Phom_graph.Generators.erdos_renyi ~rng ~n:12 ~m:30 ~labels:(fun _ -> "x") in
-  match Ull.find ~budget:3 g1 g2 with
-  | Ull.Gave_up -> ()
+  match Ull.find ~budget:(Phom_graph.Budget.trip_after 3) g1 g2 with
+  | Ull.Gave_up m -> Alcotest.(check bool) "partial is valid" true (Ull.is_partial_embedding g1 g2 m)
   | Ull.Found _ | Ull.Not_found_ -> Alcotest.fail "expected Gave_up"
 
 let prop_found_is_embedding =
@@ -51,7 +51,7 @@ let prop_found_is_embedding =
     (fun (g1, g2) ->
       match Ull.find g1 g2 with
       | Ull.Found m -> Ull.is_embedding g1 g2 m
-      | Ull.Not_found_ | Ull.Gave_up -> true)
+      | Ull.Not_found_ | Ull.Gave_up _ -> true)
 
 let prop_iso_implies_one_one_phom =
   (* Section 3.2: subgraph isomorphism is a special case of 1-1 p-hom *)
@@ -64,7 +64,7 @@ let prop_iso_implies_one_one_phom =
           let t = eq_instance ~xi:1.0 g1 g2 in
           Instance.is_valid ~injective:true t m
           && Phom.Api.decide_one_one_phom t = Some true
-      | Ull.Not_found_ | Ull.Gave_up -> true)
+      | Ull.Not_found_ | Ull.Gave_up _ -> true)
 
 let prop_self_embedding =
   qtest ~count:80 "ullmann: every graph embeds in itself" (digraph_gen ())

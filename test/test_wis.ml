@@ -49,11 +49,10 @@ let test_exact_clique () =
   let g =
     U.create 6 [ (0, 1); (0, 2); (1, 2); (2, 3); (3, 4); (4, 5); (3, 5) ]
   in
-  match Wis.exact_max_clique g with
-  | None -> Alcotest.fail "budget should suffice"
-  | Some c ->
-      Alcotest.(check int) "size 3" 3 (List.length c);
-      Alcotest.(check bool) "is clique" true (U.is_clique g c)
+  let c, status = Wis.exact_max_clique g in
+  Alcotest.(check bool) "complete" true (status = Phom_graph.Budget.Complete);
+  Alcotest.(check int) "size 3" 3 (List.length c);
+  Alcotest.(check bool) "is clique" true (U.is_clique g c)
 
 let test_exact_clique_budget () =
   (* dense-ish random graph with a tiny budget gives up *)
@@ -66,7 +65,9 @@ let test_exact_clique_budget () =
     done
   done;
   let g = U.create n !edges in
-  Alcotest.(check bool) "gives up" true (Wis.exact_max_clique ~budget:10 g = None)
+  let c, status = Wis.exact_max_clique ~budget:(Phom_graph.Budget.trip_after 10) g in
+  Alcotest.(check bool) "gives up" true (status <> Phom_graph.Budget.Complete);
+  Alcotest.(check bool) "best-so-far is a clique" true (U.is_clique g c)
 
 let prop_outputs_valid =
   qtest ~count:80 "wis: removal outputs are valid" (ungraph_gen ())
@@ -80,8 +81,9 @@ let prop_exact_geq_approx =
   qtest ~count:60 "wis: exact clique ≥ approx clique" (ungraph_gen ~max_n:9 ())
     print_ungraph (fun g ->
       match Wis.exact_max_clique g with
-      | None -> true
-      | Some exact -> List.length exact >= List.length (Wis.max_clique g))
+      | exact, Phom_graph.Budget.Complete ->
+          List.length exact >= List.length (Wis.max_clique g)
+      | _, Phom_graph.Budget.Exhausted _ -> true)
 
 let prop_weighted_geq_heaviest =
   qtest ~count:60 "wis: weighted IS ≥ heaviest node" (ungraph_gen ())
