@@ -120,7 +120,14 @@ let run_point ~cfg ~axis x =
     time = List.map (fun n -> (n, Util.mean (Hashtbl.find times n))) names;
   }
 
-let sweep ~cfg ~axis = List.map (run_point ~cfg ~axis) cfg.points
+(* the points of a sweep are independent: each seeds its own RNG from
+   (cfg.seed, x), so fanning them out across domains reproduces the
+   sequential numbers point for point *)
+let sweep ?pool ~cfg ~axis () =
+  match pool with
+  | Some p when Phom_parallel.Pool.size p > 1 ->
+      Phom_parallel.Pool.map_list p (run_point ~cfg ~axis) cfg.points
+  | _ -> List.map (run_point ~cfg ~axis) cfg.points
 
 let x_label axis x =
   match axis with

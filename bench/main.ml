@@ -27,6 +27,22 @@ let mcs_limit_arg =
 
 let mcs_limit full = function Some l -> l | None -> if full then 60. else 3.
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel runtime. Default 1 \
+              (sequential), so published numbers stay comparable unless \
+              parallelism is asked for explicitly.")
+
+let with_pool jobs f =
+  if jobs < 1 then begin
+    Printf.eprintf "bench: --jobs must be at least 1 (got %d)\n" jobs;
+    exit 1
+  end;
+  if jobs = 1 then f None
+  else Phom_parallel.Pool.with_pool ~domains:jobs (fun p -> f (Some p))
+
 let axis_arg =
   let choices =
     Arg.enum [ ("size", Fig56.Size); ("noise", Fig56.Noise); ("xi", Fig56.Xi) ]
@@ -57,25 +73,27 @@ let sf_impl_of fast =
   if fast then Phom_sim.Similarity_flooding.Factorized
   else Phom_sim.Similarity_flooding.Edge_pairs
 
-let run_table3 full seed versions limit fast_sf =
-  Table3.run ~sf_impl:(sf_impl_of fast_sf) ~scale:(scale_of_full full) ~seed
-    ~versions ~mcs_time_limit:(mcs_limit full limit) ()
+let run_table3 full seed versions limit fast_sf jobs =
+  with_pool jobs (fun pool ->
+      Table3.run ~sf_impl:(sf_impl_of fast_sf) ?pool ~scale:(scale_of_full full)
+        ~seed ~versions ~mcs_time_limit:(mcs_limit full limit) ())
 
-let run_fig ~figure full seed axis pick =
+let run_fig ~figure full seed axis pick jobs =
   let cfg = Fig56.default_cfg ~pick ~full ~axis ~seed () in
-  let results = Fig56.sweep ~cfg ~axis in
+  let results = with_pool jobs (fun pool -> Fig56.sweep ?pool ~cfg ~axis ()) in
   match figure with
   | `Five -> Fig56.print_accuracy ~axis results
   | `Six -> Fig56.print_time ~axis results
 
-let run_all full seed versions limit =
+let run_all full seed versions limit jobs =
+  with_pool jobs @@ fun pool ->
   Table2.run ~scale:(scale_of_full full) ~seed;
-  Table3.run ~scale:(scale_of_full full) ~seed ~versions
+  Table3.run ?pool ~scale:(scale_of_full full) ~seed ~versions
     ~mcs_time_limit:(mcs_limit full limit) ();
   List.iter
     (fun axis ->
       let cfg = Fig56.default_cfg ~full ~axis ~seed () in
-      let results = Fig56.sweep ~cfg ~axis in
+      let results = Fig56.sweep ?pool ~cfg ~axis () in
       Fig56.print_accuracy ~axis results;
       Fig56.print_time ~axis results)
     [ Fig56.Size; Fig56.Noise; Fig56.Xi ];
@@ -91,21 +109,21 @@ let table3_cmd =
     (Cmd.info "table3" ~doc:"Reproduce Table 3 (accuracy/scalability, real-life data).")
     Term.(
       const run_table3 $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg
-      $ fast_sf_arg)
+      $ fast_sf_arg $ jobs_arg)
 
 let fig5_cmd =
   Cmd.v
     (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (accuracy on synthetic data).")
     Term.(
-      const (fun f s a p -> run_fig ~figure:`Five f s a p)
-      $ full_arg $ seed_arg $ axis_arg $ pick_arg)
+      const (fun f s a p j -> run_fig ~figure:`Five f s a p j)
+      $ full_arg $ seed_arg $ axis_arg $ pick_arg $ jobs_arg)
 
 let fig6_cmd =
   Cmd.v
     (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (scalability on synthetic data).")
     Term.(
-      const (fun f s a p -> run_fig ~figure:`Six f s a p)
-      $ full_arg $ seed_arg $ axis_arg $ pick_arg)
+      const (fun f s a p j -> run_fig ~figure:`Six f s a p j)
+      $ full_arg $ seed_arg $ axis_arg $ pick_arg $ jobs_arg)
 
 let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc:"Bechamel micro-benchmarks of the kernels.")
@@ -116,7 +134,44 @@ let ablations_cmd =
     (Cmd.info "ablations" ~doc:"Ablation benches for the design choices.")
     Term.(const (fun seed -> Ablations.run ~seed) $ seed_arg)
 
-let all_term = Term.(const run_all $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg)
+let parallel_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_parallel.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let components_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "components" ] ~doc:"Pattern components in the fan-out workload.")
+  in
+  let m_arg =
+    Arg.(value & opt int 40 & info [ "size" ] ~doc:"Nodes per pattern component.")
+  in
+  let run seed jobs components m versions out =
+    let jobs =
+      if jobs >= 1 then jobs
+      else begin
+        Printf.eprintf "bench: --jobs must be at least 1 (got %d)\n" jobs;
+        exit 1
+      end
+    in
+    Parallel_bench.run ~jobs ~seed ~components ~m ~versions ~out ()
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:"Sequential vs --jobs N wall-clock on the pool-accelerated \
+             workloads; writes BENCH_parallel.json.")
+    Term.(
+      const run $ seed_arg
+      $ Arg.(
+          value
+          & opt int (Domain.recommended_domain_count ())
+          & info [ "jobs"; "j" ] ~docv:"N"
+              ~doc:"Worker domains for the parallel side of the comparison.")
+      $ components_arg $ m_arg $ versions_arg $ out_arg)
+
+let all_term = Term.(const run_all $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg $ jobs_arg)
 
 let all_cmd = Cmd.v (Cmd.info "all" ~doc:"Every table and figure (default).") all_term
 
@@ -126,4 +181,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:all_term info
-          [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd; all_cmd ]))
+          [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd;
+            parallel_cmd; all_cmd ]))

@@ -30,15 +30,16 @@ let paper_times =
 
 type cell = { acc : float option; time : float }
 
-let measure ~rng ~versions ~mcs_time_limit ~sf_impl ~skeleton spec method_ =
+let measure ?pool ~rng ~versions ~mcs_time_limit ~sf_impl ~skeleton spec method_ =
   let rng = Random.State.copy rng in
   let pattern, later = Dataset.archive_skeletons ~rng ~versions ~skeleton spec in
   let acc, time =
-    Matcher.accuracy ~mcs_time_limit ~sf_impl method_ ~pattern ~versions:later
+    Matcher.accuracy ~mcs_time_limit ~sf_impl ?pool method_ ~pattern
+      ~versions:later
   in
   { acc; time }
 
-let run ?(sf_impl = Phom_sim.Similarity_flooding.Edge_pairs) ~scale ~seed
+let run ?(sf_impl = Phom_sim.Similarity_flooding.Edge_pairs) ?pool ~scale ~seed
     ~versions ~mcs_time_limit () =
   Util.heading "Table 3: accuracy and scalability on (simulated) real-life data";
   (match scale with
@@ -60,8 +61,8 @@ let run ?(sf_impl = Phom_sim.Similarity_flooding.Edge_pairs) ~scale ~seed
               ( method_,
                 List.map
                   (fun spec ->
-                    measure ~rng ~versions ~mcs_time_limit ~sf_impl ~skeleton spec
-                      method_)
+                    measure ?pool ~rng ~versions ~mcs_time_limit ~sf_impl
+                      ~skeleton spec method_)
                   sites ))
             Matcher.all_methods ))
       sets

@@ -125,6 +125,26 @@ let check_budget_flags timeout steps =
   | Some n when n < 0 -> die "--steps must be non-negative (got %d)" n
   | _ -> ()
 
+(* ---- parallelism ---- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel solving runtime (components of \
+              the pattern fan out across domains when $(b,--partition) is \
+              set). Default: the hardware's recommended domain count. \
+              $(b,--jobs 1) is fully sequential and bit-identical to a \
+              build without parallelism.")
+
+(* [--jobs 1] must not even construct a pool: the sequential code path is
+   the byte-identical baseline the cram suite pins down *)
+let with_pool jobs f =
+  if jobs < 1 then die "--jobs must be at least 1 (got %d)" jobs;
+  if jobs = 1 then f None
+  else Phom_parallel.Pool.with_pool ~domains:jobs (fun p -> f (Some p))
+
 (* The fork/exec and OCaml runtime boot happen before [start_time] is
    captured, so a deadline anchored there would under-count what the user
    actually waits for.  Charge a conservative allowance for that pre-main
@@ -225,7 +245,7 @@ let match_cmd =
                 path for every mapped pattern edge.")
   in
   let run pattern data xi sim mat_file problem algorithm partition compress hops
-      weights dot_out explain timeout steps =
+      weights dot_out explain timeout steps jobs =
     guard @@ fun () ->
     check_xi xi;
     let budget = budget_of timeout steps in
@@ -233,7 +253,11 @@ let match_cmd =
     let mat = matrix_of ?file:mat_file sim g1 g2 in
     let t = instance_of ?budget ?hops g1 g2 mat xi in
     let weights = weights_of weights g1 in
-    let r = Api.solve_within ~algorithm ~partition ~compress ~weights ?budget problem t in
+    let r =
+      with_pool jobs (fun pool ->
+          Api.solve_within ~algorithm ~partition ~compress ~weights ?budget
+            ?pool problem t)
+    in
     if explain then print_string (Api.report t r)
     else begin
       Printf.printf "problem   : %s\n" (Api.problem_name problem);
@@ -263,7 +287,8 @@ let match_cmd =
     Term.(
       const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
       $ problem_arg $ algorithm_arg $ partition_arg $ compress_arg $ hops_arg
-      $ weights_arg $ dot_out_arg $ explain_arg $ timeout_arg $ steps_arg)
+      $ weights_arg $ dot_out_arg $ explain_arg $ timeout_arg $ steps_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "match"

@@ -23,22 +23,25 @@ let problem_name = function
 let default_weights (t : Instance.t) = Array.make (D.n t.g1) 1.
 
 let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
-    ?(compress = false) ?budget problem (t : Instance.t) =
+    ?(compress = false) ?budget ?pool problem (t : Instance.t) =
   let inj = injective problem in
   let weights = match weights with Some w -> w | None -> default_weights t in
   (* Exact_bb without an explicit budget runs on its own default token;
-     record a trip so the caller still learns the result may be partial. *)
-  let inner_status = ref Budget.Complete in
-  let exact sub objective =
+     record a trip so the caller still learns the result may be partial.
+     Atomic because partitioned components may report from worker domains. *)
+  let inner_status = Atomic.make Budget.Complete in
+  let exact ?budget sub objective =
     let o = Exact.solve ~injective:inj ?budget ~objective sub in
     (match o.Exact.status with
-    | Budget.Exhausted _ as s -> inner_status := s
+    | Budget.Exhausted _ as s -> Atomic.set inner_status s
     | Budget.Complete -> ());
     o.Exact.mapping
   in
   (* [w] below is always re-indexed to the g1 of the sub-instance at hand
-     (partitioning renumbers g1 nodes; compression leaves g1 intact) *)
-  let base_algo (sub : Instance.t) w =
+     (partitioning renumbers g1 nodes; compression leaves g1 intact); the
+     budget is passed down explicitly so the partitioned path can hand each
+     component its own forked child token *)
+  let base_algo ?budget (sub : Instance.t) w =
     match (algorithm, problem) with
     | Direct, (CPH | CPH11) -> Comp_max_card.run ~injective:inj ?budget sub
     | Direct, (SPH | SPH11) ->
@@ -46,10 +49,10 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
     | Naive_product, (CPH | CPH11) -> Naive.max_card ~injective:inj ?budget sub
     | Naive_product, (SPH | SPH11) ->
         Naive.max_sim ~injective:inj ?budget ~weights:w sub
-    | Exact_bb, (CPH | CPH11) -> exact sub Exact.Cardinality
-    | Exact_bb, (SPH | SPH11) -> exact sub (Exact.Similarity w)
+    | Exact_bb, (CPH | CPH11) -> exact ?budget sub Exact.Cardinality
+    | Exact_bb, (SPH | SPH11) -> exact ?budget sub (Exact.Similarity w)
   in
-  let compressed_algo sub w =
+  let compressed_algo ?budget sub w =
     if compress then
       match (algorithm, problem) with
       | Direct, (CPH | CPH11) ->
@@ -60,16 +63,20 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
               ~capacities:c.Opts.capacities c.Opts.sub
           in
           Opts.decompress ~injective:inj c m
-      | _ -> Opts.with_compression ~injective:inj (fun s -> base_algo s w) sub
-    else base_algo sub w
+      | _ ->
+          Opts.with_compression ~injective:inj
+            (fun s -> base_algo ?budget s w)
+            sub
+    else base_algo ?budget sub w
   in
   let mapping =
     if partition && not inj then
-      Opts.partitioned
-        (fun sub old_of_new ->
-          compressed_algo sub (Array.map (fun ov -> weights.(ov)) old_of_new))
+      Opts.partitioned ?pool ?budget
+        (fun ?budget sub old_of_new ->
+          compressed_algo ?budget sub
+            (Array.map (fun ov -> weights.(ov)) old_of_new))
         t
-    else compressed_algo t weights
+    else compressed_algo ?budget t weights
   in
   let quality =
     match problem with
@@ -81,8 +88,8 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
     | Some b -> (
         match Budget.status b with
         | Budget.Exhausted _ as s -> s
-        | Budget.Complete -> !inner_status)
-    | None -> !inner_status
+        | Budget.Complete -> Atomic.get inner_status)
+    | None -> Atomic.get inner_status
   in
   { problem; mapping; quality; status }
 

@@ -50,6 +50,7 @@ val solve_within :
   ?partition:bool ->
   ?compress:bool ->
   ?budget:Phom_graph.Budget.t ->
+  ?pool:Phom_parallel.Pool.t ->
   problem ->
   Instance.t ->
   result
@@ -64,7 +65,15 @@ val solve_within :
     found so far — and [status] is [Exhausted _]. Without [budget] the
     approximation algorithms run to completion; [Exact_bb] retains its
     internal safety budget (a 5·10⁶-step token) and reports through
-    [status] if it tripped. *)
+    [status] if it tripped.
+
+    [pool] parallelizes the [partition] fan-out: each weakly connected
+    component of the trimmed [G1] is solved on a pool domain, with [budget]
+    forked into domain-safe children ({!Phom_graph.Budget.fork}) whose
+    first trip stops every worker. Results are merged in deterministic
+    component order, so without a budget trip the mapping is identical to
+    the sequential one; a size-1 pool (or no pool) runs the historical
+    sequential code path, bit for bit. *)
 
 val solve :
   ?algorithm:algorithm ->

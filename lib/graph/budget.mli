@@ -74,7 +74,52 @@ val exhausted : t -> bool
 
 val cancel : t -> unit
 (** Trip the token from outside (e.g. a signal handler or a supervising
-    thread). Idempotent; an earlier trip reason wins. *)
+    thread). Idempotent; an earlier trip reason wins. Cancelling a token
+    that has forked children (see {!fork}) trips the children too, at
+    their next poll point. *)
+
+(** {1 Domain-safe forking}
+
+    A plain token is a single-domain mutable value. To share one allowance
+    across the domains of a {!Phom_parallel.Pool}, the owning domain forks
+    one {e child token} per parallel task and joins them back afterwards:
+
+    {[
+      let children = List.map (fun w -> (w, Budget.fork b)) work in
+      let results = Pool.map pool (fun (w, c) -> solve ~budget:c w) ... in
+      List.iter (fun (_, c) -> Budget.join b c) children
+    ]}
+
+    The children draw steps from a single atomic ledger in small leases, so
+    the family-wide step cap is exact (the grants partition the remaining
+    allowance — the family can never consume more total ticks than the
+    parent could have), they share the parent's wall-clock deadline and
+    cancellation hook, and the first member to trip — for any reason —
+    publishes the trip so every sibling stops at its next poll point
+    (first-exhausted cancels the family). Anytime semantics survive: each
+    task returns its best-so-far result, exactly as in sequential runs.
+
+    Rules: {!fork} must be called by the domain that owns the token being
+    forked (pre-fork the children before handing them to pool tasks, or
+    fork inside the task that owns a child); a parent must not {!tick}
+    while its children are live; {!join} folds a child's consumption and
+    trip reason back into the parent, so after joining every child,
+    {!steps_used} of the parent counts the whole family's work and
+    {!status} reports the family's first trip. A user-supplied [cancel]
+    hook is called from worker domains and must be domain-safe. *)
+
+val fork : t -> t
+(** [fork parent] is a child token drawing on [parent]'s remaining
+    allowance, for use by exactly one parallel task. Forking an
+    already-exhausted parent yields an already-tripped child. Children can
+    be forked further (the grandchildren draw from the same family
+    ledger). *)
+
+val join : t -> t -> unit
+(** [join parent child] folds [child]'s step consumption and trip status
+    back into [parent]. Call it after the child's task has finished.
+
+    @raise Invalid_argument if [child] was not created by {!fork}. *)
 
 val status : t -> status
 val why : t -> reason option

@@ -139,11 +139,19 @@ let match_skeletons ?(xi = 0.75) ?(threshold = 0.75) ?(mcs_time_limit = 10.)
         seconds;
       }
 
-let accuracy ?xi ?threshold ?mcs_time_limit ?sf_impl method_ ~pattern ~versions =
+let accuracy ?xi ?threshold ?mcs_time_limit ?sf_impl ?pool method_ ~pattern
+    ~versions =
+  (* per-version match jobs are independent (each builds its own matrix and
+     instance over shared read-only skeletons), so they fan out across the
+     pool; Pool.map keeps verdict order, hence identical accuracy output *)
+  let judge =
+    match_skeletons ?xi ?threshold ?mcs_time_limit ?sf_impl method_ pattern
+  in
   let verdicts =
-    List.map
-      (match_skeletons ?xi ?threshold ?mcs_time_limit ?sf_impl method_ pattern)
-      versions
+    match pool with
+    | Some p when Phom_parallel.Pool.size p > 1 ->
+        Phom_parallel.Pool.map_list p judge versions
+    | _ -> List.map judge versions
   in
   let times = List.map (fun v -> v.seconds) verdicts in
   let mean_time =

@@ -60,10 +60,14 @@ val accuracy :
   ?threshold:float ->
   ?mcs_time_limit:float ->
   ?sf_impl:Phom_sim.Similarity_flooding.impl ->
+  ?pool:Phom_parallel.Pool.t ->
   method_ ->
   pattern:Skeleton.t ->
   versions:Skeleton.t list ->
   float option * float
 (** Percentage of versions matched to the pattern (the paper's accuracy
     measure) and the mean matching time in seconds. [None] when the method
-    timed out on every version (the paper's "N/A"). *)
+    timed out on every version (the paper's "N/A"). With a [pool], the
+    per-version match jobs run across its domains; the verdict (and the
+    accuracy) is unchanged, though per-job [seconds] may reflect
+    contention. *)

@@ -1,8 +1,9 @@
 module Bitset = Phom_graph.Bitset
 module Budget = Phom_graph.Budget
+module Pool = Phom_parallel.Pool
 
-let max_independent_set ?budget g = Ramsey.clique_removal ?budget g
-let max_clique ?budget g = Ramsey.is_removal ?budget g
+let max_independent_set ?pool ?budget g = Ramsey.clique_removal ?pool ?budget g
+let max_clique ?pool ?budget g = Ramsey.is_removal ?pool ?budget g
 
 let weight_classes g =
   let n = Ungraph.n g in
@@ -36,19 +37,35 @@ let heaviest_node g =
   done;
   if !best < 0 then [] else [ !best ]
 
-let weighted ?budget solve g =
-  (* the weight classes share one token: once it trips, the remaining
-     classes contribute nothing and the heaviest-node fallback (always
-     computed, cheap) guarantees a non-trivial valid answer *)
+let weighted ?pool ?budget solve g =
+  (* the weight classes are independent candidate subproblems: with a pool
+     each class is solved on its own domain and forked budget token;
+     sequentially they share one token — once it trips, the remaining
+     classes contribute nothing. Either way the heaviest-node fallback
+     (always computed, cheap) guarantees a non-trivial valid answer *)
+  let classes = weight_classes g in
+  let solve_class b bucket =
+    match b with
+    | Some bb when Budget.exhausted bb -> []
+    | _ ->
+        let sub, old_of_new = Ungraph.induced g bucket in
+        List.map (fun v -> old_of_new.(v)) (solve ?budget:b sub)
+  in
   let candidates =
-    List.map
-      (fun bucket ->
-        match budget with
-        | Some b when Budget.exhausted b -> []
-        | _ ->
-            let sub, old_of_new = Ungraph.induced g bucket in
-            List.map (fun v -> old_of_new.(v)) (solve sub))
-      (weight_classes g)
+    match pool with
+    | Some p when Pool.size p > 1 && List.length classes > 1 ->
+        let tagged =
+          List.map (fun c -> (Option.map Budget.fork budget, c)) classes
+        in
+        let out = Pool.map_list p (fun (b, c) -> solve_class b c) tagged in
+        List.iter
+          (fun (b, _) ->
+            match (budget, b) with
+            | Some parent, Some child -> Budget.join parent child
+            | _ -> ())
+          tagged;
+        out
+    | _ -> List.map (solve_class budget) classes
   in
   let candidates = heaviest_node g :: candidates in
   let best =
@@ -59,10 +76,15 @@ let weighted ?budget solve g =
   in
   List.sort compare best
 
-let max_weight_independent_set ?budget g =
-  weighted ?budget (Ramsey.clique_removal ?budget) g
+let max_weight_independent_set ?pool ?budget g =
+  weighted ?pool ?budget
+    (fun ?budget sub -> Ramsey.clique_removal ?pool ?budget sub)
+    g
 
-let max_weight_clique ?budget g = weighted ?budget (Ramsey.is_removal ?budget) g
+let max_weight_clique ?pool ?budget g =
+  weighted ?pool ?budget
+    (fun ?budget sub -> Ramsey.is_removal ?pool ?budget sub)
+    g
 
 (* Exact maximum clique: Tomita-style branch and bound with a greedy
    colouring upper bound. *)

@@ -6,19 +6,40 @@
     class unweighted, return the heaviest answer. The paper's compMaxSim
     borrows exactly this trick at the matching-list level. *)
 
-val max_independent_set : ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
+val max_independent_set :
+  ?pool:Phom_parallel.Pool.t ->
+  ?budget:Phom_graph.Budget.t ->
+  Ungraph.t ->
+  int list
 (** Cardinality objective; sorted ascending. All four approximations are
     anytime: an exhausted [budget] yields the best valid set found so far
-    (check the token's {!Phom_graph.Budget.status} to distinguish). *)
+    (check the token's {!Phom_graph.Budget.status} to distinguish).
 
-val max_clique : ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
+    All four take an optional [pool]: the independent subproblems (the
+    branches of the Ramsey recursion; for the weighted variants also the
+    geometric weight classes) are then evaluated across its domains, with
+    [budget] forked into domain-safe children. Without a pool, or with a
+    size-1 pool, the historical sequential code path runs unchanged. *)
+
+val max_clique :
+  ?pool:Phom_parallel.Pool.t ->
+  ?budget:Phom_graph.Budget.t ->
+  Ungraph.t ->
+  int list
 
 val max_weight_independent_set :
-  ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
+  ?pool:Phom_parallel.Pool.t ->
+  ?budget:Phom_graph.Budget.t ->
+  Ungraph.t ->
+  int list
 (** Weight objective. Never returns worse than the single heaviest node,
     even under an exhausted budget. *)
 
-val max_weight_clique : ?budget:Phom_graph.Budget.t -> Ungraph.t -> int list
+val max_weight_clique :
+  ?pool:Phom_parallel.Pool.t ->
+  ?budget:Phom_graph.Budget.t ->
+  Ungraph.t ->
+  int list
 
 val exact_max_clique :
   ?budget:Phom_graph.Budget.t ->
