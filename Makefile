@@ -1,5 +1,5 @@
-.PHONY: all build check test bench bench-full bench-parallel ablations micro \
-	examples fmt fmt-check ci clean
+.PHONY: all build check test bench bench-full bench-parallel bench-serve \
+	serve-smoke ablations micro examples fmt fmt-check ci clean
 
 # worker domains for the parallel runtime; passed through to the bench
 # harness (the CLI takes its own --jobs flag)
@@ -29,6 +29,14 @@ bench-full:
 
 bench-parallel:
 	dune exec bench/main.exe -- parallel --jobs $(JOBS) --out BENCH_parallel.json
+
+bench-serve:
+	dune exec bench/main.exe -- serve --out BENCH_serve.json
+
+# start phomd on a temp socket, run cold/warm/budget-tripped client queries,
+# assert clean shutdown — the same flow as the CI daemon-smoke job
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 ablations:
 	dune exec bench/main.exe -- ablations
@@ -66,6 +74,8 @@ ci:
 	dune runtest
 	dune exec bench/main.exe -- micro
 	dune exec bench/main.exe -- parallel --jobs 4 --out BENCH_parallel.json
+	sh scripts/serve_smoke.sh
+	dune exec bench/main.exe -- serve --out BENCH_serve.json
 
 clean:
 	dune clean

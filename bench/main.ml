@@ -171,6 +171,41 @@ let parallel_cmd =
               ~doc:"Worker domains for the parallel side of the comparison.")
       $ components_arg $ m_arg $ versions_arg $ out_arg)
 
+let serve_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_serve.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let sizes_arg =
+    Arg.(
+      value & opt (list int) [ 20; 40; 80 ]
+      & info [ "sizes" ] ~docv:"M,M,..."
+          ~doc:"Pattern sizes (paper generator parameter m) to query at.")
+  in
+  let noise_arg =
+    Arg.(value & opt float 0.1 & info [ "noise" ] ~doc:"Noise rate for the data graphs.")
+  in
+  let repeats_arg =
+    Arg.(value & opt int 5 & info [ "repeats" ] ~doc:"Warm queries per pair.")
+  in
+  let run seed sizes noise repeats out =
+    if List.exists (fun m -> m < 1) sizes then begin
+      prerr_endline "bench: --sizes must all be at least 1";
+      exit 1
+    end;
+    if repeats < 1 then begin
+      Printf.eprintf "bench: --repeats must be at least 1 (got %d)\n" repeats;
+      exit 1
+    end;
+    Serve_bench.run ~seed ~sizes ~noise ~repeats ~out ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Daemon cold vs warm query latency on the Fig. 5/6 synthetic \
+             graphs; writes BENCH_serve.json.")
+    Term.(const run $ seed_arg $ sizes_arg $ noise_arg $ repeats_arg $ out_arg)
+
 let all_term = Term.(const run_all $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg $ jobs_arg)
 
 let all_cmd = Cmd.v (Cmd.info "all" ~doc:"Every table and figure (default).") all_term
@@ -182,4 +217,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:all_term info
           [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd;
-            parallel_cmd; all_cmd ]))
+            parallel_cmd; serve_cmd; all_cmd ]))

@@ -1,0 +1,147 @@
+(* Daemon cold-vs-warm bench: the amortization argument for the matching
+   service, measured. For each Fig. 5/6 synthetic pattern/data pair the
+   daemon state answers the same solve request twice — the cold query
+   computes every artifact (G2 closure, similarity matrix, candidate
+   table), the warm ones are served from the LRU cache. Requests go through
+   Daemon.execute (the exact per-request pipeline of the socket loop,
+   without socket noise), and the warm reply must equal the cold one modulo
+   the cache provenance field.
+
+   Emits BENCH_serve.json (also printed as a table) so CI can assert the
+   warm path is measurably faster than the cold one. *)
+
+module D = Phom_graph.Digraph
+module G = Phom_graph.Generators
+module IO = Phom_graph.Graph_io
+module Daemon = Phom_server.Daemon
+module Protocol = Phom_server.Protocol
+
+type row = {
+  name : string;
+  n1 : int;
+  n2 : int;
+  cold_seconds : float;
+  warm_seconds : float;  (** mean over the warm repeats *)
+  warm_hits : bool;  (** every artifact of the warm replies was a cache hit *)
+  equal_output : bool;
+}
+
+let request st line =
+  match Protocol.parse line with
+  | Error m -> failwith ("bench serve: bad request: " ^ m)
+  | Ok req -> fst (Daemon.execute st req)
+
+let expect_ok what reply =
+  if String.length reply < 2 || String.sub reply 0 2 <> "ok" then
+    failwith (Printf.sprintf "bench serve: %s failed: %s" what reply)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* the answer proper: the reply with its cache provenance field removed *)
+let strip_cache reply =
+  let marker = " cache=" in
+  let rec find i =
+    if i + String.length marker > String.length reply then None
+    else if String.sub reply i (String.length marker) = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with Some i -> String.sub reply 0 i | None -> reply
+
+let bench_pair ~rng ~m ~noise ~repeats st =
+  let g1, pool = G.paper_pattern ~rng ~m in
+  let g2 = G.paper_data ~rng ~pool ~noise g1 in
+  let save g =
+    let path = Filename.temp_file "phom_serve_bench" ".phg" in
+    IO.save path g;
+    path
+  in
+  let p1 = save g1 and p2 = save g2 in
+  let finally () = List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ p1; p2 ] in
+  Fun.protect ~finally (fun () ->
+      let name = Printf.sprintf "fig5-m%d" m in
+      expect_ok "load pattern" (request st (Printf.sprintf "load graph %s.g1 %s" name p1));
+      expect_ok "load data" (request st (Printf.sprintf "load graph %s.g2 %s" name p2));
+      let solve =
+        Printf.sprintf "solve card %s.g1 %s.g2 --sim shingles --xi 0.5" name name
+      in
+      let cold, cold_seconds = Util.timed (fun () -> request st solve) in
+      expect_ok "cold solve" cold;
+      let warm = ref cold and warm_hits = ref true and warm_total = ref 0. in
+      for _ = 1 to repeats do
+        let reply, dt = Util.timed (fun () -> request st solve) in
+        expect_ok "warm solve" reply;
+        warm := reply;
+        warm_total := !warm_total +. dt;
+        if not (contains ~needle:"cache=closure:hit,mat:hit,cands:hit" reply) then
+          warm_hits := false
+      done;
+      {
+        name;
+        n1 = D.n g1;
+        n2 = D.n g2;
+        cold_seconds;
+        warm_seconds = !warm_total /. float_of_int repeats;
+        warm_hits = !warm_hits;
+        equal_output = strip_cache cold = strip_cache !warm;
+      })
+
+let json_of_rows ~repeats rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": %S, \"n1\": %d, \"n2\": %d, \"cold_seconds\": %.6f, \
+       \"warm_seconds\": %.6f, \"speedup\": %.3f, \"warm_hits\": %b, \
+       \"equal_output\": %b}"
+      r.name r.n1 r.n2 r.cold_seconds r.warm_seconds
+      (if r.warm_seconds > 0. then r.cold_seconds /. r.warm_seconds else 0.)
+      r.warm_hits r.equal_output
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"warm_repeats\": %d,\n\
+    \  \"queries\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    repeats
+    (String.concat ",\n" (List.map row_json rows))
+
+let run ~seed ~sizes ~noise ~repeats ~out () =
+  Util.heading "Matching service: cold vs warm query latency";
+  Util.note "paper synthetic pairs (Fig. 5 generator), noise %.2f, %d warm \
+             repeats per query"
+    noise repeats;
+  let rng = Random.State.make [| seed |] in
+  (* unbounded per-request budget: the bench must never trade a slow cold
+     query for an exhausted answer, or cold vs warm would compare different
+     work *)
+  let config = { Daemon.default_config with Daemon.default_timeout = None } in
+  let st = Daemon.make_state config in
+  let rows = List.map (fun m -> bench_pair ~rng ~m ~noise ~repeats st) sizes in
+  Util.table
+    [ "query"; "|G1|"; "|G2|"; "cold"; "warm"; "speedup"; "warm hits"; "same answer" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           string_of_int r.n1;
+           string_of_int r.n2;
+           Util.seconds r.cold_seconds;
+           Util.seconds r.warm_seconds;
+           Printf.sprintf "%.1fx"
+             (if r.warm_seconds > 0. then r.cold_seconds /. r.warm_seconds else 0.);
+           string_of_bool r.warm_hits;
+           string_of_bool r.equal_output;
+         ])
+       rows);
+  let json = json_of_rows ~repeats rows in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Util.note "wrote %s" out;
+  if List.exists (fun r -> not (r.warm_hits && r.equal_output)) rows then begin
+    prerr_endline "warm queries missed the cache or changed the answer";
+    exit 1
+  end

@@ -33,10 +33,9 @@ let guard f =
   try f () with
   | Invalid_argument msg | Failure msg | Sys_error msg -> die "%s" msg
 
+(* IO.load errors already name the file (and line, for parse errors) *)
 let load_graph path =
-  match IO.load path with
-  | Ok g -> g
-  | Error msg -> die "loading %s: %s" path msg
+  match IO.load path with Ok g -> g | Error msg -> die "%s" msg
 
 (* ---- shared arguments ---- *)
 
@@ -77,7 +76,7 @@ let matrix_of ?file kind g1 g2 =
             die "matrix in %s is %dx%d but graphs are %dx%d" path (Simmat.n1 m)
               (Simmat.n2 m) (D.n g1) (D.n g2)
           else m
-      | Error msg -> die "loading %s: %s" path msg)
+      | Error msg -> die "%s" msg)
   | None -> (
       match kind with
       | `Equality -> Simmat.of_label_equality g1 g2
@@ -541,13 +540,62 @@ let dot_cmd =
   let run path = guard @@ fun () -> print_string (IO.to_dot (load_graph path)) in
   Cmd.v (Cmd.info "dot" ~doc:"Convert a graph file to Graphviz DOT on stdout.") Term.(const run $ file_arg)
 
+(* ---- client ---- *)
+
+let client_cmd =
+  let addr_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:"Daemon address: a Unix-domain socket path, or HOST:PORT for \
+                TCP.")
+  in
+  let request_arg =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"REQUEST"
+          ~doc:"The request line, as protocol tokens. Put $(b,--) before \
+                them (or quote the whole request) so solve flags like \
+                $(b,--xi) reach the daemon instead of this tool.")
+  in
+  let run addr request =
+    guard @@ fun () ->
+    let line = String.concat " " request in
+    if String.trim line = "" then die "empty request (try: version, list, stats, solve ...)";
+    match Phom_server.Client.sockaddr_of_string addr with
+    | Error msg -> die "%s" msg
+    | Ok sockaddr -> (
+        match Phom_server.Client.request sockaddr line with
+        | Error msg -> die "%s" msg
+        | Ok reply ->
+            print_endline reply;
+            (* mirror the CLI budget contract: 0 ok, 1 error, 2 answered
+               but a budget tripped *)
+            if String.length reply >= 5 && String.sub reply 0 5 = "error" then
+              exit 1
+            else if
+              let exhausted = "status=exhausted" in
+              let n = String.length reply and m = String.length exhausted in
+              let rec scan i =
+                i + m <= n && (String.sub reply i m = exhausted || scan (i + 1))
+              in
+              scan 0
+            then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request line to a running phomd and print the reply. \
+             Exits 0 on an ok reply, 1 on an error reply or connection \
+             failure, 2 when the reply reports an exhausted budget.")
+    Term.(const run $ addr_arg $ request_arg)
+
 let () =
   let doc = "graph matching by p-homomorphism (Fan et al., VLDB 2010)" in
-  let info = Cmd.info "phom" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "phom" ~version:Phom_server.Version.string ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [
             match_cmd; compare_cmd; decide_cmd; witnesses_cmd; generate_cmd;
-            stats_cmd; dot_cmd;
+            stats_cmd; dot_cmd; client_cmd;
           ]))

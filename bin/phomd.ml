@@ -1,0 +1,159 @@
+(* phomd: the resident matching service. Loads graphs and similarity
+   matrices once into a catalog, keeps derived artifacts (closures,
+   similarity matrices, candidate tables) in a byte-capped LRU cache, and
+   answers line-protocol requests over a Unix-domain (and optionally TCP)
+   socket, running each solve as a budgeted job on a shared domain pool.
+
+   The protocol grammar lives in Phom_server.Protocol; `phom client` is the
+   matching one-shot client. *)
+
+open Cmdliner
+module Daemon = Phom_server.Daemon
+
+let socket_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Listen on a Unix-domain socket at $(docv). A stale socket file \
+              left by a crashed daemon is replaced; any other existing file \
+              is refused. Unlinked on shutdown.")
+
+let tcp_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Also listen on 127.0.0.1:$(docv). Port 0 picks an ephemeral \
+              port, reported in the startup banner.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the shared solving pool. $(b,--jobs 1) \
+              (the default) answers every request sequentially, \
+              bit-identical to the CLI.")
+
+let cache_mb_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:"Artifact-cache capacity in MiB (closures, similarity \
+              matrices, candidate tables). Least-recently-used artifacts \
+              are evicted when the budget is exceeded.")
+
+let max_graph_mb_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-graph-mb" ] ~docv:"MB"
+        ~doc:"Refuse to load graph files larger than $(docv) MiB.")
+
+let max_mat_mb_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-mat-mb" ] ~docv:"MB"
+        ~doc:"Refuse to load similarity-matrix files larger than $(docv) MiB.")
+
+let default_timeout_arg =
+  Arg.(
+    value & opt (some float) (Some 5.)
+    & info [ "default-timeout" ] ~docv:"SECS"
+        ~doc:"Per-request wall-clock budget applied when a solve names no \
+              $(b,--timeout) of its own, so one hard query cannot occupy \
+              the daemon forever. 0 disables the default.")
+
+let default_steps_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "default-steps" ] ~docv:"N"
+        ~doc:"Per-request step budget applied when a solve names no \
+              $(b,--steps) of its own.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the startup banner.")
+
+let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
+    default_steps quiet =
+  if socket = None && tcp = None then begin
+    prerr_endline "error: nothing to listen on (give --socket and/or --tcp)";
+    exit 1
+  end;
+  if jobs < 1 then begin
+    Printf.eprintf "error: --jobs must be at least 1 (got %d)\n" jobs;
+    exit 1
+  end;
+  let mb_check name v =
+    if v < 1 then begin
+      Printf.eprintf "error: %s must be at least 1 (got %d)\n" name v;
+      exit 1
+    end
+  in
+  mb_check "--cache-mb" cache_mb;
+  mb_check "--max-graph-mb" max_graph_mb;
+  mb_check "--max-mat-mb" max_mat_mb;
+  let default_timeout =
+    match default_timeout with
+    | Some t when t <= 0. -> None
+    | t -> t
+  in
+  let config =
+    {
+      Daemon.socket_path = socket;
+      tcp_port = tcp;
+      jobs;
+      cache_bytes = cache_mb * 1024 * 1024;
+      max_graph_bytes = max_graph_mb * 1024 * 1024;
+      max_mat_bytes = max_mat_mb * 1024 * 1024;
+      default_timeout;
+      default_steps;
+    }
+  in
+  let ready listeners =
+    if not quiet then begin
+      List.iter
+        (fun l -> Printf.printf "phomd %s listening on %s\n"
+            Phom_server.Version.string l)
+        listeners;
+      (* the smoke scripts wait for this line before connecting *)
+      flush stdout
+    end
+  in
+  match Daemon.serve ~ready config with
+  | () -> ()
+  | exception Invalid_argument msg | exception Sys_error msg | exception Failure msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "error: %s%s: %s\n" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message e);
+      exit 1
+
+let () =
+  let doc = "p-homomorphism matching service daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs in the foreground, answering one-line requests over the \
+         configured sockets until a $(b,shutdown) request arrives. Load \
+         graphs once, then solve repeatedly: closures, similarity matrices \
+         and candidate tables are cached across requests, so warm queries \
+         skip the expensive shared-state derivation.";
+      `P
+        "Each solve runs under a per-request budget (its own \
+         $(b,--timeout)/$(b,--steps), else the daemon defaults) and replies \
+         with status=complete or status=exhausted(...) plus hit/miss \
+         provenance for every cached artifact it touched. Use $(b,phom \
+         client) to talk to the daemon from the command line.";
+    ]
+  in
+  let info =
+    Cmd.info "phomd" ~version:Phom_server.Version.string ~doc ~man
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_mb_arg
+      $ max_graph_mb_arg $ max_mat_mb_arg $ default_timeout_arg
+      $ default_steps_arg $ quiet_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -67,6 +67,13 @@ val solve_within :
     internal safety budget (a 5·10⁶-step token) and reports through
     [status] if it tripped.
 
+    Repeated solves against the same {!Instance.t} are cheap to multiplex:
+    the candidate structure every solver starts from is memoized inside the
+    instance ({!Instance.candidates}), so a resident service can preload an
+    instance once and answer many queries against it without re-deriving
+    shared state per request (see {!Instance.preset_candidates} for priming
+    it from an artifact cache).
+
     [pool] parallelizes the [partition] fan-out: each weakly connected
     component of the trimmed [G1] is solved on a pool domain, with [budget]
     forked into domain-safe children ({!Phom_graph.Budget.fork}) whose

@@ -9,6 +9,7 @@ type t = {
   mat : Simmat.t;
   xi : float;
   tc2 : BM.t;
+  cands_memo : int array array option Atomic.t;
 }
 
 let make ?budget ?tc2 ~g1 ~g2 ~mat ~xi () =
@@ -23,9 +24,9 @@ let make ?budget ?tc2 ~g1 ~g2 ~mat ~xi () =
         m
     | None -> TC.compute ?budget g2
   in
-  { g1; g2; mat; xi; tc2 }
+  { g1; g2; mat; xi; tc2; cands_memo = Atomic.make None }
 
-let candidates t =
+let compute_candidates t =
   let base = Simmat.candidates t.mat ~xi:t.xi in
   Array.mapi
     (fun v row ->
@@ -34,6 +35,20 @@ let candidates t =
           (List.filter (fun u -> BM.get t.tc2 u u) (Array.to_list row))
       else row)
     base
+
+let candidates t =
+  match Atomic.get t.cands_memo with
+  | Some c -> c
+  | None ->
+      let c = compute_candidates t in
+      (* concurrent computes produce equal tables; whichever lands is fine *)
+      Atomic.set t.cands_memo (Some c);
+      c
+
+let preset_candidates t c =
+  if Array.length c <> D.n t.g1 then
+    invalid_arg "Instance.preset_candidates: wrong number of rows";
+  Atomic.set t.cands_memo (Some c)
 
 let choose_best t v goods =
   let best = ref (-1) and best_sim = ref neg_infinity in

@@ -9,6 +9,10 @@ type t = {
   mat : Phom_sim.Simmat.t;
   xi : float;
   tc2 : Phom_graph.Bitmatrix.t;  (** transitive closure of [g2] *)
+  cands_memo : int array array option Atomic.t;
+      (** memo for {!candidates} — do not read directly; populated lazily
+          (or via {!preset_candidates}) so a preloaded instance answers many
+          queries without re-deriving its shared candidate structure *)
 }
 
 val make :
@@ -28,7 +32,19 @@ val make :
 val candidates : t -> int array array
 (** Initial candidate lists: [u ∈ cands.(v)] iff [mat(v,u) ≥ ξ] and, when
     [v] carries a self-loop, [u] lies on a cycle of [g2] (so the loop edge
-    has a path to map to). Rows are sorted by decreasing similarity. *)
+    has a path to map to). Rows are sorted by decreasing similarity.
+
+    Memoized per instance: the first call derives the table from [mat] and
+    [tc2], later calls (from any solver, on any domain) return the same
+    table. Callers must treat the rows as read-only. *)
+
+val preset_candidates : t -> int array array -> unit
+(** Install a candidate table computed earlier for an identical
+    [(g1, g2, mat, ξ, tc2)] — the matching daemon's artifact cache uses
+    this so warm queries skip the derivation entirely. The table must have
+    one row per [g1] node.
+
+    @raise Invalid_argument on a row-count mismatch. *)
 
 val choose_best : t -> int -> Matching_list.Int_set.t -> int
 (** The candidate of maximum similarity (ties: smallest id) — the [choose_u]

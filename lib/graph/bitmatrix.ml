@@ -10,6 +10,11 @@ let create ~rows ~cols =
 let rows m = m.nrows
 let cols m = m.ncols
 
+let byte_size m =
+  (* header + the packed words; labels the cost a cached closure carries in
+     a byte-accounted artifact cache *)
+  (4 + Array.length m.data) * (Sys.word_size / 8)
+
 let check m r c =
   if r < 0 || r >= m.nrows || c < 0 || c >= m.ncols then
     invalid_arg "Bitmatrix: index out of bounds"

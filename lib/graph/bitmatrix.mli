@@ -13,6 +13,11 @@ val create : rows:int -> cols:int -> t
 val rows : t -> int
 val cols : t -> int
 
+val byte_size : t -> int
+(** Heap footprint of the matrix in bytes (words of the packed
+    representation, including headers). Used for byte-accounted caching of
+    closure artifacts. *)
+
 val get : t -> int -> int -> bool
 (** [get m r c]. Raises [Invalid_argument] when out of bounds. *)
 

@@ -49,6 +49,14 @@ let compute ?budget ~k g =
     m
   end
 
+(* the single entry point artifact caches key on: one function, one key
+   shape (graph, hops), covering both the bounded and the unbounded
+   semantics *)
+let relation ?budget ?hops g =
+  match hops with
+  | None -> Transitive_closure.compute ?budget g
+  | Some k -> compute ?budget ~k g
+
 let distances_within ~k g v =
   let d = Traversal.distances g v in
   (* distances gives hop counts with d(v)=0; non-empty-path semantics needs

@@ -18,6 +18,13 @@ val compute : ?budget:Budget.t -> k:int -> Digraph.t -> Bitmatrix.t
     expansion) stops early with an under-approximation, as in
     {!Transitive_closure.compute}. *)
 
+val relation : ?budget:Budget.t -> ?hops:int -> Digraph.t -> Bitmatrix.t
+(** The cache-friendly entry point used by the matching service: [hops =
+    None] is {!Transitive_closure.compute} (unbounded p-hom semantics),
+    [hops = Some k] is [compute ~k]. Artifact caches key closures by
+    [(graph id, hops)] and call only this function, so both semantics share
+    one code path and one cache. *)
+
 val distances_within : k:int -> Digraph.t -> int -> int array
 (** [distances_within ~k g v].(u) is the length of a shortest non-empty path
     [v → u] if it is ≤ [k], else [-1]. Mostly a test oracle. *)

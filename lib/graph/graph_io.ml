@@ -20,7 +20,7 @@ let of_string ?(max_bytes = default_max_bytes) s =
   match lines with
   | [] -> err "empty input"
   | header :: rest ->
-      if String.trim header <> "phg 1" then err "missing 'phg 1' header"
+      if String.trim header <> "phg 1" then err "line 1: missing 'phg 1' header"
       else begin
         let nodes = Hashtbl.create 64 in
         let edges = ref [] in
@@ -90,6 +90,9 @@ let save path g =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string g))
 
+(* every [load] failure names the offending file exactly once; parse errors
+   additionally carry the line number from [of_string], so the uniform
+   shape is "<file>: line <n>: <what>" *)
 let load ?(max_bytes = default_max_bytes) path =
   try
     if Sys.is_directory path then Error (path ^ ": is a directory")
@@ -104,7 +107,10 @@ let load ?(max_bytes = default_max_bytes) path =
           Error
             (Printf.sprintf "%s: file too large (%d bytes; limit %d bytes)" path
                len max_bytes)
-        else of_string ~max_bytes (really_input_string ic len))
+        else
+          Result.map_error
+            (fun m -> path ^ ": " ^ m)
+            (of_string ~max_bytes (really_input_string ic len)))
   with
   | Sys_error m -> Error m
   | End_of_file -> Error (path ^ ": truncated read")

@@ -24,7 +24,12 @@ val load : ?max_bytes:int -> string -> (Digraph.t, string) result
 (** [load path] parses a file saved by {!save}. Files larger than
     [max_bytes] (default 64 MiB) are rejected {e before} being read into
     memory, so a multi-GB or pathological file fails fast with a clear
-    message instead of OOMing the process. *)
+    message instead of OOMing the process.
+
+    Every error names the offending file exactly once, and parse errors
+    keep their line number, so the uniform shape is
+    ["<file>: line <n>: <what>"] — callers print the message as is, without
+    re-prefixing the path. *)
 
 val to_dot : ?name:string -> Digraph.t -> string
 (** Graphviz [digraph] rendering, nodes labelled [id: label]. *)

@@ -74,9 +74,15 @@ let shutdown t =
   Mutex.lock t.lock;
   t.stopping <- true;
   Condition.broadcast t.nonempty;
+  (* tasks still queued (e.g. unstarted futures) would otherwise never run:
+     drain them here and run them in the caller so [await] stays live *)
+  let leftovers = ref [] in
+  Queue.iter (fun task -> leftovers := task :: !leftovers) t.queue;
+  Queue.clear t.queue;
   Mutex.unlock t.lock;
   List.iter Domain.join t.workers;
-  t.workers <- []
+  t.workers <- [];
+  List.iter (fun task -> try task () with _ -> ()) (List.rev !leftovers)
 
 let with_pool ?domains f =
   let t = create ?domains () in
@@ -127,6 +133,60 @@ let map t f items =
   end
 
 let map_list t f items = Array.to_list (map t f (Array.of_list items))
+
+(* Single-task submission, used by the matching daemon's accept loop: a
+   request becomes one pool job and the loop blocks on [await] (so the
+   request is bounded by its own budget, not the loop's). A future's state
+   cell is guarded by its own mutex — the submitting domain and the worker
+   that runs the task are the only parties. *)
+
+type 'a future = {
+  flock : Mutex.t;
+  fcond : Condition.t;
+  mutable state : 'a future_state;
+}
+
+and 'a future_state = Pending | Done of 'a | Raised of exn
+
+let submit t f =
+  let fut = { flock = Mutex.create (); fcond = Condition.create (); state = Pending } in
+  let run () =
+    let outcome = match f () with v -> Done v | exception e -> Raised e in
+    Mutex.lock fut.flock;
+    fut.state <- outcome;
+    Condition.broadcast fut.fcond;
+    Mutex.unlock fut.flock
+  in
+  if size t <= 1 then begin
+    (* sequential pool: the task runs right here, [await] just unwraps *)
+    run ();
+    fut
+  end
+  else begin
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      run ()
+    end
+    else begin
+      Queue.add run t.queue;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.lock
+    end;
+    fut
+  end
+
+let await fut =
+  Mutex.lock fut.flock;
+  while (match fut.state with Pending -> true | _ -> false) do
+    Condition.wait fut.fcond fut.flock
+  done;
+  let outcome = fut.state in
+  Mutex.unlock fut.flock;
+  match outcome with
+  | Done v -> v
+  | Raised e -> raise e
+  | Pending -> assert false
 
 let both t fa fb =
   match

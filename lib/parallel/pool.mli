@@ -42,6 +42,28 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists, preserving order. *)
 
+type 'a future
+(** A single submitted task's pending result. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** [submit pool f] schedules [f] as one task on the pool and returns
+    immediately. On a pool of size 1 (or a shut-down pool) [f] runs in the
+    caller before [submit] returns. This is the seam the matching daemon
+    uses: its accept loop turns each request into a pool job and blocks on
+    {!await}, so a request is bounded by its own budget rather than by the
+    loop.
+
+    Submit from the domain that created the pool (or from inside a pool
+    task). A task must not {!await} a future submitted {e after} itself —
+    workers run the queue in order, so that future could be waiting behind
+    the waiter. *)
+
+val await : 'a future -> 'a
+(** Block until the task has run; returns its value or re-raises its
+    exception. Safe to call from any domain and more than once. If the pool
+    is shut down before the task was started, {!shutdown} runs the task in
+    the shutting-down caller, so [await] never hangs. *)
+
 val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** [both pool fa fb] evaluates the two thunks, possibly in parallel, and
     returns both results. On a pool of size 1 this is exactly

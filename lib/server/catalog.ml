@@ -1,0 +1,210 @@
+module D = Phom_graph.Digraph
+module BM = Phom_graph.Bitmatrix
+module Budget = Phom_graph.Budget
+module Simmat = Phom_sim.Simmat
+module Shingle = Phom_sim.Shingle
+
+type sim = Equality | Shingles | Named of string
+
+let sim_to_string = function
+  | Equality -> "equality"
+  | Shingles -> "shingles"
+  | Named n -> "mat:" ^ n
+
+type provenance = Hit | Miss | Catalog
+
+let provenance_name = function Hit -> "hit" | Miss -> "miss" | Catalog -> "catalog"
+
+(* cache keys carry catalog names, not structures: unload invalidates by
+   name, and equal names mean equal structures while loaded (loading over
+   an existing name is refused) *)
+type key =
+  | K_closure of string * int option  (** graph, hops *)
+  | K_matrix of string * string * string  (** g1, g2, sim_to_string *)
+  | K_cands of string * string * string * int option * float
+      (** g1, g2, sim, hops, ξ *)
+
+type artifact =
+  | A_closure of BM.t
+  | A_matrix of Simmat.t
+  | A_cands of int array array
+
+let artifact_weight = function
+  | A_closure m -> BM.byte_size m
+  | A_matrix m -> Simmat.byte_size m
+  | A_cands rows ->
+      let words = Array.fold_left (fun acc r -> acc + 1 + Array.length r) 1 rows in
+      words * (Sys.word_size / 8)
+
+type entry = Graph of D.t | Mat of Simmat.t
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  cache : (key, artifact) Lru.t;
+  max_graph_bytes : int;
+  max_mat_bytes : int;
+}
+
+let default_max_bytes = 64 * 1024 * 1024
+
+let create ?(max_graph_bytes = default_max_bytes)
+    ?(max_mat_bytes = default_max_bytes)
+    ?(cache_bytes = 256 * 1024 * 1024) () =
+  {
+    entries = Hashtbl.create 16;
+    lock = Mutex.create ();
+    cache = Lru.create ~capacity_bytes:cache_bytes ~weight:artifact_weight ();
+    max_graph_bytes;
+    max_mat_bytes;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let valid_name name =
+  let ok_char = function
+    | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '-' -> true
+    | _ -> false
+  in
+  let n = String.length name in
+  n >= 1 && n <= 64 && String.for_all ok_char name
+
+let register t ~name ~what make =
+  if not (valid_name name) then
+    Error
+      (Printf.sprintf
+         "invalid name %S (1-64 chars from A-Z a-z 0-9 _ . -)" name)
+  else
+    match make () with
+    | Error _ as e -> e
+    | Ok v ->
+        locked t (fun () ->
+            if Hashtbl.mem t.entries name then
+              Error
+                (Printf.sprintf "name %s is already loaded (unload it first)"
+                   name)
+            else begin
+              Hashtbl.replace t.entries name (what v);
+              Ok v
+            end)
+
+let load_graph t ~name ~path =
+  register t ~name
+    ~what:(fun g -> Graph g)
+    (fun () -> Phom_graph.Graph_io.load ~max_bytes:t.max_graph_bytes path)
+
+let load_mat t ~name ~path =
+  register t ~name
+    ~what:(fun m -> Mat m)
+    (fun () -> Simmat.load ~max_bytes:t.max_mat_bytes path)
+
+let derived_from name = function
+  | K_closure (g, _) -> g = name
+  | K_matrix (a, b, s) | K_cands (a, b, s, _, _) ->
+      a = name || b = name || s = "mat:" ^ name
+
+let unload t name =
+  let removed =
+    locked t (fun () ->
+        if Hashtbl.mem t.entries name then begin
+          Hashtbl.remove t.entries name;
+          true
+        end
+        else false)
+  in
+  if removed then Ok (Lru.remove_if t.cache (derived_from name))
+  else Error (Printf.sprintf "name %s is not loaded" name)
+
+let list t =
+  locked t (fun () ->
+      let gs = ref [] and ms = ref [] in
+      Hashtbl.iter
+        (fun name -> function
+          | Graph g -> gs := (name, g) :: !gs
+          | Mat m -> ms := (name, m) :: !ms)
+        t.entries;
+      let by_name (a, _) (b, _) = String.compare a b in
+      (List.sort by_name !gs, List.sort by_name !ms))
+
+let graph t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Graph g) -> Ok g
+      | Some (Mat _) ->
+          Error (Printf.sprintf "%s is a similarity matrix, not a graph" name)
+      | None -> Error (Printf.sprintf "unknown graph %s (load it first)" name))
+
+let mat t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Mat m) -> Ok m
+      | Some (Graph _) ->
+          Error (Printf.sprintf "%s is a graph, not a similarity matrix" name)
+      | None ->
+          Error (Printf.sprintf "unknown matrix %s (load it first)" name))
+
+(* only artifacts computed to their natural end are cached: a budget that
+   tripped mid-computation leaves a sound under-approximation for the
+   current query, which must not poison later ones *)
+let cacheable budget =
+  match budget with None -> true | Some b -> not (Budget.exhausted b)
+
+let closure ?budget t ~name ~hops =
+  match graph t name with
+  | Error _ as e -> e
+  | Ok g -> (
+      let key = K_closure (name, hops) in
+      match Lru.find t.cache key with
+      | Some (A_closure m) -> Ok (m, Hit)
+      | Some _ | None ->
+          let m = Phom_graph.Bounded_closure.relation ?budget ?hops g in
+          if cacheable budget then Lru.put t.cache key (A_closure m);
+          Ok (m, Miss))
+
+let similarity t ~g1 ~g2 ~sim =
+  match (graph t g1, graph t g2) with
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+  | Ok ga, Ok gb -> (
+      match sim with
+      | Named n -> (
+          match mat t n with
+          | Error _ as e -> e
+          | Ok m ->
+              if Simmat.n1 m <> D.n ga || Simmat.n2 m <> D.n gb then
+                Error
+                  (Printf.sprintf
+                     "matrix %s is %dx%d but graphs %s/%s are %dx%d" n
+                     (Simmat.n1 m) (Simmat.n2 m) g1 g2 (D.n ga) (D.n gb))
+              else Ok (m, Catalog))
+      | Equality | Shingles -> (
+          let key = K_matrix (g1, g2, sim_to_string sim) in
+          match Lru.find t.cache key with
+          | Some (A_matrix m) -> Ok (m, Hit)
+          | Some _ | None ->
+              let m =
+                match sim with
+                | Equality -> Simmat.of_label_equality ga gb
+                | Shingles -> Shingle.matrix (D.labels ga) (D.labels gb)
+                | Named _ -> assert false
+              in
+              Lru.put t.cache key (A_matrix m);
+              Ok (m, Miss)))
+
+let candidates ?budget t ~instance ~g1 ~g2 ~sim ~hops =
+  let key =
+    K_cands (g1, g2, sim_to_string sim, hops, instance.Phom.Instance.xi)
+  in
+  match Lru.find t.cache key with
+  | Some (A_cands c) ->
+      Phom.Instance.preset_candidates instance c;
+      Hit
+  | Some _ | None ->
+      let c = Phom.Instance.candidates instance in
+      if cacheable budget then Lru.put t.cache key (A_cands c);
+      Miss
+
+let cache_stats t = Lru.stats t.cache
+
+let clear_cache t = Lru.clear t.cache

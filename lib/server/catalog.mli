@@ -1,0 +1,120 @@
+(** The daemon's warm state: a catalog of named graphs and similarity
+    matrices loaded once, plus a byte-accounted {!Lru} artifact cache for
+    the derived structures every query needs — closure matrices of [G2⁺]
+    (keyed by graph name and hop bound), computed similarity matrices
+    (keyed by the graph pair and similarity kind), and candidate tables
+    (keyed by pair, kind, hop bound and ξ).
+
+    This is the amortization the paper's optimizations assume: the
+    closure/compression structures of a data graph are computed once and
+    reused across many patterns, instead of being rebuilt by every process
+    invocation.
+
+    All operations are domain-safe (catalog tables and cache each sit
+    behind a mutex), so solve jobs running on pool workers can consult the
+    cache while the accept loop stays responsive.
+
+    {b Budget rule:} artifact computations draw on the requesting query's
+    budget. An artifact whose computation was cut short by a tripped budget
+    is a sound under-approximation for {e that} query's anytime answer, but
+    it is {e never inserted into the cache} — a later, fully-budgeted query
+    must not be poisoned by a truncated closure. *)
+
+type t
+
+val create :
+  ?max_graph_bytes:int ->
+  ?max_mat_bytes:int ->
+  ?cache_bytes:int ->
+  unit ->
+  t
+(** Size caps default to the hardened 64 MiB {!Phom_graph.Graph_io} /
+    {!Phom_sim.Simmat} limits; [cache_bytes] defaults to 256 MiB. *)
+
+val valid_name : string -> bool
+(** Catalog names: 1–64 chars from [A–Z a–z 0–9 _ . -]. The protocol is
+    space-delimited, so names can never contain whitespace. *)
+
+(** {1 The catalog proper} *)
+
+val load_graph :
+  t -> name:string -> path:string -> (Phom_graph.Digraph.t, string) result
+(** Parse the phg file at [path] (under the size cap) and register it under
+    [name]. Names are a single namespace shared with matrices; loading over
+    an existing name is refused — [unload] it first. *)
+
+val load_mat :
+  t -> name:string -> path:string -> (Phom_sim.Simmat.t, string) result
+(** Same, for a phs similarity-matrix file. *)
+
+val unload : t -> string -> (int, string) result
+(** Remove a graph or matrix by name and invalidate every cached artifact
+    that was derived from it. Returns the number of artifacts dropped;
+    [Error] if the name is not loaded. *)
+
+val list :
+  t ->
+  (string * Phom_graph.Digraph.t) list
+  * (string * Phom_sim.Simmat.t) list
+(** Loaded graphs and matrices, each sorted by name. *)
+
+val graph : t -> string -> (Phom_graph.Digraph.t, string) result
+val mat : t -> string -> (Phom_sim.Simmat.t, string) result
+
+(** {1 Similarity specification} *)
+
+type sim =
+  | Equality  (** label equality (the conventional-matching matrix) *)
+  | Shingles  (** w-shingling over labels *)
+  | Named of string  (** a preloaded matrix from the catalog *)
+
+val sim_to_string : sim -> string
+(** ["equality"], ["shingles"], ["mat:<name>"]. *)
+
+(** {1 Cached artifacts} *)
+
+type provenance = Hit | Miss | Catalog
+(** [Catalog] marks state served straight from the catalog proper (a named
+    matrix), which is neither a cache hit nor a recomputation. *)
+
+val provenance_name : provenance -> string
+(** ["hit"], ["miss"], ["catalog"]. *)
+
+val closure :
+  ?budget:Phom_graph.Budget.t ->
+  t ->
+  name:string ->
+  hops:int option ->
+  (Phom_graph.Bitmatrix.t * provenance, string) result
+(** The [(graph, hops)]-keyed closure artifact, via the unified
+    {!Phom_graph.Bounded_closure.relation} entry point ([hops = None] is
+    the full transitive closure). *)
+
+val similarity :
+  t ->
+  g1:string ->
+  g2:string ->
+  sim:sim ->
+  (Phom_sim.Simmat.t * provenance, string) result
+(** The [(g1, g2, sim)]-keyed similarity artifact. [Named] matrices come
+    from the catalog (provenance [Catalog]) after a dimension check against
+    the two graphs. *)
+
+val candidates :
+  ?budget:Phom_graph.Budget.t ->
+  t ->
+  instance:Phom.Instance.t ->
+  g1:string ->
+  g2:string ->
+  sim:sim ->
+  hops:int option ->
+  provenance
+(** Prime [instance] with the [(g1, g2, sim, hops, ξ)]-keyed candidate
+    table: on a hit the table is installed via
+    {!Phom.Instance.preset_candidates}; on a miss it is derived from the
+    instance (drawing on [budget] indirectly through the instance's shared
+    state) and cached. The instance must have been built from the catalog's
+    own graphs and artifacts for the key to be truthful. *)
+
+val cache_stats : t -> Lru.stats
+val clear_cache : t -> unit

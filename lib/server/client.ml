@@ -1,0 +1,63 @@
+let sockaddr_of_string addr =
+  match String.rindex_opt addr ':' with
+  | Some i
+    when i < String.length addr - 1
+         && String.for_all
+              (function '0' .. '9' -> true | _ -> false)
+              (String.sub addr (i + 1) (String.length addr - i - 1)) -> (
+      let host = String.sub addr 0 i in
+      let port = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
+      if port > 65535 then Error (Printf.sprintf "%s: port out of range" addr)
+      else
+        match Unix.inet_addr_of_string host with
+        | ip -> Ok (Unix.ADDR_INET (ip, port))
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } ->
+                Error (Printf.sprintf "%s: no address for host %s" addr host)
+            | h -> Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))
+            | exception Not_found ->
+                Error (Printf.sprintf "%s: unknown host %s" addr host)))
+  | _ -> Ok (Unix.ADDR_UNIX addr)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let describe_sockaddr = function
+  | Unix.ADDR_UNIX p -> p
+  | Unix.ADDR_INET (ip, port) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+
+let connect sockaddr =
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sockaddr with
+  | () ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" (describe_sockaddr sockaddr)
+           (Unix.error_message e))
+
+let close conn =
+  (try flush conn.oc with Sys_error _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let send conn line =
+  try
+    output_string conn.oc line;
+    output_char conn.oc '\n';
+    flush conn.oc;
+    Ok (input_line conn.ic)
+  with
+  | End_of_file -> Error "connection closed by daemon"
+  | Sys_error m -> Error m
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let request sockaddr line =
+  match connect sockaddr with
+  | Error _ as e -> e
+  | Ok conn ->
+      let r = send conn line in
+      close conn;
+      r

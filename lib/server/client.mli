@@ -1,0 +1,25 @@
+(** A minimal phomd client: one line out, one line back.
+
+    The protocol frames every exchange as a single request line answered by
+    a single reply line (see {!Protocol}), so the client needs no state —
+    [request] opens a connection when given an address string, or reuses an
+    open one. The CLI's [phom client] subcommand and the smoke tests are
+    built on this. *)
+
+val sockaddr_of_string : string -> (Unix.sockaddr, string) result
+(** [sockaddr_of_string addr] interprets [addr] as [HOST:PORT] (TCP, host
+    by name or dotted quad) when it contains a colon followed by digits,
+    and as a Unix-domain socket path otherwise. *)
+
+type conn
+
+val connect : Unix.sockaddr -> (conn, string) result
+val close : conn -> unit
+
+val send : conn -> string -> (string, string) result
+(** [send conn line] writes one request line and reads one reply line.
+    Errors (refused connection, daemon gone mid-read) come back as
+    [Error msg], never as exceptions. *)
+
+val request : Unix.sockaddr -> string -> (string, string) result
+(** One-shot: connect, {!send}, close. *)

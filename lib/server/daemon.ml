@@ -1,0 +1,297 @@
+module D = Phom_graph.Digraph
+module Budget = Phom_graph.Budget
+module Simmat = Phom_sim.Simmat
+module Api = Phom.Api
+module Pool = Phom_parallel.Pool
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  jobs : int;
+  cache_bytes : int;
+  max_graph_bytes : int;
+  max_mat_bytes : int;
+  default_timeout : float option;
+  default_steps : int option;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp_port = None;
+    jobs = 1;
+    cache_bytes = 256 * 1024 * 1024;
+    max_graph_bytes = 64 * 1024 * 1024;
+    max_mat_bytes = 64 * 1024 * 1024;
+    default_timeout = Some 5.;
+    default_steps = None;
+  }
+
+type state = {
+  config : config;
+  catalog : Catalog.t;
+  pool : Pool.t option;  (** borrowed; None = sequential daemon *)
+  mutable requests : int;
+}
+
+let make_state ?pool config =
+  {
+    config;
+    catalog =
+      Catalog.create ~max_graph_bytes:config.max_graph_bytes
+        ~max_mat_bytes:config.max_mat_bytes ~cache_bytes:config.cache_bytes ();
+    pool;
+    requests = 0;
+  }
+
+let requests_served st = st.requests
+
+(* ---- replies ---- *)
+
+let ok fmt = Printf.ksprintf (fun s -> "ok " ^ s) fmt
+let error fmt = Printf.ksprintf (fun s -> "error " ^ s) fmt
+
+let status_token = function
+  | Budget.Complete -> "complete"
+  | Budget.Exhausted reason ->
+      Printf.sprintf "exhausted(%s)" (Budget.string_of_reason reason)
+
+let list_reply st =
+  let graphs, mats = Catalog.list st.catalog in
+  let g_item (name, g) =
+    Printf.sprintf "%s:%dn/%de" name (D.n g) (D.nb_edges g)
+  in
+  let m_item (name, m) =
+    Printf.sprintf "%s:%dx%d" name (Simmat.n1 m) (Simmat.n2 m)
+  in
+  ok "graphs=[%s] mats=[%s]"
+    (String.concat "," (List.map g_item graphs))
+    (String.concat "," (List.map m_item mats))
+
+let stats_reply st =
+  let s = Catalog.cache_stats st.catalog in
+  let graphs, mats = Catalog.list st.catalog in
+  ok
+    "stats requests=%d graphs=%d mats=%d cache entries=%d bytes=%d \
+     capacity=%d hits=%d misses=%d evictions=%d"
+    st.requests (List.length graphs) (List.length mats) s.Lru.entries
+    s.Lru.bytes s.Lru.capacity_bytes s.Lru.hits s.Lru.misses s.Lru.evictions
+
+(* ---- solve ---- *)
+
+let budget_for st (s : Protocol.solve) =
+  let timeout =
+    match s.Protocol.timeout with
+    | Some _ as t -> t
+    | None -> st.config.default_timeout
+  in
+  let steps =
+    match s.Protocol.steps with
+    | Some _ as n -> n
+    | None -> st.config.default_steps
+  in
+  match (timeout, steps) with
+  | None, None -> Budget.unlimited ()
+  | _ -> Budget.create ?timeout ?steps ()
+
+let solve_reply st (s : Protocol.solve) =
+  let ( let* ) r f = match r with Error e -> error "%s" e | Ok v -> f v in
+  let* g1 = Catalog.graph st.catalog s.Protocol.g1 in
+  let* g2 = Catalog.graph st.catalog s.Protocol.g2 in
+  (* the budget is anchored at request receipt: artifact building, solving
+     and reply formatting all draw on the same allowance *)
+  let budget = budget_for st s in
+  let pool = if s.Protocol.sequential then None else st.pool in
+  let job () =
+    let* tc2, closure_prov =
+      Catalog.closure ~budget st.catalog ~name:s.Protocol.g2
+        ~hops:s.Protocol.hops
+    in
+    let* mat, mat_prov =
+      Catalog.similarity st.catalog ~g1:s.Protocol.g1 ~g2:s.Protocol.g2
+        ~sim:s.Protocol.sim
+    in
+    let t = Phom.Instance.make ~tc2 ~g1 ~g2 ~mat ~xi:s.Protocol.xi () in
+    let cands_prov =
+      Catalog.candidates ~budget st.catalog ~instance:t ~g1:s.Protocol.g1
+        ~g2:s.Protocol.g2 ~sim:s.Protocol.sim ~hops:s.Protocol.hops
+    in
+    let r =
+      Api.solve_within ~algorithm:s.Protocol.algorithm
+        ~partition:s.Protocol.partition ~compress:s.Protocol.compress ~budget
+        ?pool s.Protocol.problem t
+    in
+    (* fast paths can finish between poll points; a final poll makes the
+       deadline part of the reply contract, as in the CLI *)
+    let status =
+      match r.Api.status with
+      | Budget.Exhausted _ as st -> st
+      | Budget.Complete ->
+          if Budget.poll budget then Budget.Complete else Budget.status budget
+    in
+    ok
+      "solve problem=%s quality=%.4f mapped=%d/%d matched=%b status=%s \
+       cache=closure:%s,mat:%s,cands:%s"
+      (Api.problem_name r.Api.problem)
+      r.Api.quality
+      (Phom.Mapping.size r.Api.mapping)
+      (D.n g1) (Api.matches r) (status_token status)
+      (Catalog.provenance_name closure_prov)
+      (Catalog.provenance_name mat_prov)
+      (Catalog.provenance_name cands_prov)
+  in
+  (* the request rides the shared pool so the accept loop's own domain does
+     not run unbounded solver code; --jobs 1 keeps the historical
+     sequential path *)
+  match pool with
+  | Some p -> Pool.await (Pool.submit p job)
+  | None -> job ()
+
+let execute st req =
+  st.requests <- st.requests + 1;
+  let reply =
+    try
+      match req with
+      | Protocol.Version ->
+          ok "phomd %s protocol %d" Version.string Version.protocol
+      | Protocol.List -> list_reply st
+      | Protocol.Stats -> stats_reply st
+      | Protocol.Load_graph { name; path } -> (
+          match Catalog.load_graph st.catalog ~name ~path with
+          | Ok g -> ok "loaded graph %s nodes=%d edges=%d" name (D.n g) (D.nb_edges g)
+          | Error e -> error "%s" e)
+      | Protocol.Load_mat { name; path } -> (
+          match Catalog.load_mat st.catalog ~name ~path with
+          | Ok m ->
+              ok "loaded mat %s dims=%dx%d" name (Simmat.n1 m) (Simmat.n2 m)
+          | Error e -> error "%s" e)
+      | Protocol.Unload name -> (
+          match Catalog.unload st.catalog name with
+          | Ok artifacts -> ok "unloaded %s artifacts=%d" name artifacts
+          | Error e -> error "%s" e)
+      | Protocol.Solve s -> solve_reply st s
+      | Protocol.Shutdown -> ok "shutting down"
+      | Protocol.Quit -> ok "bye"
+    with
+    | Invalid_argument m | Failure m | Sys_error m -> error "%s" m
+  in
+  let next =
+    match req with
+    | Protocol.Shutdown -> `Shutdown
+    | Protocol.Quit -> `Quit
+    | _ -> `Continue
+  in
+  (reply, next)
+
+(* ---- the socket loop ---- *)
+
+let listen_unix path =
+  (* refuse to clobber a foreign file; replace only a stale socket *)
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> invalid_arg (path ^ ": exists and is not a socket")
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  (fd, path)
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 16;
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (addr, port) ->
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+    | Unix.ADDR_UNIX p -> p
+  in
+  (fd, bound)
+
+(* serve one connection to completion; returns [`Shutdown] when the peer
+   asked the daemon to stop *)
+let handle_connection st fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let outcome = ref `Continue in
+  (try
+     let stop = ref false in
+     while not !stop do
+       match input_line ic with
+       | exception End_of_file -> stop := true
+       | line ->
+           let line = String.trim line in
+           if line <> "" then begin
+             let reply, next =
+               match Protocol.parse line with
+               | Error e -> ("error " ^ e, `Continue)
+               | Ok req -> execute st req
+             in
+             output_string oc reply;
+             output_char oc '\n';
+             flush oc;
+             match next with
+             | `Continue -> ()
+             | `Quit -> stop := true
+             | `Shutdown ->
+                 outcome := `Shutdown;
+                 stop := true
+           end
+     done
+   with Sys_error _ | Unix.Unix_error _ -> (* peer vanished mid-request *) ());
+  (try flush oc with Sys_error _ | Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  !outcome
+
+let serve ?(ready = fun _ -> ()) config =
+  if config.jobs < 1 then invalid_arg "Daemon.serve: jobs must be >= 1";
+  if config.socket_path = None && config.tcp_port = None then
+    invalid_arg "Daemon.serve: no listener configured (socket or TCP)";
+  (* a dying client must not kill the daemon with SIGPIPE; writes then fail
+     with EPIPE, which handle_connection absorbs *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let unix_listener = Option.map listen_unix config.socket_path in
+  let tcp_listener =
+    try Option.map listen_tcp config.tcp_port
+    with e ->
+      (* don't leak the bound unix socket when the TCP bind fails *)
+      Option.iter
+        (fun (fd, path) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+        unix_listener;
+      raise e
+  in
+  let listeners = List.filter_map Fun.id [ unix_listener; tcp_listener ] in
+  let finish () =
+    List.iter
+      (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+      listeners;
+    Option.iter
+      (fun (_, path) -> try Unix.unlink path with Unix.Unix_error _ -> ())
+      unix_listener
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let run pool =
+        let st = make_state ?pool config in
+        ready (List.map snd listeners);
+        let fds = List.map fst listeners in
+        let stop = ref false in
+        while not !stop do
+          match Unix.select fds [] [] (-1.) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | readable, _, _ ->
+              List.iter
+                (fun lfd ->
+                  if not !stop && List.mem lfd readable then
+                    match Unix.accept lfd with
+                    | exception Unix.Unix_error (_, _, _) -> ()
+                    | conn, _ ->
+                        if handle_connection st conn = `Shutdown then
+                          stop := true)
+                fds
+        done
+      in
+      if config.jobs = 1 then run None
+      else Pool.with_pool ~domains:config.jobs (fun p -> run (Some p)))

@@ -1,0 +1,64 @@
+(** The phomd matching service: a resident process owning warm state (a
+    {!Catalog} with its artifact cache) and a request loop multiplexing
+    bounded queries over a shared {!Phom_parallel.Pool}.
+
+    Each [solve] request becomes one pool job ({!Phom_parallel.Pool.submit})
+    executed under a per-request {!Phom_graph.Budget} (defaulting to the
+    daemon's [default_timeout]/[default_steps]), so a slow query returns an
+    anytime best-so-far answer instead of starving the loop, and the reply
+    carries the PR-1 [complete]/[exhausted(...)] status plus cache-hit
+    provenance for every artifact it touched. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listening socket *)
+  tcp_port : int option;
+      (** optional TCP listener on 127.0.0.1; [Some 0] picks an ephemeral
+          port (reported through [ready]) *)
+  jobs : int;  (** pool domains; 1 = fully sequential *)
+  cache_bytes : int;  (** artifact-cache capacity *)
+  max_graph_bytes : int;
+  max_mat_bytes : int;
+  default_timeout : float option;
+      (** per-request wall-clock budget when the request names none *)
+  default_steps : int option;
+}
+
+val default_config : config
+(** No listeners, [jobs = 1], 256 MiB cache, 64 MiB file caps, 5 s default
+    timeout, no step cap. *)
+
+(** {1 Request execution (socket-free)}
+
+    Exposed so tests and in-process embeddings can drive the daemon without
+    a socket. *)
+
+type state
+
+val make_state : ?pool:Phom_parallel.Pool.t -> config -> state
+(** The pool is borrowed, not owned: {!serve} creates (and shuts down) its
+    own when none is given; callers embedding a state keep control of
+    theirs. *)
+
+val requests_served : state -> int
+
+val execute : state -> Protocol.request -> string * [ `Continue | `Quit | `Shutdown ]
+(** Run one request against the warm state and return the one-line reply
+    (without the trailing newline) plus what the connection should do next.
+    Never raises on user-level errors — they become [error ...] replies. *)
+
+(** {1 The socket loop} *)
+
+val serve : ?ready:(string list -> unit) -> config -> unit
+(** Listen on the configured sockets and answer requests until a
+    [shutdown] request arrives; then close every listener, unlink the Unix
+    socket path, and return. [ready] is called once with a human-readable
+    description of each bound listener (e.g. ["phomd.sock"],
+    ["127.0.0.1:4271"]) after listening has started — the daemon binary
+    prints these as its startup banner, and tests use the callback to learn
+    an ephemeral TCP port.
+
+    Connections are accepted one at a time and served until the peer closes
+    (or sends [quit]); each request is answered with exactly one line.
+
+    @raise Invalid_argument if the config names no listener or
+    [jobs < 1]. *)

@@ -1,0 +1,134 @@
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+  capacity_bytes : int;
+}
+
+type 'v entry = { value : 'v; weight : int; mutable last_use : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  weight : 'v -> int;
+  table : ('k, 'v entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable clock : int;  (** monotone use counter; orders recency *)
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity_bytes ~weight () =
+  if capacity_bytes < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    capacity = capacity_bytes;
+    weight;
+    table = Hashtbl.create 16;
+    lock = Mutex.create ();
+    clock = 0;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          e.last_use <- tick t;
+          t.hits <- t.hits + 1;
+          Some e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+(* caller holds the lock *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, oldest) when oldest.last_use <= e.last_use -> ()
+      | _ -> victim := Some (k, e))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (k, e) ->
+      Hashtbl.remove t.table k;
+      t.bytes <- t.bytes - e.weight;
+      t.evictions <- t.evictions + 1
+
+(* caller holds the lock *)
+let put_locked t k v =
+  let w = t.weight v in
+  if w < 0 then invalid_arg "Lru: negative weight";
+  (match Hashtbl.find_opt t.table k with
+  | Some old ->
+      Hashtbl.remove t.table k;
+      t.bytes <- t.bytes - old.weight
+  | None -> ());
+  if w <= t.capacity then begin
+    Hashtbl.replace t.table k { value = v; weight = w; last_use = tick t };
+    t.bytes <- t.bytes + w;
+    while t.bytes > t.capacity do
+      evict_lru t
+    done
+  end
+
+let put t k v = locked t (fun () -> put_locked t k v)
+
+let find_or_add t k f =
+  match find t k with
+  | Some v -> (v, true)
+  | None -> (
+      let v = f () in
+      (* re-check under the lock: a racing domain may have filled the slot
+         while we computed; its resident value wins *)
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table k with
+          | Some e ->
+              e.last_use <- tick t;
+              (e.value, false)
+          | None ->
+              put_locked t k v;
+              (v, false)))
+
+let remove_if t pred =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold (fun k e acc -> if pred k then (k, e) :: acc else acc) t.table []
+      in
+      List.iter
+        (fun (k, (e : _ entry)) ->
+          Hashtbl.remove t.table k;
+          t.bytes <- t.bytes - e.weight)
+        doomed;
+      List.length doomed)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.bytes <- 0)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        bytes = t.bytes;
+        capacity_bytes = t.capacity;
+      })

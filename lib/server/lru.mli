@@ -1,0 +1,54 @@
+(** A byte-accounted, domain-safe LRU cache for large matching artifacts
+    (closure matrices, similarity matrices, candidate tables).
+
+    Capacity is measured in bytes via a caller-supplied weight function, not
+    in entry counts: one 2000-node closure dwarfs a hundred small ones, so
+    counting entries would let the cache blow the memory budget. Because
+    entries are large, the table stays small, and eviction scans for the
+    least-recently-used entry in O(entries) instead of maintaining an
+    intrusive list — simpler, and negligible next to the cost of computing
+    any artifact.
+
+    Every operation takes an internal mutex, so pool workers can hit the
+    cache concurrently; the hit/miss/eviction counters stay exact (each
+    lookup counts exactly one hit or one miss). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries pushed out by capacity pressure *)
+  entries : int;
+  bytes : int;  (** current resident weight *)
+  capacity_bytes : int;
+}
+
+type ('k, 'v) t
+
+val create : capacity_bytes:int -> weight:('v -> int) -> unit -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity_bytes < 0]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Counts one hit (and refreshes recency) or one miss. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, then evict least-recently-used entries until the
+    resident weight fits the capacity again. A value heavier than the whole
+    capacity is not stored at all (it would only evict everything and still
+    not fit). Does not touch the hit/miss counters. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v * bool
+(** [find_or_add t k f] returns [(v, true)] on a hit. On a miss it runs [f]
+    {e outside} the lock (so a slow compute does not block other users),
+    inserts the result, and returns [(v, false)]. If another domain
+    inserted the key while [f] ran, that resident value wins and is
+    returned — the cache never holds two values for one key. *)
+
+val remove_if : ('k, 'v) t -> ('k -> bool) -> int
+(** Invalidation sweep (e.g. on catalog [unload]): drop every entry whose
+    key satisfies the predicate; returns how many were dropped. Dropped
+    entries do not count as evictions. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry; counters are kept. *)
+
+val stats : ('k, 'v) t -> stats

@@ -1,0 +1,173 @@
+type solve = {
+  problem : Phom.Api.problem;
+  g1 : string;
+  g2 : string;
+  sim : Catalog.sim;
+  xi : float;
+  hops : int option;
+  timeout : float option;
+  steps : int option;
+  algorithm : Phom.Api.algorithm;
+  partition : bool;
+  compress : bool;
+  sequential : bool;
+}
+
+type request =
+  | Version
+  | List
+  | Stats
+  | Load_graph of { name : string; path : string }
+  | Load_mat of { name : string; path : string }
+  | Unload of string
+  | Solve of solve
+  | Shutdown
+  | Quit
+
+let problem_token = function
+  | Phom.Api.CPH -> "card"
+  | Phom.Api.CPH11 -> "card11"
+  | Phom.Api.SPH -> "sim"
+  | Phom.Api.SPH11 -> "sim11"
+
+let problem_of_token = function
+  | "card" -> Some Phom.Api.CPH
+  | "card11" -> Some Phom.Api.CPH11
+  | "sim" -> Some Phom.Api.SPH
+  | "sim11" -> Some Phom.Api.SPH11
+  | _ -> None
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let float_of tok = float_of_string_opt tok
+let int_of tok = int_of_string_opt tok
+
+(* the solve flag loop; [sim_flag]/[mat_flag] are kept apart so their
+   mutual exclusion can be checked at the end *)
+let parse_solve_flags init flags =
+  let s = ref init in
+  let sim_flag = ref None and mat_flag = ref None in
+  let rec go = function
+    | [] -> Ok ()
+    | "--partition" :: rest ->
+        s := { !s with partition = true };
+        go rest
+    | "--compress" :: rest ->
+        s := { !s with compress = true };
+        go rest
+    | [ flag ]
+      when List.mem flag
+             [ "--mat"; "--sim"; "--xi"; "--hops"; "--timeout"; "--steps";
+               "--algorithm"; "--jobs" ] ->
+        err "%s needs a value" flag
+    | "--mat" :: name :: rest ->
+        mat_flag := Some name;
+        go rest
+    | "--sim" :: kind :: rest -> (
+        match kind with
+        | "equality" ->
+            sim_flag := Some Catalog.Equality;
+            go rest
+        | "shingles" ->
+            sim_flag := Some Catalog.Shingles;
+            go rest
+        | _ -> err "unknown similarity %s (equality or shingles)" kind)
+    | "--xi" :: v :: rest -> (
+        match float_of v with
+        | Some xi when xi >= 0. && xi <= 1. ->
+            s := { !s with xi };
+            go rest
+        | _ -> err "--xi must be a float in [0,1] (got %s)" v)
+    | "--hops" :: v :: rest -> (
+        match int_of v with
+        | Some k when k >= 1 ->
+            s := { !s with hops = Some k };
+            go rest
+        | _ -> err "--hops must be an integer >= 1 (got %s)" v)
+    | "--timeout" :: v :: rest -> (
+        match float_of v with
+        | Some secs when secs > 0. ->
+            s := { !s with timeout = Some secs };
+            go rest
+        | _ -> err "--timeout must be positive seconds (got %s)" v)
+    | "--steps" :: v :: rest -> (
+        match int_of v with
+        | Some n when n >= 0 ->
+            s := { !s with steps = Some n };
+            go rest
+        | _ -> err "--steps must be a non-negative integer (got %s)" v)
+    | "--algorithm" :: v :: rest -> (
+        match v with
+        | "direct" ->
+            s := { !s with algorithm = Phom.Api.Direct };
+            go rest
+        | "naive" ->
+            s := { !s with algorithm = Phom.Api.Naive_product };
+            go rest
+        | "exact" ->
+            s := { !s with algorithm = Phom.Api.Exact_bb };
+            go rest
+        | _ -> err "unknown algorithm %s (direct, naive or exact)" v)
+    | "--jobs" :: v :: rest -> (
+        match int_of v with
+        | Some n when n >= 1 ->
+            s := { !s with sequential = n = 1 };
+            go rest
+        | _ -> err "--jobs must be an integer >= 1 (got %s)" v)
+    | tok :: _ -> err "unknown solve flag %s" tok
+  in
+  match go flags with
+  | Error _ as e -> e
+  | Ok () -> (
+      match (!mat_flag, !sim_flag) with
+      | Some _, Some _ -> err "--mat and --sim are mutually exclusive"
+      | Some name, None -> Ok { !s with sim = Catalog.Named name }
+      | None, Some sim -> Ok { !s with sim }
+      | None, None -> Ok !s)
+
+let parse line =
+  let tokens =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  match tokens with
+  | [] -> err "empty request"
+  | [ "version" ] -> Ok Version
+  | [ "list" ] -> Ok List
+  | [ "stats" ] -> Ok Stats
+  | [ "shutdown" ] -> Ok Shutdown
+  | [ "quit" ] -> Ok Quit
+  | [ "load"; "graph"; name; path ] -> Ok (Load_graph { name; path })
+  | [ "load"; "mat"; name; path ] -> Ok (Load_mat { name; path })
+  | "load" :: _ -> err "usage: load (graph|mat) NAME PATH"
+  | [ "unload"; name ] -> Ok (Unload name)
+  | "unload" :: _ -> err "usage: unload NAME"
+  | "solve" :: problem :: g1 :: g2 :: flags -> (
+      match problem_of_token problem with
+      | None -> err "unknown problem %s (card, card11, sim or sim11)" problem
+      | Some problem -> (
+          let init =
+            {
+              problem;
+              g1;
+              g2;
+              sim = Catalog.Equality;
+              xi = 0.75;
+              hops = None;
+              timeout = None;
+              steps = None;
+              algorithm = Phom.Api.Direct;
+              partition = false;
+              compress = false;
+              sequential = false;
+            }
+          in
+          match parse_solve_flags init flags with
+          | Error _ as e -> e
+          | Ok s -> Ok (Solve s)))
+  | "solve" :: _ ->
+      err "usage: solve (card|card11|sim|sim11) G1 G2 [flags]"
+  | cmd :: _ ->
+      err
+        "unknown command %s (version, list, stats, load, unload, solve, \
+         shutdown, quit)"
+        cmd

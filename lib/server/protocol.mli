@@ -1,0 +1,64 @@
+(** The phomd line protocol (revision {!Version.protocol}).
+
+    Requests and replies are single lines of UTF-8 text; tokens are
+    separated by one or more spaces, so catalog names and file paths must
+    not contain whitespace. Every reply is exactly one line starting with
+    [ok] or [error], which makes client framing trivial.
+
+    Grammar:
+    {v
+    request  ::= "version" | "list" | "stats" | "shutdown" | "quit"
+               | "load" "graph" NAME PATH
+               | "load" "mat" NAME PATH
+               | "unload" NAME
+               | "solve" PROBLEM G1 G2 flag*
+    PROBLEM  ::= "card" | "card11" | "sim" | "sim11"      (Table 1)
+    flag     ::= "--mat" NAME | "--sim" ("equality" | "shingles")
+               | "--xi" FLOAT | "--hops" INT
+               | "--timeout" SECONDS | "--steps" INT
+               | "--algorithm" ("direct" | "naive" | "exact")
+               | "--partition" | "--compress" | "--jobs" INT
+    v}
+
+    [--jobs 1] forces the request onto the sequential code path (no pool
+    job, no partition fan-out across domains); any other value uses the
+    daemon's shared pool. [--timeout]/[--steps] bound this one request (they
+    default to the daemon's [--default-timeout]/[--default-steps]); replies
+    then carry [status=exhausted(...)] with the best-so-far answer, exactly
+    like the CLI's exit-code-2 contract. *)
+
+type solve = {
+  problem : Phom.Api.problem;
+  g1 : string;
+  g2 : string;
+  sim : Catalog.sim;  (** default [Equality]; [--mat] selects [Named] *)
+  xi : float;  (** default 0.75 *)
+  hops : int option;
+  timeout : float option;
+  steps : int option;
+  algorithm : Phom.Api.algorithm;
+  partition : bool;
+  compress : bool;
+  sequential : bool;  (** [--jobs 1] *)
+}
+
+type request =
+  | Version
+  | List
+  | Stats
+  | Load_graph of { name : string; path : string }
+  | Load_mat of { name : string; path : string }
+  | Unload of string
+  | Solve of solve
+  | Shutdown
+  | Quit
+
+val parse : string -> (request, string) result
+(** Parse one request line. Errors are one-line human-readable messages
+    (sent back verbatim as [error ...] replies) and include flag-validation
+    failures: ξ outside [0,1], hops < 1, a non-positive timeout, negative
+    steps, or [--mat] combined with [--sim]. *)
+
+val problem_token : Phom.Api.problem -> string
+(** ["card"], ["card11"], ["sim"], ["sim11"] — the inverse of the PROBLEM
+    tokens accepted by {!parse}. *)

@@ -7,6 +7,10 @@ let create ~n1 ~n2 =
 let n1 m = m.rows
 let n2 m = m.cols
 
+let byte_size m =
+  (* record + float-array payload, for byte-accounted artifact caches *)
+  (3 + 1 + Array.length m.data) * (Sys.word_size / 8)
+
 let check m v u =
   if v < 0 || v >= m.rows || u < 0 || u >= m.cols then
     invalid_arg "Simmat: index out of bounds"
@@ -144,16 +148,31 @@ let save path m =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string m))
 
-let load path =
+let default_max_bytes = 64 * 1024 * 1024
+
+(* mirrors Graph_io.load: refuse oversized files before reading them, and
+   report every failure as "<file>: <what>" (parse errors keep their line
+   from of_string) *)
+let load ?(max_bytes = default_max_bytes) path =
   try
     if Sys.is_directory path then Error (path ^ ": is a directory")
     else
-    let ic = open_in path in
-    let contents =
-      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
-    in
-    of_string contents
-  with Sys_error msg -> Error msg
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if len > max_bytes then
+          Error
+            (Printf.sprintf "%s: file too large (%d bytes; limit %d bytes)" path
+               len max_bytes)
+        else
+          Result.map_error
+            (fun m -> path ^ ": " ^ m)
+            (of_string (really_input_string ic len)))
+  with
+  | Sys_error msg -> Error msg
+  | End_of_file -> Error (path ^ ": truncated read")
 
 let pp ppf m =
   Format.fprintf ppf "@[<v>";

@@ -17,6 +17,10 @@ val of_fun : n1:int -> n2:int -> (int -> int -> float) -> t
 val n1 : t -> int
 val n2 : t -> int
 
+val byte_size : t -> int
+(** Heap footprint in bytes (dense payload plus headers). Used for
+    byte-accounted caching of similarity-matrix artifacts. *)
+
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 (** Raises [Invalid_argument] when the value is outside [[0, 1]] or indices
@@ -62,6 +66,11 @@ val max_value : t -> float
 val to_string : t -> string
 val of_string : string -> (t, string) result
 val save : string -> t -> unit
-val load : string -> (t, string) result
+
+val load : ?max_bytes:int -> string -> (t, string) result
+(** Files larger than [max_bytes] (default 64 MiB) are rejected before
+    being read into memory. Every error names the offending file exactly
+    once (parse errors keep their line number), matching
+    {!Phom_graph.Graph_io.load} — callers print the message as is. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Daemon smoke test: start phomd on a temp socket, drive it with three
+# client queries (one deliberately tripping its step budget), and assert a
+# clean shutdown that unlinks the socket. Exercises exactly what the CI
+# daemon-smoke job runs; `make serve-smoke` is the local entry point.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+PHOMD="$ROOT/_build/default/bin/phomd.exe"
+PHOM="$ROOT/_build/default/bin/main.exe"
+
+dune build bin/main.exe bin/phomd.exe
+
+DIR=$(mktemp -d)
+SOCK="$DIR/phomd.sock"
+LOG="$DIR/phomd.log"
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+"$PHOMD" --socket "$SOCK" --jobs 2 > "$LOG" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+until grep -q listening "$LOG" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "daemon did not come up"
+    sleep 0.1
+done
+
+echo "serve-smoke: daemon up on $SOCK"
+
+"$PHOM" client "$SOCK" load graph pat "$ROOT/data/fig1_pattern.phg" \
+    || fail "load pattern"
+"$PHOM" client "$SOCK" load graph store "$ROOT/data/fig1_store.phg" \
+    || fail "load data graph"
+
+# query 1: cold solve, every artifact computed
+"$PHOM" client "$SOCK" -- solve card pat store --sim shingles --xi 0.5 \
+    || fail "cold solve"
+
+# query 2: warm solve, must be answered from the artifact cache
+WARM=$("$PHOM" client "$SOCK" -- solve card pat store --sim shingles --xi 0.5) \
+    || fail "warm solve"
+case "$WARM" in
+*"cache=closure:hit,mat:hit,cands:hit"*) ;;
+*) fail "warm solve was not served from the cache: $WARM" ;;
+esac
+
+# query 3: a 2-step budget must trip into an anytime answer with exit code 2
+set +e
+TRIPPED=$("$PHOM" client "$SOCK" -- solve card11 pat store --sim shingles --steps 2)
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "budget trip reported exit $RC, expected 2 ($TRIPPED)"
+case "$TRIPPED" in
+*"status=exhausted(steps)"*) ;;
+*) fail "budget trip missing from reply: $TRIPPED" ;;
+esac
+
+"$PHOM" client "$SOCK" shutdown || fail "shutdown request"
+wait "$DAEMON_PID" || fail "daemon exited non-zero"
+DAEMON_PID=""
+[ ! -e "$SOCK" ] || fail "socket not unlinked on shutdown"
+
+echo "serve-smoke: OK (cold + warm + budget-tripped queries, clean shutdown)"

@@ -1,0 +1,103 @@
+The matching service daemon, end to end over a Unix-domain socket: start
+phomd, load the Figure-1 graphs, solve repeatedly (the second query must be
+served from the artifact cache), inspect the stats, unload, and shut down.
+
+Start the daemon in the background and wait for its socket:
+
+  $ ../../bin/phomd.exe --socket d.sock --jobs 2 > phomd.log 2>&1 &
+  $ for i in $(seq 1 150); do grep -q listening phomd.log 2> /dev/null && break; sleep 0.1; done
+  $ cat phomd.log
+  phomd 1.1.0 listening on d.sock
+
+Both binaries report the same version:
+
+  $ ../../bin/main.exe --version
+  1.1.0
+  $ ../../bin/phomd.exe --version
+  1.1.0
+  $ ../../bin/main.exe client d.sock version
+  ok phomd 1.1.0 protocol 1
+
+Load the Figure-1 graphs and the external similarity matrix:
+
+  $ ../../bin/main.exe client d.sock list
+  ok graphs=[] mats=[]
+  $ ../../bin/main.exe client d.sock load graph pat ../../data/fig1_pattern.phg
+  ok loaded graph pat nodes=6 edges=6
+  $ ../../bin/main.exe client d.sock load graph store ../../data/fig1_store.phg
+  ok loaded graph store nodes=14 edges=14
+  $ ../../bin/main.exe client d.sock load mat mate ../../data/fig1_mate.phs
+  ok loaded mat mate dims=6x14
+  $ ../../bin/main.exe client d.sock list
+  ok graphs=[pat:6n/6e,store:14n/14e] mats=[mate:6x14]
+
+The catalog refuses to load over a live name, and loads report file and
+line on parse errors:
+
+  $ ../../bin/main.exe client d.sock load graph pat ../../data/fig1_store.phg
+  error name pat is already loaded (unload it first)
+  [1]
+  $ echo garbage > bad.phg
+  $ ../../bin/main.exe client d.sock load graph bad bad.phg
+  error bad.phg: line 1: missing 'phg 1' header
+  [1]
+
+A cold solve computes every artifact; re-running the same query is served
+from the cache with an identical answer (Fig. 1 matches at xi = 0.6 under
+the paper's mate() matrix):
+
+  $ ../../bin/main.exe client d.sock -- solve card11 pat store --mat mate --xi 0.6
+  ok solve problem=CPH1-1 quality=1.0000 mapped=6/6 matched=true status=complete cache=closure:miss,mat:catalog,cands:miss
+  $ ../../bin/main.exe client d.sock -- solve card11 pat store --mat mate --xi 0.6
+  ok solve problem=CPH1-1 quality=1.0000 mapped=6/6 matched=true status=complete cache=closure:hit,mat:catalog,cands:hit
+A different problem over the same pair reuses the same candidate table —
+the artifact key is (pair, sim, hops, xi), not the problem:
+
+  $ ../../bin/main.exe client d.sock -- solve sim pat store --mat mate --xi 0.6
+  ok solve problem=SPH quality=0.7750 mapped=6/6 matched=true status=complete cache=closure:hit,mat:catalog,cands:hit
+
+The stats report the cache hits (bytes vary with word size, so keep the
+counters only):
+
+  $ ../../bin/main.exe client d.sock stats | sed 's/bytes=[0-9]* capacity=[0-9]*/bytes=_ capacity=_/'
+  ok stats requests=12 graphs=2 mats=1 cache entries=2 bytes=_ capacity=_ hits=4 misses=2 evictions=0
+
+A request-level budget trips during the search into an anytime best-so-far
+answer (exit code 2, like the CLI); the closure was already warm, and the
+candidate table — fully built before the trip — is cached for later
+queries:
+
+  $ ../../bin/main.exe client d.sock -- solve card pat store --sim shingles --steps 2
+  ok solve problem=CPH quality=0.3333 mapped=2/6 matched=false status=exhausted(steps) cache=closure:hit,mat:miss,cands:miss
+  [2]
+
+Unloading a graph invalidates every artifact derived from it:
+
+  $ ../../bin/main.exe client d.sock unload store
+  ok unloaded store artifacts=4
+  $ ../../bin/main.exe client d.sock -- solve card pat store
+  error unknown graph store (load it first)
+  [1]
+  $ ../../bin/main.exe client d.sock unload store
+  error name store is not loaded
+  [1]
+
+Protocol errors do not kill the connection:
+
+  $ ../../bin/main.exe client d.sock frobnicate
+  error unknown command frobnicate (version, list, stats, load, unload, solve, shutdown, quit)
+  [1]
+
+Shut the daemon down; it unlinks its socket on the way out:
+
+  $ ../../bin/main.exe client d.sock shutdown
+  ok shutting down
+  $ wait
+  $ [ -S d.sock ] || echo socket gone
+  socket gone
+
+A client connecting to a dead daemon fails cleanly:
+
+  $ ../../bin/main.exe client d.sock version
+  error: cannot connect to d.sock: No such file or directory
+  [1]

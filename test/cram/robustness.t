@@ -68,27 +68,27 @@ A graph file that declares the same node twice:
 
   $ printf 'phg 1\nnode 0 a\nnode 1 b\nnode 0 c\n' > dup.phg
   $ ../../bin/main.exe stats dup.phg
-  error: loading dup.phg: line 4: duplicate node 0
+  error: dup.phg: line 4: duplicate node 0
   [1]
 
 A file that is not a phg graph at all:
 
   $ printf 'not a graph\n' > junk.phg
   $ ../../bin/main.exe stats junk.phg
-  error: loading junk.phg: missing 'phg 1' header
+  error: junk.phg: line 1: missing 'phg 1' header
   [1]
 
 A missing file:
 
   $ ../../bin/main.exe stats no_such_file.phg
-  error: loading no_such_file.phg: no_such_file.phg: No such file or directory
+  error: no_such_file.phg: No such file or directory
   [1]
 
 A similarity matrix with too few rows:
 
   $ printf 'phs 1\n2 2\n1.0 0.5\n' > short.phs
   $ ../../bin/main.exe match ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat short.phs --xi 0.5
-  error: loading short.phs: missing rows
+  error: short.phs: missing rows
   [1]
 
 A matrix whose shape does not fit the graphs:

@@ -87,3 +87,19 @@ let contains_substring ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
   nl = 0 || go 0
+
+(* occurrences of a non-empty needle (non-overlapping) *)
+let count_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then 0
+  else begin
+    let count = ref 0 and i = ref 0 in
+    while !i + nl <= hl do
+      if String.sub haystack !i nl = needle then begin
+        incr count;
+        i := !i + nl
+      end
+      else incr i
+    done;
+    !count
+  end

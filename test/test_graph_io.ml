@@ -43,6 +43,36 @@ let test_load_missing () =
   | Ok _ -> Alcotest.fail "expected error"
   | Error _ -> ()
 
+(* load errors uniformly report "<file>: line <n>: <what>" — the file
+   exactly once, plus the offending line for parse errors *)
+let test_load_error_names_file_and_line () =
+  let check_load name content ~line =
+    let path = Filename.temp_file "phom_ioerr" ".phg" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        match IO.load path with
+        | Ok _ -> Alcotest.failf "%s: expected error" name
+        | Error msg ->
+            Alcotest.(check bool)
+              (name ^ ": names the file once")
+              true
+              (count_substring ~needle:(Filename.basename path) msg = 1);
+            Alcotest.(check bool)
+              (name ^ ": names line " ^ string_of_int line)
+              true
+              (contains_substring
+                 ~needle:(Printf.sprintf "line %d:" line)
+                 msg))
+  in
+  check_load "bad header" "not a graph\n" ~line:1;
+  check_load "duplicate node" "phg 1\nnode 0 a\nnode 1 b\nnode 0 c\n" ~line:4;
+  check_load "bad edge" "phg 1\nnode 0 a\nedge 0\n" ~line:3;
+  check_load "unknown keyword" "phg 1\nnode 0 a\nfrob 1 2\n" ~line:3
+
 let test_dot () =
   let g = graph [ "a\"quote" ] [ (0, 0) ] in
   let dot = IO.to_dot ~name:"T" g in
@@ -88,6 +118,8 @@ let suite =
         Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
         Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
         Alcotest.test_case "missing file" `Quick test_load_missing;
+        Alcotest.test_case "load errors name file and line" `Quick
+          test_load_error_names_file_and_line;
         Alcotest.test_case "dot export" `Quick test_dot;
         Alcotest.test_case "graphml export" `Quick test_graphml;
         Alcotest.test_case "mapping dot" `Quick test_mapping_dot;
