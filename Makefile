@@ -1,5 +1,6 @@
 .PHONY: all build check test bench bench-full bench-parallel bench-serve \
-	serve-smoke ablations micro examples fmt fmt-check ci clean
+	serve-smoke serve-smoke-faults ablations micro examples fmt fmt-check \
+	ci clean
 
 # worker domains for the parallel runtime; passed through to the bench
 # harness (the CLI takes its own --jobs flag)
@@ -38,6 +39,11 @@ bench-serve:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# the smoke plus a fault-injection soak: misbehaving peers alongside
+# healthy retrying clients, under an injected per-solve delay
+serve-smoke-faults:
+	sh scripts/serve_smoke.sh --faults
+
 ablations:
 	dune exec bench/main.exe -- ablations
 
@@ -75,6 +81,7 @@ ci:
 	dune exec bench/main.exe -- micro
 	dune exec bench/main.exe -- parallel --jobs 4 --out BENCH_parallel.json
 	sh scripts/serve_smoke.sh
+	sh scripts/serve_smoke.sh --faults
 	dune exec bench/main.exe -- serve --out BENCH_serve.json
 
 clean:

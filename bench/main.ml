@@ -189,7 +189,13 @@ let serve_cmd =
   let repeats_arg =
     Arg.(value & opt int 5 & info [ "repeats" ] ~doc:"Warm queries per pair.")
   in
-  let run seed sizes noise repeats out =
+  let clients_arg =
+    Arg.(
+      value & opt (list int) [ 1; 4; 8 ]
+      & info [ "clients" ] ~docv:"N,N,..."
+          ~doc:"Concurrent client counts for the socket latency phase.")
+  in
+  let run seed sizes noise repeats clients out =
     if List.exists (fun m -> m < 1) sizes then begin
       prerr_endline "bench: --sizes must all be at least 1";
       exit 1
@@ -198,13 +204,20 @@ let serve_cmd =
       Printf.eprintf "bench: --repeats must be at least 1 (got %d)\n" repeats;
       exit 1
     end;
-    Serve_bench.run ~seed ~sizes ~noise ~repeats ~out ()
+    if clients = [] || List.exists (fun c -> c < 1) clients then begin
+      prerr_endline "bench: --clients must name at least one count >= 1";
+      exit 1
+    end;
+    Serve_bench.run ~seed ~sizes ~noise ~repeats ~clients ~out ()
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Daemon cold vs warm query latency on the Fig. 5/6 synthetic \
-             graphs; writes BENCH_serve.json.")
-    Term.(const run $ seed_arg $ sizes_arg $ noise_arg $ repeats_arg $ out_arg)
+             graphs, plus p50/p99 latency under concurrent socket clients; \
+             writes BENCH_serve.json.")
+    Term.(
+      const run $ seed_arg $ sizes_arg $ noise_arg $ repeats_arg $ clients_arg
+      $ out_arg)
 
 let all_term = Term.(const run_all $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg $ jobs_arg)
 

@@ -15,6 +15,7 @@ module G = Phom_graph.Generators
 module IO = Phom_graph.Graph_io
 module Daemon = Phom_server.Daemon
 module Protocol = Phom_server.Protocol
+module Client = Phom_server.Client
 
 type row = {
   name : string;
@@ -88,7 +89,135 @@ let bench_pair ~rng ~m ~noise ~repeats st =
         equal_output = strip_cache cold = strip_cache !warm;
       })
 
-let json_of_rows ~repeats rows =
+(* Concurrency phase: the same solve through a real socket under client
+   load. The daemon runs in its own domain with a worker pool; for each
+   client count we reset the artifact cache, fire a cold burst (one solve
+   per client, artifacts computed under contention) and then warm rounds
+   (cache-served solves), and report p50/p99 latency for both. This is the
+   multiplexing claim measured: adding peers must not multiply the warm
+   tail. *)
+
+type conc_row = {
+  clients : int;
+  cold_p50 : float;
+  cold_p99 : float;
+  warm_p50 : float;
+  warm_p99 : float;
+}
+
+let percentile p xs =
+  (* nearest-rank on a sorted copy; p in [0,1] *)
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else a.(min (n - 1) (max 0 (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
+
+(* shed/teardown races are expected under load; retry patiently *)
+let conc_backoff = { Client.retries = 20; delay = 0.05; max_delay = 0.5 }
+
+let oneshot sockaddr line =
+  match Client.request ~backoff:conc_backoff sockaddr line with
+  | Ok reply -> reply
+  | Error m -> failwith ("bench serve: " ^ m)
+
+let with_socket_daemon ~jobs f =
+  let sock = Filename.temp_file "phom_serve_bench" ".sock" in
+  Sys.remove sock;
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.socket_path = Some sock;
+      jobs;
+      (* unbounded per-request budget, same reasoning as the in-process
+         phase: a tripped answer is cheaper than a complete one and would
+         skew the latency comparison *)
+      default_timeout = None;
+    }
+  in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let server =
+    Domain.spawn (fun () ->
+        Daemon.serve
+          ~ready:(fun _ ->
+            Mutex.lock ready_m;
+            ready := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          config)
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let sockaddr = Unix.ADDR_UNIX sock in
+  let finally () =
+    (try ignore (Client.request ~backoff:conc_backoff sockaddr "shutdown")
+     with _ -> ());
+    Domain.join server;
+    try Sys.remove sock with Sys_error _ -> ()
+  in
+  Fun.protect ~finally (fun () -> f sockaddr)
+
+(* one burst: [clients] domains, each connecting once and timing [rounds]
+   solves; returns every per-request latency *)
+let burst ~clients ~rounds sockaddr solve =
+  let worker () =
+    match Client.connect sockaddr with
+    | Error m -> failwith ("bench serve: " ^ m)
+    | Ok conn ->
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () ->
+            List.init rounds (fun _ ->
+                let reply, dt = Util.timed (fun () -> Client.send conn solve) in
+                (match reply with
+                | Ok r -> expect_ok "concurrent solve" r
+                | Error m -> failwith ("bench serve: " ^ m));
+                dt))
+  in
+  let domains = List.init clients (fun _ -> Domain.spawn worker) in
+  List.concat_map Domain.join domains
+
+let bench_concurrency ~rng ~m ~noise ~jobs ~clients_list ~warm_rounds =
+  let g1, pool = G.paper_pattern ~rng ~m in
+  let g2 = G.paper_data ~rng ~pool ~noise g1 in
+  let save g =
+    let path = Filename.temp_file "phom_serve_bench" ".phg" in
+    IO.save path g;
+    path
+  in
+  let p1 = save g1 and p2 = save g2 in
+  let finally () =
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ p1; p2 ]
+  in
+  Fun.protect ~finally (fun () ->
+      with_socket_daemon ~jobs (fun sockaddr ->
+          expect_ok "load pattern"
+            (oneshot sockaddr (Printf.sprintf "load graph conc.g1 %s" p1));
+          expect_ok "load data"
+            (oneshot sockaddr (Printf.sprintf "load graph conc.g2 %s" p2));
+          let solve = "solve card conc.g1 conc.g2 --sim shingles --xi 0.5" in
+          List.map
+            (fun clients ->
+              (* evict every artifact so the cold burst really is cold *)
+              expect_ok "reset cache" (oneshot sockaddr "unload conc.g2");
+              expect_ok "reload data"
+                (oneshot sockaddr (Printf.sprintf "load graph conc.g2 %s" p2));
+              let cold = burst ~clients ~rounds:1 sockaddr solve in
+              let warm = burst ~clients ~rounds:warm_rounds sockaddr solve in
+              {
+                clients;
+                cold_p50 = percentile 0.50 cold;
+                cold_p99 = percentile 0.99 cold;
+                warm_p50 = percentile 0.50 warm;
+                warm_p99 = percentile 0.99 warm;
+              })
+            clients_list))
+
+let json_of_rows ~repeats ~jobs ~warm_rounds rows conc_rows =
   let row_json r =
     Printf.sprintf
       "    {\"name\": %S, \"n1\": %d, \"n2\": %d, \"cold_seconds\": %.6f, \
@@ -98,17 +227,30 @@ let json_of_rows ~repeats rows =
       (if r.warm_seconds > 0. then r.cold_seconds /. r.warm_seconds else 0.)
       r.warm_hits r.equal_output
   in
+  let conc_json r =
+    Printf.sprintf
+      "    {\"clients\": %d, \"cold_p50_seconds\": %.6f, \"cold_p99_seconds\": \
+       %.6f, \"warm_p50_seconds\": %.6f, \"warm_p99_seconds\": %.6f}"
+      r.clients r.cold_p50 r.cold_p99 r.warm_p50 r.warm_p99
+  in
   Printf.sprintf
     "{\n\
     \  \"warm_repeats\": %d,\n\
     \  \"queries\": [\n\
      %s\n\
+    \  ],\n\
+    \  \"concurrency_jobs\": %d,\n\
+    \  \"concurrency_warm_rounds\": %d,\n\
+    \  \"concurrency\": [\n\
+     %s\n\
     \  ]\n\
      }\n"
     repeats
     (String.concat ",\n" (List.map row_json rows))
+    jobs warm_rounds
+    (String.concat ",\n" (List.map conc_json conc_rows))
 
-let run ~seed ~sizes ~noise ~repeats ~out () =
+let run ~seed ~sizes ~noise ~repeats ~clients ~out () =
   Util.heading "Matching service: cold vs warm query latency";
   Util.note "paper synthetic pairs (Fig. 5 generator), noise %.2f, %d warm \
              repeats per query"
@@ -136,7 +278,29 @@ let run ~seed ~sizes ~noise ~repeats ~out () =
            string_of_bool r.equal_output;
          ])
        rows);
-  let json = json_of_rows ~repeats rows in
+  let conc_jobs = 4 and warm_rounds = 10 in
+  Util.heading "Matching service: latency under concurrent clients";
+  Util.note "one daemon over a Unix socket, %d solve workers, %d warm rounds \
+             per client"
+    conc_jobs warm_rounds;
+  let conc_m = List.fold_left max 1 sizes in
+  let conc_rows =
+    bench_concurrency ~rng ~m:conc_m ~noise ~jobs:conc_jobs
+      ~clients_list:clients ~warm_rounds
+  in
+  Util.table
+    [ "clients"; "cold p50"; "cold p99"; "warm p50"; "warm p99" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.clients;
+           Util.seconds r.cold_p50;
+           Util.seconds r.cold_p99;
+           Util.seconds r.warm_p50;
+           Util.seconds r.warm_p99;
+         ])
+       conc_rows);
+  let json = json_of_rows ~repeats ~jobs:conc_jobs ~warm_rounds rows conc_rows in
   let oc = open_out out in
   output_string oc json;
   close_out oc;

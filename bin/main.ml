@@ -558,36 +558,119 @@ let client_cmd =
                 them (or quote the whole request) so solve flags like \
                 $(b,--xi) reach the daemon instead of this tool.")
   in
-  let run addr request =
+  let connect_timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "connect-timeout" ] ~docv:"SECS"
+          ~doc:"Give up if the connection is not established within $(docv) \
+                seconds.")
+  in
+  let read_timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "read-timeout" ] ~docv:"SECS"
+          ~doc:"Give up if the reply does not arrive within $(docv) seconds.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry up to $(docv) times on connection failures and on \
+                $(b,error busy retry-after=<s>) replies, with exponential \
+                back-off and jitter (never pausing less than the daemon's \
+                hint). 0 (the default) means one shot.")
+  in
+  let retry_delay_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "retry-delay" ] ~docv:"SECS"
+          ~doc:"Base back-off delay, doubled on every retry and capped at \
+                ten times $(docv).")
+  in
+  let hold_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "hold" ] ~docv:"SECS"
+          ~doc:"Testing aid: connect, send nothing, stay silent for $(docv) \
+                seconds, then exit 0. Exercises the daemon's idle-eviction \
+                path.")
+  in
+  let no_read_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-read" ]
+          ~doc:"Testing aid: send the request, then close the connection \
+                without reading the reply (a mid-solve disconnect).")
+  in
+  let run addr request connect_timeout read_timeout retries retry_delay hold
+      no_read =
     guard @@ fun () ->
-    let line = String.concat " " request in
-    if String.trim line = "" then die "empty request (try: version, list, stats, solve ...)";
-    match Phom_server.Client.sockaddr_of_string addr with
-    | Error msg -> die "%s" msg
-    | Ok sockaddr -> (
-        match Phom_server.Client.request sockaddr line with
-        | Error msg -> die "%s" msg
-        | Ok reply ->
-            print_endline reply;
-            (* mirror the CLI budget contract: 0 ok, 1 error, 2 answered
-               but a budget tripped *)
-            if String.length reply >= 5 && String.sub reply 0 5 = "error" then
-              exit 1
-            else if
-              let exhausted = "status=exhausted" in
-              let n = String.length reply and m = String.length exhausted in
-              let rec scan i =
-                i + m <= n && (String.sub reply i m = exhausted || scan (i + 1))
-              in
-              scan 0
-            then exit 2)
+    let with_addr k =
+      match Phom_server.Client.sockaddr_of_string addr with
+      | Error msg -> die "%s" msg
+      | Ok sockaddr -> k sockaddr
+    in
+    match hold with
+    | Some secs ->
+        with_addr (fun sockaddr ->
+            match Phom_server.Client.connect ?timeout:connect_timeout sockaddr with
+            | Error msg -> die "%s" msg
+            | Ok conn ->
+                Unix.sleepf (Float.max 0. secs);
+                Phom_server.Client.close conn)
+    | None -> (
+        let line = String.concat " " request in
+        if String.trim line = "" then
+          die "empty request (try: version, list, stats, solve ...)";
+        with_addr @@ fun sockaddr ->
+        if no_read then (
+          match Phom_server.Client.connect ?timeout:connect_timeout sockaddr with
+          | Error msg -> die "%s" msg
+          | Ok conn ->
+              let r = Phom_server.Client.post conn line in
+              Phom_server.Client.close conn;
+              match r with Error msg -> die "%s" msg | Ok () -> ())
+        else
+          let backoff =
+            {
+              Phom_server.Client.retries = max 0 retries;
+              delay = Float.max 0. retry_delay;
+              max_delay = Float.max 0. retry_delay *. 10.;
+            }
+          in
+          match
+            Phom_server.Client.request ?connect_timeout ?read_timeout ~backoff
+              sockaddr line
+          with
+          | Error msg -> die "%s" msg
+          | Ok reply ->
+              print_endline reply;
+              (* mirror the CLI budget contract: 0 ok, 1 error, 2 answered
+                 but a budget tripped *)
+              if String.length reply >= 5 && String.sub reply 0 5 = "error"
+              then exit 1
+              else if
+                let exhausted = "status=exhausted" in
+                let n = String.length reply and m = String.length exhausted in
+                let rec scan i =
+                  i + m <= n
+                  && (String.sub reply i m = exhausted || scan (i + 1))
+                in
+                scan 0
+              then exit 2)
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request line to a running phomd and print the reply. \
              Exits 0 on an ok reply, 1 on an error reply or connection \
-             failure, 2 when the reply reports an exhausted budget.")
-    Term.(const run $ addr_arg $ request_arg)
+             failure, 2 when the reply reports an exhausted budget. \
+             $(b,--retries) adds exponential back-off against busy or \
+             briefly-absent daemons.")
+    Term.(
+      const run $ addr_arg $ request_arg $ connect_timeout_arg
+      $ read_timeout_arg $ retries_arg $ retry_delay_arg $ hold_arg
+      $ no_read_arg)
 
 let () =
   let doc = "graph matching by p-homomorphism (Fan et al., VLDB 2010)" in

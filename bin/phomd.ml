@@ -68,11 +68,55 @@ let default_steps_arg =
         ~doc:"Per-request step budget applied when a solve names no \
               $(b,--steps) of its own.")
 
+let max_conns_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:"Admission control: connections beyond $(docv) are answered \
+              $(b,error busy retry-after=<s>) and closed immediately.")
+
+let max_pending_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:"Solves in flight beyond $(docv) are shed with the same busy \
+              reply; the connection stays open.")
+
+let idle_timeout_arg =
+  Arg.(
+    value & opt float 300.
+    & info [ "idle-timeout" ] ~docv:"SECS"
+        ~doc:"Evict a connection idle for $(docv) seconds with \
+              $(b,error idle-timeout), so stalled peers cannot pin \
+              connection slots. 0 disables eviction.")
+
+let retry_after_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "retry-after" ] ~docv:"SECS"
+        ~doc:"The back-off hint carried by busy replies.")
+
+let drain_grace_arg =
+  Arg.(
+    value & opt float 5.
+    & info [ "drain-grace" ] ~docv:"SECS"
+        ~doc:"On shutdown or SIGTERM/SIGINT, wait up to $(docv) seconds for \
+              in-flight replies to flush before cutting stragglers.")
+
+let fault_delay_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-delay" ] ~docv:"SECS"
+        ~doc:"Testing aid: sleep $(docv) seconds at the start of every \
+              solve, so fault-injection tests can reliably catch a solve \
+              in flight. 0 (the default) disables.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the startup banner.")
 
 let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
-    default_steps quiet =
+    default_steps max_conns max_pending idle_timeout retry_after drain_grace
+    fault_delay quiet =
   if socket = None && tcp = None then begin
     prerr_endline "error: nothing to listen on (give --socket and/or --tcp)";
     exit 1
@@ -90,11 +134,21 @@ let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
   mb_check "--cache-mb" cache_mb;
   mb_check "--max-graph-mb" max_graph_mb;
   mb_check "--max-mat-mb" max_mat_mb;
+  if max_conns < 1 then begin
+    Printf.eprintf "error: --max-conns must be at least 1 (got %d)\n" max_conns;
+    exit 1
+  end;
+  if max_pending < 1 then begin
+    Printf.eprintf "error: --max-pending must be at least 1 (got %d)\n"
+      max_pending;
+    exit 1
+  end;
   let default_timeout =
     match default_timeout with
     | Some t when t <= 0. -> None
     | t -> t
   in
+  Phom_server.Faults.set_solve_delay fault_delay;
   let config =
     {
       Daemon.socket_path = socket;
@@ -105,6 +159,12 @@ let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
       max_mat_bytes = max_mat_mb * 1024 * 1024;
       default_timeout;
       default_steps;
+      max_conns;
+      max_pending;
+      idle_timeout = (if idle_timeout <= 0. then None else Some idle_timeout);
+      max_line_bytes = 8192;
+      retry_after = Float.max 0. retry_after;
+      drain_grace = Float.max 0. drain_grace;
     }
   in
   let ready listeners =
@@ -154,6 +214,8 @@ let () =
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_mb_arg
       $ max_graph_mb_arg $ max_mat_mb_arg $ default_timeout_arg
-      $ default_steps_arg $ quiet_arg)
+      $ default_steps_arg $ max_conns_arg $ max_pending_arg
+      $ idle_timeout_arg $ retry_after_arg $ drain_grace_arg
+      $ fault_delay_arg $ quiet_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -188,6 +188,15 @@ let await fut =
   | Raised e -> raise e
   | Pending -> assert false
 
+let peek fut =
+  Mutex.lock fut.flock;
+  let outcome = fut.state in
+  Mutex.unlock fut.flock;
+  match outcome with
+  | Pending -> None
+  | Done v -> Some v
+  | Raised e -> raise e
+
 let both t fa fb =
   match
     map t

@@ -64,6 +64,13 @@ val await : 'a future -> 'a
     is shut down before the task was started, {!shutdown} runs the task in
     the shutting-down caller, so [await] never hangs. *)
 
+val peek : 'a future -> 'a option
+(** Non-blocking {!await}: [Some v] once the task has completed with [v],
+    [None] while it is still pending (or queued); re-raises the task's
+    exception if it failed. Safe from any domain and any number of times.
+    This is the seam the multiplexed daemon loop uses to poll in-flight
+    solves from [select] without blocking the other connections. *)
+
 val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** [both pool fa fb] evaluates the two thunks, possibly in parallel, and
     returns both results. On a pool of size 1 this is exactly

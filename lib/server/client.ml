@@ -20,44 +20,201 @@ let sockaddr_of_string addr =
                 Error (Printf.sprintf "%s: unknown host %s" addr host)))
   | _ -> Ok (Unix.ADDR_UNIX addr)
 
-type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+(* raw descriptor plus bytes read past the last returned line; channels
+   would buffer invisibly and defeat the read deadline *)
+type conn = { fd : Unix.file_descr; mutable pending : string }
 
 let describe_sockaddr = function
   | Unix.ADDR_UNIX p -> p
   | Unix.ADDR_INET (ip, port) ->
       Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
 
-let connect sockaddr =
+let rec restart f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+let connect ?timeout sockaddr =
+  (* a daemon that sheds us can close before our request lands; the write
+     must come back as EPIPE (an Error), not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let domain = Unix.domain_of_sockaddr sockaddr in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  match Unix.connect fd sockaddr with
-  | () ->
-      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
-  | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error
-        (Printf.sprintf "cannot connect to %s: %s" (describe_sockaddr sockaddr)
-           (Unix.error_message e))
+  let fail e =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" (describe_sockaddr sockaddr)
+         (Unix.error_message e))
+  in
+  match timeout with
+  | None -> (
+      match restart (fun () -> Unix.connect fd sockaddr) with
+      | () -> Ok { fd; pending = "" }
+      | exception Unix.Unix_error (Unix.EISCONN, _, _) ->
+          (* an EINTR'd connect that completed behind our back *)
+          Ok { fd; pending = "" }
+      | exception Unix.Unix_error (e, _, _) -> fail e)
+  | Some t -> (
+      Unix.set_nonblock fd;
+      let finish_ok () =
+        Unix.clear_nonblock fd;
+        Ok { fd; pending = "" }
+      in
+      match Unix.connect fd sockaddr with
+      | () -> finish_ok ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (
+          match restart (fun () -> Unix.select [] [ fd ] [] t) with
+          | _, [ _ ], _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> finish_ok ()
+              | Some e -> fail e)
+          | _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error
+                (Printf.sprintf "cannot connect to %s: timed out after %gs"
+                   (describe_sockaddr sockaddr) t))
+      | exception Unix.Unix_error (e, _, _) -> fail e)
 
-let close conn =
-  (try flush conn.oc with Sys_error _ -> ());
-  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-let send conn line =
-  try
-    output_string conn.oc line;
-    output_char conn.oc '\n';
-    flush conn.oc;
-    Ok (input_line conn.ic)
-  with
-  | End_of_file -> Error "connection closed by daemon"
-  | Sys_error m -> Error m
-  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go pos =
+    if pos >= n then Ok ()
+    else
+      match Unix.write fd b pos (n - pos) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ignore (restart (fun () -> Unix.select [] [ fd ] [] 1.0));
+          go pos
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | k -> go (pos + k)
+  in
+  go 0
 
-let request sockaddr line =
-  match connect sockaddr with
-  | Error _ as e -> e
-  | Ok conn ->
-      let r = send conn line in
-      close conn;
-      r
+let post conn line = write_all conn.fd (line ^ "\n")
+
+let receive ?timeout conn =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  let buf = Bytes.create 4096 in
+  let take_line s =
+    match String.index_opt s '\n' with
+    | None ->
+        conn.pending <- s;
+        None
+    | Some i ->
+        conn.pending <- String.sub s (i + 1) (String.length s - i - 1);
+        let l = String.sub s 0 i in
+        Some
+          (if l <> "" && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l)
+  in
+  let rec go s =
+    match take_line s with
+    | Some l -> Ok l
+    | None -> (
+        let wait =
+          match deadline with
+          | None -> Ok ()
+          | Some d -> (
+              let left = d -. Unix.gettimeofday () in
+              if left <= 0. then Error "timed out waiting for reply"
+              else
+                match restart (fun () -> Unix.select [ conn.fd ] [] [] left) with
+                | [ _ ], _, _ -> Ok ()
+                | _ -> Error "timed out waiting for reply")
+        in
+        match wait with
+        | Error _ as e -> e
+        | Ok () -> (
+            match Unix.read conn.fd buf 0 4096 with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go s
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                go s
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Unix.error_message e)
+            | 0 -> Error "connection closed by daemon"
+            | n -> go (s ^ Bytes.sub_string buf 0 n)))
+  in
+  go conn.pending
+
+let send ?timeout conn line =
+  match post conn line with
+  | Ok () -> receive ?timeout conn
+  | Error _ as e -> (
+      (* a daemon that sheds or evicts us writes its parting reply (busy,
+         idle-timeout) and closes before our request lands — the write
+         fails with EPIPE but the reply is already in our receive buffer,
+         and the closed peer makes this read return immediately *)
+      match receive ?timeout conn with Ok _ as r -> r | Error _ -> e)
+
+(* "error busy retry-after=<seconds>" — the daemon's shed hint *)
+let retry_after_hint reply =
+  let marker = "retry-after=" in
+  let n = String.length reply and m = String.length marker in
+  let prefix = "error busy" in
+  if n < String.length prefix || String.sub reply 0 (String.length prefix) <> prefix
+  then None
+  else
+    let rec find i =
+      if i + m > n then None
+      else if String.sub reply i m = marker then Some (i + m)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some i ->
+        let j =
+          match String.index_from_opt reply i ' ' with Some j -> j | None -> n
+        in
+        float_of_string_opt (String.sub reply i (j - i))
+
+type backoff = { retries : int; delay : float; max_delay : float }
+
+let default_backoff = { retries = 0; delay = 0.2; max_delay = 2.0 }
+
+let request ?connect_timeout ?read_timeout ?(backoff = default_backoff) ?rng
+    sockaddr line =
+  let rng =
+    lazy (match rng with Some r -> r | None -> Random.State.make_self_init ())
+  in
+  let once () =
+    match connect ?timeout:connect_timeout sockaddr with
+    | Error _ as e -> e
+    | Ok conn ->
+        let r = send ?timeout:read_timeout conn line in
+        close conn;
+        r
+  in
+  let pause attempt hint =
+    let exp = backoff.delay *. (2. ** float_of_int attempt) in
+    let capped = Float.min backoff.max_delay exp in
+    (* jitter in [50%,100%] de-synchronizes a thundering herd of clients
+       that were all shed at the same instant *)
+    let jittered = capped *. (0.5 +. Random.State.float (Lazy.force rng) 0.5) in
+    let d = match hint with Some h -> Float.max h jittered | None -> jittered in
+    if d > 0. then Unix.sleepf d
+  in
+  let rec go attempt =
+    let r = once () in
+    if attempt >= backoff.retries then r
+    else
+      match r with
+      | Ok reply -> (
+          match retry_after_hint reply with
+          | Some hint ->
+              (* the daemon shed us; honor its hint *)
+              pause attempt (Some hint);
+              go (attempt + 1)
+          | None -> r)
+      | Error _ ->
+          (* connection-level failures (refused, daemon gone, timeout) are
+             treated as transient: requests are idempotent *)
+          pause attempt None;
+          go (attempt + 1)
+  in
+  go 0

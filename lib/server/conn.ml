@@ -1,0 +1,147 @@
+type t = {
+  fd : Unix.file_descr;
+  max_line : int;
+  idle_timeout : float option;
+  partial : Buffer.t;  (* bytes of the current, incomplete request line *)
+  lines : string Queue.t;  (* complete request lines, oldest first *)
+  mutable out : string;  (* reply bytes not yet written *)
+  mutable out_pos : int;
+  mutable draining : bool;
+  mutable closed : bool;
+  mutable overflowed : bool;
+  mutable idle_deadline : float;
+}
+
+(* reading pauses past this many queued-but-unserved requests, so a peer
+   that floods pipelined lines while a solve is in flight is backpressured
+   by its own socket buffer instead of growing daemon memory *)
+let max_queued_lines = 16
+
+let chunk = 4096
+
+let create ~max_line ~idle_timeout ~now fd =
+  {
+    fd;
+    max_line;
+    idle_timeout;
+    partial = Buffer.create 256;
+    lines = Queue.create ();
+    out = "";
+    out_pos = 0;
+    draining = false;
+    closed = false;
+    overflowed = false;
+    idle_deadline =
+      (match idle_timeout with None -> infinity | Some s -> now +. s);
+  }
+
+let fd t = t.fd
+let is_open t = not t.closed
+let is_draining t = t.draining
+let deadline t = t.idle_deadline
+
+let touch t ~now =
+  match t.idle_timeout with
+  | None -> ()
+  | Some s -> t.idle_deadline <- now +. s
+
+let expired t ~now = now >= t.idle_deadline
+
+let want_read t =
+  (not t.closed) && (not t.draining) && (not t.overflowed)
+  && Queue.length t.lines < max_queued_lines
+
+let want_write t = (not t.closed) && t.out_pos < String.length t.out
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.out <- "";
+    t.out_pos <- 0;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* move complete lines out of [partial] into [lines]; true iff a line (or
+   the unfinished remainder) exceeds the bound *)
+let split_lines t =
+  let s = Buffer.contents t.partial in
+  let n = String.length s in
+  let overflow = ref false in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from s !start '\n' in
+       let len = i - !start in
+       let len = if len > 0 && s.[!start + len - 1] = '\r' then len - 1 else len in
+       if len > t.max_line then overflow := true
+       else Queue.add (String.sub s !start len) t.lines;
+       start := i + 1
+     done
+   with Not_found -> ());
+  if !start > 0 then begin
+    let rest = String.sub s !start (n - !start) in
+    Buffer.clear t.partial;
+    Buffer.add_string t.partial rest
+  end;
+  if Buffer.length t.partial > t.max_line then overflow := true;
+  !overflow
+
+type read_outcome = Progress | Line_too_long | Peer_closed
+
+let handle_read t =
+  if t.closed then Peer_closed
+  else begin
+    let buf = Bytes.create chunk in
+    match Faults.read t.fd buf 0 chunk with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        Progress
+    | exception Unix.Unix_error (_, _, _) -> Peer_closed
+    | 0 -> Peer_closed
+    | n ->
+        Buffer.add_subbytes t.partial buf 0 n;
+        if split_lines t then begin
+          t.overflowed <- true;
+          Line_too_long
+        end
+        else Progress
+  end
+
+let next_line t = if t.closed then None else Queue.take_opt t.lines
+
+let send_line t line =
+  if not t.closed then begin
+    (* compact the already-written prefix before appending *)
+    let pending =
+      if t.out_pos = 0 then t.out
+      else String.sub t.out t.out_pos (String.length t.out - t.out_pos)
+    in
+    t.out <- pending ^ line ^ "\n";
+    t.out_pos <- 0
+  end
+
+let handle_write t =
+  if not t.closed then begin
+    let len = String.length t.out - t.out_pos in
+    (if len > 0 then
+       match Faults.write t.fd (Bytes.of_string t.out) t.out_pos len with
+       | exception
+           Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+         ->
+           ()
+       | exception Unix.Unix_error (_, _, _) ->
+           (* the peer vanished; nothing left to flush to *)
+           close t
+       | n -> t.out_pos <- t.out_pos + n);
+    if (not t.closed) && t.out_pos >= String.length t.out then begin
+      t.out <- "";
+      t.out_pos <- 0;
+      if t.draining then close t
+    end
+  end
+
+let close_after_flush t =
+  if not t.closed then begin
+    t.draining <- true;
+    if not (want_write t) then close t
+  end

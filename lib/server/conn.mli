@@ -1,0 +1,70 @@
+(** One multiplexed daemon connection: a non-blocking socket wrapped in a
+    bounded line reader, a buffered writer and an idle deadline.
+
+    The module is purely mechanical — it moves bytes and tracks deadlines;
+    parsing, execution and scheduling stay in {!Daemon}. The loop asks each
+    connection what it wants ({!want_read}/{!want_write}), builds the
+    [select] sets from the answers, and feeds events back through
+    {!handle_read}/{!handle_write}. All I/O goes through {!Faults}, so the
+    robustness grid can perturb any byte of the lifecycle. *)
+
+type t
+
+val create :
+  max_line:int -> idle_timeout:float option -> now:float -> Unix.file_descr -> t
+(** Wrap an accepted (non-blocking) socket. [max_line] bounds a single
+    request line; [idle_timeout] arms the eviction deadline (None = never
+    evict). *)
+
+val fd : t -> Unix.file_descr
+val is_open : t -> bool
+
+val is_draining : t -> bool
+(** {!close_after_flush} was called: the connection only flushes and
+    closes; no further requests are read. *)
+
+val want_read : t -> bool
+(** Open, not draining, not overflowed, and with room in the pipelined
+    request queue (reading pauses past 16 queued lines so a flooding peer
+    is backpressured by its own socket buffer, not by daemon memory). *)
+
+val want_write : t -> bool
+(** Unflushed reply bytes are pending. *)
+
+val deadline : t -> float
+(** Absolute idle deadline ([infinity] when [idle_timeout] is [None]). *)
+
+val touch : t -> now:float -> unit
+(** Re-arm the idle deadline; called when a request completes. *)
+
+val expired : t -> now:float -> bool
+
+type read_outcome =
+  | Progress  (** bytes consumed (possibly completing queued lines) *)
+  | Line_too_long  (** the bounded reader overflowed [max_line] *)
+  | Peer_closed  (** EOF or a hard socket error *)
+
+val handle_read : t -> read_outcome
+(** Consume readable bytes (one bounded chunk per call; [select] re-arms).
+    [EAGAIN]/[EINTR] are absorbed as [Progress]. *)
+
+val next_line : t -> string option
+(** Pop the oldest complete request line (newline and a trailing ['\r']
+    stripped), or [None] when no full line is buffered. *)
+
+val send_line : t -> string -> unit
+(** Queue one reply line (newline appended). No-op on a closed
+    connection. *)
+
+val handle_write : t -> unit
+(** Flush as much pending output as the socket accepts. Transient errors
+    are absorbed; hard errors (the peer vanished) close the connection.
+    When the buffer drains on a draining connection, the socket is
+    closed. *)
+
+val close_after_flush : t -> unit
+(** Stop reading; close as soon as the pending output is flushed (now, if
+    none is pending). *)
+
+val close : t -> unit
+(** Close immediately, discarding unflushed output. Idempotent. *)

@@ -13,6 +13,12 @@ type config = {
   max_mat_bytes : int;
   default_timeout : float option;
   default_steps : int option;
+  max_conns : int;
+  max_pending : int;
+  idle_timeout : float option;
+  max_line_bytes : int;
+  retry_after : float;
+  drain_grace : float;
 }
 
 let default_config =
@@ -25,6 +31,12 @@ let default_config =
     max_mat_bytes = 64 * 1024 * 1024;
     default_timeout = Some 5.;
     default_steps = None;
+    max_conns = 64;
+    max_pending = 32;
+    idle_timeout = Some 300.;
+    max_line_bytes = 8192;
+    retry_after = 1.;
+    drain_grace = 5.;
   }
 
 type state = {
@@ -32,6 +44,8 @@ type state = {
   catalog : Catalog.t;
   pool : Pool.t option;  (** borrowed; None = sequential daemon *)
   mutable requests : int;
+  mutable busy_rejected : int;  (** admission-control sheds *)
+  mutable idle_evicted : int;  (** stalled peers cut by the idle deadline *)
 }
 
 let make_state ?pool config =
@@ -42,6 +56,8 @@ let make_state ?pool config =
         ~max_mat_bytes:config.max_mat_bytes ~cache_bytes:config.cache_bytes ();
     pool;
     requests = 0;
+    busy_rejected = 0;
+    idle_evicted = 0;
   }
 
 let requests_served st = st.requests
@@ -50,6 +66,8 @@ let requests_served st = st.requests
 
 let ok fmt = Printf.ksprintf (fun s -> "ok " ^ s) fmt
 let error fmt = Printf.ksprintf (fun s -> "error " ^ s) fmt
+
+let busy_reply st = error "busy retry-after=%g" st.config.retry_after
 
 let status_token = function
   | Budget.Complete -> "complete"
@@ -73,9 +91,10 @@ let stats_reply st =
   let graphs, mats = Catalog.list st.catalog in
   ok
     "stats requests=%d graphs=%d mats=%d cache entries=%d bytes=%d \
-     capacity=%d hits=%d misses=%d evictions=%d"
+     capacity=%d hits=%d misses=%d evictions=%d busy=%d evicted=%d"
     st.requests (List.length graphs) (List.length mats) s.Lru.entries
     s.Lru.bytes s.Lru.capacity_bytes s.Lru.hits s.Lru.misses s.Lru.evictions
+    st.busy_rejected st.idle_evicted
 
 (* ---- solve ---- *)
 
@@ -90,19 +109,31 @@ let budget_for st (s : Protocol.solve) =
     | Some _ as n -> n
     | None -> st.config.default_steps
   in
-  match (timeout, steps) with
-  | None, None -> Budget.unlimited ()
-  | _ -> Budget.create ?timeout ?steps ()
+  (* the drain path cancels in-flight requests from the loop's domain while
+     a pool worker is ticking the budget, so cancellation must ride the
+     budget's hook over an atomic rather than Budget.cancel's plain field *)
+  let flag = Atomic.make false in
+  let budget =
+    Budget.create ?timeout ?steps ~cancel:(fun () -> Atomic.get flag) ()
+  in
+  (budget, fun () -> Atomic.set flag true)
 
-let solve_reply st (s : Protocol.solve) =
-  let ( let* ) r f = match r with Error e -> error "%s" e | Ok v -> f v in
+(* split one solve request into what must run on the loop's domain (name
+   resolution, budget anchoring at receipt) and the job proper, which a
+   pool worker executes; [cancel] budget-trips the job from outside *)
+let prepare_solve st (s : Protocol.solve) =
+  let ( let* ) r f =
+    match r with Error e -> Error (error "%s" e) | Ok v -> f v
+  in
   let* g1 = Catalog.graph st.catalog s.Protocol.g1 in
   let* g2 = Catalog.graph st.catalog s.Protocol.g2 in
   (* the budget is anchored at request receipt: artifact building, solving
      and reply formatting all draw on the same allowance *)
-  let budget = budget_for st s in
+  let budget, cancel = budget_for st s in
   let pool = if s.Protocol.sequential then None else st.pool in
   let job () =
+    Faults.solve_delay ();
+    let ( let* ) r f = match r with Error e -> error "%s" e | Ok v -> f v in
     let* tc2, closure_prov =
       Catalog.closure ~budget st.catalog ~name:s.Protocol.g2
         ~hops:s.Protocol.hops
@@ -122,7 +153,7 @@ let solve_reply st (s : Protocol.solve) =
         ?pool s.Protocol.problem t
     in
     (* fast paths can finish between poll points; a final poll makes the
-       deadline part of the reply contract, as in the CLI *)
+       deadline (and a drain cancellation) part of the reply contract *)
     let status =
       match r.Api.status with
       | Budget.Exhausted _ as st -> st
@@ -140,40 +171,54 @@ let solve_reply st (s : Protocol.solve) =
       (Catalog.provenance_name mat_prov)
       (Catalog.provenance_name cands_prov)
   in
-  (* the request rides the shared pool so the accept loop's own domain does
-     not run unbounded solver code; --jobs 1 keeps the historical
-     sequential path *)
-  match pool with
-  | Some p -> Pool.await (Pool.submit p job)
-  | None -> job ()
+  Ok (cancel, job)
+
+(* the exception guard: user-level errors keep their message; any other
+   exception from a handler or solver job must neither kill the daemon nor
+   leak internals — it becomes an opaque [error internal] reply *)
+let guard f =
+  try f () with
+  | Invalid_argument m | Failure m | Sys_error m -> error "%s" m
+  | _ -> error "internal"
+
+let solve_reply st (s : Protocol.solve) =
+  match prepare_solve st s with
+  | Error reply -> reply
+  | Ok (_cancel, job) -> (
+      (* the request rides the shared pool so the loop's own domain does
+         not run unbounded solver code; --jobs 1 keeps the historical
+         sequential path *)
+      match (if s.Protocol.sequential then None else st.pool) with
+      | Some p -> Pool.await (Pool.submit p (fun () -> guard job))
+      | None -> guard job)
+
+let dispatch st req =
+  match req with
+  | Protocol.Version -> ok "phomd %s protocol %d" Version.string Version.protocol
+  | Protocol.List -> list_reply st
+  | Protocol.Stats -> stats_reply st
+  | Protocol.Load_graph { name; path } -> (
+      match Catalog.load_graph st.catalog ~name ~path with
+      | Ok g -> ok "loaded graph %s nodes=%d edges=%d" name (D.n g) (D.nb_edges g)
+      | Error e -> error "%s" e)
+  | Protocol.Load_mat { name; path } -> (
+      match Catalog.load_mat st.catalog ~name ~path with
+      | Ok m -> ok "loaded mat %s dims=%dx%d" name (Simmat.n1 m) (Simmat.n2 m)
+      | Error e -> error "%s" e)
+  | Protocol.Unload name -> (
+      match Catalog.unload st.catalog name with
+      | Ok artifacts -> ok "unloaded %s artifacts=%d" name artifacts
+      | Error e -> error "%s" e)
+  | Protocol.Solve s -> solve_reply st s
+  | Protocol.Shutdown -> ok "shutting down"
+  | Protocol.Quit -> ok "bye"
 
 let execute st req =
   st.requests <- st.requests + 1;
   let reply =
-    try
-      match req with
-      | Protocol.Version ->
-          ok "phomd %s protocol %d" Version.string Version.protocol
-      | Protocol.List -> list_reply st
-      | Protocol.Stats -> stats_reply st
-      | Protocol.Load_graph { name; path } -> (
-          match Catalog.load_graph st.catalog ~name ~path with
-          | Ok g -> ok "loaded graph %s nodes=%d edges=%d" name (D.n g) (D.nb_edges g)
-          | Error e -> error "%s" e)
-      | Protocol.Load_mat { name; path } -> (
-          match Catalog.load_mat st.catalog ~name ~path with
-          | Ok m ->
-              ok "loaded mat %s dims=%dx%d" name (Simmat.n1 m) (Simmat.n2 m)
-          | Error e -> error "%s" e)
-      | Protocol.Unload name -> (
-          match Catalog.unload st.catalog name with
-          | Ok artifacts -> ok "unloaded %s artifacts=%d" name artifacts
-          | Error e -> error "%s" e)
-      | Protocol.Solve s -> solve_reply st s
-      | Protocol.Shutdown -> ok "shutting down"
-      | Protocol.Quit -> ok "bye"
-    with
-    | Invalid_argument m | Failure m | Sys_error m -> error "%s" m
+    guard (fun () ->
+        Faults.execute_hook ();
+        dispatch st req)
   in
   let next =
     match req with
@@ -181,9 +226,35 @@ let execute st req =
     | Protocol.Quit -> `Quit
     | _ -> `Continue
   in
-  (reply, next)
+  (Protocol.sanitize reply, next)
 
-(* ---- the socket loop ---- *)
+(* like [execute], but a solve comes back as a schedulable job instead of
+   blocking the caller; only the multiplexed loop uses this *)
+type executed =
+  | Reply of string * [ `Continue | `Quit | `Shutdown ]
+  | Solve_job of { cancel : unit -> unit; job : unit -> string }
+
+let execute_async st req =
+  match req with
+  | Protocol.Solve s -> (
+      st.requests <- st.requests + 1;
+      let prepared =
+        try
+          Faults.execute_hook ();
+          prepare_solve st s
+        with
+        | Invalid_argument m | Failure m | Sys_error m -> Error (error "%s" m)
+        | _ -> Error (error "internal")
+      in
+      match prepared with
+      | Error reply -> Reply (Protocol.sanitize reply, `Continue)
+      | Ok (cancel, job) ->
+          Solve_job { cancel; job = (fun () -> Protocol.sanitize (guard job)) })
+  | _ ->
+      let reply, next = execute st req in
+      Reply (reply, next)
+
+(* ---- listeners ---- *)
 
 let listen_unix path =
   (* refuse to clobber a foreign file; replace only a stale socket *)
@@ -192,8 +263,20 @@ let listen_unix path =
   | _ -> invalid_arg (path ^ ": exists and is not a socket")
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind fd (Unix.ADDR_UNIX path);
-  Unix.listen fd 16;
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try
+     (* the socket must not be world-connectable regardless of the umask
+        the daemon inherited; chmod after bind pins it to owner-only *)
+     Unix.chmod path 0o600;
+     Unix.listen fd 16
+   with e ->
+     (* don't leave a half-made socket behind *)
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Unix.unlink path with Unix.Unix_error _ -> ());
+     raise e);
   (fd, path)
 
 let listen_tcp port =
@@ -209,47 +292,37 @@ let listen_tcp port =
   in
   (fd, bound)
 
-(* serve one connection to completion; returns [`Shutdown] when the peer
-   asked the daemon to stop *)
-let handle_connection st fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let outcome = ref `Continue in
-  (try
-     let stop = ref false in
-     while not !stop do
-       match input_line ic with
-       | exception End_of_file -> stop := true
-       | line ->
-           let line = String.trim line in
-           if line <> "" then begin
-             let reply, next =
-               match Protocol.parse line with
-               | Error e -> ("error " ^ e, `Continue)
-               | Ok req -> execute st req
-             in
-             output_string oc reply;
-             output_char oc '\n';
-             flush oc;
-             match next with
-             | `Continue -> ()
-             | `Quit -> stop := true
-             | `Shutdown ->
-                 outcome := `Shutdown;
-                 stop := true
-           end
-     done
-   with Sys_error _ | Unix.Unix_error _ -> (* peer vanished mid-request *) ());
-  (try flush oc with Sys_error _ | Unix.Unix_error _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  !outcome
+(* ---- the multiplexed socket loop ---- *)
+
+type inflight = {
+  future : string Pool.future;
+  result : string option Atomic.t;
+      (* the reply, published by the worker just before it wakes the loop.
+         [Pool.peek] alone would race: the wake write happens inside the
+         task, before the pool marks the future resolved, so a woken loop
+         could peek [None] and sleep a whole poll interval on a job that is
+         already done. *)
+  cancel : unit -> unit;
+}
+
+type cstate = {
+  c : Conn.t;
+  mutable job : inflight option;
+  mutable dead : bool;  (* peer vanished while a job was in flight *)
+  reject : bool;  (* admission-control shed: busy reply then close *)
+}
 
 let serve ?(ready = fun _ -> ()) config =
   if config.jobs < 1 then invalid_arg "Daemon.serve: jobs must be >= 1";
   if config.socket_path = None && config.tcp_port = None then
     invalid_arg "Daemon.serve: no listener configured (socket or TCP)";
+  if config.max_conns < 1 then invalid_arg "Daemon.serve: max_conns must be >= 1";
+  if config.max_pending < 1 then
+    invalid_arg "Daemon.serve: max_pending must be >= 1";
+  if config.max_line_bytes < 1 then
+    invalid_arg "Daemon.serve: max_line_bytes must be >= 1";
   (* a dying client must not kill the daemon with SIGPIPE; writes then fail
-     with EPIPE, which handle_connection absorbs *)
+     with EPIPE, which the connection machinery absorbs *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let unix_listener = Option.map listen_unix config.socket_path in
   let tcp_listener =
@@ -264,7 +337,39 @@ let serve ?(ready = fun _ -> ()) config =
       raise e
   in
   let listeners = List.filter_map Fun.id [ unix_listener; tcp_listener ] in
+  List.iter
+    (fun (fd, _) -> try Unix.set_nonblock fd with Unix.Unix_error _ -> ())
+    listeners;
+  (* self-pipe: pool workers (job done) and signal handlers (drain) wake
+     the select loop without a race against its blocking wait *)
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let wake () =
+    try ignore (Unix.write wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  let drain_requested = Atomic.make false in
+  let install signal =
+    match
+      Sys.signal signal
+        (Sys.Signal_handle
+           (fun _ ->
+             Atomic.set drain_requested true;
+             wake ()))
+    with
+    | old -> Some (signal, old)
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let installed = List.filter_map install [ Sys.sigterm; Sys.sigint ] in
   let finish () =
+    List.iter
+      (fun (s, old) ->
+        try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ())
+      installed;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ wake_r; wake_w ];
     List.iter
       (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
       listeners;
@@ -276,22 +381,285 @@ let serve ?(ready = fun _ -> ()) config =
       let run pool =
         let st = make_state ?pool config in
         ready (List.map snd listeners);
-        let fds = List.map fst listeners in
-        let stop = ref false in
-        while not !stop do
-          match Unix.select fds [] [] (-1.) with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | readable, _, _ ->
-              List.iter
-                (fun lfd ->
-                  if not !stop && List.mem lfd readable then
-                    match Unix.accept lfd with
-                    | exception Unix.Unix_error (_, _, _) -> ()
-                    | conn, _ ->
-                        if handle_connection st conn = `Shutdown then
-                          stop := true)
-                fds
-        done
+        let listener_fds = List.map fst listeners in
+        let conns : (Unix.file_descr, cstate) Hashtbl.t = Hashtbl.create 32 in
+        (* mutation discipline: the table is only ever modified outside
+           iteration — iterations run over this snapshot *)
+        let snapshot () = Hashtbl.fold (fun _ cs acc -> cs :: acc) conns [] in
+        let in_flight = ref 0 in
+        let accepting = ref true in
+        let draining = ref false in
+        let drain_deadline = ref infinity in
+        let live_count () =
+          Hashtbl.fold
+            (fun _ cs n ->
+              if (not cs.reject) && Conn.is_open cs.c then n + 1 else n)
+            conns 0
+        in
+        let sweep_closed () =
+          let gone =
+            Hashtbl.fold
+              (fun fd cs acc -> if Conn.is_open cs.c then acc else fd :: acc)
+              conns []
+          in
+          List.iter (Hashtbl.remove conns) gone
+        in
+        let send cs reply =
+          Conn.send_line cs.c reply;
+          Conn.handle_write cs.c
+        in
+        let start_drain () =
+          if not !draining then begin
+            draining := true;
+            accepting := false;
+            drain_deadline := Unix.gettimeofday () +. config.drain_grace;
+            (* budget-trip the in-flight solves (each still flushes its
+               best-so-far anytime reply) and flush-close everyone else *)
+            List.iter
+              (fun cs ->
+                match cs.job with
+                | Some j -> j.cancel ()
+                | None -> Conn.close_after_flush cs.c)
+              (snapshot ())
+          end
+        in
+        let rec process_conn cs =
+          if
+            Conn.is_open cs.c
+            && (not (Conn.is_draining cs.c))
+            && cs.job = None && (not cs.dead) && (not !draining)
+            && not cs.reject
+          then
+            match Conn.next_line cs.c with
+            | None -> ()
+            | Some line ->
+                let line = String.trim line in
+                if line = "" then process_conn cs
+                else begin
+                  Conn.touch cs.c ~now:(Unix.gettimeofday ());
+                  (match Protocol.parse line with
+                  | Error e -> send cs (Protocol.sanitize ("error " ^ e))
+                  | Ok req -> (
+                      match execute_async st req with
+                      | Reply (reply, next) -> (
+                          send cs reply;
+                          match next with
+                          | `Continue -> ()
+                          | `Quit -> Conn.close_after_flush cs.c
+                          | `Shutdown ->
+                              Conn.close_after_flush cs.c;
+                              start_drain ())
+                      | Solve_job { cancel; job } -> (
+                          if !in_flight >= config.max_pending then begin
+                            (* pending-solve queue is full: shed with a
+                               hint instead of queueing unboundedly *)
+                            st.busy_rejected <- st.busy_rejected + 1;
+                            send cs (busy_reply st)
+                          end
+                          else
+                            match st.pool with
+                            | None ->
+                                (* sequential daemon (--jobs 1): the
+                                   historical blocking path *)
+                                send cs (job ())
+                            | Some p ->
+                                incr in_flight;
+                                let result = Atomic.make None in
+                                let future =
+                                  Pool.submit p (fun () ->
+                                      let r = job () in
+                                      Atomic.set result (Some r);
+                                      wake ();
+                                      r)
+                                in
+                                cs.job <- Some { future; result; cancel })));
+                  process_conn cs
+                end
+        in
+        let finish_job cs reply =
+          cs.job <- None;
+          decr in_flight;
+          if cs.dead || not (Conn.is_open cs.c) then Conn.close cs.c
+          else begin
+            send cs reply;
+            Conn.touch cs.c ~now:(Unix.gettimeofday ());
+            if !draining then Conn.close_after_flush cs.c else process_conn cs
+          end
+        in
+        let poll_jobs () =
+          List.iter
+            (fun cs ->
+              match cs.job with
+              | None -> ()
+              | Some j -> (
+                  match Atomic.get j.result with
+                  | Some reply -> finish_job cs reply
+                  | None -> (
+                      (* belt and braces: the job guard means the task
+                         cannot raise, but a future that failed anyway must
+                         still retire its connection *)
+                      match Pool.peek j.future with
+                      | None -> ()
+                      | Some reply -> finish_job cs reply
+                      | exception _ -> finish_job cs (error "internal"))))
+            (snapshot ())
+        in
+        let evict_stalled now =
+          List.iter
+            (fun cs ->
+              if Conn.is_open cs.c && cs.job = None && Conn.expired cs.c ~now
+              then
+                if Conn.is_draining cs.c || cs.reject || cs.dead then
+                  (* already told to go away and still not reading *)
+                  Conn.close cs.c
+                else begin
+                  st.idle_evicted <- st.idle_evicted + 1;
+                  send cs "error idle-timeout";
+                  Conn.close_after_flush cs.c
+                end)
+            (snapshot ())
+        in
+        let accept_from lfd =
+          let continue = ref true in
+          while !continue do
+            match Faults.accept lfd with
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                continue := false
+            | exception Unix.Unix_error (_, _, _) ->
+                (* a transient accept failure (ECONNABORTED, EMFILE, an
+                   injected fault) must not kill the daemon *)
+                continue := false
+            | afd, _ ->
+                (try Unix.set_nonblock afd with Unix.Unix_error _ -> ());
+                let now = Unix.gettimeofday () in
+                if not !accepting then begin
+                  try Unix.close afd with Unix.Unix_error _ -> ()
+                end
+                else if live_count () >= config.max_conns then begin
+                  (* admission control: shed the connection with a retry
+                     hint and a clean close *)
+                  st.busy_rejected <- st.busy_rejected + 1;
+                  let c =
+                    Conn.create ~max_line:config.max_line_bytes
+                      ~idle_timeout:(Some (Float.max 1. config.retry_after))
+                      ~now afd
+                  in
+                  let cs = { c; job = None; dead = false; reject = true } in
+                  Conn.send_line c (busy_reply st);
+                  Conn.close_after_flush c;
+                  Conn.handle_write c;
+                  if Conn.is_open c then Hashtbl.replace conns afd cs
+                end
+                else
+                  let c =
+                    Conn.create ~max_line:config.max_line_bytes
+                      ~idle_timeout:config.idle_timeout ~now afd
+                  in
+                  Hashtbl.replace conns afd
+                    { c; job = None; dead = false; reject = false }
+          done
+        in
+        let on_readable cs =
+          match Conn.handle_read cs.c with
+          | Conn.Progress -> process_conn cs
+          | Conn.Line_too_long ->
+              (* bounded reader: reject instead of buffering unboundedly *)
+              send cs "error line-too-long";
+              Conn.close_after_flush cs.c
+          | Conn.Peer_closed -> (
+              match cs.job with
+              | Some j ->
+                  (* mid-solve disconnect: budget-trip the job, let it
+                     finish on the pool, discard its reply *)
+                  j.cancel ();
+                  cs.dead <- true
+              | None -> Conn.close cs.c)
+        in
+        let drain_wake_pipe () =
+          let b = Bytes.create 64 in
+          let rec go () =
+            match Unix.read wake_r b 0 64 with
+            | n when n > 0 -> go ()
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          go ()
+        in
+        let rec loop () =
+          if Atomic.get drain_requested then start_drain ();
+          sweep_closed ();
+          if !draining && Hashtbl.length conns = 0 then ()
+          else begin
+            let now = Unix.gettimeofday () in
+            if !draining && now >= !drain_deadline then begin
+              (* drain grace expired: cut the stragglers; in-flight
+                 futures are finished by the pool's own shutdown *)
+              List.iter (fun cs -> Conn.close cs.c) (snapshot ());
+              sweep_closed ();
+              loop ()
+            end
+            else begin
+              let cstates = snapshot () in
+              let reads =
+                (wake_r :: (if !accepting then listener_fds else []))
+                @ List.filter_map
+                    (fun cs ->
+                      if (not cs.dead) && Conn.want_read cs.c then
+                        Some (Conn.fd cs.c)
+                      else None)
+                    cstates
+              in
+              let writes =
+                List.filter_map
+                  (fun cs ->
+                    if Conn.want_write cs.c then Some (Conn.fd cs.c) else None)
+                  cstates
+              in
+              let timeout =
+                if !in_flight > 0 then 0.05
+                else begin
+                  let next =
+                    List.fold_left
+                      (fun acc cs ->
+                        if Conn.is_open cs.c && cs.job = None then
+                          Float.min acc (Conn.deadline cs.c)
+                        else acc)
+                      (if !draining then !drain_deadline else infinity)
+                      cstates
+                  in
+                  if next = infinity then 1.0
+                  else Float.min 1.0 (Float.max 0.005 (next -. now))
+                end
+              in
+              (match Unix.select reads writes [] timeout with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+                  (* a descriptor closed under us; the sweep catches it *)
+                  ()
+              | readable, writable, _ ->
+                  if List.mem wake_r readable then drain_wake_pipe ();
+                  if !accepting then
+                    List.iter
+                      (fun lfd -> if List.mem lfd readable then accept_from lfd)
+                      listener_fds;
+                  List.iter
+                    (fun cs ->
+                      if Conn.is_open cs.c then begin
+                        if List.mem (Conn.fd cs.c) writable then
+                          Conn.handle_write cs.c;
+                        if (not cs.dead) && List.mem (Conn.fd cs.c) readable
+                        then on_readable cs
+                      end)
+                    cstates);
+              poll_jobs ();
+              evict_stalled (Unix.gettimeofday ());
+              loop ()
+            end
+          end
+        in
+        loop ()
       in
       if config.jobs = 1 then run None
       else Pool.with_pool ~domains:config.jobs (fun p -> run (Some p)))

@@ -1,13 +1,22 @@
 (** The phomd matching service: a resident process owning warm state (a
-    {!Catalog} with its artifact cache) and a request loop multiplexing
-    bounded queries over a shared {!Phom_parallel.Pool}.
+    {!Catalog} with its artifact cache) and a select-multiplexed request
+    loop serving many connections over a shared {!Phom_parallel.Pool}.
 
     Each [solve] request becomes one pool job ({!Phom_parallel.Pool.submit})
     executed under a per-request {!Phom_graph.Budget} (defaulting to the
     daemon's [default_timeout]/[default_steps]), so a slow query returns an
     anytime best-so-far answer instead of starving the loop, and the reply
     carries the PR-1 [complete]/[exhausted(...)] status plus cache-hit
-    provenance for every artifact it touched. *)
+    provenance for every artifact it touched.
+
+    The loop never blocks on any single peer: sockets are non-blocking,
+    request lines are read through a bounded reader (an over-long line gets
+    [error line-too-long] and a close), stalled peers are evicted at their
+    idle deadline, and admission control sheds excess connections and
+    excess pending solves with [error busy retry-after=<s>]. SIGTERM and
+    SIGINT start a graceful drain: accepting stops, in-flight solves are
+    budget-tripped (their anytime replies still flush), and the socket path
+    is unlinked before {!serve} returns. *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listening socket *)
@@ -21,11 +30,27 @@ type config = {
   default_timeout : float option;
       (** per-request wall-clock budget when the request names none *)
   default_steps : int option;
+  max_conns : int;
+      (** admission control: connections beyond this are answered
+          [error busy retry-after=<s>] and closed *)
+  max_pending : int;
+      (** solves in flight beyond this are shed with the same busy reply
+          (the connection stays open) *)
+  idle_timeout : float option;
+      (** a connection idle past this many seconds is evicted with
+          [error idle-timeout]; [None] = never evict *)
+  max_line_bytes : int;
+      (** bound on one request line; longer gets [error line-too-long] *)
+  retry_after : float;  (** the hint carried by busy replies, seconds *)
+  drain_grace : float;
+      (** how long a drain waits for in-flight replies to flush before
+          cutting stragglers *)
 }
 
 val default_config : config
 (** No listeners, [jobs = 1], 256 MiB cache, 64 MiB file caps, 5 s default
-    timeout, no step cap. *)
+    timeout, no step cap; 64 connections, 32 pending solves, 300 s idle
+    timeout, 8 KiB line bound, 1 s retry hint, 5 s drain grace. *)
 
 (** {1 Request execution (socket-free)}
 
@@ -44,21 +69,34 @@ val requests_served : state -> int
 val execute : state -> Protocol.request -> string * [ `Continue | `Quit | `Shutdown ]
 (** Run one request against the warm state and return the one-line reply
     (without the trailing newline) plus what the connection should do next.
-    Never raises on user-level errors — they become [error ...] replies. *)
+    Solves block until done (tests and the bench use this path). Never
+    raises: user-level errors ([Invalid_argument], [Failure], [Sys_error])
+    keep their message; any other exception becomes an opaque
+    [error internal] reply. Every reply passes {!Protocol.sanitize}. *)
 
 (** {1 The socket loop} *)
 
+val listen_unix : string -> Unix.file_descr * string
+(** Bind and listen on a Unix-domain socket path with owner-only (0600)
+    permissions, independent of the process umask. An existing stale
+    socket at the path is replaced; any other existing file is refused
+    ([Invalid_argument]). If binding or listening fails partway, the
+    descriptor is closed and the path unlinked before the exception
+    propagates. Exposed for tests. *)
+
 val serve : ?ready:(string list -> unit) -> config -> unit
 (** Listen on the configured sockets and answer requests until a
-    [shutdown] request arrives; then close every listener, unlink the Unix
-    socket path, and return. [ready] is called once with a human-readable
-    description of each bound listener (e.g. ["phomd.sock"],
-    ["127.0.0.1:4271"]) after listening has started — the daemon binary
-    prints these as its startup banner, and tests use the callback to learn
-    an ephemeral TCP port.
+    [shutdown] request or a SIGTERM/SIGINT arrives; then drain — stop
+    accepting, budget-trip in-flight solves, flush their replies — and
+    close every listener, unlink the Unix socket path, and return. [ready]
+    is called once with a human-readable description of each bound
+    listener (e.g. ["phomd.sock"], ["127.0.0.1:4271"]) after listening has
+    started — the daemon binary prints these as its startup banner, and
+    tests use the callback to learn an ephemeral TCP port.
 
-    Connections are accepted one at a time and served until the peer closes
-    (or sends [quit]); each request is answered with exactly one line.
+    Connections are multiplexed: a peer holding its line open, trickling
+    bytes, or never reading its reply delays nobody else. Each parsed
+    request is answered with exactly one line.
 
-    @raise Invalid_argument if the config names no listener or
-    [jobs < 1]. *)
+    @raise Invalid_argument if the config names no listener, [jobs < 1],
+    [max_conns < 1], [max_pending < 1] or [max_line_bytes < 1]. *)

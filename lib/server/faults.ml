@@ -1,0 +1,87 @@
+type op = Read | Write | Accept
+
+type action =
+  | Short
+  | Eintr
+  | Fail of Unix.error
+  | Disconnect
+
+type entry = { op : op; mutable countdown : int; action : action }
+
+(* the plan is shared between the test domain (arming) and the daemon loop
+   (firing); one mutex keeps the counters exact *)
+let lock = Mutex.create ()
+let plan : entry list ref = ref []
+let hook : (unit -> unit) option ref = ref None
+let delay = Atomic.make 0.
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let inject op ~after action =
+  if after < 0 then invalid_arg "Faults.inject: negative trip point";
+  locked (fun () -> plan := !plan @ [ { op; countdown = after; action } ])
+
+let clear () =
+  locked (fun () ->
+      plan := [];
+      hook := None);
+  Atomic.set delay 0.
+
+let armed () = locked (fun () -> List.length !plan)
+
+(* count one operation of kind [op] against every matching injection and
+   return the action of the first one that fires, consuming it *)
+let fire op =
+  locked (fun () ->
+      let fired = ref None in
+      plan :=
+        List.filter
+          (fun e ->
+            if e.op <> op then true
+            else if e.countdown > 0 then begin
+              e.countdown <- e.countdown - 1;
+              true
+            end
+            else if !fired = None then begin
+              fired := Some e.action;
+              false
+            end
+            else true)
+          !plan;
+      !fired)
+
+let read fd buf pos len =
+  match fire Read with
+  | None -> Unix.read fd buf pos len
+  | Some Short -> Unix.read fd buf pos (min 1 len)
+  | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+  | Some (Fail e) -> raise (Unix.Unix_error (e, "read", ""))
+  | Some Disconnect -> 0
+
+let write fd buf pos len =
+  match fire Write with
+  | None -> Unix.write fd buf pos len
+  | Some Short -> Unix.write fd buf pos (min 1 len)
+  | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "write", ""))
+  | Some (Fail e) -> raise (Unix.Unix_error (e, "write", ""))
+  | Some Disconnect -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+
+let accept fd =
+  match fire Accept with
+  | None -> Unix.accept fd
+  | Some Short | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "accept", ""))
+  | Some (Fail e) -> raise (Unix.Unix_error (e, "accept", ""))
+  | Some Disconnect -> raise (Unix.Unix_error (Unix.ECONNABORTED, "accept", ""))
+
+let set_execute_hook h = locked (fun () -> hook := h)
+
+let execute_hook () =
+  match locked (fun () -> !hook) with None -> () | Some h -> h ()
+
+let set_solve_delay s = Atomic.set delay (if s > 0. then s else 0.)
+
+let solve_delay () =
+  let s = Atomic.get delay in
+  if s > 0. then Unix.sleepf s

@@ -1,0 +1,62 @@
+(** Deterministic socket fault injection for the daemon and its client.
+
+    Modeled on {!Phom_graph.Budget.trip_after}: a test arms an injection
+    that lets the first [after] operations of a kind pass through untouched
+    and perturbs the next one, so a failure can be planted at an exact
+    point of the request lifecycle and the run is reproducible. All daemon
+    and client socket I/O goes through {!read}, {!write} and {!accept};
+    with nothing armed they are exactly the [Unix] calls.
+
+    The registry is a process-wide, mutex-protected plan so tests can arm
+    faults from the test domain while the daemon loop runs in another.
+    Production code never arms anything. *)
+
+type op = Read | Write | Accept
+
+type action =
+  | Short  (** truncate the transfer to a single byte *)
+  | Eintr  (** fail once with [EINTR] (callers must retry) *)
+  | Fail of Unix.error  (** fail once with this error *)
+  | Disconnect
+      (** the peer vanishes: reads see EOF, writes fail with [EPIPE],
+          accepts fail with [ECONNABORTED] *)
+
+val inject : op -> after:int -> action -> unit
+(** [inject op ~after:n act] lets the next [n] operations of kind [op]
+    proceed normally and applies [act] to the one after, consuming the
+    injection. Several injections may be armed at once; each counts down
+    independently from its arming point.
+
+    @raise Invalid_argument if [after < 0]. *)
+
+val clear : unit -> unit
+(** Disarm every pending injection and hook. *)
+
+val armed : unit -> int
+(** Injections not yet fired — lets a test assert its whole plan ran. *)
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+val write : Unix.file_descr -> bytes -> int -> int -> int
+val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+
+(** {1 Request-level seams}
+
+    Socket faults exercise the I/O layer; these two reach inside request
+    execution itself. *)
+
+val set_execute_hook : (unit -> unit) option -> unit
+(** Arm a thunk run at the top of every {!Daemon.execute} dispatch, inside
+    its exception guard — a hook that raises proves an arbitrary handler
+    exception becomes an opaque [error internal] reply. *)
+
+val execute_hook : unit -> unit
+(** Run the armed hook, if any. Called by the daemon; a no-op otherwise. *)
+
+val set_solve_delay : float -> unit
+(** Arm a sleep executed at the start of every solve job (before any
+    artifact is built), so tests and the smoke scripts can hold a solve
+    in flight long enough to disconnect, stall or signal the daemon
+    mid-request. [0.] (the default) disarms. *)
+
+val solve_delay : unit -> unit
+(** Sleep the armed delay, if any. Called inside the solve job. *)

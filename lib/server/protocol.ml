@@ -39,6 +39,14 @@ let problem_of_token = function
 
 let err fmt = Printf.ksprintf (fun m -> Error m) fmt
 
+(* replies are one line on the wire; a reply that echoes hostile request
+   bytes (an unknown command full of control characters, say) must not be
+   able to smuggle a newline or garble a terminal *)
+let sanitize reply =
+  if String.exists (fun c -> c < ' ' || c = '\x7f') reply then
+    String.escaped reply
+  else reply
+
 let float_of tok = float_of_string_opt tok
 let int_of tok = int_of_string_opt tok
 

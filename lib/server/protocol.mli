@@ -62,3 +62,10 @@ val parse : string -> (request, string) result
 val problem_token : Phom.Api.problem -> string
 (** ["card"], ["card11"], ["sim"], ["sim11"] — the inverse of the PROBLEM
     tokens accepted by {!parse}. *)
+
+val sanitize : string -> string
+(** Make a reply safe to put on the wire as one line: if it contains any
+    control byte (smuggled in by a hostile request that gets echoed back,
+    e.g. an unknown command), the whole reply is [String.escaped];
+    well-behaved replies pass through untouched. The daemon runs every
+    outbound reply through this. *)

@@ -1,7 +1,7 @@
 (* The one version constant: the phom CLI (--version), the phomd daemon
    (--version and its startup banner) and the wire protocol's `version`
    command all read it from here, so the three can never disagree. *)
-let string = "1.1.0"
+let string = "1.2.0"
 
 (* line-protocol revision; bump on any incompatible grammar change *)
 let protocol = 1

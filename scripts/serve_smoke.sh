@@ -3,7 +3,16 @@
 # client queries (one deliberately tripping its step budget), and assert a
 # clean shutdown that unlinks the socket. Exercises exactly what the CI
 # daemon-smoke job runs; `make serve-smoke` is the local entry point.
+#
+# With --faults, a second soak runs against a daemon with an injected
+# per-solve delay and a short idle deadline, while misbehaving peers (a
+# silent holder, a solve-and-vanish client) share the socket with healthy
+# retrying clients — every healthy query must still complete and the
+# shutdown must stay clean.
 set -eu
+
+FAULTS=no
+[ "${1:-}" = "--faults" ] && FAULTS=yes
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 PHOMD="$ROOT/_build/default/bin/phomd.exe"
@@ -77,3 +86,68 @@ DAEMON_PID=""
 [ ! -e "$SOCK" ] || fail "socket not unlinked on shutdown"
 
 echo "serve-smoke: OK (cold + warm + budget-tripped queries, clean shutdown)"
+
+[ "$FAULTS" = yes ] || exit 0
+
+# ---- fault soak: healthy clients vs misbehaving peers ----
+
+SOCK="$DIR/phomd_faults.sock"
+LOG="$DIR/phomd_faults.log"
+
+"$PHOMD" --socket "$SOCK" --jobs 3 --idle-timeout 2 --fault-delay 0.3 \
+    > "$LOG" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+until grep -q listening "$LOG" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "faulty daemon did not come up"
+    sleep 0.1
+done
+
+echo "serve-smoke: fault soak on $SOCK (0.3s injected solve delay)"
+
+"$PHOM" client --retries 5 "$SOCK" load graph pat "$ROOT/data/fig1_pattern.phg" \
+    || fail "faults: load pattern"
+"$PHOM" client --retries 5 "$SOCK" load graph store "$ROOT/data/fig1_store.phg" \
+    || fail "faults: load data graph"
+
+# misbehavers: a peer that connects and goes silent (evicted at its idle
+# deadline) and one that starts a solve and vanishes without reading
+"$PHOM" client --hold 4 "$SOCK" &
+HOLD_PID=$!
+"$PHOM" client --no-read "$SOCK" -- solve card pat store --sim equality --hops 2 --xi 0.9 \
+    || fail "faults: no-read solve post"
+
+# four healthy retrying clients run concurrently through the injected
+# delay; each must come back with a complete answer
+pids=""
+for n in 1 2 3 4; do
+    (
+        OUT=$("$PHOM" client --retries 8 --retry-delay 0.1 "$SOCK" -- \
+            solve card pat store --sim shingles --xi 0.5) || exit 1
+        case "$OUT" in
+        *"status=complete"*) exit 0 ;;
+        *) echo "serve-smoke: healthy client $n got: $OUT" >&2; exit 1 ;;
+        esac
+    ) &
+    pids="$pids $!"
+done
+for p in $pids; do
+    wait "$p" || fail "faults: a healthy solve failed under the soak"
+done
+
+wait "$HOLD_PID" || fail "faults: hold client exited non-zero"
+
+STATS=$("$PHOM" client --retries 5 "$SOCK" stats) || fail "faults: stats"
+case "$STATS" in
+*"evicted=1"*) ;;
+*) fail "faults: silent peer was not evicted: $STATS" ;;
+esac
+
+"$PHOM" client --retries 5 "$SOCK" shutdown || fail "faults: shutdown request"
+wait "$DAEMON_PID" || fail "faults: daemon exited non-zero"
+DAEMON_PID=""
+[ ! -e "$SOCK" ] || fail "faults: socket not unlinked on shutdown"
+
+echo "serve-smoke: OK (fault soak: 4 healthy solves beat a holder and a vanisher, clean shutdown)"

@@ -7,16 +7,16 @@ Start the daemon in the background and wait for its socket:
   $ ../../bin/phomd.exe --socket d.sock --jobs 2 > phomd.log 2>&1 &
   $ for i in $(seq 1 150); do grep -q listening phomd.log 2> /dev/null && break; sleep 0.1; done
   $ cat phomd.log
-  phomd 1.1.0 listening on d.sock
+  phomd 1.2.0 listening on d.sock
 
 Both binaries report the same version:
 
   $ ../../bin/main.exe --version
-  1.1.0
+  1.2.0
   $ ../../bin/phomd.exe --version
-  1.1.0
+  1.2.0
   $ ../../bin/main.exe client d.sock version
-  ok phomd 1.1.0 protocol 1
+  ok phomd 1.2.0 protocol 1
 
 Load the Figure-1 graphs and the external similarity matrix:
 
@@ -60,7 +60,7 @@ The stats report the cache hits (bytes vary with word size, so keep the
 counters only):
 
   $ ../../bin/main.exe client d.sock stats | sed 's/bytes=[0-9]* capacity=[0-9]*/bytes=_ capacity=_/'
-  ok stats requests=12 graphs=2 mats=1 cache entries=2 bytes=_ capacity=_ hits=4 misses=2 evictions=0
+  ok stats requests=12 graphs=2 mats=1 cache entries=2 bytes=_ capacity=_ hits=4 misses=2 evictions=0 busy=0 evicted=0
 
 A request-level budget trips during the search into an anytime best-so-far
 answer (exit code 2, like the CLI); the closure was already warm, and the

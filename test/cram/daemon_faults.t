@@ -1,0 +1,64 @@
+Fault tolerance of the multiplexed daemon: a stalled client and a
+mid-solve disconnect must not delay a healthy client, and SIGTERM during
+an in-flight solve drains gracefully — the reply is flushed before the
+socket path is unlinked.
+
+Start a daemon with 2 solve workers, a short idle deadline and a 1-second
+artificial delay at the start of every solve (so concurrency and drain
+windows are deterministic):
+
+  $ ../../bin/phomd.exe --socket d.sock --jobs 3 --idle-timeout 1 --fault-delay 1 > phomd.log 2>&1 &
+  $ DPID=$!
+  $ for i in $(seq 1 150); do grep -q listening phomd.log 2> /dev/null && break; sleep 0.1; done
+  $ ../../bin/main.exe client d.sock load graph pat ../../data/fig1_pattern.phg
+  ok loaded graph pat nodes=6 edges=6
+  $ ../../bin/main.exe client d.sock load graph store ../../data/fig1_store.phg
+  ok loaded graph store nodes=14 edges=14
+
+One peer connects and goes silent; another starts a solve and vanishes
+without reading its reply. Neither may delay the healthy client below —
+its solve (1 s of injected delay plus real work) completes while both
+misbehaving peers are still being dealt with. The two concurrent solves
+use disjoint artifact keys so the healthy provenance stays deterministic:
+
+  $ ../../bin/main.exe client --hold 3 d.sock &
+  $ HOLD=$!
+  $ ../../bin/main.exe client --no-read d.sock -- solve card pat store --sim equality --hops 2 --xi 0.9
+  $ ../../bin/main.exe client d.sock -- solve card pat store --sim shingles --xi 0.5
+  ok solve problem=CPH quality=0.3333 mapped=2/6 matched=false status=complete cache=closure:miss,mat:miss,cands:miss
+
+The daemon is unharmed by the disconnected solver, and the silent peer
+was evicted at its idle deadline (the hold client exits cleanly — its
+connection was closed under it, which it never noticed):
+
+  $ ../../bin/main.exe client d.sock version
+  ok phomd 1.2.0 protocol 1
+  $ wait $HOLD
+  $ ../../bin/main.exe client d.sock stats | sed 's/.*busy=/busy=/'
+  busy=0 evicted=1
+
+Clear the artifact cache so the drain reply below has cold, deterministic
+provenance:
+
+  $ ../../bin/main.exe client d.sock unload store
+  ok unloaded store artifacts=4
+  $ ../../bin/main.exe client d.sock load graph store ../../data/fig1_store.phg
+  ok loaded graph store nodes=14 edges=14
+
+SIGTERM lands while a solve is inside its injected 1-second delay. The
+drain budget-trips the request, the anytime reply still reaches the
+client (exit 2, like any exhausted budget), the daemon exits cleanly and
+the socket path is gone:
+
+  $ ../../bin/main.exe client d.sock -- solve card pat store --sim shingles --xi 0.5 > drain_reply.txt 2>&1 &
+  $ CPID=$!
+  $ sleep 0.4
+  $ kill -TERM $DPID
+  $ wait $CPID; echo "client exit: $?"
+  client exit: 2
+  $ cat drain_reply.txt
+  ok solve problem=CPH quality=0.0000 mapped=0/6 matched=false status=exhausted(cancelled) cache=closure:miss,mat:miss,cands:miss
+  $ wait $DPID; echo "daemon exit: $?"
+  daemon exit: 0
+  $ [ -S d.sock ] || echo socket gone
+  socket gone

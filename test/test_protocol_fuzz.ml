@@ -1,0 +1,189 @@
+(* Protocol fuzzing: seeded-random byte strings and systematically garbled
+   valid requests, pushed through Protocol.parse (must never raise, must
+   classify every line) and through a live daemon socket (every reply must
+   be a single well-formed ok/error line with no control bytes; the
+   connection and the daemon must survive the whole barrage). *)
+
+module Protocol = Phom_server.Protocol
+module Daemon = Phom_server.Daemon
+module Client = Phom_server.Client
+
+let rng = Random.State.make [| 0x9e3779b9; 2026 |]
+
+let random_byte_line st =
+  let len = Random.State.int st 40 in
+  String.init len (fun _ ->
+      (* printable-heavy but with raw control bytes mixed in *)
+      match Random.State.int st 10 with
+      | 0 -> Char.chr (Random.State.int st 32)
+      | 1 -> Char.chr (128 + Random.State.int st 128)
+      | _ -> Char.chr (32 + Random.State.int st 95))
+
+let valid_requests =
+  [
+    "version";
+    "list";
+    "stats";
+    "load graph pat ../data/fig1_pattern.phg";
+    "load mat mate ../data/fig1_mate.phs";
+    "unload pat";
+    "solve card pat store --sim shingles --xi 0.5 --hops 2";
+    "solve sim11 pat store --mat mate --timeout 1.5 --steps 100";
+  ]
+
+(* truncations, duplicated/deleted/swapped tokens, random in-place bytes *)
+let garble st line =
+  match Random.State.int st 5 with
+  | 0 -> String.sub line 0 (Random.State.int st (String.length line + 1))
+  | 1 ->
+      let toks = String.split_on_char ' ' line in
+      String.concat " " (List.filteri (fun i _ -> i <> Random.State.int st (List.length toks)) toks)
+  | 2 ->
+      let toks = String.split_on_char ' ' line in
+      let t = List.nth toks (Random.State.int st (List.length toks)) in
+      String.concat " " (toks @ [ t ])
+  | 3 ->
+      let b = Bytes.of_string line in
+      if Bytes.length b = 0 then line
+      else begin
+        Bytes.set b (Random.State.int st (Bytes.length b))
+          (Char.chr (Random.State.int st 256));
+        Bytes.to_string b
+      end
+  | _ -> line ^ " " ^ random_byte_line st
+
+let fuzz_corpus st n =
+  List.init n (fun i ->
+      if i mod 3 = 0 then random_byte_line st
+      else
+        garble st
+          (List.nth valid_requests (Random.State.int st (List.length valid_requests))))
+
+(* ---- parse never raises and always classifies ---- *)
+
+let test_parse_total () =
+  let lines = fuzz_corpus rng 3000 in
+  List.iter
+    (fun line ->
+      match Protocol.parse line with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "parse raised %s on %S" (Printexc.to_string e) line)
+    lines
+
+let test_parse_error_messages_one_line () =
+  let lines = fuzz_corpus rng 2000 in
+  List.iter
+    (fun line ->
+      match Protocol.parse line with
+      | Ok _ -> ()
+      | Error m ->
+          let reply = Protocol.sanitize ("error " ^ m) in
+          String.iter
+            (fun c ->
+              if c < ' ' || c = '\x7f' then
+                Alcotest.failf
+                  "sanitized reply for %S still has control byte %C" line c)
+            reply)
+    lines
+
+(* ---- the live daemon survives the barrage ---- *)
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unexpected error: %s" m
+
+let well_formed reply =
+  let starts p =
+    String.length reply >= String.length p
+    && String.sub reply 0 (String.length p) = p
+  in
+  (starts "ok " || starts "error ")
+  && not (String.exists (fun c -> c < ' ' || c = '\x7f') reply)
+
+let test_socket_fuzz () =
+  let dir = Filename.temp_file "phomd_fuzz" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "d.sock" in
+  let ready_lock = Mutex.create () and ready_cond = Condition.create () in
+  let is_ready = ref false in
+  let config =
+    { Daemon.default_config with Daemon.socket_path = Some sock }
+  in
+  let server =
+    Domain.spawn (fun () ->
+        Daemon.serve
+          ~ready:(fun _ ->
+            Mutex.lock ready_lock;
+            is_ready := true;
+            Condition.signal ready_cond;
+            Mutex.unlock ready_lock)
+          config)
+  in
+  Mutex.lock ready_lock;
+  while not !is_ready do
+    Condition.wait ready_cond ready_lock
+  done;
+  Mutex.unlock ready_lock;
+  let addr = ok_or_fail (Client.sockaddr_of_string sock) in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Client.request ~read_timeout:10. addr "shutdown");
+      Domain.join server;
+      Unix.rmdir dir)
+    (fun () ->
+      (* lockstep request/reply needs lines the daemon actually answers:
+         non-empty after trimming, under the line bound, and not a
+         shutdown/quit (those would end the run early) *)
+      let usable line =
+        String.trim line <> ""
+        && (not (String.contains line '\n'))
+        && String.length line < config.Daemon.max_line_bytes
+        &&
+        match Protocol.parse line with
+        | Ok Protocol.Shutdown | Ok Protocol.Quit -> false
+        | Ok _ | Error _ -> true
+      in
+      let corpus = List.filter usable (fuzz_corpus rng 500) in
+      Alcotest.(check bool) "corpus not degenerate" true
+        (List.length corpus > 300);
+      (* one-shot connections for a sample, one pipelined connection for
+         the bulk *)
+      List.iteri
+        (fun i line ->
+          if i mod 25 = 0 then begin
+            let reply = ok_or_fail (Client.request ~read_timeout:10. addr line) in
+            if not (well_formed reply) then
+              Alcotest.failf "malformed one-shot reply %S for %S" reply line
+          end)
+        corpus;
+      let conn = ok_or_fail (Client.connect addr) in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          List.iter
+            (fun line ->
+              match Client.send ~timeout:10. conn line with
+              | Error m -> Alcotest.failf "connection died on %S: %s" line m
+              | Ok reply ->
+                  if not (well_formed reply) then
+                    Alcotest.failf "malformed reply %S for %S" reply line)
+            corpus);
+      (* after all that, the daemon still answers sensibly *)
+      let reply = ok_or_fail (Client.request ~read_timeout:10. addr "version") in
+      Alcotest.(check string) "daemon intact"
+        (Printf.sprintf "ok phomd %s protocol %d" Phom_server.Version.string
+           Phom_server.Version.protocol)
+        reply)
+
+let suite =
+  [
+    ( "protocol fuzz",
+      [
+        Alcotest.test_case "parse is total" `Quick test_parse_total;
+        Alcotest.test_case "sanitized errors are one clean line" `Quick
+          test_parse_error_messages_one_line;
+        Alcotest.test_case "live socket barrage" `Quick test_socket_fuzz;
+      ] );
+  ]
