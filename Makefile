@@ -1,6 +1,6 @@
 .PHONY: all build check test bench bench-full bench-parallel bench-serve \
-	serve-smoke serve-smoke-faults ablations micro examples fmt fmt-check \
-	ci clean
+	bench-obs serve-smoke serve-smoke-faults ablations micro examples \
+	fmt fmt-check ci clean
 
 # worker domains for the parallel runtime; passed through to the bench
 # harness (the CLI takes its own --jobs flag)
@@ -33,6 +33,10 @@ bench-parallel:
 
 bench-serve:
 	dune exec bench/main.exe -- serve --out BENCH_serve.json
+
+# metrics-on vs metrics-off on the warm-serve path; fails above 2% overhead
+bench-obs:
+	dune exec bench/main.exe -- obs --out BENCH_obs.json
 
 # start phomd on a temp socket, run cold/warm/budget-tripped client queries,
 # assert clean shutdown — the same flow as the CI daemon-smoke job
@@ -83,6 +87,7 @@ ci:
 	sh scripts/serve_smoke.sh
 	sh scripts/serve_smoke.sh --faults
 	dune exec bench/main.exe -- serve --out BENCH_serve.json
+	dune exec bench/main.exe -- obs --out BENCH_obs.json
 
 clean:
 	dune clean

@@ -219,6 +219,49 @@ let serve_cmd =
       const run $ seed_arg $ sizes_arg $ noise_arg $ repeats_arg $ clients_arg
       $ out_arg)
 
+let obs_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_obs.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let m_arg =
+    Arg.(value & opt int 60 & info [ "size" ] ~doc:"Pattern size (generator parameter m).")
+  in
+  let noise_arg =
+    Arg.(value & opt float 0.1 & info [ "noise" ] ~doc:"Noise rate for the data graph.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "rounds" ] ~doc:"Alternating enabled/disabled measurement rounds.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "iters" ] ~doc:"Warm solves per round and mode.")
+  in
+  let max_overhead_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "max-overhead" ] ~docv:"PCT"
+          ~doc:"Fail when metrics overhead exceeds this many percent.")
+  in
+  let run seed m noise rounds iters max_overhead out =
+    if m < 1 || rounds < 1 || iters < 1 then begin
+      prerr_endline "bench: --size, --rounds and --iters must be at least 1";
+      exit 1
+    end;
+    Obs_bench.run ~seed ~m ~noise ~rounds ~iters ~max_overhead ~out ()
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:"Metrics-on vs metrics-off wall-clock on the daemon's warm-serve \
+             path; writes BENCH_obs.json and fails above the overhead bound.")
+    Term.(
+      const run $ seed_arg $ m_arg $ noise_arg $ rounds_arg $ iters_arg
+      $ max_overhead_arg $ out_arg)
+
 let all_term = Term.(const run_all $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg $ jobs_arg)
 
 let all_cmd = Cmd.v (Cmd.info "all" ~doc:"Every table and figure (default).") all_term
@@ -230,4 +273,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:all_term info
           [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd;
-            parallel_cmd; serve_cmd; all_cmd ]))
+            parallel_cmd; serve_cmd; obs_cmd; all_cmd ]))

@@ -114,9 +114,17 @@ let fault_delay_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the startup banner.")
 
+let metrics_dump_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-dump" ] ~docv:"FILE"
+        ~doc:"After the daemon drains, write a final snapshot of the \
+              metrics registry to $(docv) in Prometheus text format (the \
+              same text the $(b,stats) command serves live).")
+
 let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
     default_steps max_conns max_pending idle_timeout retry_after drain_grace
-    fault_delay quiet =
+    fault_delay quiet metrics_dump =
   if socket = None && tcp = None then begin
     prerr_endline "error: nothing to listen on (give --socket and/or --tcp)";
     exit 1
@@ -177,8 +185,18 @@ let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
       flush stdout
     end
   in
+  let dump_metrics () =
+    match metrics_dump with
+    | None -> ()
+    | Some file -> (
+        try
+          let oc = open_out file in
+          output_string oc (Phom_obs.Obs.dump ());
+          close_out oc
+        with Sys_error msg -> prerr_endline ("error: " ^ msg))
+  in
   match Daemon.serve ~ready config with
-  | () -> ()
+  | () -> dump_metrics ()
   | exception Invalid_argument msg | exception Sys_error msg | exception Failure msg ->
       prerr_endline ("error: " ^ msg);
       exit 1
@@ -216,6 +234,6 @@ let () =
       $ max_graph_mb_arg $ max_mat_mb_arg $ default_timeout_arg
       $ default_steps_arg $ max_conns_arg $ max_pending_arg
       $ idle_timeout_arg $ retry_after_arg $ drain_grace_arg
-      $ fault_delay_arg $ quiet_arg)
+      $ fault_delay_arg $ quiet_arg $ metrics_dump_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,9 +1,15 @@
 module D = Phom_graph.Digraph
 module Budget = Phom_graph.Budget
+module Obs = Phom_obs.Obs
 
 type problem = CPH | CPH11 | SPH | SPH11
 
 type algorithm = Direct | Naive_product | Exact_bb
+
+let algorithm_label = function
+  | Direct -> "direct"
+  | Naive_product -> "naive"
+  | Exact_bb -> "exact"
 
 type result = {
   problem : problem;
@@ -69,15 +75,25 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
             sub
     else base_algo ?budget sub w
   in
+  let algo_label = algorithm_label algorithm in
+  Obs.incr
+    (Obs.counter
+       ~labels:[ ("problem", problem_name problem); ("algorithm", algo_label) ]
+       "phom_solver_solves_total");
+  let span_name = "solve_" ^ algo_label in
+  let steps_before = Option.fold ~none:0 ~some:Budget.steps_used budget in
   let mapping =
-    if partition && not inj then
-      Opts.partitioned ?pool ?budget
-        (fun ?budget sub old_of_new ->
-          compressed_algo ?budget sub
-            (Array.map (fun ov -> weights.(ov)) old_of_new))
-        t
-    else compressed_algo ?budget t weights
+    Obs.span span_name (fun () ->
+        if partition && not inj then
+          Opts.partitioned ?pool ?budget
+            (fun ?budget sub old_of_new ->
+              compressed_algo ?budget sub
+                (Array.map (fun ov -> weights.(ov)) old_of_new))
+            t
+        else compressed_algo ?budget t weights)
   in
+  Obs.span_steps span_name
+    (Option.fold ~none:0 ~some:Budget.steps_used budget - steps_before);
   let quality =
     match problem with
     | CPH | CPH11 -> Instance.qual_card t mapping
@@ -91,6 +107,13 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
         | Budget.Complete -> Atomic.get inner_status)
     | None -> Atomic.get inner_status
   in
+  (match status with
+  | Budget.Complete -> ()
+  | Budget.Exhausted reason ->
+      Obs.incr
+        (Obs.counter
+           ~labels:[ ("reason", Budget.string_of_reason reason) ]
+           "phom_solver_budget_trips_total"));
   { problem; mapping; quality; status }
 
 let solve ?algorithm ?weights ?partition ?compress problem t =

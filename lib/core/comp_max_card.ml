@@ -23,10 +23,12 @@ let run_on ?(injective = false) ?budget ?capacities ?(pick = `Best_sim)
     | `Best_sim -> Instance.choose_best t
     | `First -> fun _ goods -> ML.Int_set.min_elt goods
   in
+  let rounds = Phom_obs.Obs.counter "phom_solver_greedy_rounds_total" in
   let rec loop h best =
     if ML.size h <= Mapping.size best || Phom_graph.Budget.exhausted budget then
       best
     else begin
+      Phom_obs.Obs.incr rounds;
       let { Greedy.sigma; conflict } =
         Greedy.run ~budget ~g1:t.g1 ~tc2:t.tc2 ~choose_u ~mode h
       in
@@ -39,5 +41,6 @@ let run_on ?(injective = false) ?budget ?capacities ?(pick = `Best_sim)
   loop h0 []
 
 let run ?injective ?budget ?capacities ?pick t =
-  run_on ?injective ?budget ?capacities ?pick t
-    (ML.of_candidates (Instance.candidates t))
+  Phom_obs.Obs.span "comp_max_card" (fun () ->
+      run_on ?injective ?budget ?capacities ?pick t
+        (ML.of_candidates (Instance.candidates t)))

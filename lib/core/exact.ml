@@ -22,6 +22,14 @@ let resolve_budget = function Some b -> b | None -> default_budget ()
 
 let solve ?(injective = false) ?budget ~objective (t : Instance.t) =
   let budget = resolve_budget budget in
+  let steps0 = Budget.steps_used budget in
+  let finish outcome =
+    let d = Budget.steps_used budget - steps0 in
+    Phom_obs.Obs.add (Phom_obs.Obs.counter "phom_solver_exact_steps_total") d;
+    Phom_obs.Obs.span_steps "exact" d;
+    outcome
+  in
+  Phom_obs.Obs.span "exact" @@ fun () ->
   let n1 = D.n t.g1 in
   let cands = Instance.candidates t in
   (* process scarce nodes first: fail early, prune hard *)
@@ -94,7 +102,7 @@ let solve ?(injective = false) ?budget ~objective (t : Instance.t) =
     | Budget.Exhausted_budget -> Budget.status budget
     | Solved -> Budget.Complete
   in
-  { mapping = Mapping.normalize !best; status }
+  finish { mapping = Mapping.normalize !best; status }
 
 let enumerate_optimal ?(injective = false) ?budget ?(limit = 100)
     ~objective (t : Instance.t) =

@@ -16,7 +16,11 @@ type work =
   | Eval of ML.t * caps
   | Combine of int * int  (* the pair (v, u) whose two branches to merge *)
 
+let m_runs = lazy (Phom_obs.Obs.counter "phom_solver_greedy_runs_total")
+
 let run ?budget ~g1 ~tc2 ~choose_u ~mode h0 =
+  Phom_obs.Obs.incr (Lazy.force m_runs);
+  Phom_obs.Obs.span "greedy" @@ fun () ->
   let budget =
     match budget with Some b -> b | None -> Phom_graph.Budget.unlimited ()
   in

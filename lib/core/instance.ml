@@ -40,7 +40,13 @@ let candidates t =
   match Atomic.get t.cands_memo with
   | Some c -> c
   | None ->
-      let c = compute_candidates t in
+      let c = Phom_obs.Obs.span "candidates" (fun () -> compute_candidates t) in
+      let pairs = Array.fold_left (fun acc r -> acc + Array.length r) 0 c in
+      Phom_obs.Obs.observe
+        (Phom_obs.Obs.histogram
+           ~buckets:[| 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384. |]
+           "phom_solver_candidate_pairs")
+        (float_of_int pairs);
       (* concurrent computes produce equal tables; whichever lands is fine *)
       Atomic.set t.cands_memo (Some c);
       c

@@ -1,0 +1,301 @@
+(* One global registry. The hot paths (incr/add/observe) touch only
+   Atomics so Domain workers never contend on a lock; the mutex guards
+   the name->instrument table, taken on first registration and on dump. *)
+
+let enabled_flag = Atomic.make true
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+type histogram = {
+  bounds : float array; (* strictly increasing upper bounds, no +Inf *)
+  buckets : int Atomic.t array; (* length bounds + 1; last is overflow *)
+  sum_micro : int Atomic.t; (* fixed-point sum, 1e-6 units *)
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Probe of (unit -> float) ref
+
+(* identity = name + labels sorted by key, rendered once at creation *)
+let render_name name labels =
+  match List.sort compare labels with
+  | [] -> name
+  | ls ->
+      let quote v =
+        let b = Buffer.create (String.length v + 2) in
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string b "\\\""
+            | '\\' -> Buffer.add_string b "\\\\"
+            | '\n' -> Buffer.add_string b "\\n"
+            | c -> Buffer.add_char b c)
+          v;
+        Buffer.contents b
+      in
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (quote v)) ls))
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let get_or_create key make =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some i -> i
+      | None ->
+          let i = make () in
+          Hashtbl.replace registry key i;
+          i)
+
+let counter ?(labels = []) name =
+  match
+    get_or_create (render_name name labels) (fun () -> Counter (Atomic.make 0))
+  with
+  | Counter c -> c
+  | _ -> invalid_arg (name ^ ": registered as a non-counter")
+
+let incr c = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c 1)
+
+let add c n =
+  if n > 0 && Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c n)
+
+let counter_value = Atomic.get
+
+let gauge ?(labels = []) name =
+  match
+    get_or_create (render_name name labels) (fun () -> Gauge (Atomic.make 0))
+  with
+  | Gauge g -> g
+  | _ -> invalid_arg (name ^ ": registered as a non-gauge")
+
+let set_gauge g v = if Atomic.get enabled_flag then Atomic.set g v
+
+let add_gauge g n =
+  if n <> 0 && Atomic.get enabled_flag then ignore (Atomic.fetch_and_add g n)
+
+let gauge_value = Atomic.get
+
+let register_probe ?(labels = []) name f =
+  let key = render_name name labels in
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some (Probe r) -> r := f
+      | Some _ -> invalid_arg (name ^ ": registered as a non-probe")
+      | None -> Hashtbl.replace registry key (Probe (ref f)))
+
+let default_buckets =
+  [| 1e-5; 1e-4; 1e-3; 5e-3; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0 |]
+
+let histogram ?(labels = []) ?(buckets = default_buckets) name =
+  match
+    get_or_create (render_name name labels) (fun () ->
+        Array.iteri
+          (fun i b ->
+            if i > 0 && buckets.(i - 1) >= b then
+              invalid_arg (name ^ ": bucket bounds must be strictly increasing"))
+          buckets;
+        Histogram
+          {
+            bounds = Array.copy buckets;
+            buckets =
+              Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+            sum_micro = Atomic.make 0;
+          })
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg (name ^ ": registered as a non-histogram")
+
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec go lo hi =
+    (* first bound >= v, else the overflow bucket *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if h.bounds.(mid) >= v then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_index h v) 1);
+    let micro = int_of_float (Float.round (v *. 1e6)) in
+    if micro <> 0 then ignore (Atomic.fetch_and_add h.sum_micro micro)
+  end
+
+let histogram_count h =
+  Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.buckets
+
+let histogram_sum h = float_of_int (Atomic.get h.sum_micro) *. 1e-6
+
+let quantile h q =
+  let counts = Array.map Atomic.get h.buckets in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Float.nan
+  else
+    let rank =
+      (* nearest-rank: smallest k with cumulative >= ceil(q * total) *)
+      max 1 (int_of_float (Float.ceil (q *. float_of_int total)))
+    in
+    let n = Array.length counts in
+    let rec go i cum =
+      if i >= n then Float.infinity
+      else
+        let cum = cum + counts.(i) in
+        if cum >= rank then
+          if i < Array.length h.bounds then h.bounds.(i) else Float.infinity
+        else go (i + 1) cum
+    in
+    go 0 0
+
+(* --- spans ------------------------------------------------------------ *)
+
+(* spans fire on solver hot paths, so their instruments resolve through a
+   lock-free memo (a CAS'd association list — span names are few and
+   static) instead of paying the registry's label rendering and mutex on
+   every call; the memo holds the same instruments the registry dumps *)
+let memoized memo make name =
+  match List.assoc_opt name (Atomic.get memo) with
+  | Some i -> i
+  | None ->
+      let i = make name in
+      let rec publish () =
+        let cur = Atomic.get memo in
+        if not (List.mem_assoc name cur) then
+          if not (Atomic.compare_and_set memo cur ((name, i) :: cur)) then
+            publish ()
+      in
+      publish ();
+      i
+
+let span_hists : (string * histogram) list Atomic.t = Atomic.make []
+
+let span_hist =
+  memoized span_hists (fun name ->
+      histogram ~labels:[ ("span", name) ] "phom_span_seconds")
+
+let span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let h = span_hist name in
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | x ->
+        observe h (Unix.gettimeofday () -. t0);
+        x
+    | exception e ->
+        observe h (Unix.gettimeofday () -. t0);
+        raise e
+  end
+
+let span_counters : (string * counter) list Atomic.t = Atomic.make []
+
+let span_counter =
+  memoized span_counters (fun name ->
+      counter ~labels:[ ("span", name) ] "phom_span_budget_steps_total")
+
+let span_steps name n = add (span_counter name) n
+
+(* --- readout ---------------------------------------------------------- *)
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%d" (int_of_float v)
+  else Printf.sprintf "%.9g" v
+
+let le_repr b =
+  if b = Float.infinity then "+Inf"
+  else if Float.is_integer b && Float.abs b < 1e15 then
+    Printf.sprintf "%d" (int_of_float b)
+  else Printf.sprintf "%.9g" b
+
+(* a rendered key split back into (name, label body) so suffixes can attach
+   to the name and extra labels can join the body *)
+let split_key key =
+  match String.index_opt key '{' with
+  | None -> (key, "")
+  | Some i ->
+      (String.sub key 0 i, String.sub key (i + 1) (String.length key - i - 2))
+
+let render_key ?(suffix = "") ?extra key =
+  let name, body = split_key key in
+  let body =
+    match (body, extra) with
+    | b, None -> b
+    | "", Some e -> e
+    | b, Some e -> b ^ "," ^ e
+  in
+  if body = "" then name ^ suffix
+  else Printf.sprintf "%s%s{%s}" name suffix body
+
+let histogram_lines key h =
+  let counts = Array.map Atomic.get h.buckets in
+  let total = Array.fold_left ( + ) 0 counts in
+  let cum = ref 0 in
+  let bucket_lines =
+    List.init
+      (Array.length counts)
+      (fun i ->
+        cum := !cum + counts.(i);
+        let le =
+          if i < Array.length h.bounds then h.bounds.(i) else Float.infinity
+        in
+        Printf.sprintf "%s %d"
+          (render_key ~suffix:"_bucket"
+             ~extra:(Printf.sprintf "le=\"%s\"" (le_repr le))
+             key)
+          !cum)
+  in
+  bucket_lines
+  @ [
+      Printf.sprintf "%s %d" (render_key ~suffix:"_count" key) total;
+      Printf.sprintf "%s %s"
+        (render_key ~suffix:"_sum" key)
+        (float_repr (histogram_sum h));
+    ]
+  @ List.map
+      (fun q ->
+        Printf.sprintf "%s %s"
+          (render_key ~extra:(Printf.sprintf "quantile=\"%g\"" q) key)
+          (float_repr (quantile h q)))
+      [ 0.5; 0.9; 0.99 ]
+
+let dump_lines () =
+  let entries =
+    with_lock (fun () ->
+        Hashtbl.fold (fun k i acc -> (k, i) :: acc) registry [])
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  List.concat_map
+    (fun (key, i) ->
+      match i with
+      | Counter c -> [ Printf.sprintf "%s %d" key (Atomic.get c) ]
+      | Gauge g -> [ Printf.sprintf "%s %d" key (Atomic.get g) ]
+      | Probe r -> [ Printf.sprintf "%s %s" key (float_repr (!r ())) ]
+      | Histogram h -> histogram_lines key h)
+    entries
+
+let dump () = String.concat "\n" (dump_lines ()) ^ "\n"
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c | Gauge c -> Atomic.set c 0
+          | Probe _ -> ()
+          | Histogram h ->
+              Array.iter (fun b -> Atomic.set b 0) h.buckets;
+              Atomic.set h.sum_micro 0)
+        registry)

@@ -16,6 +16,8 @@
    counter (an atomic) reaches zero, which establishes the happens-before
    edge required by the OCaml memory model. *)
 
+module Obs = Phom_obs.Obs
+
 type t = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -25,14 +27,28 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
-let rec worker_loop t =
+(* pool-wide instruments; gauges are balanced (+1/-1 around each queue
+   mutation and task run), so pools created and destroyed by tests leave
+   them at zero *)
+let m_queue_depth = Obs.gauge "phom_pool_queue_depth"
+let m_inflight = Obs.gauge "phom_pool_jobs_inflight"
+let m_jobs = Obs.counter "phom_pool_jobs_total"
+let m_submit_wait = Obs.histogram "phom_pool_submit_wait_seconds"
+
+let busy_counter id =
+  Obs.counter ~labels:[ ("worker", string_of_int id) ]
+    "phom_pool_worker_busy_us_total"
+
+let rec worker_loop t id busy =
   Mutex.lock t.lock;
   let task =
     let rec wait () =
       if t.stopping then None
       else
         match Queue.take_opt t.queue with
-        | Some _ as task -> task
+        | Some _ as task ->
+            Obs.add_gauge m_queue_depth (-1);
+            task
         | None ->
             Condition.wait t.nonempty t.lock;
             wait ()
@@ -45,8 +61,10 @@ let rec worker_loop t =
   | Some task ->
       (* helpers confine exceptions to their batch's error slots; this
          catch-all only shields the pool from a helper's own bugs *)
+      let t0 = Unix.gettimeofday () in
       (try task () with _ -> ());
-      worker_loop t
+      Obs.add busy (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+      worker_loop t id busy
 
 let create ?domains () =
   let size =
@@ -65,7 +83,9 @@ let create ?domains () =
       workers = [];
     }
   in
-  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (size - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t i (busy_counter i)));
   t
 
 let size t = if t.stopping then 1 else t.size
@@ -78,6 +98,7 @@ let shutdown t =
      drain them here and run them in the caller so [await] stays live *)
   let leftovers = ref [] in
   Queue.iter (fun task -> leftovers := task :: !leftovers) t.queue;
+  Obs.add_gauge m_queue_depth (-Queue.length t.queue);
   Queue.clear t.queue;
   Mutex.unlock t.lock;
   List.iter Domain.join t.workers;
@@ -98,9 +119,12 @@ let map t f items =
     let next = Atomic.make 0 in
     let remaining = Atomic.make n in
     let run_one i =
+      Obs.incr m_jobs;
+      Obs.add_gauge m_inflight 1;
       (match f items.(i) with
       | v -> results.(i) <- Some v
       | exception e -> errors.(i) <- Some e);
+      Obs.add_gauge m_inflight (-1);
       ignore (Atomic.fetch_and_add remaining (-1))
     in
     let helper () =
@@ -116,7 +140,8 @@ let map t f items =
     let helpers = min (t.size - 1) (n - 1) in
     Mutex.lock t.lock;
     for _ = 1 to helpers do
-      Queue.add helper t.queue
+      Queue.add helper t.queue;
+      Obs.add_gauge m_queue_depth 1
     done;
     Condition.broadcast t.nonempty;
     Mutex.unlock t.lock;
@@ -150,8 +175,13 @@ and 'a future_state = Pending | Done of 'a | Raised of exn
 
 let submit t f =
   let fut = { flock = Mutex.create (); fcond = Condition.create (); state = Pending } in
+  let submitted = Unix.gettimeofday () in
   let run () =
+    Obs.observe m_submit_wait (Unix.gettimeofday () -. submitted);
+    Obs.incr m_jobs;
+    Obs.add_gauge m_inflight 1;
     let outcome = match f () with v -> Done v | exception e -> Raised e in
+    Obs.add_gauge m_inflight (-1);
     Mutex.lock fut.flock;
     fut.state <- outcome;
     Condition.broadcast fut.fcond;
@@ -170,6 +200,7 @@ let submit t f =
     end
     else begin
       Queue.add run t.queue;
+      Obs.add_gauge m_queue_depth 1;
       Condition.signal t.nonempty;
       Mutex.unlock t.lock
     end;

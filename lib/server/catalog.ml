@@ -1,3 +1,4 @@
+module Obs = Phom_obs.Obs
 module D = Phom_graph.Digraph
 module BM = Phom_graph.Bitmatrix
 module Budget = Phom_graph.Budget
@@ -48,16 +49,47 @@ type t = {
 
 let default_max_bytes = 64 * 1024 * 1024
 
+(* the cache metrics are probes over the Lru's own atomic counters — the
+   registry reads the very cells reply provenance increments, so the two
+   views cannot drift (a fresh catalog re-points the probes at itself) *)
+let register_metrics t =
+  let fi f = fun () -> float_of_int (f ()) in
+  Obs.register_probe "phom_cache_hits_total" (fi (fun () -> Lru.hits t.cache));
+  Obs.register_probe "phom_cache_misses_total"
+    (fi (fun () -> Lru.misses t.cache));
+  Obs.register_probe "phom_cache_evictions_total"
+    (fi (fun () -> Lru.evictions t.cache));
+  Obs.register_probe "phom_cache_entries"
+    (fi (fun () -> (Lru.stats t.cache).entries));
+  Obs.register_probe "phom_cache_bytes"
+    (fi (fun () -> (Lru.stats t.cache).bytes));
+  Obs.register_probe "phom_cache_capacity_bytes"
+    (fi (fun () -> (Lru.stats t.cache).capacity_bytes));
+  let count pred () =
+    Mutex.lock t.lock;
+    let n = Hashtbl.fold (fun _ e acc -> if pred e then acc + 1 else acc) t.entries 0 in
+    Mutex.unlock t.lock;
+    float_of_int n
+  in
+  Obs.register_probe "phom_catalog_graphs"
+    (count (function Graph _ -> true | Mat _ -> false));
+  Obs.register_probe "phom_catalog_mats"
+    (count (function Mat _ -> true | Graph _ -> false))
+
 let create ?(max_graph_bytes = default_max_bytes)
     ?(max_mat_bytes = default_max_bytes)
     ?(cache_bytes = 256 * 1024 * 1024) () =
-  {
-    entries = Hashtbl.create 16;
-    lock = Mutex.create ();
-    cache = Lru.create ~capacity_bytes:cache_bytes ~weight:artifact_weight ();
-    max_graph_bytes;
-    max_mat_bytes;
-  }
+  let t =
+    {
+      entries = Hashtbl.create 16;
+      lock = Mutex.create ();
+      cache = Lru.create ~capacity_bytes:cache_bytes ~weight:artifact_weight ();
+      max_graph_bytes;
+      max_mat_bytes;
+    }
+  in
+  register_metrics t;
+  t
 
 let locked t f =
   Mutex.lock t.lock;
@@ -159,7 +191,13 @@ let closure ?budget t ~name ~hops =
       match Lru.find t.cache key with
       | Some (A_closure m) -> Ok (m, Hit)
       | Some _ | None ->
-          let m = Phom_graph.Bounded_closure.relation ?budget ?hops g in
+          let before = Option.fold ~none:0 ~some:Budget.steps_used budget in
+          let m =
+            Obs.span "closure" (fun () ->
+                Phom_graph.Bounded_closure.relation ?budget ?hops g)
+          in
+          Obs.span_steps "closure"
+            (Option.fold ~none:0 ~some:Budget.steps_used budget - before);
           if cacheable budget then Lru.put t.cache key (A_closure m);
           Ok (m, Miss))
 
@@ -184,10 +222,11 @@ let similarity t ~g1 ~g2 ~sim =
           | Some (A_matrix m) -> Ok (m, Hit)
           | Some _ | None ->
               let m =
-                match sim with
-                | Equality -> Simmat.of_label_equality ga gb
-                | Shingles -> Shingle.matrix (D.labels ga) (D.labels gb)
-                | Named _ -> assert false
+                Obs.span "similarity" (fun () ->
+                    match sim with
+                    | Equality -> Simmat.of_label_equality ga gb
+                    | Shingles -> Shingle.matrix (D.labels ga) (D.labels gb)
+                    | Named _ -> assert false)
               in
               Lru.put t.cache key (A_matrix m);
               Ok (m, Miss)))

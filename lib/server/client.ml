@@ -96,7 +96,7 @@ let write_all fd s =
 
 let post conn line = write_all conn.fd (line ^ "\n")
 
-let receive ?timeout conn =
+let receive_line ?timeout conn =
   let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
   let buf = Bytes.create 4096 in
   let take_line s =
@@ -141,6 +141,30 @@ let receive ?timeout conn =
             | n -> go (s ^ Bytes.sub_string buf 0 n)))
   in
   go conn.pending
+
+(* "ok stats <n>" announces n more lines of Prometheus text; consuming
+   them here keeps pipelined connections in sync and gives callers the
+   whole report as one string *)
+let stats_line_count header =
+  match String.split_on_char ' ' header with
+  | [ "ok"; "stats"; n ] -> int_of_string_opt n
+  | _ -> None
+
+let receive ?timeout conn =
+  match receive_line ?timeout conn with
+  | Error _ as e -> e
+  | Ok header -> (
+      match stats_line_count header with
+      | None -> Ok header
+      | Some n ->
+          let rec gather k acc =
+            if k = 0 then Ok (String.concat "\n" (header :: List.rev acc))
+            else
+              match receive_line ?timeout conn with
+              | Error _ as e -> e
+              | Ok l -> gather (k - 1) (l :: acc)
+          in
+          gather (max 0 n) [])
 
 let send ?timeout conn line =
   match post conn line with

@@ -3,6 +3,7 @@ module Budget = Phom_graph.Budget
 module Simmat = Phom_sim.Simmat
 module Api = Phom.Api
 module Pool = Phom_parallel.Pool
+module Obs = Phom_obs.Obs
 
 type config = {
   socket_path : string option;
@@ -46,19 +47,50 @@ type state = {
   mutable requests : int;
   mutable busy_rejected : int;  (** admission-control sheds *)
   mutable idle_evicted : int;  (** stalled peers cut by the idle deadline *)
+  mutable conns_accepted : int;
+  mutable line_too_long : int;  (** bounded-reader rejections *)
+  mutable drain_seconds : float;  (** wall time of the last graceful drain *)
 }
 
+(* the daemon metrics are probes over the state's own mutable fields: the
+   loop keeps counting in plain fields (single-writer, the loop's domain)
+   and the registry samples them at dump time; a fresh state re-points the
+   probes at itself, so tests that build many daemons read the live one *)
+let register_metrics st =
+  let fi f = fun () -> float_of_int (f ()) in
+  Obs.register_probe "phom_daemon_requests_total" (fi (fun () -> st.requests));
+  Obs.register_probe "phom_daemon_connections_shed_total"
+    (fi (fun () -> st.busy_rejected));
+  Obs.register_probe "phom_daemon_connections_evicted_total"
+    (fi (fun () -> st.idle_evicted));
+  Obs.register_probe "phom_daemon_connections_accepted_total"
+    (fi (fun () -> st.conns_accepted));
+  Obs.register_probe "phom_daemon_line_too_long_total"
+    (fi (fun () -> st.line_too_long));
+  Obs.register_probe "phom_daemon_drain_seconds" (fun () -> st.drain_seconds);
+  Obs.register_probe
+    ~labels:[ ("version", Version.string) ]
+    "phom_build_info"
+    (fun () -> 1.)
+
 let make_state ?pool config =
-  {
-    config;
-    catalog =
-      Catalog.create ~max_graph_bytes:config.max_graph_bytes
-        ~max_mat_bytes:config.max_mat_bytes ~cache_bytes:config.cache_bytes ();
-    pool;
-    requests = 0;
-    busy_rejected = 0;
-    idle_evicted = 0;
-  }
+  let st =
+    {
+      config;
+      catalog =
+        Catalog.create ~max_graph_bytes:config.max_graph_bytes
+          ~max_mat_bytes:config.max_mat_bytes ~cache_bytes:config.cache_bytes ();
+      pool;
+      requests = 0;
+      busy_rejected = 0;
+      idle_evicted = 0;
+      conns_accepted = 0;
+      line_too_long = 0;
+      drain_seconds = 0.;
+    }
+  in
+  register_metrics st;
+  st
 
 let requests_served st = st.requests
 
@@ -86,15 +118,14 @@ let list_reply st =
     (String.concat "," (List.map g_item graphs))
     (String.concat "," (List.map m_item mats))
 
-let stats_reply st =
-  let s = Catalog.cache_stats st.catalog in
-  let graphs, mats = Catalog.list st.catalog in
-  ok
-    "stats requests=%d graphs=%d mats=%d cache entries=%d bytes=%d \
-     capacity=%d hits=%d misses=%d evictions=%d busy=%d evicted=%d"
-    st.requests (List.length graphs) (List.length mats) s.Lru.entries
-    s.Lru.bytes s.Lru.capacity_bytes s.Lru.hits s.Lru.misses s.Lru.evictions
-    st.busy_rejected st.idle_evicted
+(* Prometheus text over the wire: a header line carrying the line count, so
+   single-line clients know how much more to read, then the registry dump.
+   The daemon-family values come from probes over [st]'s own fields and the
+   cache family from the Lru's own atomics, so this reply and per-reply
+   provenance can never disagree. [_st] keeps the probes' target alive. *)
+let stats_reply _st =
+  let lines = Obs.dump_lines () in
+  String.concat "\n" (ok "stats %d" (List.length lines) :: lines)
 
 (* ---- solve ---- *)
 
@@ -396,6 +427,8 @@ let serve ?(ready = fun _ -> ()) config =
               if (not cs.reject) && Conn.is_open cs.c then n + 1 else n)
             conns 0
         in
+        Obs.register_probe "phom_daemon_connections_open" (fun () ->
+            float_of_int (live_count ()));
         let sweep_closed () =
           let gone =
             Hashtbl.fold
@@ -408,11 +441,13 @@ let serve ?(ready = fun _ -> ()) config =
           Conn.send_line cs.c reply;
           Conn.handle_write cs.c
         in
+        let drain_started = ref nan in
         let start_drain () =
           if not !draining then begin
             draining := true;
             accepting := false;
-            drain_deadline := Unix.gettimeofday () +. config.drain_grace;
+            drain_started := Unix.gettimeofday ();
+            drain_deadline := !drain_started +. config.drain_grace;
             (* budget-trip the in-flight solves (each still flushes its
                best-so-far anytime reply) and flush-close everyone else *)
             List.iter
@@ -552,13 +587,15 @@ let serve ?(ready = fun _ -> ()) config =
                   Conn.handle_write c;
                   if Conn.is_open c then Hashtbl.replace conns afd cs
                 end
-                else
+                else begin
+                  st.conns_accepted <- st.conns_accepted + 1;
                   let c =
                     Conn.create ~max_line:config.max_line_bytes
                       ~idle_timeout:config.idle_timeout ~now afd
                   in
                   Hashtbl.replace conns afd
                     { c; job = None; dead = false; reject = false }
+                end
           done
         in
         let on_readable cs =
@@ -566,6 +603,7 @@ let serve ?(ready = fun _ -> ()) config =
           | Conn.Progress -> process_conn cs
           | Conn.Line_too_long ->
               (* bounded reader: reject instead of buffering unboundedly *)
+              st.line_too_long <- st.line_too_long + 1;
               send cs "error line-too-long";
               Conn.close_after_flush cs.c
           | Conn.Peer_closed -> (
@@ -659,7 +697,9 @@ let serve ?(ready = fun _ -> ()) config =
             end
           end
         in
-        loop ()
+        loop ();
+        if not (Float.is_nan !drain_started) then
+          st.drain_seconds <- Unix.gettimeofday () -. !drain_started
       in
       if config.jobs = 1 then run None
       else Pool.with_pool ~domains:config.jobs (fun p -> run (Some p)))

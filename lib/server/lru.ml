@@ -16,9 +16,12 @@ type ('k, 'v) t = {
   lock : Mutex.t;
   mutable clock : int;  (** monotone use counter; orders recency *)
   mutable bytes : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  (* atomics, not lock-guarded ints: the metrics registry samples these
+     through lock-free probes while workers mutate them under the lock,
+     so both views read the very same cells *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 let create ~capacity_bytes ~weight () =
@@ -30,9 +33,9 @@ let create ~capacity_bytes ~weight () =
     lock = Mutex.create ();
     clock = 0;
     bytes = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
 let locked t f =
@@ -48,10 +51,10 @@ let find t k =
       match Hashtbl.find_opt t.table k with
       | Some e ->
           e.last_use <- tick t;
-          t.hits <- t.hits + 1;
+          ignore (Atomic.fetch_and_add t.hits 1);
           Some e.value
       | None ->
-          t.misses <- t.misses + 1;
+          ignore (Atomic.fetch_and_add t.misses 1);
           None)
 
 (* caller holds the lock *)
@@ -68,7 +71,7 @@ let evict_lru t =
   | Some (k, e) ->
       Hashtbl.remove t.table k;
       t.bytes <- t.bytes - e.weight;
-      t.evictions <- t.evictions + 1
+      ignore (Atomic.fetch_and_add t.evictions 1)
 
 (* caller holds the lock *)
 let put_locked t k v =
@@ -122,12 +125,16 @@ let clear t =
       Hashtbl.reset t.table;
       t.bytes <- 0)
 
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let evictions t = Atomic.get t.evictions
+
 let stats t =
   locked t (fun () ->
       {
-        hits = t.hits;
-        misses = t.misses;
-        evictions = t.evictions;
+        hits = Atomic.get t.hits;
+        misses = Atomic.get t.misses;
+        evictions = Atomic.get t.evictions;
         entries = Hashtbl.length t.table;
         bytes = t.bytes;
         capacity_bytes = t.capacity;

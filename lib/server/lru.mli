@@ -52,3 +52,11 @@ val clear : ('k, 'v) t -> unit
 (** Drop every entry; counters are kept. *)
 
 val stats : ('k, 'v) t -> stats
+
+val hits : ('k, 'v) t -> int
+(** Lock-free reads of the single-source-of-truth counters: these return
+    the same atomic cells {!stats} copies and reply provenance increments,
+    so the metrics registry and per-reply provenance can never disagree. *)
+
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int

@@ -42,10 +42,15 @@ let err fmt = Printf.ksprintf (fun m -> Error m) fmt
 (* replies are one line on the wire; a reply that echoes hostile request
    bytes (an unknown command full of control characters, say) must not be
    able to smuggle a newline or garble a terminal *)
+(* per line, not per reply: a multi-line stats reply carries real newlines
+   as its framing, which must survive; any other control character inside a
+   line is still escaped (single-line replies echo client input) *)
 let sanitize reply =
-  if String.exists (fun c -> c < ' ' || c = '\x7f') reply then
-    String.escaped reply
-  else reply
+  let sanitize_line l =
+    if String.exists (fun c -> c < ' ' || c = '\x7f') l then String.escaped l
+    else l
+  in
+  String.concat "\n" (List.map sanitize_line (String.split_on_char '\n' reply))
 
 let float_of tok = float_of_string_opt tok
 let int_of tok = int_of_string_opt tok

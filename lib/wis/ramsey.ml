@@ -85,7 +85,11 @@ let run ?pool budget g subset =
       ramsey_parallel p (depth_for p) budget g subset
   | _ -> ramsey_budgeted budget g subset
 
+let m_calls = lazy (Phom_obs.Obs.counter "phom_solver_ramsey_calls_total")
+let m_rounds = lazy (Phom_obs.Obs.counter "phom_solver_removal_rounds_total")
+
 let ramsey ?pool ?budget g subset =
+  Phom_obs.Obs.incr (Lazy.force m_calls);
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   run ?pool budget g subset
 
@@ -102,6 +106,8 @@ let removal ~keep ?pool ?budget g =
     if Bitset.is_empty remaining || Budget.exhausted budget then
       continue := false
     else begin
+      Phom_obs.Obs.incr (Lazy.force m_rounds);
+      Phom_obs.Obs.incr (Lazy.force m_calls);
       let clique, indep = run ?pool budget g remaining in
       let collected, removed =
         match keep with `Clique -> (clique, indep) | `Indep -> (indep, clique)

@@ -69,6 +69,26 @@ case "$WARM" in
 *) fail "warm solve was not served from the cache: $WARM" ;;
 esac
 
+# the stats reply is Prometheus text and must cover every instrumented
+# layer: cache, catalog, daemon, solver spans (the warm solve above ran
+# through them) — one required series per family
+STATS=$("$PHOM" client "$SOCK" stats) || fail "stats"
+for metric in \
+    phom_cache_hits_total \
+    phom_cache_misses_total \
+    phom_catalog_graphs \
+    phom_daemon_requests_total \
+    phom_daemon_connections_accepted_total \
+    phom_solver_solves_total \
+    phom_span_seconds_count \
+    phom_build_info; do
+    case "$STATS" in
+    *"$metric"*) ;;
+    *) fail "stats is missing the $metric series" ;;
+    esac
+done
+echo "serve-smoke: stats covers cache/catalog/daemon/solver families"
+
 # query 3: a 2-step budget must trip into an anytime answer with exit code 2
 set +e
 TRIPPED=$("$PHOM" client "$SOCK" -- solve card11 pat store --sim shingles --steps 2)
@@ -141,7 +161,7 @@ wait "$HOLD_PID" || fail "faults: hold client exited non-zero"
 
 STATS=$("$PHOM" client --retries 5 "$SOCK" stats) || fail "faults: stats"
 case "$STATS" in
-*"evicted=1"*) ;;
+*"phom_daemon_connections_evicted_total 1"*) ;;
 *) fail "faults: silent peer was not evicted: $STATS" ;;
 esac
 

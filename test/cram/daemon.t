@@ -4,19 +4,19 @@ served from the artifact cache), inspect the stats, unload, and shut down.
 
 Start the daemon in the background and wait for its socket:
 
-  $ ../../bin/phomd.exe --socket d.sock --jobs 2 > phomd.log 2>&1 &
+  $ ../../bin/phomd.exe --socket d.sock --jobs 2 --metrics-dump metrics.prom > phomd.log 2>&1 &
   $ for i in $(seq 1 150); do grep -q listening phomd.log 2> /dev/null && break; sleep 0.1; done
   $ cat phomd.log
-  phomd 1.2.0 listening on d.sock
+  phomd 1.3.0 listening on d.sock
 
 Both binaries report the same version:
 
   $ ../../bin/main.exe --version
-  1.2.0
+  1.3.0
   $ ../../bin/phomd.exe --version
-  1.2.0
+  1.3.0
   $ ../../bin/main.exe client d.sock version
-  ok phomd 1.2.0 protocol 1
+  ok phomd 1.3.0 protocol 2
 
 Load the Figure-1 graphs and the external similarity matrix:
 
@@ -56,11 +56,29 @@ the artifact key is (pair, sim, hops, xi), not the problem:
   $ ../../bin/main.exe client d.sock -- solve sim pat store --mat mate --xi 0.6
   ok solve problem=SPH quality=0.7750 mapped=6/6 matched=true status=complete cache=closure:hit,mat:catalog,cands:hit
 
-The stats report the cache hits (bytes vary with word size, so keep the
-counters only):
+The stats command returns Prometheus text behind an `ok stats <n>` header
+whose count matches the body:
 
-  $ ../../bin/main.exe client d.sock stats | sed 's/bytes=[0-9]* capacity=[0-9]*/bytes=_ capacity=_/'
-  ok stats requests=12 graphs=2 mats=1 cache entries=2 bytes=_ capacity=_ hits=4 misses=2 evictions=0 busy=0 evicted=0
+  $ ../../bin/main.exe client d.sock stats > stats.prom
+  $ head -1 stats.prom | sed 's/[0-9][0-9]*$/N/'
+  ok stats N
+  $ [ "$(head -1 stats.prom | cut -d' ' -f3)" = "$(($(wc -l < stats.prom) - 1))" ] && echo count ok
+  count ok
+
+The cache counters agree exactly with the reply provenance above (four
+hits, two misses, two resident artifacts), and the daemon/catalog families
+report live state:
+
+  $ grep -E '^phom_(cache_(hits|misses|evictions)_total|cache_entries|catalog_(graphs|mats)|daemon_requests_total) ' stats.prom
+  phom_cache_entries 2
+  phom_cache_evictions_total 0
+  phom_cache_hits_total 4
+  phom_cache_misses_total 2
+  phom_catalog_graphs 2
+  phom_catalog_mats 1
+  phom_daemon_requests_total 12
+  $ grep -c '^phom_pool_jobs_total ' stats.prom
+  1
 
 A request-level budget trips during the search into an anytime best-so-far
 answer (exit code 2, like the CLI); the closure was already warm, and the
@@ -95,6 +113,13 @@ Shut the daemon down; it unlinks its socket on the way out:
   $ wait
   $ [ -S d.sock ] || echo socket gone
   socket gone
+
+--metrics-dump wrote a final snapshot of the same registry on the way out:
+
+  $ grep -q 'phom_build_info{version="1.3.0"} 1' metrics.prom && echo build info ok
+  build info ok
+  $ grep -E '^phom_cache_hits_total ' metrics.prom
+  phom_cache_hits_total 5
 
 A client connecting to a dead daemon fails cleanly:
 

@@ -32,10 +32,11 @@ was evicted at its idle deadline (the hold client exits cleanly — its
 connection was closed under it, which it never noticed):
 
   $ ../../bin/main.exe client d.sock version
-  ok phomd 1.2.0 protocol 1
+  ok phomd 1.3.0 protocol 2
   $ wait $HOLD
-  $ ../../bin/main.exe client d.sock stats | sed 's/.*busy=/busy=/'
-  busy=0 evicted=1
+  $ ../../bin/main.exe client d.sock stats | grep -E '^phom_daemon_connections_(shed|evicted)_total '
+  phom_daemon_connections_evicted_total 1
+  phom_daemon_connections_shed_total 0
 
 Clear the artifact cache so the drain reply below has cold, deterministic
 provenance:

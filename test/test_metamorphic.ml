@@ -1,0 +1,206 @@
+(* Metamorphic suite: transformations of a matching instance with a known
+   effect on the answer, checked over seeded random instances.
+
+   - renaming the data graph (permuting node ids, carrying labels and the
+     similarity columns along) leaves the exact optimum unchanged for all
+     four problems;
+   - permuting the order edges are fed to [Digraph.make] changes nothing
+     at all — the heuristic returns the identical mapping, because graphs
+     normalize their adjacency;
+   - appending isolated, similarity-0 nodes to the data graph changes
+     neither the heuristic nor the exact answer;
+   - adding edges to the data graph can only help: the exact optimum must
+     not decrease.
+
+   All randomness is seeded — no [Random.self_init]. *)
+
+module D = Phom_graph.Digraph
+module Simmat = Phom_sim.Simmat
+module Instance = Phom.Instance
+module Api = Phom.Api
+
+let seeds_per_property = 40
+let eps = 1e-9
+let labels = [| "A"; "B"; "C"; "D" |]
+let problems = [ Api.CPH; Api.CPH11; Api.SPH; Api.SPH11 ]
+
+(* small enough that the exact solver is instant on every seed *)
+let instance_of_seed salt i =
+  let rng = Random.State.make [| 0x6d3; salt; i |] in
+  let n1 = 2 + Random.State.int rng 5 in
+  let n2 = n1 + Random.State.int rng (11 - n1) in
+  let random_graph n edge_prob =
+    let lbls =
+      Array.init n (fun _ -> labels.(Random.State.int rng (Array.length labels)))
+    in
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if Random.State.float rng 1.0 < edge_prob then edges := (u, v) :: !edges
+      done
+    done;
+    D.make ~labels:lbls ~edges:!edges
+  in
+  let g1 = random_graph n1 0.25 in
+  let g2 = random_graph n2 0.3 in
+  let mat =
+    Simmat.of_fun ~n1 ~n2 (fun _ _ ->
+        match Random.State.int rng 10 with
+        | 0 | 1 -> 0.55
+        | 2 -> 0.75
+        | 3 -> 1.0
+        | _ -> Random.State.float rng 0.45)
+  in
+  (rng, g1, g2, mat)
+
+let exact problem t = Api.solve_within ~algorithm:Api.Exact_bb problem t
+let heur problem t = Api.solve_within ~algorithm:Api.Direct problem t
+
+let check_complete name (r : Api.result) =
+  Alcotest.(check bool)
+    (name ^ ": exact completes")
+    true
+    (r.Api.status = Phom_graph.Budget.Complete)
+
+let check_quality_eq name a b =
+  if Float.abs (a -. b) > eps then
+    Alcotest.failf "%s: quality changed %.9f -> %.9f" name a b
+
+(* --- renaming invariance ---------------------------------------------- *)
+
+(* a uniform random permutation of 0..n-1 *)
+let permutation rng n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let test_renaming i =
+  let rng, g1, g2, mat = instance_of_seed 1 i in
+  let n1 = D.n g1 and n2 = D.n g2 in
+  let perm = permutation rng n2 in
+  let inv = Array.make n2 0 in
+  Array.iteri (fun u u' -> inv.(u') <- u) perm;
+  let g2' =
+    D.make
+      ~labels:(Array.init n2 (fun u' -> D.label g2 inv.(u')))
+      ~edges:(List.map (fun (u, v) -> (perm.(u), perm.(v))) (D.edges g2))
+  in
+  let mat' = Simmat.of_fun ~n1 ~n2 (fun v u' -> Simmat.get mat v inv.(u')) in
+  let t = Instance.make ~g1 ~g2 ~mat ~xi:0.5 () in
+  let t' = Instance.make ~g1 ~g2:g2' ~mat:mat' ~xi:0.5 () in
+  List.iter
+    (fun p ->
+      let name = Printf.sprintf "seed %d %s renaming" i (Api.problem_name p) in
+      let r = exact p t and r' = exact p t' in
+      check_complete name r;
+      check_complete name r';
+      check_quality_eq name r.Api.quality r'.Api.quality)
+    problems
+
+(* --- adjacency-order invariance --------------------------------------- *)
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  let p = permutation rng (Array.length a) in
+  Array.to_list (Array.map (fun i -> a.(i)) p)
+
+let test_edge_order i =
+  let rng, g1, g2, mat = instance_of_seed 2 i in
+  let reorder g = D.make ~labels:(D.labels g) ~edges:(shuffle rng (D.edges g)) in
+  let g1' = reorder g1 and g2' = reorder g2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d: reordered graphs are equal" i)
+    true
+    (D.equal g1 g1' && D.equal g2 g2');
+  let t = Instance.make ~g1 ~g2 ~mat ~xi:0.5 () in
+  let t' = Instance.make ~g1:g1' ~g2:g2' ~mat ~xi:0.5 () in
+  List.iter
+    (fun p ->
+      let name = Printf.sprintf "seed %d %s edge order" i (Api.problem_name p) in
+      let r = heur p t and r' = heur p t' in
+      Alcotest.(check (list (pair int int)))
+        (name ^ ": identical mapping") r.Api.mapping r'.Api.mapping;
+      check_quality_eq name r.Api.quality r'.Api.quality)
+    problems
+
+(* --- isolated-node invariance ------------------------------------------ *)
+
+let test_isolated_nodes i =
+  let rng, g1, g2, mat = instance_of_seed 3 i in
+  let n1 = D.n g1 and n2 = D.n g2 in
+  let extra = 1 + Random.State.int rng 3 in
+  let g2' =
+    D.make
+      ~labels:
+        (Array.init (n2 + extra) (fun u ->
+             if u < n2 then D.label g2 u else "ISOLATED"))
+      ~edges:(D.edges g2)
+  in
+  (* the new nodes clear no threshold: similarity 0 everywhere *)
+  let mat' =
+    Simmat.of_fun ~n1 ~n2:(n2 + extra) (fun v u ->
+        if u < n2 then Simmat.get mat v u else 0.0)
+  in
+  let t = Instance.make ~g1 ~g2 ~mat ~xi:0.5 () in
+  let t' = Instance.make ~g1 ~g2:g2' ~mat:mat' ~xi:0.5 () in
+  List.iter
+    (fun p ->
+      let name =
+        Printf.sprintf "seed %d %s isolated nodes" i (Api.problem_name p)
+      in
+      check_quality_eq (name ^ " (heuristic)") (heur p t).Api.quality
+        (heur p t').Api.quality;
+      let r = exact p t and r' = exact p t' in
+      check_complete name r;
+      check_complete name r';
+      check_quality_eq (name ^ " (exact)") r.Api.quality r'.Api.quality)
+    problems
+
+(* --- edge-addition monotonicity ---------------------------------------- *)
+
+let test_added_edges i =
+  let rng, g1, g2, mat = instance_of_seed 4 i in
+  let n2 = D.n g2 in
+  let extra =
+    List.init 3 (fun _ ->
+        (Random.State.int rng n2, Random.State.int rng n2))
+  in
+  let g2' = D.add_edges g2 extra in
+  let t = Instance.make ~g1 ~g2 ~mat ~xi:0.5 () in
+  let t' = Instance.make ~g1 ~g2:g2' ~mat ~xi:0.5 () in
+  List.iter
+    (fun p ->
+      let name = Printf.sprintf "seed %d %s" i (Api.problem_name p) in
+      let r = exact p t and r' = exact p t' in
+      check_complete name r;
+      check_complete name r';
+      if r'.Api.quality < r.Api.quality -. eps then
+        Alcotest.failf
+          "%s: adding G2 edges decreased the optimum %.9f -> %.9f" name
+          r.Api.quality r'.Api.quality)
+    problems
+
+let over_seeds f () =
+  for i = 0 to seeds_per_property - 1 do
+    f i
+  done
+
+let suite =
+  [
+    ( "metamorphic",
+      [
+        Alcotest.test_case "G2 renaming preserves the exact optimum" `Slow
+          (over_seeds test_renaming);
+        Alcotest.test_case "edge input order changes nothing" `Quick
+          (over_seeds test_edge_order);
+        Alcotest.test_case "isolated similarity-0 G2 nodes change nothing"
+          `Slow (over_seeds test_isolated_nodes);
+        Alcotest.test_case "adding G2 edges never hurts the optimum" `Slow
+          (over_seeds test_added_edges);
+      ] );
+  ]

@@ -256,7 +256,19 @@ let test_execute_lifecycle () =
   check_prefix "unload" "ok unloaded store artifacts=" (exec st "unload store");
   check_prefix "solve after unload" "error unknown graph store"
     (exec st "solve card pat store");
-  check_prefix "stats" "ok stats requests=" (exec st "stats");
+  let stats, _ = exec st "stats" in
+  (match String.split_on_char '\n' stats with
+  | header :: body ->
+      check_prefix "stats header" "ok stats " (header, `Continue);
+      Alcotest.(check bool)
+        "stats line count matches header" true
+        (header = Printf.sprintf "ok stats %d" (List.length body));
+      Alcotest.(check bool)
+        "stats carries the daemon family" true
+        (List.exists
+           (fun l -> Helpers.contains_substring ~needle:"phom_daemon_requests_total" l)
+           body)
+  | [] -> Alcotest.fail "empty stats reply");
   let _, next = exec st "quit" in
   Alcotest.(check bool) "quit closes" true (next = `Quit);
   let _, next = exec st "shutdown" in
