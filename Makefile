@@ -1,6 +1,6 @@
 .PHONY: all build check test bench bench-full bench-parallel bench-serve \
-	bench-obs serve-smoke serve-smoke-faults ablations micro examples \
-	fmt fmt-check ci clean
+	bench-obs bench-recovery serve-smoke serve-smoke-faults chaos-smoke \
+	ablations micro examples fmt fmt-check ci clean
 
 # worker domains for the parallel runtime; passed through to the bench
 # harness (the CLI takes its own --jobs flag)
@@ -38,6 +38,11 @@ bench-serve:
 bench-obs:
 	dune exec bench/main.exe -- obs --out BENCH_obs.json
 
+# cold start vs recovered start to the first answer; fails unless the
+# recovered start (snapshot + journal replay) is strictly cheaper
+bench-recovery:
+	dune exec bench/main.exe -- recovery --out BENCH_recovery.json
+
 # start phomd on a temp socket, run cold/warm/budget-tripped client queries,
 # assert clean shutdown — the same flow as the CI daemon-smoke job
 serve-smoke:
@@ -47,6 +52,12 @@ serve-smoke:
 # healthy retrying clients, under an injected per-solve delay
 serve-smoke-faults:
 	sh scripts/serve_smoke.sh --faults
+
+# kill -9 a durable phomd mid-solve, restart on the same state dir, require
+# a byte-identical warm reply; then corrupt the snapshot and require
+# quarantine — the same flow as the CI chaos-smoke job
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 ablations:
 	dune exec bench/main.exe -- ablations
@@ -88,6 +99,8 @@ ci:
 	sh scripts/serve_smoke.sh --faults
 	dune exec bench/main.exe -- serve --out BENCH_serve.json
 	dune exec bench/main.exe -- obs --out BENCH_obs.json
+	sh scripts/chaos_smoke.sh
+	dune exec bench/main.exe -- recovery --out BENCH_recovery.json
 
 clean:
 	dune clean

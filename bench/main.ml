@@ -219,6 +219,41 @@ let serve_cmd =
       const run $ seed_arg $ sizes_arg $ noise_arg $ repeats_arg $ clients_arg
       $ out_arg)
 
+let recovery_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_recovery.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let m_arg =
+    Arg.(
+      value & opt int 80
+      & info [ "size" ] ~doc:"Pattern size (generator parameter m).")
+  in
+  let noise_arg =
+    Arg.(
+      value & opt float 0.1 & info [ "noise" ] ~doc:"Noise rate for the data graph.")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~doc:"Cold/recovered daemon-life pairs to time.")
+  in
+  let run seed m noise repeats out =
+    if m < 1 || repeats < 1 then begin
+      prerr_endline "bench: --size and --repeats must be at least 1";
+      exit 1
+    end;
+    Recovery_bench.run ~seed ~m ~noise ~repeats ~out ()
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:"Durable-daemon restart cost: cold start (load + compute) vs \
+             recovered start (snapshot + journal replay) to the first \
+             answer; writes BENCH_recovery.json and fails unless recovery \
+             is strictly cheaper.")
+    Term.(const run $ seed_arg $ m_arg $ noise_arg $ repeats_arg $ out_arg)
+
 let obs_cmd =
   let out_arg =
     Arg.(
@@ -273,4 +308,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:all_term info
           [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd;
-            parallel_cmd; serve_cmd; obs_cmd; all_cmd ]))
+            parallel_cmd; serve_cmd; recovery_cmd; obs_cmd; all_cmd ]))

@@ -14,9 +14,11 @@ let socket_arg =
   Arg.(
     value & opt (some string) None
     & info [ "socket"; "s" ] ~docv:"PATH"
-        ~doc:"Listen on a Unix-domain socket at $(docv). A stale socket file \
-              left by a crashed daemon is replaced; any other existing file \
-              is refused. Unlinked on shutdown.")
+        ~doc:"Listen on a Unix-domain socket at $(docv). An existing socket \
+              is connect-probed first: if a live daemon answers $(b,ping) \
+              there, startup is refused; a stale socket left by a crash is \
+              replaced. Any other existing file is refused. Unlinked on \
+              shutdown.")
 
 let tcp_arg =
   Arg.(
@@ -120,11 +122,50 @@ let metrics_dump_arg =
     & info [ "metrics-dump" ] ~docv:"FILE"
         ~doc:"After the daemon drains, write a final snapshot of the \
               metrics registry to $(docv) in Prometheus text format (the \
-              same text the $(b,stats) command serves live).")
+              same text the $(b,stats) command serves live). The write is \
+              atomic: $(docv) holds either its previous content or the \
+              complete dump, never a torn blend.")
+
+let state_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:"Make the daemon crash-durable: keep checksummed snapshots of \
+              the catalog and artifact cache plus a recovery journal in \
+              $(docv), and recover from them on start (corrupt entries are \
+              quarantined and reported by $(b,health), never served). \
+              Without it the daemon is ephemeral, as before.")
+
+let fsync_arg =
+  let parse s =
+    match Phom_server.Journal.fsync_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (s ^ ": expected always, interval or never"))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (Phom_server.Journal.fsync_to_string f)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Phom_server.Journal.Interval
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:"Journal durability policy: $(b,always) fsyncs every appended \
+              event (lose nothing short of media failure), $(b,interval) \
+              fsyncs on the daemon's periodic tick (lose at most a tick), \
+              $(b,never) trusts the page cache (survives kill -9, not \
+              power loss). Only meaningful with $(b,--state-dir).")
+
+let snapshot_interval_arg =
+  Arg.(
+    value & opt float 60.
+    & info [ "snapshot-interval" ] ~docv:"SECS"
+        ~doc:"Seconds between periodic state snapshots (with \
+              $(b,--state-dir)). A snapshot also lands on every graceful \
+              drain.")
 
 let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
     default_steps max_conns max_pending idle_timeout retry_after drain_grace
-    fault_delay quiet metrics_dump =
+    fault_delay quiet metrics_dump state_dir fsync snapshot_interval =
   if socket = None && tcp = None then begin
     prerr_endline "error: nothing to listen on (give --socket and/or --tcp)";
     exit 1
@@ -173,6 +214,9 @@ let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
       max_line_bytes = 8192;
       retry_after = Float.max 0. retry_after;
       drain_grace = Float.max 0. drain_grace;
+      state_dir;
+      fsync;
+      snapshot_interval = Float.max 1. snapshot_interval;
     }
   in
   let ready listeners =
@@ -189,11 +233,14 @@ let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
     match metrics_dump with
     | None -> ()
     | Some file -> (
-        try
-          let oc = open_out file in
-          output_string oc (Phom_obs.Obs.dump ());
-          close_out oc
-        with Sys_error msg -> prerr_endline ("error: " ^ msg))
+        (* atomic so a crash mid-dump (or a concurrent scrape) never sees
+           a torn metrics file *)
+        match
+          Phom_server.Persist.write_file_atomic ~path:file
+            (Phom_obs.Obs.dump ())
+        with
+        | Ok () -> ()
+        | Error msg -> prerr_endline ("error: " ^ msg))
   in
   match Daemon.serve ~ready config with
   | () -> dump_metrics ()
@@ -234,6 +281,7 @@ let () =
       $ max_graph_mb_arg $ max_mat_mb_arg $ default_timeout_arg
       $ default_steps_arg $ max_conns_arg $ max_pending_arg
       $ idle_timeout_arg $ retry_after_arg $ drain_grace_arg
-      $ fault_delay_arg $ quiet_arg $ metrics_dump_arg)
+      $ fault_delay_arg $ quiet_arg $ metrics_dump_arg $ state_dir_arg
+      $ fsync_arg $ snapshot_interval_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -45,6 +45,12 @@ type t = {
   cache : (key, artifact) Lru.t;
   max_graph_bytes : int;
   max_mat_bytes : int;
+  mutable gen : int;
+      (** invalidation generation, bumped by every [unload]: an artifact
+          computed against an older generation is stale and must not enter
+          the cache *)
+  mutable on_event : (Journal.event -> unit) option;
+      (** the daemon's journal hook; set once before serving starts *)
 }
 
 let default_max_bytes = 64 * 1024 * 1024
@@ -86,6 +92,8 @@ let create ?(max_graph_bytes = default_max_bytes)
       cache = Lru.create ~capacity_bytes:cache_bytes ~weight:artifact_weight ();
       max_graph_bytes;
       max_mat_bytes;
+      gen = 0;
+      on_event = None;
     }
   in
   register_metrics t;
@@ -94,6 +102,10 @@ let create ?(max_graph_bytes = default_max_bytes)
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_on_event t f = t.on_event <- f
+let emit t e = match t.on_event with Some f -> f e | None -> ()
+let generation t = locked t (fun () -> t.gen)
 
 let valid_name name =
   let ok_char = function
@@ -122,15 +134,32 @@ let register t ~name ~what make =
               Ok v
             end)
 
+(* journal load events carry a checksum of the loaded value's canonical
+   serialization, so replay can refuse a source file that drifted *)
+let graph_crc g = Persist.crc32_hex (Phom_graph.Graph_io.to_string g)
+let mat_crc m = Persist.crc32_hex (Simmat.to_string m)
+
 let load_graph t ~name ~path =
-  register t ~name
-    ~what:(fun g -> Graph g)
-    (fun () -> Phom_graph.Graph_io.load ~max_bytes:t.max_graph_bytes path)
+  match
+    register t ~name
+      ~what:(fun g -> Graph g)
+      (fun () -> Phom_graph.Graph_io.load ~max_bytes:t.max_graph_bytes path)
+  with
+  | Ok g as r ->
+      emit t (Journal.Load_graph { name; path; crc = graph_crc g });
+      r
+  | Error _ as e -> e
 
 let load_mat t ~name ~path =
-  register t ~name
-    ~what:(fun m -> Mat m)
-    (fun () -> Simmat.load ~max_bytes:t.max_mat_bytes path)
+  match
+    register t ~name
+      ~what:(fun m -> Mat m)
+      (fun () -> Simmat.load ~max_bytes:t.max_mat_bytes path)
+  with
+  | Ok m as r ->
+      emit t (Journal.Load_mat { name; path; crc = mat_crc m });
+      r
+  | Error _ as e -> e
 
 let derived_from name = function
   | K_closure (g, _) -> g = name
@@ -138,16 +167,70 @@ let derived_from name = function
       a = name || b = name || s = "mat:" ^ name
 
 let unload t name =
-  let removed =
+  let result =
     locked t (fun () ->
         if Hashtbl.mem t.entries name then begin
           Hashtbl.remove t.entries name;
-          true
+          (* the invalidation barrier: an in-flight solve that resolved
+             [name] before this point fails its generation check and can
+             never re-insert (resurrect) an artifact derived from it *)
+          t.gen <- t.gen + 1;
+          Ok (Lru.remove_if t.cache (derived_from name))
         end
-        else false)
+        else Error (Printf.sprintf "name %s is not loaded" name))
   in
-  if removed then Ok (Lru.remove_if t.cache (derived_from name))
-  else Error (Printf.sprintf "name %s is not loaded" name)
+  (match result with Ok _ -> emit t (Journal.Unload name) | Error _ -> ());
+  result
+
+(* ---- artifact key tokens (the journal's and snapshot's key form) ---- *)
+
+let hops_token = function None -> "full" | Some k -> string_of_int k
+
+let hops_of_token = function
+  | "full" -> Some None
+  | s -> (
+      match int_of_string_opt s with
+      | Some k when k >= 1 -> Some (Some k)
+      | _ -> None)
+
+(* '/' as separator is unambiguous: catalog names cannot contain it and
+   the sim token is "equality", "shingles" or "mat:<name>"; ξ uses the
+   hexadecimal float form for an exact round trip *)
+let token_of_key = function
+  | K_closure (g, hops) -> Printf.sprintf "closure/%s/%s" g (hops_token hops)
+  | K_matrix (g1, g2, sim) -> Printf.sprintf "matrix/%s/%s/%s" g1 g2 sim
+  | K_cands (g1, g2, sim, hops, xi) ->
+      Printf.sprintf "cands/%s/%s/%s/%s/%h" g1 g2 sim (hops_token hops) xi
+
+let key_of_token token =
+  match String.split_on_char '/' token with
+  | [ "closure"; g; h ] ->
+      Option.map (fun hops -> K_closure (g, hops)) (hops_of_token h)
+  | [ "matrix"; g1; g2; sim ] -> Some (K_matrix (g1, g2, sim))
+  | [ "cands"; g1; g2; sim; h; xi ] -> (
+      match (hops_of_token h, float_of_string_opt xi) with
+      | Some hops, Some xi when xi >= 0. && xi <= 1. ->
+          Some (K_cands (g1, g2, sim, hops, xi))
+      | _ -> None)
+  | _ -> None
+
+let sim_of_string = function
+  | "equality" -> Some Equality
+  | "shingles" -> Some Shingles
+  | s ->
+      if String.length s > 4 && String.sub s 0 4 = "mat:" then
+        Some (Named (String.sub s 4 (String.length s - 4)))
+      else None
+
+(* cache insertion point for computed artifacts: refused when an unload
+   has bumped the generation since the computation began, so a purged
+   name can never be resurrected by a racing in-flight solve *)
+let put_artifact t ~gen0 key art =
+  locked t (fun () ->
+      if t.gen = gen0 then begin
+        Lru.put t.cache key art;
+        emit t (Journal.Artifact (token_of_key key))
+      end)
 
 let list t =
   locked t (fun () ->
@@ -184,6 +267,7 @@ let cacheable budget =
   match budget with None -> true | Some b -> not (Budget.exhausted b)
 
 let closure ?budget t ~name ~hops =
+  let gen0 = generation t in
   match graph t name with
   | Error _ as e -> e
   | Ok g -> (
@@ -198,10 +282,11 @@ let closure ?budget t ~name ~hops =
           in
           Obs.span_steps "closure"
             (Option.fold ~none:0 ~some:Budget.steps_used budget - before);
-          if cacheable budget then Lru.put t.cache key (A_closure m);
+          if cacheable budget then put_artifact t ~gen0 key (A_closure m);
           Ok (m, Miss))
 
 let similarity t ~g1 ~g2 ~sim =
+  let gen0 = generation t in
   match (graph t g1, graph t g2) with
   | (Error _ as e), _ | _, (Error _ as e) -> e
   | Ok ga, Ok gb -> (
@@ -228,10 +313,11 @@ let similarity t ~g1 ~g2 ~sim =
                     | Shingles -> Shingle.matrix (D.labels ga) (D.labels gb)
                     | Named _ -> assert false)
               in
-              Lru.put t.cache key (A_matrix m);
+              put_artifact t ~gen0 key (A_matrix m);
               Ok (m, Miss)))
 
 let candidates ?budget t ~instance ~g1 ~g2 ~sim ~hops =
+  let gen0 = generation t in
   let key =
     K_cands (g1, g2, sim_to_string sim, hops, instance.Phom.Instance.xi)
   in
@@ -241,9 +327,160 @@ let candidates ?budget t ~instance ~g1 ~g2 ~sim ~hops =
       Hit
   | Some _ | None ->
       let c = Phom.Instance.candidates instance in
-      if cacheable budget then Lru.put t.cache key (A_cands c);
+      if cacheable budget then put_artifact t ~gen0 key (A_cands c);
       Miss
 
 let cache_stats t = Lru.stats t.cache
 
 let clear_cache t = Lru.clear t.cache
+
+(* ---- durability: snapshot export / restore, journal replay ---- *)
+
+let export t =
+  let graphs, mats = list t in
+  let rec_of_graph (name, g) =
+    { Persist.kind = "graph"; name; payload = Phom_graph.Graph_io.to_string g }
+  in
+  let rec_of_mat (name, m) =
+    { Persist.kind = "mat"; name; payload = Simmat.to_string m }
+  in
+  let rec_of_artifact (k, a) =
+    {
+      Persist.kind = "artifact";
+      name = token_of_key k;
+      payload = Marshal.to_string a [];
+    }
+  in
+  (* graphs and matrices first (artifacts are validated against them on
+     restore); artifacts in LRU order so re-insertion reproduces recency *)
+  List.map rec_of_graph graphs
+  @ List.map rec_of_mat mats
+  @ List.map rec_of_artifact (Lru.bindings t.cache)
+
+(* a decoded artifact must still agree with its key and with the restored
+   graphs before it is trusted — a corrupt snapshot whose CRC happens to
+   pass (or a stale key) is quarantined here, not served *)
+let artifact_plausible t key art =
+  match (key, art) with
+  | K_closure (g, _), A_closure m -> (
+      match graph t g with
+      | Ok dg -> BM.rows m = D.n dg && BM.cols m = D.n dg
+      | Error _ -> false)
+  | K_matrix (g1, g2, _), A_matrix m -> (
+      match (graph t g1, graph t g2) with
+      | Ok a, Ok b -> Simmat.n1 m = D.n a && Simmat.n2 m = D.n b
+      | _ -> false)
+  | K_cands (g1, g2, _, _, _), A_cands rows -> (
+      match (graph t g1, graph t g2) with
+      | Ok a, Ok b ->
+          Array.length rows = D.n a
+          && Array.for_all
+               (Array.for_all (fun u -> u >= 0 && u < D.n b))
+               rows
+      | _ -> false)
+  | (K_closure _ | K_matrix _ | K_cands _), _ -> false
+
+let restore_record t (r : Persist.record) =
+  let insert_entry name e =
+    if not (valid_name name) then
+      Error (Printf.sprintf "%s: invalid catalog name" name)
+    else
+      locked t (fun () ->
+          if Hashtbl.mem t.entries name then
+            Error (Printf.sprintf "%s: already restored" name)
+          else begin
+            Hashtbl.replace t.entries name e;
+            Ok ()
+          end)
+  in
+  match r.Persist.kind with
+  | "graph" -> (
+      if String.length r.payload > t.max_graph_bytes then
+        Error (r.name ^ ": snapshot graph exceeds the size cap")
+      else
+        match Phom_graph.Graph_io.of_string r.payload with
+        | Ok g -> insert_entry r.name (Graph g)
+        | Error e -> Error (r.name ^ ": " ^ e))
+  | "mat" -> (
+      if String.length r.payload > t.max_mat_bytes then
+        Error (r.name ^ ": snapshot matrix exceeds the size cap")
+      else
+        match Simmat.of_string r.payload with
+        | Ok m -> insert_entry r.name (Mat m)
+        | Error e -> Error (r.name ^ ": " ^ e))
+  | "artifact" -> (
+      match key_of_token r.name with
+      | None -> Error (r.name ^ ": unknown artifact key")
+      | Some key -> (
+          (* the payload's CRC was verified by Persist before it got here,
+             so unmarshalling is safe against torn bytes; the guard below
+             rejects a payload that decodes but lies about its shape *)
+          match (Marshal.from_string r.payload 0 : artifact) with
+          | exception _ -> Error (r.name ^ ": undecodable artifact payload")
+          | art ->
+              if artifact_plausible t key art then begin
+                Lru.put t.cache key art;
+                Ok ()
+              end
+              else Error (r.name ^ ": artifact does not match its key")))
+  | kind -> Error (Printf.sprintf "%s: unknown record kind %s" r.name kind)
+
+(* recompute one artifact by key — the replay path for journaled artifact
+   events, reusing the exact serving-path derivations *)
+let warm t key =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  match key with
+  | K_closure (name, hops) -> (
+      match closure t ~name ~hops with Ok _ -> Ok () | Error e -> Error e)
+  | K_matrix (g1, g2, sim_s) -> (
+      match sim_of_string sim_s with
+      | None -> Error (sim_s ^ ": unknown similarity kind")
+      | Some sim -> (
+          match similarity t ~g1 ~g2 ~sim with
+          | Ok _ -> Ok ()
+          | Error e -> Error e))
+  | K_cands (g1, g2, sim_s, hops, xi) -> (
+      match sim_of_string sim_s with
+      | None -> Error (sim_s ^ ": unknown similarity kind")
+      | Some sim -> (
+          let* ga = graph t g1 in
+          let* gb = graph t g2 in
+          let* tc2, _ = closure t ~name:g2 ~hops in
+          let* mat, _ = similarity t ~g1 ~g2 ~sim in
+          match Phom.Instance.make ~tc2 ~g1:ga ~g2:gb ~mat ~xi () with
+          | instance ->
+              ignore (candidates t ~instance ~g1 ~g2 ~sim ~hops);
+              Ok ()
+          | exception Invalid_argument m -> Error m))
+
+let apply_event t = function
+  | Journal.Load_graph { name; path; crc } -> (
+      match load_graph t ~name ~path with
+      | Error e -> Error e
+      | Ok g ->
+          if graph_crc g = crc then Ok ()
+          else begin
+            (* the file drifted since the journaled load: a replay must
+               not serve different bytes under the same name *)
+            ignore (unload t name);
+            Error
+              (Printf.sprintf "%s: %s changed since it was journaled" name
+                 path)
+          end)
+  | Journal.Load_mat { name; path; crc } -> (
+      match load_mat t ~name ~path with
+      | Error e -> Error e
+      | Ok m ->
+          if mat_crc m = crc then Ok ()
+          else begin
+            ignore (unload t name);
+            Error
+              (Printf.sprintf "%s: %s changed since it was journaled" name
+                 path)
+          end)
+  | Journal.Unload name -> (
+      match unload t name with Ok _ -> Ok () | Error e -> Error e)
+  | Journal.Artifact token -> (
+      match key_of_token token with
+      | None -> Error (token ^ ": unknown artifact key")
+      | Some key -> warm t key)

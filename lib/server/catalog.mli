@@ -118,3 +118,36 @@ val candidates :
 
 val cache_stats : t -> Lru.stats
 val clear_cache : t -> unit
+
+(** {1 Durability}
+
+    The daemon persists the catalog as checksummed {!Persist} snapshots
+    plus a {!Journal} of mutations since the last snapshot. Restore layers
+    its own defenses on top of Persist's CRC verification: payloads must
+    decode, names must validate, artifacts must match their key's shape
+    against the already-restored graphs. Anything that fails any check is
+    quarantined (skipped and counted), never served. *)
+
+val set_on_event : t -> (Journal.event -> unit) option -> unit
+(** Install (or clear) the journal hook. Every successful [load_graph] /
+    [load_mat] / [unload] and every cache insertion emits one event {e
+    after} the mutation lands. The daemon sets this once, after recovery,
+    so replay does not journal itself. *)
+
+val export : t -> Persist.record list
+(** The catalog's full warm state as snapshot records: graphs and matrices
+    first (restore validates artifacts against them), then cache artifacts
+    in least-recently-used-first order so re-insertion reproduces recency. *)
+
+val restore_record : t -> Persist.record -> (unit, string) result
+(** Restore one snapshot record. [Error] means the record is quarantined:
+    undecodable payload, invalid or duplicate name, unknown artifact key,
+    or an artifact whose shape contradicts its key. *)
+
+val apply_event : t -> Journal.event -> (unit, string) result
+(** Replay one journal event. Load events re-read the source file and
+    verify its canonical serialization still matches the journaled
+    checksum — a drifted file is unloaded again and reported, never served
+    under the stale name. Artifact events recompute the artifact through
+    the normal serving path (deterministic, so the warm cache converges to
+    its pre-crash contents). *)

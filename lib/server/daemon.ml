@@ -20,6 +20,10 @@ type config = {
   max_line_bytes : int;
   retry_after : float;
   drain_grace : float;
+  state_dir : string option;
+      (** durability root: snapshots and the recovery journal live here *)
+  fsync : Journal.fsync;
+  snapshot_interval : float;  (** seconds between periodic snapshots *)
 }
 
 let default_config =
@@ -38,12 +42,34 @@ let default_config =
     max_line_bytes = 8192;
     retry_after = 1.;
     drain_grace = 5.;
+    state_dir = None;
+    fsync = Journal.Interval;
+    snapshot_interval = 60.;
   }
+
+(* the durability side-car: where the snapshots and journal live, plus the
+   recovery counters health and the metrics registry report *)
+type persist = {
+  snapshot_path : string;
+  mutable journal : Journal.t option;  (** None if the open failed *)
+  mutable snapshots : int;
+  mutable snapshot_seconds : float;  (** duration of the last snapshot *)
+  mutable snapshot_bytes : int;  (** size of the last snapshot *)
+  mutable persist_errors : int;  (** failed snapshot/journal operations *)
+  mutable recovered_graphs : int;
+  mutable recovered_mats : int;
+  mutable recovered_artifacts : int;
+  mutable journal_replayed : int;  (** events replayed on top of a snapshot *)
+  mutable quarantined : int;  (** corrupt records/lines skipped, never served *)
+  mutable last_snapshot : float;
+}
 
 type state = {
   config : config;
   catalog : Catalog.t;
   pool : Pool.t option;  (** borrowed; None = sequential daemon *)
+  persist : persist option;  (** None = ephemeral daemon (no --state-dir) *)
+  mutable draining : bool;  (** the loop's drain, surfaced through health *)
   mutable requests : int;
   mutable busy_rejected : int;  (** admission-control sheds *)
   mutable idle_evicted : int;  (** stalled peers cut by the idle deadline *)
@@ -71,16 +97,168 @@ let register_metrics st =
   Obs.register_probe
     ~labels:[ ("version", Version.string) ]
     "phom_build_info"
-    (fun () -> 1.)
+    (fun () -> 1.);
+  match st.persist with
+  | None -> ()
+  | Some p ->
+      let journal_errors () =
+        match p.journal with Some j -> Journal.errors j | None -> 0
+      in
+      let journal_events () =
+        match p.journal with Some j -> Journal.appended j | None -> 0
+      in
+      Obs.register_probe "phom_persist_snapshot_total"
+        (fi (fun () -> p.snapshots));
+      Obs.register_probe "phom_persist_snapshot_seconds" (fun () ->
+          p.snapshot_seconds);
+      Obs.register_probe "phom_persist_snapshot_bytes"
+        (fi (fun () -> p.snapshot_bytes));
+      Obs.register_probe "phom_persist_errors_total"
+        (fi (fun () -> p.persist_errors + journal_errors ()));
+      Obs.register_probe "phom_journal_events_total" (fi journal_events);
+      Obs.register_probe "phom_journal_replayed_total"
+        (fi (fun () -> p.journal_replayed));
+      Obs.register_probe "phom_recovery_quarantined_total"
+        (fi (fun () -> p.quarantined))
+
+(* ---- durability: recovery at start, snapshots while serving ---- *)
+
+let snapshot_file = "state.snap"
+let journal_file = "state.journal"
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+(* write a fresh snapshot of the whole catalog and rotate the journal it
+   supersedes; a failed snapshot degrades health instead of raising *)
+let snapshot_now st =
+  match st.persist with
+  | None -> ()
+  | Some p ->
+      let t0 = Unix.gettimeofday () in
+      (match
+         Persist.write_snapshot ~path:p.snapshot_path
+           (Catalog.export st.catalog)
+       with
+      | Ok bytes ->
+          p.snapshots <- p.snapshots + 1;
+          p.snapshot_seconds <- Unix.gettimeofday () -. t0;
+          p.snapshot_bytes <- bytes;
+          Option.iter Journal.rotate p.journal
+      | Error _ -> p.persist_errors <- p.persist_errors + 1);
+      p.last_snapshot <- Unix.gettimeofday ()
+
+(* the loop's periodic durability work: sync the journal (under the
+   interval policy) and take a snapshot when the interval has elapsed *)
+let persist_tick st =
+  match st.persist with
+  | None -> ()
+  | Some p ->
+      Option.iter Journal.flush p.journal;
+      if
+        Unix.gettimeofday () -. p.last_snapshot
+        >= st.config.snapshot_interval
+      then snapshot_now st
+
+(* recovery: restore the latest snapshot (quarantining anything that fails
+   its checksum or decode), replay the journal on top, then open the
+   journal for appending. Raises [Sys_error] if the state dir is unusable —
+   a daemon that looks healthy but silently persists nothing is worse than
+   one that refuses to start. *)
+let recover catalog ~dir ~fsync =
+  (match mkdir_p dir with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      raise
+        (Sys_error
+           (dir ^ ": cannot create state directory: " ^ Unix.error_message e)));
+  let probe = Filename.concat dir ".writable" in
+  (* a plain write, not write_file_atomic: the probe checks writability,
+     durability fsyncs would only slow every restart down *)
+  (match
+     let oc = open_out probe in
+     output_string oc "phomd\n";
+     close_out oc;
+     Sys.remove probe
+   with
+  | () -> ()
+  | exception Sys_error e ->
+      raise (Sys_error (dir ^ ": state directory is not writable: " ^ e)));
+  let p =
+    {
+      snapshot_path = Filename.concat dir snapshot_file;
+      journal = None;
+      snapshots = 0;
+      snapshot_seconds = 0.;
+      snapshot_bytes = 0;
+      persist_errors = 0;
+      recovered_graphs = 0;
+      recovered_mats = 0;
+      recovered_artifacts = 0;
+      journal_replayed = 0;
+      quarantined = 0;
+      last_snapshot = Unix.gettimeofday ();
+    }
+  in
+  if Sys.file_exists p.snapshot_path then begin
+    match Persist.read_snapshot ~path:p.snapshot_path with
+    | Ok (records, quarantined) ->
+        p.quarantined <- p.quarantined + quarantined;
+        List.iter
+          (fun (r : Persist.record) ->
+            match Catalog.restore_record catalog r with
+            | Ok () -> (
+                match r.kind with
+                | "graph" -> p.recovered_graphs <- p.recovered_graphs + 1
+                | "mat" -> p.recovered_mats <- p.recovered_mats + 1
+                | _ -> p.recovered_artifacts <- p.recovered_artifacts + 1)
+            | Error _ -> p.quarantined <- p.quarantined + 1)
+          records
+    | Error _ ->
+        (* unreadable or not a snapshot at all: one quarantined snapshot *)
+        p.quarantined <- p.quarantined + 1
+  end;
+  let journal_path = Filename.concat dir journal_file in
+  if Sys.file_exists journal_path then begin
+    match Journal.replay ~path:journal_path with
+    | Ok (events, quarantined) ->
+        p.quarantined <- p.quarantined + quarantined;
+        List.iter
+          (fun e ->
+            match Catalog.apply_event catalog e with
+            | Ok () -> p.journal_replayed <- p.journal_replayed + 1
+            | Error _ -> p.quarantined <- p.quarantined + 1)
+          events
+    | Error _ -> p.quarantined <- p.quarantined + 1
+  end;
+  (match Journal.open_append ~path:journal_path ~fsync with
+  | Ok j -> p.journal <- Some j
+  | Error _ -> p.persist_errors <- p.persist_errors + 1);
+  p
 
 let make_state ?pool config =
+  let catalog =
+    Catalog.create ~max_graph_bytes:config.max_graph_bytes
+      ~max_mat_bytes:config.max_mat_bytes ~cache_bytes:config.cache_bytes ()
+  in
+  let persist =
+    Option.map
+      (fun dir -> recover catalog ~dir ~fsync:config.fsync)
+      config.state_dir
+  in
   let st =
     {
       config;
-      catalog =
-        Catalog.create ~max_graph_bytes:config.max_graph_bytes
-          ~max_mat_bytes:config.max_mat_bytes ~cache_bytes:config.cache_bytes ();
+      catalog;
       pool;
+      persist;
+      draining = false;
       requests = 0;
       busy_rejected = 0;
       idle_evicted = 0;
@@ -89,8 +267,36 @@ let make_state ?pool config =
       drain_seconds = 0.;
     }
   in
+  (* the journal hook goes live only after recovery, so replay does not
+     journal itself; the fresh snapshot then supersedes (and rotates away)
+     everything the old journal recorded. A clean boot — snapshot present,
+     nothing replayed, nothing quarantined — skips the rewrite: the on-disk
+     snapshot is already exact, and rewriting it would burn the restart
+     latency recovery exists to save *)
+  (match persist with
+  | Some { journal = Some j; _ } ->
+      Catalog.set_on_event catalog (Some (fun e -> Journal.append j e))
+  | _ -> ());
+  (match persist with
+  | None -> ()
+  | Some p ->
+      if
+        p.journal_replayed > 0 || p.quarantined > 0
+        || not (Sys.file_exists p.snapshot_path)
+      then snapshot_now st);
   register_metrics st;
   st
+
+(* final snapshot + journal close; the socket loop calls this as the last
+   act of a drain, embedders (tests, the bench) call it directly *)
+let close_state st =
+  match st.persist with
+  | None -> ()
+  | Some p ->
+      snapshot_now st;
+      Catalog.set_on_event st.catalog None;
+      Option.iter Journal.close p.journal;
+      p.journal <- None
 
 let requests_served st = st.requests
 
@@ -126,6 +332,40 @@ let list_reply st =
 let stats_reply _st =
   let lines = Obs.dump_lines () in
   String.concat "\n" (ok "stats %d" (List.length lines) :: lines)
+
+(* readiness in one line of k=v counters: [ready] serves normally,
+   [degraded] serves but has quarantined state or persistence failures
+   behind it, [draining] answers but is on its way down *)
+let health_reply st =
+  let get f = match st.persist with None -> 0 | Some p -> f p in
+  let journal_errors =
+    match st.persist with
+    | Some { journal = Some j; _ } -> Journal.errors j
+    | _ -> 0
+  in
+  let quarantined = get (fun p -> p.quarantined) in
+  let persist_errors = get (fun p -> p.persist_errors) + journal_errors in
+  let state =
+    if st.draining then "draining"
+    else if quarantined > 0 || persist_errors > 0 then "degraded"
+    else "ready"
+  in
+  ok
+    "health state=%s persist=%b snapshots=%d snapshot_bytes=%d \
+     journal_events=%d journal_replayed=%d recovered_graphs=%d \
+     recovered_mats=%d recovered_artifacts=%d quarantined=%d \
+     persist_errors=%d requests=%d"
+    state
+    (Option.is_some st.persist)
+    (get (fun p -> p.snapshots))
+    (get (fun p -> p.snapshot_bytes))
+    (get (fun p ->
+         match p.journal with Some j -> Journal.appended j | None -> 0))
+    (get (fun p -> p.journal_replayed))
+    (get (fun p -> p.recovered_graphs))
+    (get (fun p -> p.recovered_mats))
+    (get (fun p -> p.recovered_artifacts))
+    quarantined persist_errors st.requests
 
 (* ---- solve ---- *)
 
@@ -226,6 +466,8 @@ let solve_reply st (s : Protocol.solve) =
 let dispatch st req =
   match req with
   | Protocol.Version -> ok "phomd %s protocol %d" Version.string Version.protocol
+  | Protocol.Ping -> ok "pong"
+  | Protocol.Health -> health_reply st
   | Protocol.List -> list_reply st
   | Protocol.Stats -> stats_reply st
   | Protocol.Load_graph { name; path } -> (
@@ -287,10 +529,25 @@ let execute_async st req =
 
 (* ---- listeners ---- *)
 
+(* a connect-probe distinguishes a crashed daemon's leftover socket from a
+   live one: only a live daemon answers ping (any reply counts — even an
+   older daemon's unknown-command error proves someone is listening) *)
+let socket_in_use path =
+  match Client.connect ~timeout:1.0 (Unix.ADDR_UNIX path) with
+  | Error _ -> false
+  | Ok conn ->
+      let alive = Result.is_ok (Client.send ~timeout:1.0 conn "ping") in
+      Client.close conn;
+      alive
+
 let listen_unix path =
-  (* refuse to clobber a foreign file; replace only a stale socket *)
+  (* refuse to clobber a foreign file or a live daemon's socket; replace
+     only a socket nobody answers on (the kill -9 leftover) *)
   (match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      if socket_in_use path then
+        invalid_arg (path ^ ": a live daemon is already listening here")
+      else Unix.unlink path
   | _ -> invalid_arg (path ^ ": exists and is not a socket")
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -445,6 +702,7 @@ let serve ?(ready = fun _ -> ()) config =
         let start_drain () =
           if not !draining then begin
             draining := true;
+            st.draining <- true;
             accepting := false;
             drain_started := Unix.gettimeofday ();
             drain_deadline := !drain_started +. config.drain_grace;
@@ -693,11 +951,15 @@ let serve ?(ready = fun _ -> ()) config =
                     cstates);
               poll_jobs ();
               evict_stalled (Unix.gettimeofday ());
+              persist_tick st;
               loop ()
             end
           end
         in
         loop ();
+        (* the drain's last act: capture the warm state so the next start
+           is a warm start *)
+        close_state st;
         if not (Float.is_nan !drain_started) then
           st.drain_seconds <- Unix.gettimeofday () -. !drain_started
       in

@@ -45,12 +45,22 @@ type config = {
   drain_grace : float;
       (** how long a drain waits for in-flight replies to flush before
           cutting stragglers *)
+  state_dir : string option;
+      (** durability root. [Some dir] makes the daemon crash-durable: on
+          start it recovers the latest checksummed {!Persist} snapshot from
+          [dir], replays the {!Journal} on top (quarantining anything that
+          fails a checksum or decode — counted, never served), then keeps
+          journaling and snapshotting while serving. [None] (the default)
+          is the historical ephemeral daemon. *)
+  fsync : Journal.fsync;  (** journal durability policy *)
+  snapshot_interval : float;  (** seconds between periodic snapshots *)
 }
 
 val default_config : config
 (** No listeners, [jobs = 1], 256 MiB cache, 64 MiB file caps, 5 s default
     timeout, no step cap; 64 connections, 32 pending solves, 300 s idle
-    timeout, 8 KiB line bound, 1 s retry hint, 5 s drain grace. *)
+    timeout, 8 KiB line bound, 1 s retry hint, 5 s drain grace; no state
+    dir, [Interval] fsync, 60 s snapshot interval. *)
 
 (** {1 Request execution (socket-free)}
 
@@ -62,7 +72,22 @@ type state
 val make_state : ?pool:Phom_parallel.Pool.t -> config -> state
 (** The pool is borrowed, not owned: {!serve} creates (and shuts down) its
     own when none is given; callers embedding a state keep control of
-    theirs. *)
+    theirs.
+
+    When [config.state_dir] is set, this is also the recovery point: the
+    latest snapshot is restored (every record checksum-verified; failures
+    quarantined), the journal replayed on top, and the journal hooked up
+    for appending — so a state built over a previous run's dir starts
+    warm. A fresh post-recovery snapshot is written only when recovery
+    changed anything (journal events replayed, records quarantined, or no
+    snapshot yet); a clean boot is read-only.
+
+    @raise Sys_error if the state dir cannot be created or written —
+    failing fast beats a daemon that silently persists nothing. *)
+
+val close_state : state -> unit
+(** Final snapshot plus journal close for an embedded state (no-op without
+    a state dir). {!serve} calls this itself at the end of its drain. *)
 
 val requests_served : state -> int
 
@@ -78,11 +103,13 @@ val execute : state -> Protocol.request -> string * [ `Continue | `Quit | `Shutd
 
 val listen_unix : string -> Unix.file_descr * string
 (** Bind and listen on a Unix-domain socket path with owner-only (0600)
-    permissions, independent of the process umask. An existing stale
-    socket at the path is replaced; any other existing file is refused
-    ([Invalid_argument]). If binding or listening fails partway, the
-    descriptor is closed and the path unlinked before the exception
-    propagates. Exposed for tests. *)
+    permissions, independent of the process umask. An existing socket at
+    the path is connect-probed first: if a live daemon answers [ping]
+    there, binding is refused ([Invalid_argument]); a socket nobody
+    answers on — the leftover of a [kill -9] — is removed and replaced.
+    Any other existing file is refused ([Invalid_argument]). If binding or
+    listening fails partway, the descriptor is closed and the path
+    unlinked before the exception propagates. Exposed for tests. *)
 
 val serve : ?ready:(string list -> unit) -> config -> unit
 (** Listen on the configured sockets and answer requests until a

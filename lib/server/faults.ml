@@ -1,7 +1,8 @@
-type op = Read | Write | Accept
+type op = Read | Write | Accept | Fwrite
 
 type action =
   | Short
+  | Torn
   | Eintr
   | Fail of Unix.error
   | Disconnect
@@ -55,7 +56,7 @@ let fire op =
 let read fd buf pos len =
   match fire Read with
   | None -> Unix.read fd buf pos len
-  | Some Short -> Unix.read fd buf pos (min 1 len)
+  | Some (Short | Torn) -> Unix.read fd buf pos (min 1 len)
   | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "read", ""))
   | Some (Fail e) -> raise (Unix.Unix_error (e, "read", ""))
   | Some Disconnect -> 0
@@ -63,7 +64,7 @@ let read fd buf pos len =
 let write fd buf pos len =
   match fire Write with
   | None -> Unix.write fd buf pos len
-  | Some Short -> Unix.write fd buf pos (min 1 len)
+  | Some (Short | Torn) -> Unix.write fd buf pos (min 1 len)
   | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "write", ""))
   | Some (Fail e) -> raise (Unix.Unix_error (e, "write", ""))
   | Some Disconnect -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
@@ -71,9 +72,25 @@ let write fd buf pos len =
 let accept fd =
   match fire Accept with
   | None -> Unix.accept fd
-  | Some Short | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "accept", ""))
+  | Some (Short | Torn | Eintr) ->
+      raise (Unix.Unix_error (Unix.EINTR, "accept", ""))
   | Some (Fail e) -> raise (Unix.Unix_error (e, "accept", ""))
   | Some Disconnect -> raise (Unix.Unix_error (Unix.ECONNABORTED, "accept", ""))
+
+let fwrite fd buf pos len =
+  match fire Fwrite with
+  | None -> Unix.write fd buf pos len
+  | Some Short -> Unix.write fd buf pos (min 1 len)
+  | Some Torn ->
+      (* a crash-consistent tear: a prefix reaches the file, the rest is
+         silently dropped while the caller believes the write completed —
+         what a kill -9 between page writes leaves behind *)
+      let k = max 1 (len / 2) in
+      ignore (Unix.write fd buf pos k);
+      len
+  | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "write", ""))
+  | Some (Fail e) -> raise (Unix.Unix_error (e, "write", ""))
+  | Some Disconnect -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
 
 let set_execute_hook h = locked (fun () -> hook := h)
 

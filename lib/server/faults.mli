@@ -11,12 +11,22 @@
     faults from the test domain while the daemon loop runs in another.
     Production code never arms anything. *)
 
-type op = Read | Write | Accept
+type op =
+  | Read
+  | Write
+  | Accept
+  | Fwrite  (** durable-state file writes (snapshots, journal appends) *)
 
 type action =
   | Short  (** truncate the transfer to a single byte *)
+  | Torn
+      (** {!Fwrite} only: write a prefix, silently drop the rest, and
+          report the full length — the torn page a [kill -9] between
+          writes leaves behind. On socket ops it behaves like [Short]. *)
   | Eintr  (** fail once with [EINTR] (callers must retry) *)
-  | Fail of Unix.error  (** fail once with this error *)
+  | Fail of Unix.error
+      (** fail once with this error ([Fail Unix.ENOSPC] on {!Fwrite}
+          models a full disk mid-snapshot) *)
   | Disconnect
       (** the peer vanishes: reads see EOF, writes fail with [EPIPE],
           accepts fail with [ECONNABORTED] *)
@@ -38,6 +48,12 @@ val armed : unit -> int
 val read : Unix.file_descr -> bytes -> int -> int -> int
 val write : Unix.file_descr -> bytes -> int -> int -> int
 val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+
+val fwrite : Unix.file_descr -> bytes -> int -> int -> int
+(** The durable-state write seam: {!Persist} and {!Journal} push every
+    byte through here, so tests can plant a torn write, a short write or
+    an [ENOSPC] at an exact record boundary and prove recovery quarantines
+    (never loads) the damage. *)
 
 (** {1 Request-level seams}
 

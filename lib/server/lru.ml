@@ -125,6 +125,12 @@ let clear t =
       Hashtbl.reset t.table;
       t.bytes <- 0)
 
+let bindings t =
+  locked t (fun () ->
+      let all = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.table [] in
+      let by_recency (_, a) (_, b) = compare a.last_use b.last_use in
+      List.map (fun (k, e) -> (k, e.value)) (List.sort by_recency all))
+
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
 let evictions t = Atomic.get t.evictions

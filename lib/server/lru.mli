@@ -53,6 +53,11 @@ val clear : ('k, 'v) t -> unit
 
 val stats : ('k, 'v) t -> stats
 
+val bindings : ('k, 'v) t -> ('k * 'v) list
+(** Every resident entry, least-recently-used first — the snapshot
+    exporter's view. Re-inserting in this order reproduces the recency
+    order (modulo ties). Does not touch the hit/miss counters. *)
+
 val hits : ('k, 'v) t -> int
 (** Lock-free reads of the single-source-of-truth counters: these return
     the same atomic cells {!stats} copies and reply provenance increments,

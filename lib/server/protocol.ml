@@ -15,6 +15,8 @@ type solve = {
 
 type request =
   | Version
+  | Ping
+  | Health
   | List
   | Stats
   | Load_graph of { name : string; path : string }
@@ -145,6 +147,8 @@ let parse line =
   match tokens with
   | [] -> err "empty request"
   | [ "version" ] -> Ok Version
+  | [ "ping" ] -> Ok Ping
+  | [ "health" ] -> Ok Health
   | [ "list" ] -> Ok List
   | [ "stats" ] -> Ok Stats
   | [ "shutdown" ] -> Ok Shutdown
@@ -181,6 +185,6 @@ let parse line =
       err "usage: solve (card|card11|sim|sim11) G1 G2 [flags]"
   | cmd :: _ ->
       err
-        "unknown command %s (version, list, stats, load, unload, solve, \
-         shutdown, quit)"
+        "unknown command %s (version, ping, health, list, stats, load, \
+         unload, solve, shutdown, quit)"
         cmd

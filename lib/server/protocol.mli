@@ -7,7 +7,8 @@
 
     Grammar:
     {v
-    request  ::= "version" | "list" | "stats" | "shutdown" | "quit"
+    request  ::= "version" | "ping" | "health"
+               | "list" | "stats" | "shutdown" | "quit"
                | "load" "graph" NAME PATH
                | "load" "mat" NAME PATH
                | "unload" NAME
@@ -44,6 +45,10 @@ type solve = {
 
 type request =
   | Version
+  | Ping  (** liveness: replies [ok pong] even while draining *)
+  | Health
+      (** readiness: one line of [k=v] counters led by
+          [state=(ready|degraded|draining)] — see {!Daemon} *)
   | List
   | Stats
   | Load_graph of { name : string; path : string }

@@ -1,0 +1,173 @@
+#!/bin/sh
+# Chaos smoke test for the durable daemon: kill -9 phomd mid-solve, restart
+# it on the same state directory, and require full recovery — the restarted
+# daemon must replace the stale socket, report `health` ready with nothing
+# quarantined, and serve the pre-crash warm query byte-identically from the
+# recovered artifact cache. A second phase corrupts the snapshot on disk
+# and requires the quarantine path: the daemon must come up degraded,
+# report the quarantined record, and keep serving everything that survived
+# its checksums. `make chaos-smoke` is the local entry point.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+PHOMD="$ROOT/_build/default/bin/phomd.exe"
+PHOM="$ROOT/_build/default/bin/main.exe"
+
+dune build bin/main.exe bin/phomd.exe
+
+DIR=$(mktemp -d)
+SOCK="$DIR/phomd.sock"
+STATE="$DIR/state"
+LOG="$DIR/life1.log"
+DAEMON_PID=""
+
+cleanup() {
+    # the state dir lives under $DIR, so one sweep removes socket, logs
+    # and durable state alike
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "chaos-smoke: FAIL: $1" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+start_daemon() {
+    # fsync always: every journaled event must survive the kill -9 below;
+    # a 1s snapshot interval and an injected 0.5s solve delay make "killed
+    # mid-solve" and "killed around a snapshot" easy to hit
+    "$PHOMD" --socket "$SOCK" --state-dir "$STATE" --fsync always \
+        --snapshot-interval 1 --fault-delay 0.5 --jobs 2 > "$LOG" 2>&1 &
+    DAEMON_PID=$!
+    i=0
+    until grep -q listening "$LOG" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || fail "daemon did not come up"
+        sleep 0.1
+    done
+}
+
+SOLVE="solve card pat store --sim shingles --xi 0.5"
+
+# ---- life 1: load, warm the cache, die mid-solve ----
+
+start_daemon
+echo "chaos-smoke: life 1 up on $SOCK"
+
+PONG=$("$PHOM" client "$SOCK" ping) || fail "ping"
+[ "$PONG" = "ok pong" ] || fail "unexpected ping reply: $PONG"
+
+"$PHOM" client "$SOCK" load graph pat "$ROOT/data/fig1_pattern.phg" \
+    || fail "load pattern"
+"$PHOM" client "$SOCK" load graph store "$ROOT/data/fig1_store.phg" \
+    || fail "load data graph"
+
+"$PHOM" client "$SOCK" -- $SOLVE > /dev/null || fail "cold solve"
+WARM1=$("$PHOM" client "$SOCK" -- $SOLVE) || fail "warm solve"
+case "$WARM1" in
+*"cache=closure:hit,mat:hit,cands:hit"*) ;;
+*) fail "warm solve was not served from the cache: $WARM1" ;;
+esac
+
+# let the periodic snapshot land, then kill -9 while a solve (stretched by
+# the injected delay) is in flight
+sleep 1.5
+"$PHOM" client "$SOCK" -- $SOLVE > /dev/null 2>&1 &
+SOLVER_PID=$!
+sleep 0.2
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+wait "$SOLVER_PID" 2>/dev/null || true
+[ -S "$SOCK" ] || fail "kill -9 should leave the socket behind"
+echo "chaos-smoke: life 1 killed -9 mid-solve"
+
+# ---- life 2: restart on the same socket and state dir ----
+
+LOG="$DIR/life2.log"
+start_daemon
+echo "chaos-smoke: life 2 recovered on the stale socket"
+
+HEALTH=$("$PHOM" client "$SOCK" health) || fail "health after recovery"
+case "$HEALTH" in
+"ok health state=ready"*) ;;
+*) fail "recovered daemon is not ready: $HEALTH" ;;
+esac
+case "$HEALTH" in
+*"quarantined=0"*) ;;
+*) fail "clean recovery must quarantine nothing: $HEALTH" ;;
+esac
+
+# the first query after the crash must be served from the recovered cache,
+# byte-identical to the pre-crash warm reply
+WARM2=$("$PHOM" client "$SOCK" -- $SOLVE) || fail "solve after recovery"
+[ "$WARM2" = "$WARM1" ] || fail "recovered reply differs:
+  before: $WARM1
+  after:  $WARM2"
+
+STATS=$("$PHOM" client "$SOCK" stats) || fail "stats after recovery"
+for metric in phom_persist_snapshot_total phom_journal_events_total \
+    phom_recovery_quarantined_total; do
+    case "$STATS" in
+    *"$metric"*) ;;
+    *) fail "stats is missing the $metric series" ;;
+    esac
+done
+
+"$PHOM" client "$SOCK" shutdown || fail "life 2 shutdown"
+wait "$DAEMON_PID" || fail "life 2 exited non-zero"
+DAEMON_PID=""
+[ ! -e "$SOCK" ] || fail "socket not unlinked on shutdown"
+[ -f "$STATE/state.snap" ] || fail "graceful shutdown left no snapshot"
+echo "chaos-smoke: OK (kill -9 mid-solve, warm recovery, byte-identical reply)"
+
+# ---- life 3: corrupt the snapshot, require quarantine, keep serving ----
+
+# flip eight bytes inside the store graph's snapshot payload: the record
+# fails its checksum, must be quarantined (with everything derived from
+# it), and must never be served
+OFF=$(grep -a -b -o 'record graph store ' "$STATE/state.snap" | head -1 | cut -d: -f1)
+[ -n "$OFF" ] || fail "snapshot is missing the store record"
+HDR=$(grep -a -m1 '^record graph store ' "$STATE/state.snap")
+PAYLOAD_OFF=$((OFF + ${#HDR} + 1 + 4))
+printf 'XXXXXXXX' | dd of="$STATE/state.snap" bs=1 seek="$PAYLOAD_OFF" \
+    conv=notrunc 2>/dev/null || fail "could not corrupt the snapshot"
+
+LOG="$DIR/life3.log"
+start_daemon
+echo "chaos-smoke: life 3 up on a corrupted snapshot"
+
+HEALTH=$("$PHOM" client "$SOCK" health) || fail "health after corruption"
+case "$HEALTH" in
+"ok health state=degraded"*) ;;
+*) fail "corruption must degrade health: $HEALTH" ;;
+esac
+case "$HEALTH" in
+*"quarantined=0"*) fail "corrupt record was not quarantined: $HEALTH" ;;
+*"quarantined="*) ;;
+*) fail "health lost its quarantine counter: $HEALTH" ;;
+esac
+
+# the quarantined graph is gone — never served corrupt — and reloading it
+# brings the daemon straight back to full service
+"$PHOM" client "$SOCK" list | grep -q 'store' \
+    && fail "quarantined graph must not be listed"
+"$PHOM" client "$SOCK" load graph store "$ROOT/data/fig1_store.phg" \
+    || fail "reload after quarantine"
+AFTER=$("$PHOM" client "$SOCK" -- $SOLVE) || fail "solve after quarantine"
+case "$AFTER" in
+"ok solve problem=CPH"*) ;;
+*) fail "solve after quarantine went wrong: $AFTER" ;;
+esac
+
+"$PHOM" client "$SOCK" shutdown || fail "life 3 shutdown"
+wait "$DAEMON_PID" || fail "life 3 exited non-zero"
+DAEMON_PID=""
+
+echo "chaos-smoke: OK (corrupt snapshot quarantined, degraded daemon kept serving)"

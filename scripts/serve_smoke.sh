@@ -1,8 +1,10 @@
 #!/bin/sh
-# Daemon smoke test: start phomd on a temp socket, drive it with three
-# client queries (one deliberately tripping its step budget), and assert a
-# clean shutdown that unlinks the socket. Exercises exactly what the CI
-# daemon-smoke job runs; `make serve-smoke` is the local entry point.
+# Daemon smoke test: start phomd on a temp socket (durable, with a state
+# dir), drive it with three client queries (one deliberately tripping its
+# step budget), and assert a clean shutdown that unlinks the socket and
+# leaves a snapshot. Also checks that an unusable state dir refuses to
+# start. Exercises exactly what the CI daemon-smoke job runs;
+# `make serve-smoke` is the local entry point.
 #
 # With --faults, a second soak runs against a daemon with an injected
 # per-solve delay and a short idle deadline, while misbehaving peers (a
@@ -26,6 +28,8 @@ LOG="$DIR/phomd.log"
 DAEMON_PID=""
 
 cleanup() {
+    # state dirs live under $DIR too, so one sweep removes socket, logs
+    # and durable state alike
     if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
         kill "$DAEMON_PID" 2>/dev/null || true
     fi
@@ -40,7 +44,22 @@ fail() {
     exit 1
 }
 
-"$PHOMD" --socket "$SOCK" --jobs 2 > "$LOG" 2>&1 &
+# an unusable state dir must refuse to start, not come up amnesiac: point
+# --state-dir below a regular file (works even as root, where permission
+# bits alone would not stop us)
+: > "$DIR/not-a-dir"
+set +e
+BAD=$("$PHOMD" --socket "$DIR/bad.sock" --state-dir "$DIR/not-a-dir/state" 2>&1)
+RC=$?
+set -e
+[ "$RC" -ne 0 ] || fail "daemon started despite an unusable state dir"
+case "$BAD" in
+*"state directory"*) ;;
+*) fail "unusable state dir error is unhelpful: $BAD" ;;
+esac
+echo "serve-smoke: unusable state dir refused at startup"
+
+"$PHOMD" --socket "$SOCK" --jobs 2 --state-dir "$DIR/state" > "$LOG" 2>&1 &
 DAEMON_PID=$!
 
 i=0
@@ -104,6 +123,7 @@ esac
 wait "$DAEMON_PID" || fail "daemon exited non-zero"
 DAEMON_PID=""
 [ ! -e "$SOCK" ] || fail "socket not unlinked on shutdown"
+[ -f "$DIR/state/state.snap" ] || fail "durable daemon left no snapshot behind"
 
 echo "serve-smoke: OK (cold + warm + budget-tripped queries, clean shutdown)"
 

@@ -10,6 +10,7 @@ module Daemon = Phom_server.Daemon
 module Client = Phom_server.Client
 module Conn = Phom_server.Conn
 module Faults = Phom_server.Faults
+module Lru = Phom_server.Lru
 
 let fig1_pattern = Filename.concat "../data" "fig1_pattern.phg"
 let fig1_store = Filename.concat "../data" "fig1_store.phg"
@@ -386,6 +387,62 @@ let test_retry_after_hint_parser () =
   Alcotest.(check (option (float 1e-9))) "no hint" None
     (Client.retry_after_hint "error busy")
 
+(* ---- unload racing in-flight solves must not resurrect artifacts ---- *)
+
+let test_unload_never_resurrects () =
+  let module Catalog = Phom_server.Catalog in
+  let c = Catalog.create () in
+  (* race a closure computation against the invalidation sweep: whatever
+     the interleaving, a purged name must leave zero cached artifacts
+     behind (the generation guard discards late put-backs) *)
+  for _ = 1 to 20 do
+    ignore (ok_or_fail (Catalog.load_graph c ~name:"store" ~path:fig1_store));
+    let solver =
+      Domain.spawn (fun () ->
+          (* may race the unload: both success and unknown-graph are fine *)
+          ignore (Catalog.closure c ~name:"store" ~hops:None))
+    in
+    ignore (ok_or_fail (Catalog.unload c "store"));
+    Domain.join solver;
+    Alcotest.(check int) "no artifact survives its graph" 0
+      (Catalog.cache_stats c).Lru.entries
+  done
+
+(* ---- stale-socket detection at startup ---- *)
+
+let test_stale_socket_detection () =
+  (* against a live daemon, a second listener must refuse the socket *)
+  with_daemon (fun addr ->
+      let sock =
+        match addr with Unix.ADDR_UNIX p -> p | _ -> assert false
+      in
+      (match Daemon.listen_unix sock with
+      | exception Invalid_argument msg ->
+          check_prefix "refusal names the socket" sock msg
+      | fd, _ ->
+          Unix.close fd;
+          Alcotest.fail "must refuse a socket with a live daemon behind it");
+      (* and the incumbent daemon is unharmed by the probe *)
+      check_prefix "incumbent still serving" "ok phomd" (ask addr "version"));
+  (* a stale socket left by a crash (bound, nobody accepting) is replaced *)
+  let dir = Filename.temp_file "phomd_stale" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "d.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.unlink sock with Unix.Unix_error _ -> ());
+      Unix.rmdir dir)
+    (fun () ->
+      let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind dead (Unix.ADDR_UNIX sock);
+      (* no listen/accept: connect-probe fails, so the socket is stale *)
+      Unix.close dead;
+      let fd, _ = Daemon.listen_unix sock in
+      Unix.close fd;
+      Alcotest.(check bool) "stale socket was replaced" true
+        (Sys.file_exists sock))
+
 (* ---- listener permissions ---- *)
 
 let test_listen_unix_permissions () =
@@ -446,6 +503,10 @@ let suite =
           test_client_retry_backoff;
         Alcotest.test_case "retry-after parser" `Quick
           test_retry_after_hint_parser;
+        Alcotest.test_case "unload never resurrects artifacts" `Quick
+          test_unload_never_resurrects;
+        Alcotest.test_case "stale socket detection" `Quick
+          test_stale_socket_detection;
         Alcotest.test_case "unix socket permissions" `Quick
           test_listen_unix_permissions;
       ] );

@@ -135,6 +135,50 @@ let test_concurrent_counters () =
       Alcotest.(check bool) "misses >= keys" true (s.Lru.misses >= keys);
       Alcotest.(check int) "no evictions" 0 s.Lru.evictions)
 
+let test_bindings_order () =
+  let t = cache ~capacity:1000 () in
+  Lru.put t "a" ("A", 10);
+  Lru.put t "b" ("B", 10);
+  Lru.put t "c" ("C", 10);
+  ignore (Lru.find t "a");
+  (* the snapshot exporter's view: least-recently-used first, so restoring
+     in this order reproduces the recency order *)
+  Alcotest.(check (list string)) "LRU-first order" [ "b"; "c"; "a" ]
+    (List.map fst (Lru.bindings t));
+  let s = Lru.stats t in
+  Alcotest.(check int) "bindings counts no hits" 1 s.Lru.hits
+
+(* an invalidation sweep racing concurrent lookups: every lookup must see
+   either its own freshly computed value or a resident one for the same
+   key — never a value the sweep already removed (resurrection), and the
+   byte accounting must stay exact through any interleaving *)
+let test_remove_if_racing_lookups () =
+  let t = cache ~capacity:1_000_000 () in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let work = Array.init 400 (fun i -> i) in
+      let results =
+        Pool.map pool
+          (fun i ->
+            if i mod 10 = 0 then begin
+              ignore (Lru.remove_if t (fun k -> k mod 2 = 0));
+              0
+            end
+            else
+              let k = i mod 8 in
+              let v, _ = Lru.find_or_add t k (fun () -> (string_of_int k, 1)) in
+              if fst v = string_of_int k then 0 else 1)
+          work
+      in
+      Alcotest.(check int) "every lookup saw its own key's value" 0
+        (Array.fold_left ( + ) 0 results));
+  let s = Lru.stats t in
+  Alcotest.(check int) "bytes track entries exactly" s.Lru.entries s.Lru.bytes;
+  (* a final sweep of everything leaves a consistent empty cache *)
+  ignore (Lru.remove_if t (fun _ -> true));
+  let s = Lru.stats t in
+  Alcotest.(check int) "swept empty" 0 s.Lru.entries;
+  Alcotest.(check int) "swept bytes" 0 s.Lru.bytes
+
 let test_negative_capacity_rejected () =
   Alcotest.check_raises "negative capacity"
     (Invalid_argument "Lru.create: negative capacity") (fun () ->
@@ -154,6 +198,9 @@ let suite =
         Alcotest.test_case "clear" `Quick test_clear;
         Alcotest.test_case "find_or_add" `Quick test_find_or_add;
         Alcotest.test_case "concurrent counters" `Quick test_concurrent_counters;
+        Alcotest.test_case "bindings order" `Quick test_bindings_order;
+        Alcotest.test_case "remove_if racing lookups" `Quick
+          test_remove_if_racing_lookups;
         Alcotest.test_case "negative capacity rejected" `Quick
           test_negative_capacity_rejected;
       ] );

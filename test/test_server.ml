@@ -288,6 +288,21 @@ let test_execute_budget_trip () =
     (Helpers.count_substring ~needle:"closure:miss" r2 = 1
     && Helpers.count_substring ~needle:"cands:miss" r2 = 1)
 
+let test_ping_health () =
+  let st = Daemon.make_state Daemon.default_config in
+  check_prefix "ping" "ok pong" (exec st "ping");
+  let health, _ = exec st "health" in
+  check_prefix "ready" "ok health state=ready" (health, `Continue);
+  (* an ephemeral daemon reports that it carries no durable state *)
+  Alcotest.(check bool) "no persistence" true
+    (Helpers.count_substring ~needle:"persist=false" health = 1);
+  Alcotest.(check bool) "zero recovery counters" true
+    (Helpers.count_substring ~needle:"quarantined=0" health = 1);
+  (* ping/health are protocol 3: the banner must advertise it *)
+  let version, _ = exec st "version" in
+  Alcotest.(check bool) "protocol 3 advertised" true
+    (Helpers.count_substring ~needle:"protocol 3" version = 1)
+
 (* ---- live socket round trip ---- *)
 
 let test_socket_roundtrip () =
@@ -359,6 +374,7 @@ let suite =
         Alcotest.test_case "protocol parse errors" `Quick test_protocol_parse_errors;
         Alcotest.test_case "execute lifecycle" `Quick test_execute_lifecycle;
         Alcotest.test_case "execute budget trip" `Quick test_execute_budget_trip;
+        Alcotest.test_case "ping and health" `Quick test_ping_health;
         Alcotest.test_case "socket round trip" `Quick test_socket_roundtrip;
       ] );
   ]
