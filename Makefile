@@ -1,6 +1,7 @@
 .PHONY: all build check test bench bench-full bench-parallel bench-serve \
-	bench-obs bench-recovery serve-smoke serve-smoke-faults chaos-smoke \
-	ablations micro examples fmt fmt-check ci clean
+	bench-obs bench-recovery bench-exact bench-exact-baseline serve-smoke \
+	serve-smoke-faults chaos-smoke ablations micro examples fmt fmt-check \
+	ci clean
 
 # worker domains for the parallel runtime; passed through to the bench
 # harness (the CLI takes its own --jobs flag)
@@ -42,6 +43,18 @@ bench-obs:
 # recovered start (snapshot + journal replay) is strictly cheaper
 bench-recovery:
 	dune exec bench/main.exe -- recovery --out BENCH_recovery.json
+
+# legacy colouring B&B vs the bitset MWC engine on the tracked seeded
+# instances; fails below the 10x step-speedup floor or on >20% regression
+# against the checked-in baseline — the same gate the bench-exact CI job runs
+bench-exact:
+	dune exec bench/main.exe -- exact --out BENCH_exact.json \
+		--check-against bench/baselines/BENCH_exact.json
+
+# refresh the checked-in baseline after an intentional perf change (run on a
+# quiet machine; steps are deterministic, times carry the slack)
+bench-exact-baseline:
+	dune exec bench/main.exe -- exact --out bench/baselines/BENCH_exact.json
 
 # start phomd on a temp socket, run cold/warm/budget-tripped client queries,
 # assert clean shutdown — the same flow as the CI daemon-smoke job
@@ -101,6 +114,8 @@ ci:
 	dune exec bench/main.exe -- obs --out BENCH_obs.json
 	sh scripts/chaos_smoke.sh
 	dune exec bench/main.exe -- recovery --out BENCH_recovery.json
+	dune exec bench/main.exe -- exact --out BENCH_exact.json \
+		--check-against bench/baselines/BENCH_exact.json
 
 clean:
 	dune clean

@@ -148,7 +148,14 @@ let parallel_cmd =
   let m_arg =
     Arg.(value & opt int 40 & info [ "size" ] ~doc:"Nodes per pattern component.")
   in
-  let run seed jobs components m versions out =
+  let require_speedup_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "require-speedup" ] ~docv:"X"
+          ~doc:"Fail unless every workload reaches X times sequential speed \
+                (default 0: report only — pool wins depend on machine shape).")
+  in
+  let run seed jobs components m versions require_speedup out =
     let jobs =
       if jobs >= 1 then jobs
       else begin
@@ -156,7 +163,8 @@ let parallel_cmd =
         exit 1
       end
     in
-    Parallel_bench.run ~jobs ~seed ~components ~m ~versions ~out ()
+    Parallel_bench.run ~jobs ~seed ~components ~m ~versions ~out
+      ~min_speedup:require_speedup ()
   in
   Cmd.v
     (Cmd.info "parallel"
@@ -169,7 +177,7 @@ let parallel_cmd =
           & opt int (Domain.recommended_domain_count ())
           & info [ "jobs"; "j" ] ~docv:"N"
               ~doc:"Worker domains for the parallel side of the comparison.")
-      $ components_arg $ m_arg $ versions_arg $ out_arg)
+      $ components_arg $ m_arg $ versions_arg $ require_speedup_arg $ out_arg)
 
 let serve_cmd =
   let out_arg =
@@ -239,12 +247,19 @@ let recovery_cmd =
       value & opt int 3
       & info [ "repeats" ] ~doc:"Cold/recovered daemon-life pairs to time.")
   in
-  let run seed m noise repeats out =
+  let min_speedup_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Fail unless the recovered start is X times cheaper than the \
+                cold start (default 1: strictly cheaper).")
+  in
+  let run seed m noise repeats min_speedup out =
     if m < 1 || repeats < 1 then begin
       prerr_endline "bench: --size and --repeats must be at least 1";
       exit 1
     end;
-    Recovery_bench.run ~seed ~m ~noise ~repeats ~out ()
+    Recovery_bench.run ~seed ~m ~noise ~repeats ~out ~min_speedup ()
   in
   Cmd.v
     (Cmd.info "recovery"
@@ -252,7 +267,75 @@ let recovery_cmd =
              recovered start (snapshot + journal replay) to the first \
              answer; writes BENCH_recovery.json and fails unless recovery \
              is strictly cheaper.")
-    Term.(const run $ seed_arg $ m_arg $ noise_arg $ repeats_arg $ out_arg)
+    Term.(
+      const run $ seed_arg $ m_arg $ noise_arg $ repeats_arg $ min_speedup_arg
+      $ out_arg)
+
+let exact_cmd =
+  let seed_arg =
+    (* the exact bench pins its own seed: the tracked instances (and the
+       checked-in baseline) are defined by it, unlike the survey benches
+       where the seed only flavours the workload *)
+    Arg.(value & opt int 2 & info [ "seed" ] ~doc:"Random seed.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_exact.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let check_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "check-against" ] ~docv:"FILE"
+          ~doc:"Baseline BENCH_exact.json to gate against: fail when any \
+                tracked instance regresses on steps-to-optimum or wall-time.")
+  in
+  let min_speedup_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "min-step-speedup" ] ~docv:"X"
+          ~doc:"Fail unless the MWC engine takes at least X times fewer B&B \
+                steps than the legacy engine on the tracked instances.")
+  in
+  let step_regress_arg =
+    Arg.(
+      value & opt float 0.20
+      & info [ "max-step-regress" ] ~docv:"FRAC"
+          ~doc:"Baseline gate: allowed fractional step regression (steps are \
+                deterministic, so this is effectively exact).")
+  in
+  let time_regress_arg =
+    Arg.(
+      value & opt float 0.20
+      & info [ "max-time-regress" ] ~docv:"FRAC"
+          ~doc:"Baseline gate: allowed fractional wall-time regression, on \
+                top of the absolute slack of $(b,--time-floor).")
+  in
+  let time_floor_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "time-floor" ] ~docv:"SECONDS"
+          ~doc:"Baseline gate: absolute wall-time slack added to the \
+                fractional bound (CI runners are noisy; steps are the exact \
+                signal).")
+  in
+  let run seed jobs min_speedup out check step_r time_r floor =
+    if jobs < 1 then begin
+      Printf.eprintf "bench: --jobs must be at least 1 (got %d)\n" jobs;
+      exit 1
+    end;
+    Exact_bench.run ~seed ~jobs ~min_step_speedup:min_speedup ~out ?check
+      ~max_step_regress:step_r ~max_time_regress:time_r ~time_floor:floor ()
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Exact-path engine bench: legacy colouring B&B vs the bitset MWC \
+             engine on seeded product-graph instances, steps-to-optimum and \
+             wall-clock; writes BENCH_exact.json, fails below the speedup \
+             guard, and optionally gates against a checked-in baseline.")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ min_speedup_arg $ out_arg $ check_arg
+      $ step_regress_arg $ time_regress_arg $ time_floor_arg)
 
 let obs_cmd =
   let out_arg =
@@ -308,4 +391,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:all_term info
           [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd;
-            parallel_cmd; serve_cmd; recovery_cmd; obs_cmd; all_cmd ]))
+            parallel_cmd; serve_cmd; recovery_cmd; obs_cmd; exact_cmd; all_cmd ]))

@@ -116,7 +116,7 @@ let json_of_rows ~jobs rows =
     (Domain.recommended_domain_count ())
     (String.concat ",\n" (List.map row_json rows))
 
-let run ~jobs ~seed ~components ~m ~versions ~out () =
+let run ~jobs ~seed ~components ~m ~versions ~out ?(min_speedup = 0.) () =
   Util.heading "Parallel runtime: sequential vs domain pool";
   Util.note "jobs %d (recommended for this machine: %d)" jobs
     (Domain.recommended_domain_count ());
@@ -148,4 +148,18 @@ let run ~jobs ~seed ~components ~m ~versions ~out () =
   if List.exists (fun r -> not r.equal_output) rows then begin
     prerr_endline "parallel output diverged from sequential output";
     exit 1
-  end
+  end;
+  (* optional speedup guard (off by default: pool wins depend on machine
+     shape). CI uses an impossible threshold to assert the guard is live. *)
+  List.iter
+    (fun r ->
+      let speedup =
+        if r.par_seconds > 0. then r.seq_seconds /. r.par_seconds else 0.
+      in
+      if speedup < min_speedup then begin
+        Printf.eprintf
+          "bench parallel: %s speedup %.2fx below the %.2fx guard\n" r.name
+          speedup min_speedup;
+        exit 1
+      end)
+    rows

@@ -175,7 +175,7 @@ let json_of_rows ~m ~noise rows ~cold ~recovered =
     (if recovered > 0. then cold /. recovered else 0.)
     (String.concat ",\n" (List.map row_json rows))
 
-let run ~seed ~m ~noise ~repeats ~out () =
+let run ~seed ~m ~noise ~repeats ~out ?(min_speedup = 1.) () =
   Util.heading "Matching service: cold start vs recovered start";
   Util.note
     "paper synthetic pair (m = %d, noise %.2f), %d repeats; recovered = \
@@ -223,9 +223,12 @@ let run ~seed ~m ~noise ~repeats ~out () =
       "recovered solves missed the cache or changed the answer";
     exit 1
   end;
-  if not (recovered < cold) then begin
+  (* min_speedup 1.0 is the historical "strictly cheaper" bound; CI also
+     runs with an impossible threshold to assert the guard is live *)
+  if not (recovered *. min_speedup < cold) then begin
     Printf.eprintf
-      "recovered start (%.6fs) is not cheaper than a cold start (%.6fs)\n"
-      recovered cold;
+      "recovered start (%.6fs) is not %.1fx cheaper than a cold start \
+       (%.6fs)\n"
+      recovered min_speedup cold;
     exit 1
   end

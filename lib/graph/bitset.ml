@@ -28,6 +28,7 @@ let remove s i =
   s.data.(w) <- s.data.(w) land lnot (1 lsl (i mod bits_per_word))
 
 let copy s = { len = s.len; data = Array.copy s.data }
+let clear s = Array.fill s.data 0 (Array.length s.data) 0
 
 let same_universe a b op =
   if a.len <> b.len then invalid_arg ("Bitset." ^ op ^ ": universe mismatch")
@@ -52,11 +53,37 @@ let diff_into ~into s =
 
 let is_empty s = Array.for_all (fun w -> w = 0) s.data
 
+let inter a b =
+  same_universe a b "inter";
+  let data = Array.make (Array.length a.data) 0 in
+  for w = 0 to Array.length data - 1 do
+    data.(w) <- a.data.(w) land b.data.(w)
+  done;
+  { len = a.len; data }
+
+let copy_into ~into s =
+  same_universe into s "copy_into";
+  Array.blit s.data 0 into.data 0 (Array.length s.data)
+
+let disjoint a b =
+  same_universe a b "disjoint";
+  let n = Array.length a.data in
+  let rec go w = w >= n || (a.data.(w) land b.data.(w) = 0 && go (w + 1)) in
+  go 0
+
 let popcount w =
   let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
   go 0 w
 
 let count s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.data
+
+let inter_count a b =
+  same_universe a b "inter_count";
+  let acc = ref 0 in
+  for w = 0 to Array.length a.data - 1 do
+    acc := !acc + popcount (a.data.(w) land b.data.(w))
+  done;
+  !acc
 
 let equal a b = a.len = b.len && a.data = b.data
 

@@ -25,6 +25,10 @@ val remove : t -> int -> unit
 val copy : t -> t
 (** Fresh set with the same elements. *)
 
+val clear : t -> unit
+(** [clear s] empties [s] in place, keeping its universe — pairs with
+    {!copy_into} for allocation-free buffer reuse. *)
+
 val union_into : into:t -> t -> unit
 (** [union_into ~into s] sets [into := into ∪ s]. *)
 
@@ -34,10 +38,24 @@ val inter_into : into:t -> t -> unit
 val diff_into : into:t -> t -> unit
 (** [diff_into ~into s] sets [into := into \ s]. *)
 
+val copy_into : into:t -> t -> unit
+(** [copy_into ~into s] sets [into := s] without allocating — the buffer-reuse
+    primitive of the branch-and-bound hot loops. *)
+
+val inter : t -> t -> t
+(** [inter a b] is a fresh set holding [a ∩ b]. *)
+
 val is_empty : t -> bool
 
 val count : t -> int
 (** Number of elements (population count). *)
+
+val inter_count : t -> t -> int
+(** [inter_count a b] is [count (inter a b)] without the allocation. *)
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] is true iff [a ∩ b = ∅]; early-exits on the first
+    overlapping word, so testing against small sets is cheap. *)
 
 val equal : t -> t -> bool
 

@@ -40,13 +40,41 @@ val max_weight_clique :
   ?budget:Phom_graph.Budget.t ->
   Ungraph.t ->
   int list
+(** As {!max_weight_independent_set} for cliques, with one upgrade: on
+    graphs of at most a few hundred nodes the answer is additionally
+    refined by the exact {!Mwc} engine under a bounded step allowance (the
+    caller's [budget] when given, a small private token otherwise), keeping
+    whichever clique is heavier. Never worse than the approximation. *)
 
 val exact_max_clique :
+  ?pool:Phom_parallel.Pool.t ->
   ?budget:Phom_graph.Budget.t ->
   Ungraph.t ->
   int list * Phom_graph.Budget.status
-(** Exact branch-and-bound (greedy colouring bound), one budget tick per
-    search node (default: a fresh 10⁷-step token). Always returns the best
-    clique found; [Exhausted _] marks it possibly suboptimal — this is how
-    the cdkMCS baseline "does not run to completion" while still reporting
-    its partial answer. *)
+(** Exact maximum-cardinality clique via the bitset MWC engine ({!Mwc}) on
+    unit weights: weight-degeneracy vertex order, greedy weighted-colouring
+    upper bounds, one budget tick per search node (default: a fresh
+    10⁷-step token). Always returns the best clique found; [Exhausted _]
+    marks it possibly suboptimal — this is how the cdkMCS baseline "does
+    not run to completion" while still reporting its partial answer.
+    [pool] splits the root branches across domains with forked budgets;
+    with an untripped budget the result is identical to the sequential
+    one. *)
+
+val exact_max_weight_clique :
+  ?pool:Phom_parallel.Pool.t ->
+  ?budget:Phom_graph.Budget.t ->
+  Ungraph.t ->
+  int list * float * Phom_graph.Budget.status
+(** Exact maximum-weight clique on the graph's node weights — the
+    Jain–Obermayer form of the exact p-hom path. Returns the clique, its
+    total weight, and the anytime status. *)
+
+val exact_max_clique_legacy :
+  ?budget:Phom_graph.Budget.t ->
+  Ungraph.t ->
+  int list * Phom_graph.Budget.status
+(** The pre-MWC exact engine (Tomita branch and bound, unweighted colouring
+    bound, list-backed classes). Reference implementation for the
+    [bench exact] old-vs-new comparison and the agreement property tests;
+    new code wants {!exact_max_clique}. *)

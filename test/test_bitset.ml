@@ -52,6 +52,58 @@ let test_iter_order () =
   let s = Bitset.of_list 200 [ 199; 5; 63; 64; 128 ] in
   Alcotest.(check (list int)) "ascending" [ 5; 63; 64; 128; 199 ] (Bitset.to_list s)
 
+(* the MWC hot loop leans on inter/inter_count/disjoint/copy_into/clear;
+   exercise them at universe sizes straddling the 63-bit word boundary
+   (one word, exactly one word, one bit into the second word, two words,
+   one bit into the third) plus the empty/full extremes *)
+let test_hot_ops_word_boundaries () =
+  List.iter
+    (fun n ->
+      let all = List.init n Fun.id in
+      let evens = Bitset.of_list n (List.filter (fun i -> i mod 2 = 0) all) in
+      let thirds = Bitset.of_list n (List.filter (fun i -> i mod 3 = 0) all) in
+      let expected = List.filter (fun i -> i mod 6 = 0) all in
+      let name fmt = Printf.sprintf "n=%d: %s" n fmt in
+      Alcotest.(check (list int))
+        (name "inter") expected
+        (Bitset.to_list (Bitset.inter evens thirds));
+      Alcotest.(check int)
+        (name "inter_count")
+        (List.length expected)
+        (Bitset.inter_count evens thirds);
+      Alcotest.(check bool) (name "disjoint overlapping") false
+        (Bitset.disjoint evens thirds);
+      let odds = Bitset.of_list n (List.filter (fun i -> i mod 2 = 1) all) in
+      Alcotest.(check bool) (name "disjoint complements") true
+        (Bitset.disjoint evens odds);
+      let buf = Bitset.create n in
+      Bitset.copy_into ~into:buf evens;
+      Alcotest.(check bool) (name "copy_into") true (Bitset.equal buf evens);
+      Bitset.clear buf;
+      Alcotest.(check bool) (name "clear empties") true (Bitset.is_empty buf);
+      Alcotest.(check int) (name "clear count") 0 (Bitset.count buf);
+      let full = Bitset.full n and empty = Bitset.create n in
+      Alcotest.(check int) (name "full popcount") n (Bitset.count full);
+      Alcotest.(check int)
+        (name "inter_count vs full")
+        (Bitset.count thirds)
+        (Bitset.inter_count full thirds);
+      Alcotest.(check bool) (name "empty disjoint full") true
+        (Bitset.disjoint empty full);
+      Alcotest.(check int)
+        (name "fold sum")
+        (List.fold_left ( + ) 0 all)
+        (Bitset.fold ( + ) full 0);
+      (* the extreme bits of the universe survive a copy_into round-trip *)
+      let ends = Bitset.of_list n (List.sort_uniq compare [ 0; n - 1 ]) in
+      let buf2 = Bitset.create n in
+      Bitset.copy_into ~into:buf2 ends;
+      Alcotest.(check (list int))
+        (name "boundary bits")
+        (List.sort_uniq compare [ 0; n - 1 ])
+        (Bitset.to_list buf2))
+    [ 1; 62; 63; 64; 126; 127 ]
+
 let gen_int_list : int list QCheck.Gen.t =
  fun st ->
   List.init (Random.State.int st 40) (fun _ -> Random.State.int st 120)
@@ -129,6 +181,8 @@ let suite =
         Alcotest.test_case "universe mismatch" `Quick test_universe_mismatch;
         Alcotest.test_case "full and choose" `Quick test_full_choose;
         Alcotest.test_case "iteration is ascending" `Quick test_iter_order;
+        Alcotest.test_case "hot ops on word boundaries" `Quick
+          test_hot_ops_word_boundaries;
         prop_of_list_roundtrip;
         prop_count_matches;
         prop_model_based;
