@@ -1,7 +1,7 @@
 .PHONY: all build check test bench bench-full bench-parallel bench-serve \
-	bench-obs bench-recovery bench-exact bench-exact-baseline serve-smoke \
-	serve-smoke-faults chaos-smoke ablations micro examples fmt fmt-check \
-	ci clean
+	bench-obs bench-recovery bench-exact bench-exact-baseline bench-dp \
+	bench-dp-baseline serve-smoke serve-smoke-faults chaos-smoke ablations \
+	micro examples fmt fmt-check ci clean
 
 # worker domains for the parallel runtime; passed through to the bench
 # harness (the CLI takes its own --jobs flag)
@@ -55,6 +55,16 @@ bench-exact:
 # quiet machine; steps are deterministic, times carry the slack)
 bench-exact-baseline:
 	dune exec bench/main.exe -- exact --out bench/baselines/BENCH_exact.json
+
+# tree-decomposition DP vs the MWC engine on the tracked low-treewidth
+# instances; fails below the 2x step-speedup floor or on >20% regression
+# against the checked-in baseline — the same gate the bench-dp CI job runs
+bench-dp:
+	dune exec bench/main.exe -- dp --out BENCH_dp.json \
+		--check-against bench/baselines/BENCH_dp.json
+
+bench-dp-baseline:
+	dune exec bench/main.exe -- dp --out bench/baselines/BENCH_dp.json
 
 # start phomd on a temp socket, run cold/warm/budget-tripped client queries,
 # assert clean shutdown — the same flow as the CI daemon-smoke job
@@ -116,6 +126,8 @@ ci:
 	dune exec bench/main.exe -- recovery --out BENCH_recovery.json
 	dune exec bench/main.exe -- exact --out BENCH_exact.json \
 		--check-against bench/baselines/BENCH_exact.json
+	dune exec bench/main.exe -- dp --out BENCH_dp.json \
+		--check-against bench/baselines/BENCH_dp.json
 
 clean:
 	dune clean

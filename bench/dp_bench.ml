@@ -1,0 +1,308 @@
+(* Tree-decomposition DP bench and CI perf-regression gate.
+
+   Seeded low-treewidth instances — tree and series-parallel patterns
+   against graded-similarity DAG data graphs — solved to proven optimality
+   by both exact paths: the Theorem-5.1 product-graph reduction into the
+   bitset MWC engine, and the tree-decomposition DP the width router picks
+   on narrow patterns. Two guards, both exit non-zero so CI cannot pass a
+   regression silently:
+
+   - the engine guard: across the tracked instances the DP must take
+     >= --min-step-speedup fewer budget steps (DP table rows vs B&B search
+     nodes) than the MWC engine — the whole point of routing tree-like
+     patterns away from the clique solver;
+   - the baseline gate (--check-against FILE): every tracked (name, engine)
+     row of the checked-in BENCH_dp.json must be reproduced within
+     --max-step-regress and --max-time-regress plus --time-floor, exactly
+     like `bench exact`.
+
+   Refresh the baseline by copying the written artifact over
+   bench/baselines/BENCH_dp.json when an intentional change moves the
+   numbers. *)
+
+module D = Phom_graph.Digraph
+module G = Phom_graph.Generators
+module Budget = Phom_graph.Budget
+module Simmat = Phom_sim.Simmat
+module Ungraph = Phom_wis.Ungraph
+module Wis = Phom_wis.Wis
+module Mapping = Phom.Mapping
+module Pool = Phom_parallel.Pool
+
+type row = {
+  name : string;
+  engine : string;  (** "dp" or "mwc" *)
+  nodes : int;  (** pattern nodes (the DP's input scale) *)
+  edges : int;
+  optimum : float;
+  steps : int;
+  seconds : float;
+}
+
+(* a tracked instance: a seeded low-treewidth pattern (tree or
+   series-parallel) against a DAG data graph under graded similarities.
+   Wide candidate rows make the product graph big and clique-heavy while
+   the DP's tables stay polynomial — the regime the router exists for. *)
+let low_tw_instance ~seed ~kind ~n1 ~n2 ~m2 ~xi ~weighted =
+  let rng = Random.State.make [| seed; n1; n2; (match kind with `Tree -> 0 | `Sp -> 1) |] in
+  let labels = [| "A"; "B"; "C" |] in
+  let lbl _ = labels.(Random.State.int rng (Array.length labels)) in
+  let g1 =
+    match kind with
+    | `Tree -> G.random_tree ~rng ~n:n1 ~labels:lbl
+    | `Sp -> G.series_parallel ~rng ~n:n1 ~labels:lbl
+  in
+  let g2 = G.random_dag ~rng ~n:n2 ~m:m2 ~labels:lbl in
+  let mat =
+    Simmat.of_fun ~n1 ~n2 (fun v u ->
+        let base = if D.label g1 v = D.label g2 u then 0.55 else 0.25 in
+        min 1. (base +. (0.15 *. float_of_int (Random.State.int rng 4))))
+  in
+  let t = Phom.Instance.make ~g1 ~g2 ~mat ~xi () in
+  let weights =
+    if weighted then
+      Some (Array.init n1 (fun i -> 0.5 +. (float_of_int (i mod 4) /. 4.)))
+    else None
+  in
+  (t, weights)
+
+let tracked ~seed =
+  [
+    ("tree-16x24", low_tw_instance ~seed ~kind:`Tree ~n1:16 ~n2:24 ~m2:52 ~xi:0.5 ~weighted:false);
+    ("tree-20x26", low_tw_instance ~seed ~kind:`Tree ~n1:20 ~n2:26 ~m2:58 ~xi:0.5 ~weighted:false);
+    ("sp-14x24", low_tw_instance ~seed ~kind:`Sp ~n1:14 ~n2:24 ~m2:52 ~xi:0.5 ~weighted:false);
+    ("sp-16x26", low_tw_instance ~seed ~kind:`Sp ~n1:16 ~n2:26 ~m2:56 ~xi:0.5 ~weighted:false);
+    (* the weighted proof is much harder for the clique engine, so the
+       weighted rows stay small enough that it still closes under the cap *)
+    ("sim-tree-12x20", low_tw_instance ~seed ~kind:`Tree ~n1:12 ~n2:20 ~m2:44 ~xi:0.5 ~weighted:true);
+    ("sim-sp-10x20", low_tw_instance ~seed ~kind:`Sp ~n1:10 ~n2:20 ~m2:44 ~xi:0.5 ~weighted:true);
+  ]
+
+(* safety net only: every tracked instance finishes in far fewer steps on
+   both engines; the cap turns a future regression into a loud failure
+   instead of a hung CI job *)
+let step_cap = 50_000_000
+
+let raw_sim ~weights ~mat m =
+  List.fold_left (fun acc (v, u) -> acc +. (weights.(v) *. Simmat.get mat v u)) 0. m
+
+let run_dp ?pool name (t : Phom.Instance.t) weights =
+  Printf.eprintf "bench dp: %-16s %-4s %3d pattern nodes...\n%!" name "dp"
+    (D.n t.Phom.Instance.g1);
+  let b = Budget.create ~steps:step_cap () in
+  let objective =
+    match weights with
+    | None -> Phom.Exact.Cardinality
+    | Some w -> Phom.Exact.Similarity w
+  in
+  let r, seconds =
+    Util.timed (fun () -> Phom.Dp.solve ~budget:b ?pool ~objective t)
+  in
+  if r.Phom.Exact.status <> Budget.Complete then begin
+    Printf.eprintf "bench dp: DP did not complete on %s within %d steps\n" name
+      step_cap;
+    exit 1
+  end;
+  let optimum =
+    match weights with
+    | None -> float_of_int (Mapping.size r.Phom.Exact.mapping)
+    | Some w -> raw_sim ~weights:w ~mat:t.Phom.Instance.mat r.Phom.Exact.mapping
+  in
+  {
+    name;
+    engine = "dp";
+    nodes = D.n t.Phom.Instance.g1;
+    edges = D.nb_edges t.Phom.Instance.g1;
+    seconds;
+    steps = Budget.steps_used b;
+    optimum;
+  }
+
+let run_mwc ?pool name (t : Phom.Instance.t) weights =
+  Printf.eprintf "bench dp: %-16s %-4s %3d pattern nodes...\n%!" name "mwc"
+    (D.n t.Phom.Instance.g1);
+  let p =
+    Phom_wis.Product.build ~injective:false ?weights ~g1:t.Phom.Instance.g1
+      ~tc2:t.Phom.Instance.tc2 ~mat:t.Phom.Instance.mat ~xi:t.Phom.Instance.xi
+      ()
+  in
+  let g = p.Phom_wis.Product.graph in
+  let b = Budget.create ~steps:step_cap () in
+  let (optimum, status), seconds =
+    Util.timed (fun () ->
+        match weights with
+        | None ->
+            let c, status = Wis.exact_max_clique ?pool ~budget:b g in
+            (float_of_int (List.length c), status)
+        | Some _ ->
+            let _, w, status = Wis.exact_max_weight_clique ?pool ~budget:b g in
+            (w, status))
+  in
+  if status <> Budget.Complete then begin
+    Printf.eprintf
+      "bench dp: MWC engine did not prove optimality on %s within %d steps\n"
+      name step_cap;
+    exit 1
+  end;
+  {
+    name;
+    engine = "mwc";
+    nodes = D.n t.Phom.Instance.g1;
+    edges = D.nb_edges t.Phom.Instance.g1;
+    seconds;
+    steps = Budget.steps_used b;
+    optimum;
+  }
+
+let json_of ~seed ~jobs rows ~dp_steps ~mwc_steps ~dp_seconds ~mwc_seconds =
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": %S, \"engine\": %S, \"nodes\": %d, \"edges\": %d, \
+       \"optimum\": %.6f, \"steps\": %d, \"seconds\": %.6f}"
+      r.name r.engine r.nodes r.edges r.optimum r.steps r.seconds
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"mwc_steps\": %d,\n\
+    \  \"dp_steps\": %d,\n\
+    \  \"steps_speedup\": %.3f,\n\
+    \  \"mwc_seconds\": %.6f,\n\
+    \  \"dp_seconds\": %.6f,\n\
+    \  \"instances\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    seed jobs mwc_steps dp_steps
+    (if dp_steps > 0 then float_of_int mwc_steps /. float_of_int dp_steps
+     else 0.)
+    mwc_seconds dp_seconds
+    (String.concat ",\n" (List.map row_json rows))
+
+let check_against ~baseline_file ~max_step_regress ~max_time_regress
+    ~time_floor rows =
+  let baseline = Exact_bench.parse_baseline baseline_file in
+  if baseline = [] then begin
+    Printf.eprintf "bench dp: no instance rows parsed from %s\n" baseline_file;
+    exit 1
+  end;
+  let violations = ref 0 in
+  List.iter
+    (fun (name, engine, base_steps, base_seconds) ->
+      match
+        List.find_opt (fun r -> r.name = name && r.engine = engine) rows
+      with
+      | None ->
+          Printf.eprintf
+            "bench dp: tracked instance %s/%s missing from this run\n" name
+            engine;
+          incr violations
+      | Some r ->
+          let step_limit =
+            int_of_float
+              (ceil (float_of_int base_steps *. (1. +. max_step_regress)))
+          in
+          if r.steps > step_limit then begin
+            Printf.eprintf
+              "bench dp: %s/%s regressed on steps: %d > %d (baseline %d, \
+               +%.0f%% allowed)\n"
+              name engine r.steps step_limit base_steps
+              (max_step_regress *. 100.);
+            incr violations
+          end;
+          let time_limit =
+            (base_seconds *. (1. +. max_time_regress)) +. time_floor
+          in
+          if r.seconds > time_limit then begin
+            Printf.eprintf
+              "bench dp: %s/%s regressed on wall-time: %.6fs > %.6fs \
+               (baseline %.6fs, +%.0f%% and %.2fs slack)\n"
+              name engine r.seconds time_limit base_seconds
+              (max_time_regress *. 100.) time_floor;
+            incr violations
+          end)
+    baseline;
+  if !violations > 0 then begin
+    Printf.eprintf "bench dp: %d perf-gate violation(s) vs %s\n" !violations
+      baseline_file;
+    exit 1
+  end;
+  Util.note "perf gate: every tracked instance within bounds of %s"
+    baseline_file
+
+let run ~seed ~jobs ~min_step_speedup ~out ?check ~max_step_regress
+    ~max_time_regress ~time_floor () =
+  Util.heading "Low-treewidth patterns: tree-decomposition DP vs MWC engine";
+  let with_pool f =
+    if jobs <= 1 then f None
+    else Pool.with_pool ~domains:jobs (fun p -> f (Some p))
+  in
+  with_pool @@ fun pool ->
+  let eps = 1e-6 in
+  let rows = ref [] in
+  List.iter
+    (fun (name, (t, weights)) ->
+      let dp = run_dp ?pool name t weights in
+      let mwc = run_mwc ?pool name t weights in
+      if Float.abs (dp.optimum -. mwc.optimum) > eps then begin
+        Printf.eprintf
+          "bench dp: engines disagree on %s: dp %.6f vs mwc %.6f\n" name
+          dp.optimum mwc.optimum;
+        exit 1
+      end;
+      rows := mwc :: dp :: !rows)
+    (tracked ~seed);
+  let rows = List.rev !rows in
+  let sum f pred =
+    List.fold_left (fun acc r -> if pred r then acc +. f r else acc) 0. rows
+  in
+  let dp_steps =
+    int_of_float (sum (fun r -> float_of_int r.steps) (fun r -> r.engine = "dp"))
+  in
+  let mwc_steps =
+    int_of_float (sum (fun r -> float_of_int r.steps) (fun r -> r.engine = "mwc"))
+  in
+  let dp_seconds = sum (fun r -> r.seconds) (fun r -> r.engine = "dp") in
+  let mwc_seconds = sum (fun r -> r.seconds) (fun r -> r.engine = "mwc") in
+  Util.table
+    [ "instance"; "engine"; "g1 nodes"; "g1 edges"; "optimum"; "steps"; "seconds" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           r.engine;
+           string_of_int r.nodes;
+           string_of_int r.edges;
+           Printf.sprintf "%.2f" r.optimum;
+           string_of_int r.steps;
+           Util.seconds r.seconds;
+         ])
+       rows);
+  let steps_speedup =
+    if dp_steps > 0 then float_of_int mwc_steps /. float_of_int dp_steps
+    else infinity
+  in
+  Util.note "steps: mwc %d vs dp %d (%.1fx); time: %ss vs %ss" mwc_steps
+    dp_steps steps_speedup
+    (Util.seconds mwc_seconds) (Util.seconds dp_seconds);
+  let json =
+    json_of ~seed ~jobs rows ~dp_steps ~mwc_steps ~dp_seconds ~mwc_seconds
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Util.note "wrote %s" out;
+  (* engine guard: the router's reason to exist *)
+  if steps_speedup < min_step_speedup then begin
+    Printf.eprintf
+      "bench dp: DP is only %.2fx fewer steps than the MWC engine (required \
+       %.1fx)\n"
+      steps_speedup min_step_speedup;
+    exit 1
+  end;
+  match check with
+  | None -> ()
+  | Some baseline_file ->
+      check_against ~baseline_file ~max_step_regress ~max_time_regress
+        ~time_floor rows

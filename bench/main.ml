@@ -337,6 +337,71 @@ let exact_cmd =
       const run $ seed_arg $ jobs_arg $ min_speedup_arg $ out_arg $ check_arg
       $ step_regress_arg $ time_regress_arg $ time_floor_arg)
 
+let dp_cmd =
+  let seed_arg =
+    (* like `bench exact`: the tracked instances and the checked-in
+       baseline are defined by the seed *)
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_dp.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let check_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "check-against" ] ~docv:"FILE"
+          ~doc:"Baseline BENCH_dp.json to gate against: fail when any \
+                tracked instance regresses on steps-to-optimum or wall-time.")
+  in
+  let min_speedup_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "min-step-speedup" ] ~docv:"X"
+          ~doc:"Fail unless the DP takes at least X times fewer budget steps \
+                than the MWC engine on the tracked low-treewidth instances.")
+  in
+  let step_regress_arg =
+    Arg.(
+      value & opt float 0.20
+      & info [ "max-step-regress" ] ~docv:"FRAC"
+          ~doc:"Baseline gate: allowed fractional step regression (steps are \
+                deterministic, so this is effectively exact).")
+  in
+  let time_regress_arg =
+    Arg.(
+      value & opt float 0.20
+      & info [ "max-time-regress" ] ~docv:"FRAC"
+          ~doc:"Baseline gate: allowed fractional wall-time regression, on \
+                top of the absolute slack of $(b,--time-floor).")
+  in
+  let time_floor_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "time-floor" ] ~docv:"SECONDS"
+          ~doc:"Baseline gate: absolute wall-time slack added to the \
+                fractional bound (CI runners are noisy; steps are the exact \
+                signal).")
+  in
+  let run seed jobs min_speedup out check step_r time_r floor =
+    if jobs < 1 then begin
+      Printf.eprintf "bench: --jobs must be at least 1 (got %d)\n" jobs;
+      exit 1
+    end;
+    Dp_bench.run ~seed ~jobs ~min_step_speedup:min_speedup ~out ?check
+      ~max_step_regress:step_r ~max_time_regress:time_r ~time_floor:floor ()
+  in
+  Cmd.v
+    (Cmd.info "dp"
+       ~doc:"Tree-decomposition DP vs the MWC engine on seeded low-treewidth \
+             instances, steps-to-optimum and wall-clock; writes \
+             BENCH_dp.json, fails below the speedup guard, and optionally \
+             gates against a checked-in baseline.")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ min_speedup_arg $ out_arg $ check_arg
+      $ step_regress_arg $ time_regress_arg $ time_floor_arg)
+
 let obs_cmd =
   let out_arg =
     Arg.(
@@ -391,4 +456,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:all_term info
           [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd;
-            parallel_cmd; serve_cmd; recovery_cmd; obs_cmd; exact_cmd; all_cmd ]))
+            parallel_cmd; serve_cmd; recovery_cmd; obs_cmd; exact_cmd; dp_cmd;
+            all_cmd ]))

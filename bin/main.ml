@@ -213,13 +213,24 @@ let problem_arg =
 
 let algorithm_arg =
   let choices =
-    Arg.enum [ ("direct", Api.Direct); ("naive", Api.Naive_product); ("exact", Api.Exact_bb) ]
+    Arg.enum
+      [ ("direct", Api.Direct); ("naive", Api.Naive_product);
+        ("exact", Api.Exact_bb); ("dp", Api.Dp_td) ]
   in
   Arg.(
     value & opt choices Api.Direct
     & info [ "algorithm"; "a" ] ~docv:"ALGO"
         ~doc:"$(b,direct) = compMaxCard/compMaxSim, $(b,naive) = product graph, \
-              $(b,exact) = branch and bound.")
+              $(b,exact) = branch and bound (tree-decomposition DP on narrow \
+              patterns, see $(b,--max-width)), $(b,dp) = force the DP.")
+
+let max_width_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-width" ] ~docv:"W"
+        ~doc:"Decomposition-width ceiling up to which $(b,--algorithm exact) \
+              routes to the tree-decomposition DP instead of branch and bound \
+              (default 4; -1 disables the DP route).")
 
 let partition_arg =
   Arg.(value & flag & info [ "partition" ] ~doc:"Enable the Appendix-B G1 partitioning.")
@@ -243,8 +254,8 @@ let match_cmd =
           ~doc:"Print the full match report: similarities and the witness \
                 path for every mapped pattern edge.")
   in
-  let run pattern data xi sim mat_file problem algorithm partition compress hops
-      weights dot_out explain timeout steps jobs =
+  let run pattern data xi sim mat_file problem algorithm max_width partition
+      compress hops weights dot_out explain timeout steps jobs =
     guard @@ fun () ->
     check_xi xi;
     let budget = budget_of timeout steps in
@@ -254,8 +265,8 @@ let match_cmd =
     let weights = weights_of weights g1 in
     let r =
       with_pool jobs (fun pool ->
-          Api.solve_within ~algorithm ~partition ~compress ~weights ?budget
-            ?pool problem t)
+          Api.solve_within ~algorithm ?max_width ~partition ~compress ~weights
+            ?budget ?pool problem t)
     in
     if explain then print_string (Api.report t r)
     else begin
@@ -285,9 +296,9 @@ let match_cmd =
   let term =
     Term.(
       const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
-      $ problem_arg $ algorithm_arg $ partition_arg $ compress_arg $ hops_arg
-      $ weights_arg $ dot_out_arg $ explain_arg $ timeout_arg $ steps_arg
-      $ jobs_arg)
+      $ problem_arg $ algorithm_arg $ max_width_arg $ partition_arg
+      $ compress_arg $ hops_arg $ weights_arg $ dot_out_arg $ explain_arg
+      $ timeout_arg $ steps_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "match"
@@ -461,19 +472,54 @@ let witnesses_cmd =
              Exits 2 when --timeout/--steps truncated the enumeration.")
     term
 
+(* ---- count ---- *)
+
+let count_cmd =
+  let run pattern data xi sim mat_file hops timeout steps jobs =
+    guard @@ fun () ->
+    check_xi xi;
+    let budget = budget_of timeout steps in
+    let g1 = load_graph pattern and g2 = load_graph data in
+    let mat = matrix_of ?file:mat_file sim g1 g2 in
+    let t = instance_of ?budget ?hops g1 g2 mat xi in
+    let r = with_pool jobs (fun pool -> Api.count ?budget ?pool t) in
+    Printf.printf "mappings  : %d%s\n" r.Phom.Dp.count
+      (if r.Phom.Dp.exact then "" else " (saturated, lower bound)");
+    Printf.printf "width     : %d\n" r.Phom.Dp.width;
+    if tripped budget r.Phom.Dp.status then begin
+      Printf.printf "status    : %s\n" (exhausted_line budget);
+      exit 2
+    end
+  in
+  let term =
+    Term.(
+      const run $ pattern_arg $ data_arg $ xi_arg $ sim_arg $ mat_file_arg
+      $ hops_arg $ timeout_arg $ steps_arg $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:"Count the p-hom mappings of the pattern into the data graph via \
+             the tree-decomposition DP (count > 0 iff G1 <=(e,p) G2). Exits 2 \
+             when --timeout/--steps ran out (the count is then 0 and \
+             meaningless).")
+    term
+
 (* ---- generate ---- *)
 
 let generate_cmd =
   let kind_arg =
     let choices =
       Arg.enum
-        [ ("er", `Er); ("dag", `Dag); ("tree", `Tree); ("pattern", `Pattern); ("data", `Data) ]
+        [ ("er", `Er); ("dag", `Dag); ("tree", `Tree); ("sp", `Sp);
+          ("ktree", `Ktree); ("pattern", `Pattern); ("data", `Data) ]
     in
     Arg.(
       required & pos 0 (some choices) None
       & info [] ~docv:"KIND"
-          ~doc:"$(b,er), $(b,dag), $(b,tree), $(b,pattern) (paper synthetic G1) \
-                or $(b,data) (paper synthetic G2 for --from pattern).")
+          ~doc:"$(b,er), $(b,dag), $(b,tree), $(b,sp) (series-parallel, \
+                treewidth <= 2), $(b,ktree) (partial k-tree, see $(b,--tw) \
+                and $(b,--keep)), $(b,pattern) (paper synthetic G1) or \
+                $(b,data) (paper synthetic G2 for --from pattern).")
   in
   let out_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output file.")
@@ -485,9 +531,24 @@ let generate_cmd =
   let from_arg =
     Arg.(value & opt (some file) None & info [ "from" ] ~doc:"Pattern file (for data graphs).")
   in
-  let run kind out n m seed noise from =
+  let tw_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "tw" ] ~docv:"K" ~doc:"Treewidth bound for $(b,ktree) graphs.")
+  in
+  let keep_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "keep" ] ~docv:"P"
+          ~doc:"For $(b,ktree): keep each edge with probability $(docv) \
+                (1.0 = the full k-tree).")
+  in
+  let run kind out n m seed noise from tw keep =
     guard @@ fun () ->
     if n < 0 then die "--nodes must be non-negative (got %d)" n;
+    if tw < 1 then die "--tw must be at least 1 (got %d)" tw;
+    if not (keep >= 0. && keep <= 1.) then
+      die "--keep must be in [0,1] (got %g)" keep;
     let rng = Random.State.make [| seed |] in
     let labels i = "n" ^ string_of_int i in
     let g =
@@ -495,6 +556,8 @@ let generate_cmd =
       | `Er -> G.erdos_renyi ~rng ~n ~m:(Option.value m ~default:(2 * n)) ~labels
       | `Dag -> G.random_dag ~rng ~n ~m:(Option.value m ~default:(2 * n)) ~labels
       | `Tree -> G.random_tree ~rng ~n ~labels
+      | `Sp -> G.series_parallel ~rng ~n ~labels
+      | `Ktree -> G.random_ktree ~rng ~n ~k:tw ~keep ~labels ()
       | `Pattern -> fst (G.paper_pattern ~rng ~m:n)
       | `Data -> (
           match from with
@@ -508,7 +571,9 @@ let generate_cmd =
     Printf.printf "wrote %s: %d nodes, %d edges\n" out (D.n g) (D.nb_edges g)
   in
   let term =
-    Term.(const run $ kind_arg $ out_arg $ n_arg $ m_arg $ seed_arg $ noise_arg $ from_arg)
+    Term.(
+      const run $ kind_arg $ out_arg $ n_arg $ m_arg $ seed_arg $ noise_arg
+      $ from_arg $ tw_arg $ keep_arg)
   in
   Cmd.v (Cmd.info "generate" ~doc:"Generate random graphs in phg format.") term
 
@@ -622,7 +687,8 @@ let client_cmd =
     | None -> (
         let line = String.concat " " request in
         if String.trim line = "" then
-          die "empty request (try: version, list, stats, solve ...)";
+          die "empty request (try one of: %s)"
+            Phom_server.Protocol.verb_summary;
         with_addr @@ fun sockaddr ->
         if no_read then (
           match Phom_server.Client.connect ?timeout:connect_timeout sockaddr with
@@ -679,6 +745,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            match_cmd; compare_cmd; decide_cmd; witnesses_cmd; generate_cmd;
-            stats_cmd; dot_cmd; client_cmd;
+            match_cmd; compare_cmd; decide_cmd; witnesses_cmd; count_cmd;
+            generate_cmd; stats_cmd; dot_cmd; client_cmd;
           ]))

@@ -4,12 +4,17 @@ module Obs = Phom_obs.Obs
 
 type problem = CPH | CPH11 | SPH | SPH11
 
-type algorithm = Direct | Naive_product | Exact_bb
+type algorithm = Direct | Naive_product | Exact_bb | Dp_td
 
 let algorithm_label = function
   | Direct -> "direct"
   | Naive_product -> "naive"
   | Exact_bb -> "exact"
+  | Dp_td -> "dp"
+
+(* exact answers become polynomial once the pattern decomposes this
+   narrowly; above it the DP tables outgrow the B&B's pruning *)
+let default_max_width = 4
 
 type result = {
   problem : problem;
@@ -29,7 +34,8 @@ let problem_name = function
 let default_weights (t : Instance.t) = Array.make (D.n t.g1) 1.
 
 let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
-    ?(compress = false) ?budget ?pool problem (t : Instance.t) =
+    ?(compress = false) ?(max_width = default_max_width) ?budget ?pool problem
+    (t : Instance.t) =
   let inj = injective problem in
   let weights = match weights with Some w -> w | None -> default_weights t in
   (* Exact_bb without an explicit budget runs on its own default token;
@@ -43,11 +49,23 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
     | Budget.Complete -> ());
     o.Exact.mapping
   in
+  let dp ?budget sub objective =
+    let o = Dp.solve ~injective:inj ?budget ?pool ~objective sub in
+    (match o.Exact.status with
+    | Budget.Exhausted _ as s -> Atomic.set inner_status s
+    | Budget.Complete -> ());
+    o.Exact.mapping
+  in
   (* [w] below is always re-indexed to the g1 of the sub-instance at hand
      (partitioning renumbers g1 nodes; compression leaves g1 intact); the
      budget is passed down explicitly so the partitioned path can hand each
      component its own forked child token *)
   let base_algo ?budget (sub : Instance.t) w =
+    let objective =
+      match problem with
+      | CPH | CPH11 -> Exact.Cardinality
+      | SPH | SPH11 -> Exact.Similarity w
+    in
     match (algorithm, problem) with
     | Direct, (CPH | CPH11) -> Comp_max_card.run ~injective:inj ?budget sub
     | Direct, (SPH | SPH11) ->
@@ -55,8 +73,11 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
     | Naive_product, (CPH | CPH11) -> Naive.max_card ~injective:inj ?budget sub
     | Naive_product, (SPH | SPH11) ->
         Naive.max_sim ~injective:inj ?budget ~weights:w sub
-    | Exact_bb, (CPH | CPH11) -> exact ?budget sub Exact.Cardinality
-    | Exact_bb, (SPH | SPH11) -> exact ?budget sub (Exact.Similarity w)
+    | Dp_td, _ -> dp ?budget sub objective
+    (* narrow patterns get the polynomial DP even when the caller asked
+       for the B&B: same optimum, tabulation instead of search *)
+    | Exact_bb, _ when Dp.width sub <= max_width -> dp ?budget sub objective
+    | Exact_bb, _ -> exact ?budget sub objective
   in
   let compressed_algo ?budget sub w =
     if compress then
@@ -182,3 +203,7 @@ let report (t : Instance.t) r =
 let decide_phom ?budget t = Exact.decide ~injective:false ?budget t
 
 let decide_one_one_phom ?budget t = Exact.decide ~injective:true ?budget t
+
+let count ?budget ?pool t =
+  Obs.incr (Obs.counter "phom_solver_counts_total");
+  Obs.span "count" @@ fun () -> Dp.count ?budget ?pool t

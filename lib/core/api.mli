@@ -29,6 +29,10 @@ type algorithm =
   | Direct  (** compMaxCard / compMaxSim — the paper's main algorithms *)
   | Naive_product  (** Section 5's naive reduction through the product graph *)
   | Exact_bb  (** branch and bound; exponential, small inputs only *)
+  | Dp_td
+      (** exact DP over a tree decomposition of [g1]; polynomial for
+          bounded-width patterns. [Exact_bb] routes here automatically
+          when the computed width is at most [max_width]. *)
 
 type result = {
   problem : problem;
@@ -49,12 +53,19 @@ val solve_within :
   ?weights:float array ->
   ?partition:bool ->
   ?compress:bool ->
+  ?max_width:int ->
   ?budget:Phom_graph.Budget.t ->
   ?pool:Phom_parallel.Pool.t ->
   problem ->
   Instance.t ->
   result
-(** [weights] applies to SPH/SPH¹⁻¹ (default all ones). [partition] enables
+(** [max_width] (default 4) is the decomposition-width ceiling up to which
+    [Exact_bb] requests are answered by the tree-decomposition DP
+    ({!Dp.solve}) instead of the branch and bound; [Dp_td] forces the DP
+    regardless of width, with the budget as the guard rail. [pool]
+    additionally fans the DP's join subtrees out across domains.
+
+    [weights] applies to SPH/SPH¹⁻¹ (default all ones). [partition] enables
     the Appendix-B G1 partitioning (p-hom problems only — ignored for the
     1-1 problems, whose mappings cannot be unioned safely); [compress]
     enables the Appendix-B G2 compression. Both default to [false].
@@ -110,3 +121,14 @@ val decide_phom :
 val decide_one_one_phom :
   ?budget:Phom_graph.Budget.t -> Instance.t -> bool option
 (** [G1 ⪯¹⁻¹(e,p) G2]. *)
+
+val count :
+  ?budget:Phom_graph.Budget.t ->
+  ?pool:Phom_parallel.Pool.t ->
+  Instance.t ->
+  Dp.count_result
+(** How many total valid p-hom mappings the instance admits — the counting
+    workload, answered by the tree-decomposition DP regardless of width
+    (the budget bounds wide patterns). [count > 0] iff {!decide_phom}
+    holds. A tripped count reports [0, exact = false, Exhausted _] and
+    must never be cached. *)

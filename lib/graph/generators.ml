@@ -52,6 +52,55 @@ let random_tree ~rng ~n ~labels =
   done;
   Digraph.make ~labels:(Array.init n labels) ~edges:!edges
 
+let series_parallel ~rng ~n ~labels =
+  (* grow from a single s->t edge by the two SP expansions, each adding one
+     node: subdivide an edge (series) or double it as a length-2 path
+     (parallel). Treewidth stays <= 2 by construction. *)
+  if n <= 1 then Digraph.make ~labels:(Array.init n labels) ~edges:[]
+  else begin
+    let edges = ref [ (0, 1) ] in
+    for w = 2 to n - 1 do
+      let arr = Array.of_list !edges in
+      let u, v = arr.(Random.State.int rng (Array.length arr)) in
+      if Random.State.bool rng then
+        (* series: u -> w -> v replaces u -> v *)
+        edges := (u, w) :: (w, v) :: List.filter (( <> ) (u, v)) !edges
+      else
+        (* parallel: a second branch u -> w -> v beside u -> v *)
+        edges := (u, w) :: (w, v) :: !edges
+    done;
+    Digraph.make ~labels:(Array.init n labels) ~edges:!edges
+  end
+
+let random_ktree ~rng ~n ~k ?(keep = 1.0) ~labels () =
+  (* seed clique on min n (k+1) nodes, then attach each new node to a
+     uniformly random existing k-clique; edges point low id -> high id so
+     the skeleton is a DAG. [keep] < 1 drops edges (a partial k-tree),
+     which can only lower the treewidth below k. *)
+  let base = min n (k + 1) in
+  let edges = ref [] in
+  for u = 0 to base - 1 do
+    for v = u + 1 to base - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  if n > base then begin
+    let without drop c = Array.of_list (List.filter (( <> ) drop) (Array.to_list c)) in
+    let all = Array.init base (fun i -> i) in
+    let cliques = ref (Array.map (fun drop -> without drop all) all) in
+    for v = base to n - 1 do
+      let c = !cliques.(Random.State.int rng (Array.length !cliques)) in
+      Array.iter (fun u -> edges := (u, v) :: !edges) c;
+      let fresh = Array.map (fun drop -> Array.append (without drop c) [| v |]) c in
+      cliques := Array.append !cliques fresh
+    done
+  end;
+  let edges =
+    if keep >= 1.0 then !edges
+    else List.filter (fun _ -> Random.State.float rng 1.0 < keep) !edges
+  in
+  Digraph.make ~labels:(Array.init n labels) ~edges
+
 let preferential_attachment ~rng ~n ~out ~labels =
   let indeg = Array.make n 0 in
   let edges = ref [] in

@@ -27,6 +27,27 @@ val random_tree :
 (** Rooted tree on [n] nodes: node 0 is the root, every other node has one
     incoming edge from a uniformly random earlier node. *)
 
+val series_parallel :
+  rng:Random.State.t -> n:int -> labels:(int -> string) -> Digraph.t
+(** Series-parallel digraph on [n] nodes grown from a single [0 -> 1] edge
+    by the two SP expansions (subdivide an edge / add a parallel length-2
+    branch), each adding one node. Treewidth at most 2 by construction —
+    the mid-band of the low-treewidth DP workload. Deterministic in [rng]. *)
+
+val random_ktree :
+  rng:Random.State.t ->
+  n:int ->
+  k:int ->
+  ?keep:float ->
+  labels:(int -> string) ->
+  unit ->
+  Digraph.t
+(** k-tree on [n] nodes: a (k+1)-clique seed, then each new node joins a
+    uniformly random existing k-clique; edges point low id -> high id, so
+    the skeleton is a DAG. Treewidth exactly [k] once [n > k]. [keep] < 1
+    (default 1) retains each edge with that probability — a partial
+    k-tree, treewidth at most [k]. Deterministic in [rng]. *)
+
 val preferential_attachment :
   rng:Random.State.t -> n:int -> out:int -> labels:(int -> string) -> Digraph.t
 (** Scale-free-ish digraph: each new node links to [out] targets chosen with

@@ -24,11 +24,14 @@ type key =
   | K_matrix of string * string * string  (** g1, g2, sim_to_string *)
   | K_cands of string * string * string * int option * float
       (** g1, g2, sim, hops, ξ *)
+  | K_count of string * string * string * int option * float
+      (** g1, g2, sim, hops, ξ — the mapping-count answer itself *)
 
 type artifact =
   | A_closure of BM.t
   | A_matrix of Simmat.t
   | A_cands of int array array
+  | A_count of { count : int; exact : bool; width : int }
 
 let artifact_weight = function
   | A_closure m -> BM.byte_size m
@@ -36,6 +39,7 @@ let artifact_weight = function
   | A_cands rows ->
       let words = Array.fold_left (fun acc r -> acc + 1 + Array.length r) 1 rows in
       words * (Sys.word_size / 8)
+  | A_count _ -> 4 * (Sys.word_size / 8)
 
 type entry = Graph of D.t | Mat of Simmat.t
 
@@ -163,7 +167,7 @@ let load_mat t ~name ~path =
 
 let derived_from name = function
   | K_closure (g, _) -> g = name
-  | K_matrix (a, b, s) | K_cands (a, b, s, _, _) ->
+  | K_matrix (a, b, s) | K_cands (a, b, s, _, _) | K_count (a, b, s, _, _) ->
       a = name || b = name || s = "mat:" ^ name
 
 let unload t name =
@@ -201,6 +205,8 @@ let token_of_key = function
   | K_matrix (g1, g2, sim) -> Printf.sprintf "matrix/%s/%s/%s" g1 g2 sim
   | K_cands (g1, g2, sim, hops, xi) ->
       Printf.sprintf "cands/%s/%s/%s/%s/%h" g1 g2 sim (hops_token hops) xi
+  | K_count (g1, g2, sim, hops, xi) ->
+      Printf.sprintf "count/%s/%s/%s/%s/%h" g1 g2 sim (hops_token hops) xi
 
 let key_of_token token =
   match String.split_on_char '/' token with
@@ -211,6 +217,11 @@ let key_of_token token =
       match (hops_of_token h, float_of_string_opt xi) with
       | Some hops, Some xi when xi >= 0. && xi <= 1. ->
           Some (K_cands (g1, g2, sim, hops, xi))
+      | _ -> None)
+  | [ "count"; g1; g2; sim; h; xi ] -> (
+      match (hops_of_token h, float_of_string_opt xi) with
+      | Some hops, Some xi when xi >= 0. && xi <= 1. ->
+          Some (K_count (g1, g2, sim, hops, xi))
       | _ -> None)
   | _ -> None
 
@@ -330,6 +341,30 @@ let candidates ?budget t ~instance ~g1 ~g2 ~sim ~hops =
       if cacheable budget then put_artifact t ~gen0 key (A_cands c);
       Miss
 
+(* the count verb's answer is itself a (tiny) cacheable artifact: the DP
+   is deterministic, so a completed count for the same key is the answer.
+   Only Complete runs are cached — a tripped count is a partial table, not
+   an under-approximation — and a hit legitimately reports Complete *)
+let count ?budget ?pool t ~instance ~g1 ~g2 ~sim ~hops =
+  let gen0 = generation t in
+  let key =
+    K_count (g1, g2, sim_to_string sim, hops, instance.Phom.Instance.xi)
+  in
+  match Lru.find t.cache key with
+  | Some (A_count { count; exact; width }) ->
+      ({ Phom.Dp.count; exact; width; status = Budget.Complete }, Hit)
+  | Some _ | None ->
+      let r = Phom.Api.count ?budget ?pool instance in
+      if r.Phom.Dp.status = Budget.Complete && cacheable budget then
+        put_artifact t ~gen0 key
+          (A_count
+             {
+               count = r.Phom.Dp.count;
+               exact = r.Phom.Dp.exact;
+               width = r.Phom.Dp.width;
+             });
+      (r, Miss)
+
 let cache_stats t = Lru.stats t.cache
 
 let clear_cache t = Lru.clear t.cache
@@ -378,7 +413,11 @@ let artifact_plausible t key art =
                (Array.for_all (fun u -> u >= 0 && u < D.n b))
                rows
       | _ -> false)
-  | (K_closure _ | K_matrix _ | K_cands _), _ -> false
+  | K_count (g1, g2, _, _, _), A_count { count; width; _ } -> (
+      match (graph t g1, graph t g2) with
+      | Ok a, Ok _ -> count >= 0 && width >= -1 && width < D.n a
+      | _ -> false)
+  | (K_closure _ | K_matrix _ | K_cands _ | K_count _), _ -> false
 
 let restore_record t (r : Persist.record) =
   let insert_entry name e =
@@ -450,6 +489,20 @@ let warm t key =
           match Phom.Instance.make ~tc2 ~g1:ga ~g2:gb ~mat ~xi () with
           | instance ->
               ignore (candidates t ~instance ~g1 ~g2 ~sim ~hops);
+              Ok ()
+          | exception Invalid_argument m -> Error m))
+  | K_count (g1, g2, sim_s, hops, xi) -> (
+      match sim_of_string sim_s with
+      | None -> Error (sim_s ^ ": unknown similarity kind")
+      | Some sim -> (
+          let* ga = graph t g1 in
+          let* gb = graph t g2 in
+          let* tc2, _ = closure t ~name:g2 ~hops in
+          let* mat, _ = similarity t ~g1 ~g2 ~sim in
+          match Phom.Instance.make ~tc2 ~g1:ga ~g2:gb ~mat ~xi () with
+          | instance ->
+              ignore (candidates t ~instance ~g1 ~g2 ~sim ~hops);
+              ignore (count t ~instance ~g1 ~g2 ~sim ~hops);
               Ok ()
           | exception Invalid_argument m -> Error m))
 

@@ -116,6 +116,22 @@ val candidates :
     state) and cached. The instance must have been built from the catalog's
     own graphs and artifacts for the key to be truthful. *)
 
+val count :
+  ?budget:Phom_graph.Budget.t ->
+  ?pool:Phom_parallel.Pool.t ->
+  t ->
+  instance:Phom.Instance.t ->
+  g1:string ->
+  g2:string ->
+  sim:sim ->
+  hops:int option ->
+  Phom.Dp.count_result * provenance
+(** The [(g1, g2, sim, hops, ξ)]-keyed mapping-count artifact (the [count]
+    verb's answer, a few machine words). On a miss the tree-decomposition
+    DP runs under [budget]; only a [Complete] run is cached, so a hit can
+    honestly report [Complete]. A tripped run returns its anytime
+    [count = 0] result and is never inserted. *)
+
 val cache_stats : t -> Lru.stats
 val clear_cache : t -> unit
 

@@ -367,18 +367,14 @@ let health_reply st =
     (get (fun p -> p.recovered_artifacts))
     quarantined persist_errors st.requests
 
-(* ---- solve ---- *)
+(* ---- solve / count ---- *)
 
-let budget_for st (s : Protocol.solve) =
+let budget_for st ~timeout ~steps =
   let timeout =
-    match s.Protocol.timeout with
-    | Some _ as t -> t
-    | None -> st.config.default_timeout
+    match timeout with Some _ as t -> t | None -> st.config.default_timeout
   in
   let steps =
-    match s.Protocol.steps with
-    | Some _ as n -> n
-    | None -> st.config.default_steps
+    match steps with Some _ as n -> n | None -> st.config.default_steps
   in
   (* the drain path cancels in-flight requests from the loop's domain while
      a pool worker is ticking the budget, so cancellation must ride the
@@ -400,7 +396,9 @@ let prepare_solve st (s : Protocol.solve) =
   let* g2 = Catalog.graph st.catalog s.Protocol.g2 in
   (* the budget is anchored at request receipt: artifact building, solving
      and reply formatting all draw on the same allowance *)
-  let budget, cancel = budget_for st s in
+  let budget, cancel =
+    budget_for st ~timeout:s.Protocol.timeout ~steps:s.Protocol.steps
+  in
   let pool = if s.Protocol.sequential then None else st.pool in
   let job () =
     Faults.solve_delay ();
@@ -444,6 +442,54 @@ let prepare_solve st (s : Protocol.solve) =
   in
   Ok (cancel, job)
 
+(* a count request: same two-phase shape as solve (resolve names and anchor
+   the budget on the loop's domain, run the DP as the job), same artifact
+   chain plus the count artifact itself *)
+let prepare_count st (c : Protocol.count) =
+  let ( let* ) r f =
+    match r with Error e -> Error (error "%s" e) | Ok v -> f v
+  in
+  let* g1 = Catalog.graph st.catalog c.Protocol.g1 in
+  let* g2 = Catalog.graph st.catalog c.Protocol.g2 in
+  let budget, cancel =
+    budget_for st ~timeout:c.Protocol.timeout ~steps:c.Protocol.steps
+  in
+  let pool = if c.Protocol.sequential then None else st.pool in
+  let job () =
+    Faults.solve_delay ();
+    let ( let* ) r f = match r with Error e -> error "%s" e | Ok v -> f v in
+    let* tc2, closure_prov =
+      Catalog.closure ~budget st.catalog ~name:c.Protocol.g2
+        ~hops:c.Protocol.hops
+    in
+    let* mat, mat_prov =
+      Catalog.similarity st.catalog ~g1:c.Protocol.g1 ~g2:c.Protocol.g2
+        ~sim:c.Protocol.sim
+    in
+    let t = Phom.Instance.make ~tc2 ~g1 ~g2 ~mat ~xi:c.Protocol.xi () in
+    let cands_prov =
+      Catalog.candidates ~budget st.catalog ~instance:t ~g1:c.Protocol.g1
+        ~g2:c.Protocol.g2 ~sim:c.Protocol.sim ~hops:c.Protocol.hops
+    in
+    let r, count_prov =
+      Catalog.count ~budget ?pool st.catalog ~instance:t ~g1:c.Protocol.g1
+        ~g2:c.Protocol.g2 ~sim:c.Protocol.sim ~hops:c.Protocol.hops
+    in
+    let status =
+      match r.Phom.Dp.status with
+      | Budget.Exhausted _ as st -> st
+      | Budget.Complete ->
+          if Budget.poll budget then Budget.Complete else Budget.status budget
+    in
+    ok "count value=%d exact=%b width=%d status=%s cache=closure:%s,mat:%s,cands:%s,count:%s"
+      r.Phom.Dp.count r.Phom.Dp.exact r.Phom.Dp.width (status_token status)
+      (Catalog.provenance_name closure_prov)
+      (Catalog.provenance_name mat_prov)
+      (Catalog.provenance_name cands_prov)
+      (Catalog.provenance_name count_prov)
+  in
+  Ok (cancel, job)
+
 (* the exception guard: user-level errors keep their message; any other
    exception from a handler or solver job must neither kill the daemon nor
    leak internals — it becomes an opaque [error internal] reply *)
@@ -452,16 +498,22 @@ let guard f =
   | Invalid_argument m | Failure m | Sys_error m -> error "%s" m
   | _ -> error "internal"
 
-let solve_reply st (s : Protocol.solve) =
-  match prepare_solve st s with
+let job_reply st ~sequential prepared =
+  match prepared with
   | Error reply -> reply
   | Ok (_cancel, job) -> (
       (* the request rides the shared pool so the loop's own domain does
          not run unbounded solver code; --jobs 1 keeps the historical
          sequential path *)
-      match (if s.Protocol.sequential then None else st.pool) with
+      match (if sequential then None else st.pool) with
       | Some p -> Pool.await (Pool.submit p (fun () -> guard job))
       | None -> guard job)
+
+let solve_reply st (s : Protocol.solve) =
+  job_reply st ~sequential:s.Protocol.sequential (prepare_solve st s)
+
+let count_reply st (c : Protocol.count) =
+  job_reply st ~sequential:c.Protocol.sequential (prepare_count st c)
 
 let dispatch st req =
   match req with
@@ -483,6 +535,7 @@ let dispatch st req =
       | Ok artifacts -> ok "unloaded %s artifacts=%d" name artifacts
       | Error e -> error "%s" e)
   | Protocol.Solve s -> solve_reply st s
+  | Protocol.Count c -> count_reply st c
   | Protocol.Shutdown -> ok "shutting down"
   | Protocol.Quit -> ok "bye"
 
@@ -509,12 +562,15 @@ type executed =
 
 let execute_async st req =
   match req with
-  | Protocol.Solve s -> (
+  | Protocol.Solve _ | Protocol.Count _ -> (
       st.requests <- st.requests + 1;
       let prepared =
         try
           Faults.execute_hook ();
-          prepare_solve st s
+          match req with
+          | Protocol.Solve s -> prepare_solve st s
+          | Protocol.Count c -> prepare_count st c
+          | _ -> assert false
         with
         | Invalid_argument m | Failure m | Sys_error m -> Error (error "%s" m)
         | _ -> Error (error "internal")

@@ -13,6 +13,17 @@ type solve = {
   sequential : bool;
 }
 
+type count = {
+  g1 : string;
+  g2 : string;
+  sim : Catalog.sim;
+  xi : float;
+  hops : int option;
+  timeout : float option;
+  steps : int option;
+  sequential : bool;
+}
+
 type request =
   | Version
   | Ping
@@ -23,8 +34,20 @@ type request =
   | Load_mat of { name : string; path : string }
   | Unload of string
   | Solve of solve
+  | Count of count
   | Shutdown
   | Quit
+
+(* the one verb table: the parser, the unknown-command error and the
+   client's usage hint all derive from it, so they cannot drift when a
+   verb lands *)
+let verbs =
+  [
+    "version"; "ping"; "health"; "list"; "stats"; "load"; "unload"; "solve";
+    "count"; "shutdown"; "quit";
+  ]
+
+let verb_summary = String.concat ", " verbs
 
 let problem_token = function
   | Phom.Api.CPH -> "card"
@@ -57,13 +80,18 @@ let sanitize reply =
 let float_of tok = float_of_string_opt tok
 let int_of tok = int_of_string_opt tok
 
-(* the solve flag loop; [sim_flag]/[mat_flag] are kept apart so their
-   mutual exclusion can be checked at the end *)
-let parse_solve_flags init flags =
+(* the solve flag loop, shared with [count] (which owns a strict subset of
+   the flags); [sim_flag]/[mat_flag] are kept apart so their mutual
+   exclusion can be checked at the end *)
+let parse_solve_flags ?(context = `Solve) init flags =
   let s = ref init in
   let sim_flag = ref None and mat_flag = ref None in
   let rec go = function
     | [] -> Ok ()
+    | flag :: _
+      when context = `Count
+           && List.mem flag [ "--partition"; "--compress"; "--algorithm" ] ->
+        err "%s is a solve-only flag (not valid for count)" flag
     | "--partition" :: rest ->
         s := { !s with partition = true };
         go rest
@@ -122,7 +150,10 @@ let parse_solve_flags init flags =
         | "exact" ->
             s := { !s with algorithm = Phom.Api.Exact_bb };
             go rest
-        | _ -> err "unknown algorithm %s (direct, naive or exact)" v)
+        | "dp" ->
+            s := { !s with algorithm = Phom.Api.Dp_td };
+            go rest
+        | _ -> err "unknown algorithm %s (direct, naive, exact or dp)" v)
     | "--jobs" :: v :: rest -> (
         match int_of v with
         | Some n when n >= 1 ->
@@ -183,8 +214,37 @@ let parse line =
           | Ok s -> Ok (Solve s)))
   | "solve" :: _ ->
       err "usage: solve (card|card11|sim|sim11) G1 G2 [flags]"
-  | cmd :: _ ->
-      err
-        "unknown command %s (version, ping, health, list, stats, load, \
-         unload, solve, shutdown, quit)"
-        cmd
+  | "count" :: g1 :: g2 :: flags -> (
+      let init =
+        {
+          problem = Phom.Api.CPH;
+          g1;
+          g2;
+          sim = Catalog.Equality;
+          xi = 0.75;
+          hops = None;
+          timeout = None;
+          steps = None;
+          algorithm = Phom.Api.Direct;
+          partition = false;
+          compress = false;
+          sequential = false;
+        }
+      in
+      match parse_solve_flags ~context:`Count init flags with
+      | Error _ as e -> e
+      | Ok s ->
+          Ok
+            (Count
+               {
+                 g1 = s.g1;
+                 g2 = s.g2;
+                 sim = s.sim;
+                 xi = s.xi;
+                 hops = s.hops;
+                 timeout = s.timeout;
+                 steps = s.steps;
+                 sequential = s.sequential;
+               }))
+  | "count" :: _ -> err "usage: count G1 G2 [flags]"
+  | cmd :: _ -> err "unknown command %s (%s)" cmd verb_summary

@@ -13,13 +13,21 @@
                | "load" "mat" NAME PATH
                | "unload" NAME
                | "solve" PROBLEM G1 G2 flag*
+               | "count" G1 G2 cflag*
     PROBLEM  ::= "card" | "card11" | "sim" | "sim11"      (Table 1)
-    flag     ::= "--mat" NAME | "--sim" ("equality" | "shingles")
+    flag     ::= cflag
+               | "--algorithm" ("direct" | "naive" | "exact" | "dp")
+               | "--partition" | "--compress"
+    cflag    ::= "--mat" NAME | "--sim" ("equality" | "shingles")
                | "--xi" FLOAT | "--hops" INT
                | "--timeout" SECONDS | "--steps" INT
-               | "--algorithm" ("direct" | "naive" | "exact")
-               | "--partition" | "--compress" | "--jobs" INT
+               | "--jobs" INT
     v}
+
+    [count] (protocol 4) counts the total p-hom mappings of the pattern
+    into the data graph under the same candidate semantics as [solve]; it
+    always runs the tree-decomposition DP, so the solve-only flags
+    [--algorithm], [--partition] and [--compress] are rejected on it.
 
     [--jobs 1] forces the request onto the sequential code path (no pool
     job, no partition fan-out across domains); any other value uses the
@@ -43,6 +51,17 @@ type solve = {
   sequential : bool;  (** [--jobs 1] *)
 }
 
+type count = {
+  g1 : string;
+  g2 : string;
+  sim : Catalog.sim;  (** default [Equality]; [--mat] selects [Named] *)
+  xi : float;  (** default 0.75 *)
+  hops : int option;
+  timeout : float option;
+  steps : int option;
+  sequential : bool;  (** [--jobs 1] *)
+}
+
 type request =
   | Version
   | Ping  (** liveness: replies [ok pong] even while draining *)
@@ -55,8 +74,17 @@ type request =
   | Load_mat of { name : string; path : string }
   | Unload of string
   | Solve of solve
+  | Count of count
   | Shutdown
   | Quit
+
+val verbs : string list
+(** Every verb the parser accepts, in documentation order. The
+    unknown-command error and the client's usage hint are both generated
+    from this list, so it cannot drift from {!parse}. *)
+
+val verb_summary : string
+(** {!verbs} joined with [", "]. *)
 
 val parse : string -> (request, string) result
 (** Parse one request line. Errors are one-line human-readable messages

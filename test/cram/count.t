@@ -1,0 +1,66 @@
+The count verb (protocol 4), end to end: homomorphism counting over the
+daemon's artifact cache, plus the offline `phom count` command on the same
+instance.
+
+Start the daemon and load the Figure-1 graphs:
+
+  $ ../../bin/phomd.exe --socket c.sock --jobs 2 > phomd.log 2>&1 &
+  $ for i in $(seq 1 150); do grep -q listening phomd.log 2> /dev/null && break; sleep 0.1; done
+  $ ../../bin/main.exe client c.sock load graph pat ../../data/fig1_pattern.phg
+  ok loaded graph pat nodes=6 edges=6
+  $ ../../bin/main.exe client c.sock load graph store ../../data/fig1_store.phg
+  ok loaded graph store nodes=14 edges=14
+  $ ../../bin/main.exe client c.sock load mat mate ../../data/fig1_mate.phs
+  ok loaded mat mate dims=6x14
+
+A cold count computes the artifact chain and the count itself; Figure 1
+has exactly one p-hom mapping at xi = 0.6 under the paper's mate() matrix,
+and the pattern's decomposition has width 2:
+
+  $ ../../bin/main.exe client c.sock -- count pat store --mat mate --xi 0.6
+  ok count value=1 exact=true width=2 status=complete cache=closure:miss,mat:catalog,cands:miss,count:miss
+
+Re-running the same query is a pure cache hit, including the count answer
+itself; --jobs 1 (the sequential path) must read the same warm artifacts:
+
+  $ ../../bin/main.exe client c.sock -- count pat store --mat mate --xi 0.6
+  ok count value=1 exact=true width=2 status=complete cache=closure:hit,mat:catalog,cands:hit,count:hit
+  $ ../../bin/main.exe client c.sock -- count pat store --mat mate --xi 0.6 --jobs 1
+  ok count value=1 exact=true width=2 status=complete cache=closure:hit,mat:catalog,cands:hit,count:hit
+
+Count and solve share the candidate-table artifact (the key is the pair,
+sim, hops and xi — not the request kind):
+
+  $ ../../bin/main.exe client c.sock -- solve card pat store --mat mate --xi 0.6
+  ok solve problem=CPH quality=1.0000 mapped=6/6 matched=true status=complete cache=closure:hit,mat:catalog,cands:hit
+
+The solve-only knobs are rejected on count — it always runs the DP:
+
+  $ ../../bin/main.exe client c.sock -- count pat store --algorithm exact
+  error --algorithm is a solve-only flag (not valid for count)
+  [1]
+  $ ../../bin/main.exe client c.sock -- count pat store --partition
+  error --partition is a solve-only flag (not valid for count)
+  [1]
+
+A tripped budget yields the anytime non-answer (count 0, inexact), exits 2,
+and is never cached — the next full-budget query recomputes (count:miss):
+
+  $ ../../bin/main.exe client c.sock -- count pat store --sim shingles --xi 0.6 --steps 1
+  ok count value=0 exact=false width=2 status=exhausted(steps) cache=closure:hit,mat:miss,cands:miss,count:miss
+  [2]
+  $ ../../bin/main.exe client c.sock -- count pat store --sim shingles --xi 0.6 --steps 1
+  ok count value=0 exact=false width=2 status=exhausted(steps) cache=closure:hit,mat:hit,cands:hit,count:miss
+  [2]
+
+The offline CLI agrees with the daemon on the same instance:
+
+  $ ../../bin/main.exe count ../../data/fig1_pattern.phg ../../data/fig1_store.phg --mat ../../data/fig1_mate.phs --xi 0.6
+  mappings  : 1
+  width     : 2
+
+Shut down:
+
+  $ ../../bin/main.exe client c.sock shutdown
+  ok shutting down
+  $ wait

@@ -139,6 +139,19 @@ let check_instance i =
         Alcotest.failf
           "seed %d %s: heuristic quality %.9f exceeds exact optimum %.9f" i
           (Api.problem_name problem) heur.Api.quality oracle_quality;
+      (* the low-treewidth slice: the tree-decomposition DP must reproduce
+         the MWC oracle's optimum on every narrow instance (its home turf —
+         the 1-1 problems exercise the injective-witness fallback) *)
+      if Phom.Dp.width t <= 2 then begin
+        let dp = Api.solve_within ~algorithm:Api.Dp_td ~weights problem t in
+        Alcotest.(check bool)
+          (name "dp mapping valid")
+          true
+          (Instance.is_valid ~injective:inj t dp.Api.mapping);
+        Alcotest.(check (float 1e-6))
+          (name "dp agrees with mwc oracle")
+          oracle_quality dp.Api.quality
+      end;
       (* keep the reduction honest: on a sample of seeds the legacy
          assignment-tree oracle must find the same optimum value *)
       if i mod 5 = 0 then begin
