@@ -1,7 +1,7 @@
 .PHONY: all build check test bench bench-full bench-parallel bench-serve \
 	bench-obs bench-recovery bench-exact bench-exact-baseline bench-dp \
-	bench-dp-baseline serve-smoke serve-smoke-faults chaos-smoke ablations \
-	micro examples fmt fmt-check ci clean
+	bench-dp-baseline bench-fleet serve-smoke serve-smoke-faults chaos-smoke \
+	fleet-smoke ablations micro examples fmt fmt-check ci clean
 
 # worker domains for the parallel runtime; passed through to the bench
 # harness (the CLI takes its own --jobs flag)
@@ -82,6 +82,17 @@ serve-smoke-faults:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
+# three TCP replicas behind the router: kill -9 the owner mid-solve,
+# require the byte-identical failover answer, restart it and require a
+# clean rejoin — the same flow as the CI fleet-smoke job
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
+# routed p50/p99 against 1 vs 3 replicas plus the kill -9 failover blip;
+# fails when any routed request errors or the blip exceeds its bound
+bench-fleet:
+	dune exec bench/main.exe -- fleet --out BENCH_fleet.json
+
 ablations:
 	dune exec bench/main.exe -- ablations
 
@@ -124,6 +135,8 @@ ci:
 	dune exec bench/main.exe -- obs --out BENCH_obs.json
 	sh scripts/chaos_smoke.sh
 	dune exec bench/main.exe -- recovery --out BENCH_recovery.json
+	sh scripts/fleet_smoke.sh
+	dune exec bench/main.exe -- fleet --out BENCH_fleet.json
 	dune exec bench/main.exe -- exact --out BENCH_exact.json \
 		--check-against bench/baselines/BENCH_exact.json
 	dune exec bench/main.exe -- dp --out BENCH_dp.json \

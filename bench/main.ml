@@ -445,6 +445,58 @@ let obs_cmd =
       const run $ seed_arg $ m_arg $ noise_arg $ rounds_arg $ iters_arg
       $ max_overhead_arg $ out_arg)
 
+let fleet_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_fleet.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let m_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "size" ] ~doc:"Pattern size (generator parameter m).")
+  in
+  let noise_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "noise" ] ~doc:"Noise rate for the data graphs.")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "pairs" ] ~docv:"N"
+          ~doc:"Independent graph pairs, so consistent hashing has keys to \
+                spread across the fleet.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~doc:"Warm routed rounds over every pair.")
+  in
+  let max_blip_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "max-blip" ] ~docv:"SECS"
+          ~doc:"Fail when the failover blip (the one routed request that \
+                spans the kill -9 of its owner) exceeds $(docv) seconds.")
+  in
+  let run seed m noise pairs rounds max_blip out =
+    if m < 1 || pairs < 1 || rounds < 1 then begin
+      prerr_endline "bench: --size, --pairs and --rounds must be at least 1";
+      exit 1
+    end;
+    Fleet_bench.run ~seed ~m ~noise ~pairs ~rounds ~max_blip ~out ()
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Routed latency against 1 vs 3 phomd replicas over loopback TCP, \
+             plus the failover blip when a replica is killed -9 mid-workload; \
+             writes BENCH_fleet.json and fails when any routed request errors \
+             or the blip exceeds the bound.")
+    Term.(
+      const run $ seed_arg $ m_arg $ noise_arg $ pairs_arg $ rounds_arg
+      $ max_blip_arg $ out_arg)
+
 let all_term = Term.(const run_all $ full_arg $ seed_arg $ versions_arg $ mcs_limit_arg $ jobs_arg)
 
 let all_cmd = Cmd.v (Cmd.info "all" ~doc:"Every table and figure (default).") all_term
@@ -457,4 +509,4 @@ let () =
        (Cmd.group ~default:all_term info
           [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd;
             parallel_cmd; serve_cmd; recovery_cmd; obs_cmd; exact_cmd; dp_cmd;
-            all_cmd ]))
+            fleet_cmd; all_cmd ]))

@@ -610,10 +610,23 @@ let dot_cmd =
 let client_cmd =
   let addr_arg =
     Arg.(
-      required & pos 0 (some string) None
+      value & pos 0 (some string) None
       & info [] ~docv:"ADDR"
           ~doc:"Daemon address: a Unix-domain socket path, or HOST:PORT for \
-                TCP.")
+                TCP. Omit it when routing with $(b,--endpoints).")
+  in
+  let endpoints_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "endpoints" ] ~docv:"ADDR,ADDR,..."
+          ~doc:"Fleet mode: route the request across this comma-separated \
+                replica set instead of a single ADDR. Solves and counts go \
+                to the consistent-hash owner of their graph pair and fail \
+                over to the next replica when it is down, draining or busy; \
+                loads and unloads broadcast to every reachable replica. \
+                Every positional argument is request text (there is no \
+                ADDR). Mutually exclusive with $(b,--hold) and \
+                $(b,--no-read).")
   in
   let request_arg =
     Arg.(
@@ -668,9 +681,110 @@ let client_cmd =
           ~doc:"Testing aid: send the request, then close the connection \
                 without reading the reply (a mid-solve disconnect).")
   in
-  let run addr request connect_timeout read_timeout retries retry_delay hold
-      no_read =
+  let place_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "place" ] ~docv:"G1,G2"
+          ~doc:"With $(b,--endpoints): print the replica preference order \
+                for the graph pair $(docv) (owner first, one endpoint per \
+                line) and exit without contacting the fleet. The chaos \
+                harness uses this to find which replica to kill.")
+  in
+  let run addr endpoints request connect_timeout read_timeout retries
+      retry_delay hold no_read place =
     guard @@ fun () ->
+    (* mirror the CLI budget contract: 0 ok, 1 error, 2 answered but a
+       budget tripped *)
+    let finish reply =
+      print_endline reply;
+      if String.length reply >= 5 && String.sub reply 0 5 = "error" then
+        exit 1
+      else if
+        let exhausted = "status=exhausted" in
+        let n = String.length reply and m = String.length exhausted in
+        let rec scan i =
+          i + m <= n && (String.sub reply i m = exhausted || scan (i + 1))
+        in
+        scan 0
+      then exit 2
+    in
+    let request_line () =
+      let line = String.concat " " request in
+      if String.trim line = "" then
+        die "empty request (try one of: %s)" Phom_server.Protocol.verb_summary;
+      line
+    in
+    match endpoints with
+    | Some spec -> (
+        (* with --endpoints there is no ADDR: the first positional token is
+           the request verb, which cmdliner has parsed into [addr] *)
+        let request =
+          match addr with Some a -> a :: request | None -> request
+        in
+        let request_line () =
+          let line = String.concat " " request in
+          if String.trim line = "" then
+            die "empty request (try one of: %s)"
+              Phom_server.Protocol.verb_summary;
+          line
+        in
+        if hold <> None || no_read then
+          die "--hold and --no-read drive a single connection; they need \
+               ADDR, not --endpoints";
+        let eps =
+          String.split_on_char ',' spec |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        (match place with
+        | Some pair ->
+            (let g1, g2 =
+               match String.index_opt pair ',' with
+               | Some i ->
+                   ( String.sub pair 0 i,
+                     String.sub pair (i + 1) (String.length pair - i - 1) )
+               | None -> die "--place wants G1,G2"
+             in
+             (* placement is pure ring arithmetic; an inert transport keeps
+                this usable before any replica is even up *)
+             match
+               Phom_server.Router.create
+                 ~transport:(fun _ _ -> Ok "")
+                 ~endpoints:eps ()
+             with
+             | Error msg -> die "%s" msg
+             | Ok router ->
+                 List.iter print_endline
+                   (Phom_server.Router.place router
+                      ~key:(Phom_server.Router.solve_key ~g1 ~g2)));
+            exit 0
+        | None -> ());
+        let line = request_line () in
+        let config =
+          {
+            Phom_server.Router.default_config with
+            connect_timeout =
+              (match connect_timeout with
+              | None -> Phom_server.Router.default_config.connect_timeout
+              | some -> some);
+            read_timeout =
+              (match read_timeout with
+              | None -> Phom_server.Router.default_config.read_timeout
+              | some -> some);
+          }
+        in
+        match Phom_server.Router.create ~config ~endpoints:eps () with
+        | Error msg -> die "%s" msg
+        | Ok router -> (
+            match Phom_server.Router.request router line with
+            | Error msg -> die "%s" msg
+            | Ok reply -> finish reply))
+    | None -> (
+    if place <> None then die "--place needs --endpoints";
+    let addr =
+      match addr with
+      | Some a -> a
+      | None -> die "missing ADDR (or use --endpoints for a fleet)"
+    in
     let with_addr k =
       match Phom_server.Client.sockaddr_of_string addr with
       | Error msg -> die "%s" msg
@@ -685,10 +799,7 @@ let client_cmd =
                 Unix.sleepf (Float.max 0. secs);
                 Phom_server.Client.close conn)
     | None -> (
-        let line = String.concat " " request in
-        if String.trim line = "" then
-          die "empty request (try one of: %s)"
-            Phom_server.Protocol.verb_summary;
+        let line = request_line () in
         with_addr @@ fun sockaddr ->
         if no_read then (
           match Phom_server.Client.connect ?timeout:connect_timeout sockaddr with
@@ -710,21 +821,7 @@ let client_cmd =
               sockaddr line
           with
           | Error msg -> die "%s" msg
-          | Ok reply ->
-              print_endline reply;
-              (* mirror the CLI budget contract: 0 ok, 1 error, 2 answered
-                 but a budget tripped *)
-              if String.length reply >= 5 && String.sub reply 0 5 = "error"
-              then exit 1
-              else if
-                let exhausted = "status=exhausted" in
-                let n = String.length reply and m = String.length exhausted in
-                let rec scan i =
-                  i + m <= n
-                  && (String.sub reply i m = exhausted || scan (i + 1))
-                in
-                scan 0
-              then exit 2)
+          | Ok reply -> finish reply))
   in
   Cmd.v
     (Cmd.info "client"
@@ -734,9 +831,9 @@ let client_cmd =
              $(b,--retries) adds exponential back-off against busy or \
              briefly-absent daemons.")
     Term.(
-      const run $ addr_arg $ request_arg $ connect_timeout_arg
+      const run $ addr_arg $ endpoints_arg $ request_arg $ connect_timeout_arg
       $ read_timeout_arg $ retries_arg $ retry_delay_arg $ hold_arg
-      $ no_read_arg)
+      $ no_read_arg $ place_arg)
 
 let () =
   let doc = "graph matching by p-homomorphism (Fan et al., VLDB 2010)" in

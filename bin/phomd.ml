@@ -27,6 +27,17 @@ let tcp_arg =
         ~doc:"Also listen on 127.0.0.1:$(docv). Port 0 picks an ephemeral \
               port, reported in the startup banner.")
 
+let listen_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "listen" ] ~docv:"HOST:PORT"
+        ~doc:"Also listen on $(docv) (repeatable — one flag per listener). \
+              $(docv) takes a numeric IP or a resolvable host name; an \
+              empty host or $(b,*) binds all interfaces; port 0 picks an \
+              ephemeral port, reported in the startup banner. This is the \
+              fleet-facing transport: point $(b,phom client --endpoints) at \
+              these addresses.")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -113,6 +124,15 @@ let fault_delay_arg =
               solve, so fault-injection tests can reliably catch a solve \
               in flight. 0 (the default) disables.")
 
+let fault_health_flap_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-health-flap" ] ~docv:"N"
+        ~doc:"Testing aid: answer the first $(docv) $(b,health) requests \
+              with $(b,error unavailable) before recovering — a flapping \
+              replica, for exercising a router's circuit breaker. 0 (the \
+              default) disables.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the startup banner.")
 
@@ -163,11 +183,13 @@ let snapshot_interval_arg =
               $(b,--state-dir)). A snapshot also lands on every graceful \
               drain.")
 
-let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
+let run socket tcp listen jobs cache_mb max_graph_mb max_mat_mb default_timeout
     default_steps max_conns max_pending idle_timeout retry_after drain_grace
-    fault_delay quiet metrics_dump state_dir fsync snapshot_interval =
-  if socket = None && tcp = None then begin
-    prerr_endline "error: nothing to listen on (give --socket and/or --tcp)";
+    fault_delay fault_health_flap quiet metrics_dump state_dir fsync
+    snapshot_interval =
+  if socket = None && tcp = None && listen = [] then begin
+    prerr_endline
+      "error: nothing to listen on (give --socket, --tcp and/or --listen)";
     exit 1
   end;
   if jobs < 1 then begin
@@ -198,10 +220,12 @@ let run socket tcp jobs cache_mb max_graph_mb max_mat_mb default_timeout
     | t -> t
   in
   Phom_server.Faults.set_solve_delay fault_delay;
+  Phom_server.Faults.set_health_flap fault_health_flap;
   let config =
     {
       Daemon.socket_path = socket;
       tcp_port = tcp;
+      listen;
       jobs;
       cache_bytes = cache_mb * 1024 * 1024;
       max_graph_bytes = max_graph_mb * 1024 * 1024;
@@ -277,11 +301,11 @@ let () =
   in
   let term =
     Term.(
-      const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_mb_arg
+      const run $ socket_arg $ tcp_arg $ listen_arg $ jobs_arg $ cache_mb_arg
       $ max_graph_mb_arg $ max_mat_mb_arg $ default_timeout_arg
       $ default_steps_arg $ max_conns_arg $ max_pending_arg
       $ idle_timeout_arg $ retry_after_arg $ drain_grace_arg
-      $ fault_delay_arg $ quiet_arg $ metrics_dump_arg $ state_dir_arg
-      $ fsync_arg $ snapshot_interval_arg)
+      $ fault_delay_arg $ fault_health_flap_arg $ quiet_arg $ metrics_dump_arg
+      $ state_dir_arg $ fsync_arg $ snapshot_interval_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

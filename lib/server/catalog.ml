@@ -119,7 +119,11 @@ let valid_name name =
   let n = String.length name in
   n >= 1 && n <= 64 && String.for_all ok_char name
 
-let register t ~name ~what make =
+(* [same old v] returns the already-loaded value when [v] is
+   content-identical to it — a reload of the same bytes is idempotent
+   (a failover router replays [load] lines to a recovered replica), while
+   a name collision with *different* content is still refused *)
+let register t ~name ~what ~same make =
   if not (valid_name name) then
     Error
       (Printf.sprintf
@@ -129,14 +133,17 @@ let register t ~name ~what make =
     | Error _ as e -> e
     | Ok v ->
         locked t (fun () ->
-            if Hashtbl.mem t.entries name then
-              Error
-                (Printf.sprintf "name %s is already loaded (unload it first)"
-                   name)
-            else begin
-              Hashtbl.replace t.entries name (what v);
-              Ok v
-            end)
+            match Hashtbl.find_opt t.entries name with
+            | None ->
+                Hashtbl.replace t.entries name (what v);
+                Ok (`Fresh v)
+            | Some old -> (
+                match same old v with
+                | Some existing -> Ok (`Same existing)
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "name %s is already loaded (unload it first)" name)))
 
 (* journal load events carry a checksum of the loaded value's canonical
    serialization, so replay can refuse a source file that drifted *)
@@ -147,22 +154,31 @@ let load_graph t ~name ~path =
   match
     register t ~name
       ~what:(fun g -> Graph g)
+      ~same:(fun old g ->
+        match old with
+        | Graph o when graph_crc o = graph_crc g -> Some o
+        | _ -> None)
       (fun () -> Phom_graph.Graph_io.load ~max_bytes:t.max_graph_bytes path)
   with
-  | Ok g as r ->
+  | Ok (`Fresh g) ->
       emit t (Journal.Load_graph { name; path; crc = graph_crc g });
-      r
+      Ok g
+  (* same-content reload: state unchanged, so no journal event *)
+  | Ok (`Same g) -> Ok g
   | Error _ as e -> e
 
 let load_mat t ~name ~path =
   match
     register t ~name
       ~what:(fun m -> Mat m)
+      ~same:(fun old m ->
+        match old with Mat o when mat_crc o = mat_crc m -> Some o | _ -> None)
       (fun () -> Simmat.load ~max_bytes:t.max_mat_bytes path)
   with
-  | Ok m as r ->
+  | Ok (`Fresh m) ->
       emit t (Journal.Load_mat { name; path; crc = mat_crc m });
-      r
+      Ok m
+  | Ok (`Same m) -> Ok m
   | Error _ as e -> e
 
 let derived_from name = function

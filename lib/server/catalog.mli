@@ -40,8 +40,12 @@ val valid_name : string -> bool
 val load_graph :
   t -> name:string -> path:string -> (Phom_graph.Digraph.t, string) result
 (** Parse the phg file at [path] (under the size cap) and register it under
-    [name]. Names are a single namespace shared with matrices; loading over
-    an existing name is refused — [unload] it first. *)
+    [name]. Names are a single namespace shared with matrices. Loading over
+    an existing name is idempotent when the file's canonical content is
+    byte-identical to what is loaded (the call succeeds and changes
+    nothing — this is what lets a failover router replay [load] lines to a
+    recovered replica); a name collision with {e different} content is
+    refused — [unload] it first. *)
 
 val load_mat :
   t -> name:string -> path:string -> (Phom_sim.Simmat.t, string) result

@@ -45,36 +45,95 @@ let connect ?timeout sockaddr =
       (Printf.sprintf "cannot connect to %s: %s" (describe_sockaddr sockaddr)
          (Unix.error_message e))
   in
-  match timeout with
-  | None -> (
-      match restart (fun () -> Unix.connect fd sockaddr) with
-      | () -> Ok { fd; pending = "" }
-      | exception Unix.Unix_error (Unix.EISCONN, _, _) ->
-          (* an EINTR'd connect that completed behind our back *)
-          Ok { fd; pending = "" }
-      | exception Unix.Unix_error (e, _, _) -> fail e)
-  | Some t -> (
-      Unix.set_nonblock fd;
-      let finish_ok () =
-        Unix.clear_nonblock fd;
-        Ok { fd; pending = "" }
+  let finish_ok () =
+    (* one-line requests and replies: flush segments immediately on TCP
+       instead of waiting out Nagle against the peer's delayed ACK *)
+    (match sockaddr with
+    | Unix.ADDR_INET _ -> (
+        try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ | Invalid_argument _ -> ())
+    | Unix.ADDR_UNIX _ -> ());
+    Ok { fd; pending = "" }
+  in
+  (* Once a TCP connect has been interrupted or returned EINPROGRESS, the
+     kernel keeps establishing it in the background; re-calling
+     [Unix.connect] then yields EALREADY (or a spurious EISCONN), so the
+     only correct resumption is to wait for writability and read SO_ERROR.
+     [deadline] is absolute: EINTR restarts must not extend the budget. *)
+  let await_established deadline =
+    let rec go () =
+      let left =
+        match deadline with None -> 1.0 | Some d -> d -. Unix.gettimeofday ()
       in
+      if left <= 0. then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "cannot connect to %s: timed out after %gs"
+             (describe_sockaddr sockaddr)
+             (Option.value timeout ~default:0.))
+      end
+      else
+        match Unix.select [] [ fd ] [] left with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | _, [ _ ], _ -> (
+            match Unix.getsockopt_error fd with
+            | None ->
+                Unix.clear_nonblock fd;
+                finish_ok ()
+            | Some e -> fail e)
+        | _ ->
+            (* select timed out; without a caller deadline, keep waiting *)
+            go ()
+    in
+    go ()
+  in
+  match sockaddr with
+  | Unix.ADDR_INET _ -> (
+      (* TCP: always connect non-blocking — it is the only shape in which
+         a timeout can bound [Unix.connect] itself (a SYN to a dead host
+         blocks for minutes otherwise); without a timeout the wait is
+         unbounded but still interrupt-safe *)
+      let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+      Unix.set_nonblock fd;
       match Unix.connect fd sockaddr with
-      | () -> finish_ok ()
+      | () ->
+          Unix.clear_nonblock fd;
+          finish_ok ()
       | exception
           Unix.Unix_error
-            ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (
-          match restart (fun () -> Unix.select [] [ fd ] [] t) with
-          | _, [ _ ], _ -> (
-              match Unix.getsockopt_error fd with
-              | None -> finish_ok ()
-              | Some e -> fail e)
-          | _ ->
-              (try Unix.close fd with Unix.Unix_error _ -> ());
-              Error
-                (Printf.sprintf "cannot connect to %s: timed out after %gs"
-                   (describe_sockaddr sockaddr) t))
+            ( ( Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR
+              | Unix.EALREADY ),
+              _,
+              _ ) ->
+          await_established deadline
+      | exception Unix.Unix_error (Unix.EISCONN, _, _) ->
+          Unix.clear_nonblock fd;
+          finish_ok ()
       | exception Unix.Unix_error (e, _, _) -> fail e)
+  | Unix.ADDR_UNIX _ -> (
+      (* Unix sockets establish synchronously (EAGAIN here means a full
+         backlog, not a connect in progress), so the blocking shape is
+         correct; a timeout still rides the non-blocking + select path *)
+      match timeout with
+      | None -> (
+          match restart (fun () -> Unix.connect fd sockaddr) with
+          | () -> finish_ok ()
+          | exception Unix.Unix_error (Unix.EISCONN, _, _) ->
+              (* an EINTR'd connect that completed behind our back *)
+              finish_ok ()
+          | exception Unix.Unix_error (e, _, _) -> fail e)
+      | Some t -> (
+          let deadline = Some (Unix.gettimeofday () +. t) in
+          Unix.set_nonblock fd;
+          match Unix.connect fd sockaddr with
+          | () ->
+              Unix.clear_nonblock fd;
+              finish_ok ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+              await_established deadline
+          | exception Unix.Unix_error (e, _, _) -> fail e))
 
 let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
 

@@ -17,7 +17,11 @@ type conn
 
 val connect : ?timeout:float -> Unix.sockaddr -> (conn, string) result
 (** [timeout] bounds connection establishment (seconds); without it the
-    connect blocks indefinitely. *)
+    connect blocks indefinitely. TCP dials are non-blocking
+    ([EINPROGRESS] + [select] + [SO_ERROR]) so the deadline holds even
+    against hosts that drop SYNs instead of refusing them, and the
+    established socket gets [TCP_NODELAY] — replies are one short line,
+    Nagle only adds latency. *)
 
 val close : conn -> unit
 

@@ -1,5 +1,6 @@
 type t = {
   fd : Unix.file_descr;
+  transport : Faults.kind;  (* which listener accepted us; scopes faults *)
   max_line : int;
   idle_timeout : float option;
   partial : Buffer.t;  (* bytes of the current, incomplete request line *)
@@ -19,9 +20,10 @@ let max_queued_lines = 16
 
 let chunk = 4096
 
-let create ~max_line ~idle_timeout ~now fd =
+let create ?(transport = Faults.Unix_sock) ~max_line ~idle_timeout ~now fd =
   {
     fd;
+    transport;
     max_line;
     idle_timeout;
     partial = Buffer.create 256;
@@ -92,7 +94,7 @@ let handle_read t =
   if t.closed then Peer_closed
   else begin
     let buf = Bytes.create chunk in
-    match Faults.read t.fd buf 0 chunk with
+    match Faults.read ~kind:t.transport t.fd buf 0 chunk with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
         Progress
@@ -124,7 +126,7 @@ let handle_write t =
   if not t.closed then begin
     let len = String.length t.out - t.out_pos in
     (if len > 0 then
-       match Faults.write t.fd (Bytes.of_string t.out) t.out_pos len with
+       match Faults.write ~kind:t.transport t.fd (Bytes.of_string t.out) t.out_pos len with
        | exception
            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
          ->

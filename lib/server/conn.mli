@@ -11,10 +11,17 @@
 type t
 
 val create :
-  max_line:int -> idle_timeout:float option -> now:float -> Unix.file_descr -> t
+  ?transport:Faults.kind ->
+  max_line:int ->
+  idle_timeout:float option ->
+  now:float ->
+  Unix.file_descr ->
+  t
 (** Wrap an accepted (non-blocking) socket. [max_line] bounds a single
     request line; [idle_timeout] arms the eviction deadline (None = never
-    evict). *)
+    evict). [transport] names the listener the socket was accepted on
+    (default [Unix_sock]) so {!Faults} injections can be scoped to one
+    listener's traffic. *)
 
 val fd : t -> Unix.file_descr
 val is_open : t -> bool

@@ -8,6 +8,9 @@ module Obs = Phom_obs.Obs
 type config = {
   socket_path : string option;
   tcp_port : int option;
+  listen : string list;
+      (** extra TCP listeners as [HOST:PORT] specs (port [0] = ephemeral);
+          all listeners share one event loop and one catalog *)
   jobs : int;
   cache_bytes : int;
   max_graph_bytes : int;
@@ -30,6 +33,7 @@ let default_config =
   {
     socket_path = None;
     tcp_port = None;
+    listen = [];
     jobs = 1;
     cache_bytes = 256 * 1024 * 1024;
     max_graph_bytes = 64 * 1024 * 1024;
@@ -519,7 +523,11 @@ let dispatch st req =
   match req with
   | Protocol.Version -> ok "phomd %s protocol %d" Version.string Version.protocol
   | Protocol.Ping -> ok "pong"
-  | Protocol.Health -> health_reply st
+  | Protocol.Health ->
+      (* the flap seam simulates a replica whose probe endpoint is sick
+         while its data plane still works — what drives a router's breaker
+         through open/half-open without killing the process *)
+      if Faults.health_flap () then error "unavailable" else health_reply st
   | Protocol.List -> list_reply st
   | Protocol.Stats -> stats_reply st
   | Protocol.Load_graph { name; path } -> (
@@ -560,6 +568,10 @@ type executed =
   | Reply of string * [ `Continue | `Quit | `Shutdown ]
   | Solve_job of { cancel : unit -> unit; job : unit -> string }
 
+(* only Solve/Count ride the pool; every probe and control verb (health,
+   stats, ping, version, list, load/unload) is answered inline on the event
+   loop below, so a router's health probe is never queued behind a saturated
+   worker pool — a replica with all workers busy still reports [ready] *)
 let execute_async st req =
   match req with
   | Protocol.Solve _ | Protocol.Count _ -> (
@@ -623,18 +635,50 @@ let listen_unix path =
      raise e);
   (fd, path)
 
-let listen_tcp port =
+let listen_tcp_addr ip port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen fd 16;
-  let bound =
-    match Unix.getsockname fd with
-    | Unix.ADDR_INET (addr, port) ->
-        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
-    | Unix.ADDR_UNIX p -> p
-  in
-  (fd, bound)
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (ip, port));
+    Unix.listen fd 16;
+    let bound =
+      (* getsockname, not the request: port 0 asks the kernel for an
+         ephemeral port and the banner must name the one it granted *)
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (addr, port) ->
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+      | Unix.ADDR_UNIX p -> p
+    in
+    (fd, bound)
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+(* "HOST:PORT" (numeric IP or resolvable name; "" or "*" = all interfaces)
+   for --listen; port 0 binds an ephemeral port announced via [ready] *)
+let parse_listen spec =
+  match String.rindex_opt spec ':' with
+  | None -> invalid_arg (spec ^ ": expected HOST:PORT")
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt rest with
+      | Some port when port >= 0 && port <= 65535 ->
+          let ip =
+            if host = "" || host = "*" then Unix.inet_addr_any
+            else
+              match Unix.inet_addr_of_string host with
+              | ip -> ip
+              | exception Failure _ -> (
+                  match Unix.gethostbyname host with
+                  | { Unix.h_addr_list = [||]; _ } ->
+                      invalid_arg (spec ^ ": no address for host " ^ host)
+                  | h -> h.Unix.h_addr_list.(0)
+                  | exception Not_found ->
+                      invalid_arg (spec ^ ": unknown host " ^ host))
+          in
+          (ip, port)
+      | _ -> invalid_arg (spec ^ ": port out of range"))
 
 (* ---- the multiplexed socket loop ---- *)
 
@@ -658,8 +702,8 @@ type cstate = {
 
 let serve ?(ready = fun _ -> ()) config =
   if config.jobs < 1 then invalid_arg "Daemon.serve: jobs must be >= 1";
-  if config.socket_path = None && config.tcp_port = None then
-    invalid_arg "Daemon.serve: no listener configured (socket or TCP)";
+  if config.socket_path = None && config.tcp_port = None && config.listen = []
+  then invalid_arg "Daemon.serve: no listener configured (socket or TCP)";
   if config.max_conns < 1 then invalid_arg "Daemon.serve: max_conns must be >= 1";
   if config.max_pending < 1 then
     invalid_arg "Daemon.serve: max_pending must be >= 1";
@@ -668,11 +712,29 @@ let serve ?(ready = fun _ -> ()) config =
   (* a dying client must not kill the daemon with SIGPIPE; writes then fail
      with EPIPE, which the connection machinery absorbs *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* the --listen specs must parse before any descriptor is bound, so a
+     typo'd endpoint can't leave half the fleet's listeners behind *)
+  let extra_addrs = List.map parse_listen config.listen in
   let unix_listener = Option.map listen_unix config.socket_path in
-  let tcp_listener =
-    try Option.map listen_tcp config.tcp_port
+  let tcp_listeners =
+    let opened = ref [] in
+    try
+      let tcp addr =
+        let l = listen_tcp_addr (fst addr) (snd addr) in
+        opened := l :: !opened;
+        l
+      in
+      let loopback =
+        Option.to_list
+          (Option.map (fun p -> (Unix.inet_addr_loopback, p)) config.tcp_port)
+      in
+      List.map tcp (loopback @ extra_addrs)
     with e ->
-      (* don't leak the bound unix socket when the TCP bind fails *)
+      (* don't leak the bound unix socket (or earlier TCP binds) when a
+         later TCP bind fails *)
+      List.iter
+        (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !opened;
       Option.iter
         (fun (fd, path) ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -680,9 +742,14 @@ let serve ?(ready = fun _ -> ()) config =
         unix_listener;
       raise e
   in
-  let listeners = List.filter_map Fun.id [ unix_listener; tcp_listener ] in
+  let listeners =
+    (match unix_listener with
+    | Some (fd, p) -> [ (fd, p, Faults.Unix_sock) ]
+    | None -> [])
+    @ List.map (fun (fd, b) -> (fd, b, Faults.Tcp)) tcp_listeners
+  in
   List.iter
-    (fun (fd, _) -> try Unix.set_nonblock fd with Unix.Unix_error _ -> ())
+    (fun (fd, _, _) -> try Unix.set_nonblock fd with Unix.Unix_error _ -> ())
     listeners;
   (* self-pipe: pool workers (job done) and signal handlers (drain) wake
      the select loop without a race against its blocking wait *)
@@ -715,7 +782,7 @@ let serve ?(ready = fun _ -> ()) config =
       (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
       [ wake_r; wake_w ];
     List.iter
-      (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun (fd, _, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
       listeners;
     Option.iter
       (fun (_, path) -> try Unix.unlink path with Unix.Unix_error _ -> ())
@@ -724,8 +791,8 @@ let serve ?(ready = fun _ -> ()) config =
   Fun.protect ~finally:finish (fun () ->
       let run pool =
         let st = make_state ?pool config in
-        ready (List.map snd listeners);
-        let listener_fds = List.map fst listeners in
+        ready (List.map (fun (_, b, _) -> b) listeners);
+        let listener_fds = List.map (fun (fd, _, k) -> (fd, k)) listeners in
         let conns : (Unix.file_descr, cstate) Hashtbl.t = Hashtbl.create 32 in
         (* mutation discipline: the table is only ever modified outside
            iteration — iterations run over this snapshot *)
@@ -868,10 +935,10 @@ let serve ?(ready = fun _ -> ()) config =
                 end)
             (snapshot ())
         in
-        let accept_from lfd =
+        let accept_from (lfd, kind) =
           let continue = ref true in
           while !continue do
-            match Faults.accept lfd with
+            match Faults.accept ~kind lfd with
             | exception
                 Unix.Unix_error
                   ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
@@ -882,6 +949,11 @@ let serve ?(ready = fun _ -> ()) config =
                 continue := false
             | afd, _ ->
                 (try Unix.set_nonblock afd with Unix.Unix_error _ -> ());
+                (* one-line replies: don't let Nagle hold a router's answer
+                   hostage to the client's delayed ACK *)
+                if kind = Faults.Tcp then (
+                  try Unix.setsockopt afd Unix.TCP_NODELAY true
+                  with Unix.Unix_error _ | Invalid_argument _ -> ());
                 let now = Unix.gettimeofday () in
                 if not !accepting then begin
                   try Unix.close afd with Unix.Unix_error _ -> ()
@@ -891,7 +963,7 @@ let serve ?(ready = fun _ -> ()) config =
                      hint and a clean close *)
                   st.busy_rejected <- st.busy_rejected + 1;
                   let c =
-                    Conn.create ~max_line:config.max_line_bytes
+                    Conn.create ~transport:kind ~max_line:config.max_line_bytes
                       ~idle_timeout:(Some (Float.max 1. config.retry_after))
                       ~now afd
                   in
@@ -904,7 +976,7 @@ let serve ?(ready = fun _ -> ()) config =
                 else begin
                   st.conns_accepted <- st.conns_accepted + 1;
                   let c =
-                    Conn.create ~max_line:config.max_line_bytes
+                    Conn.create ~transport:kind ~max_line:config.max_line_bytes
                       ~idle_timeout:config.idle_timeout ~now afd
                   in
                   Hashtbl.replace conns afd
@@ -955,7 +1027,8 @@ let serve ?(ready = fun _ -> ()) config =
             else begin
               let cstates = snapshot () in
               let reads =
-                (wake_r :: (if !accepting then listener_fds else []))
+                (wake_r
+                :: (if !accepting then List.map fst listener_fds else []))
                 @ List.filter_map
                     (fun cs ->
                       if (not cs.dead) && Conn.want_read cs.c then
@@ -994,7 +1067,8 @@ let serve ?(ready = fun _ -> ()) config =
                   if List.mem wake_r readable then drain_wake_pipe ();
                   if !accepting then
                     List.iter
-                      (fun lfd -> if List.mem lfd readable then accept_from lfd)
+                      (fun (lfd, kind) ->
+                        if List.mem lfd readable then accept_from (lfd, kind))
                       listener_fds;
                   List.iter
                     (fun cs ->

@@ -23,6 +23,12 @@ type config = {
   tcp_port : int option;
       (** optional TCP listener on 127.0.0.1; [Some 0] picks an ephemeral
           port (reported through [ready]) *)
+  listen : string list;
+      (** extra TCP listeners as [HOST:PORT] specs ([""] or ["*"] as host =
+          all interfaces; port [0] = ephemeral, reported through [ready]).
+          All listeners — Unix, loopback TCP and these — feed one event
+          loop over one catalog; this is the fleet-facing transport the
+          replica router dials. *)
   jobs : int;  (** pool domains; 1 = fully sequential *)
   cache_bytes : int;  (** artifact-cache capacity *)
   max_graph_bytes : int;

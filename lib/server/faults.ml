@@ -1,4 +1,6 @@
 type op = Read | Write | Accept | Fwrite
+type kind = Unix_sock | Tcp
+type scope = Any | Only of kind
 
 type action =
   | Short
@@ -6,8 +8,9 @@ type action =
   | Eintr
   | Fail of Unix.error
   | Disconnect
+  | Reset
 
-type entry = { op : op; mutable countdown : int; action : action }
+type entry = { op : op; scope : scope; mutable countdown : int; action : action }
 
 (* the plan is shared between the test domain (arming) and the daemon loop
    (firing); one mutex keeps the counters exact *)
@@ -15,32 +18,40 @@ let lock = Mutex.create ()
 let plan : entry list ref = ref []
 let hook : (unit -> unit) option ref = ref None
 let delay = Atomic.make 0.
+let health_flaps = Atomic.make 0
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let inject op ~after action =
+let inject ?(scope = Any) op ~after action =
   if after < 0 then invalid_arg "Faults.inject: negative trip point";
-  locked (fun () -> plan := !plan @ [ { op; countdown = after; action } ])
+  locked (fun () -> plan := !plan @ [ { op; scope; countdown = after; action } ])
 
 let clear () =
   locked (fun () ->
       plan := [];
       hook := None);
-  Atomic.set delay 0.
+  Atomic.set delay 0.;
+  Atomic.set health_flaps 0
 
 let armed () = locked (fun () -> List.length !plan)
 
-(* count one operation of kind [op] against every matching injection and
-   return the action of the first one that fires, consuming it *)
-let fire op =
+(* count one operation of kind [op] on a listener/connection of transport
+   [kind] against every matching injection and return the action of the
+   first one that fires, consuming it. A [Only k] scope only counts (and
+   only fires on) operations of that transport, so a fault planted on the
+   TCP listener leaves the Unix path untouched. *)
+let fire ?(kind = Unix_sock) op =
   locked (fun () ->
+      let matches e =
+        e.op = op && match e.scope with Any -> true | Only k -> k = kind
+      in
       let fired = ref None in
       plan :=
         List.filter
           (fun e ->
-            if e.op <> op then true
+            if not (matches e) then true
             else if e.countdown > 0 then begin
               e.countdown <- e.countdown - 1;
               true
@@ -53,29 +64,32 @@ let fire op =
           !plan;
       !fired)
 
-let read fd buf pos len =
-  match fire Read with
+let read ?kind fd buf pos len =
+  match fire ?kind Read with
   | None -> Unix.read fd buf pos len
   | Some (Short | Torn) -> Unix.read fd buf pos (min 1 len)
   | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "read", ""))
   | Some (Fail e) -> raise (Unix.Unix_error (e, "read", ""))
   | Some Disconnect -> 0
+  | Some Reset -> raise (Unix.Unix_error (Unix.ECONNRESET, "read", ""))
 
-let write fd buf pos len =
-  match fire Write with
+let write ?kind fd buf pos len =
+  match fire ?kind Write with
   | None -> Unix.write fd buf pos len
   | Some (Short | Torn) -> Unix.write fd buf pos (min 1 len)
   | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "write", ""))
   | Some (Fail e) -> raise (Unix.Unix_error (e, "write", ""))
   | Some Disconnect -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+  | Some Reset -> raise (Unix.Unix_error (Unix.ECONNRESET, "write", ""))
 
-let accept fd =
-  match fire Accept with
+let accept ?kind fd =
+  match fire ?kind Accept with
   | None -> Unix.accept fd
   | Some (Short | Torn | Eintr) ->
       raise (Unix.Unix_error (Unix.EINTR, "accept", ""))
   | Some (Fail e) -> raise (Unix.Unix_error (e, "accept", ""))
-  | Some Disconnect -> raise (Unix.Unix_error (Unix.ECONNABORTED, "accept", ""))
+  | Some (Disconnect | Reset) ->
+      raise (Unix.Unix_error (Unix.ECONNABORTED, "accept", ""))
 
 let fwrite fd buf pos len =
   match fire Fwrite with
@@ -90,7 +104,8 @@ let fwrite fd buf pos len =
       len
   | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "write", ""))
   | Some (Fail e) -> raise (Unix.Unix_error (e, "write", ""))
-  | Some Disconnect -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+  | Some (Disconnect | Reset) ->
+      raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
 
 let set_execute_hook h = locked (fun () -> hook := h)
 
@@ -102,3 +117,14 @@ let set_solve_delay s = Atomic.set delay (if s > 0. then s else 0.)
 let solve_delay () =
   let s = Atomic.get delay in
   if s > 0. then Unix.sleepf s
+
+let set_health_flap n = Atomic.set health_flaps (max 0 n)
+
+let health_flap () =
+  let rec go () =
+    let v = Atomic.get health_flaps in
+    if v <= 0 then false
+    else if Atomic.compare_and_set health_flaps v (v - 1) then true
+    else go ()
+  in
+  go ()

@@ -17,6 +17,18 @@ type op =
   | Accept
   | Fwrite  (** durable-state file writes (snapshots, journal appends) *)
 
+type kind = Unix_sock | Tcp
+(** The transport a connection was accepted on (or a listener serves).
+    Every daemon socket operation reports its kind, so injections can be
+    scoped to one listener's traffic. *)
+
+type scope =
+  | Any  (** fire on either transport (the historical behavior) *)
+  | Only of kind
+      (** count and fire only on operations of this transport — a fault
+          planted on the TCP listener leaves the Unix path untouched, and
+          vice versa *)
+
 type action =
   | Short  (** truncate the transfer to a single byte *)
   | Torn
@@ -28,26 +40,30 @@ type action =
       (** fail once with this error ([Fail Unix.ENOSPC] on {!Fwrite}
           models a full disk mid-snapshot) *)
   | Disconnect
-      (** the peer vanishes: reads see EOF, writes fail with [EPIPE],
-          accepts fail with [ECONNABORTED] *)
+      (** the peer vanishes politely: reads see EOF, writes fail with
+          [EPIPE], accepts fail with [ECONNABORTED] *)
+  | Reset
+      (** the peer vanishes rudely (a [kill -9]'d replica): reads and
+          writes fail with [ECONNRESET] — planted on a {!Write} this is a
+          mid-reply connection reset *)
 
-val inject : op -> after:int -> action -> unit
+val inject : ?scope:scope -> op -> after:int -> action -> unit
 (** [inject op ~after:n act] lets the next [n] operations of kind [op]
-    proceed normally and applies [act] to the one after, consuming the
-    injection. Several injections may be armed at once; each counts down
-    independently from its arming point.
+    (within [scope], default [Any]) proceed normally and applies [act] to
+    the one after, consuming the injection. Several injections may be
+    armed at once; each counts down independently from its arming point.
 
     @raise Invalid_argument if [after < 0]. *)
 
 val clear : unit -> unit
-(** Disarm every pending injection and hook. *)
+(** Disarm every pending injection, hook, delay and health flap. *)
 
 val armed : unit -> int
 (** Injections not yet fired — lets a test assert its whole plan ran. *)
 
-val read : Unix.file_descr -> bytes -> int -> int -> int
-val write : Unix.file_descr -> bytes -> int -> int -> int
-val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+val read : ?kind:kind -> Unix.file_descr -> bytes -> int -> int -> int
+val write : ?kind:kind -> Unix.file_descr -> bytes -> int -> int -> int
+val accept : ?kind:kind -> Unix.file_descr -> Unix.file_descr * Unix.sockaddr
 
 val fwrite : Unix.file_descr -> bytes -> int -> int -> int
 (** The durable-state write seam: {!Persist} and {!Journal} push every
@@ -57,7 +73,7 @@ val fwrite : Unix.file_descr -> bytes -> int -> int -> int
 
 (** {1 Request-level seams}
 
-    Socket faults exercise the I/O layer; these two reach inside request
+    Socket faults exercise the I/O layer; these reach inside request
     execution itself. *)
 
 val set_execute_hook : (unit -> unit) option -> unit
@@ -76,3 +92,13 @@ val set_solve_delay : float -> unit
 
 val solve_delay : unit -> unit
 (** Sleep the armed delay, if any. Called inside the solve job. *)
+
+val set_health_flap : int -> unit
+(** Make the next [n] [health] requests answer [error unavailable] instead
+    of the real health report — a flapping replica, as seen by a router's
+    circuit breaker. The daemon consumes one flap per health dispatch;
+    [0] disarms. *)
+
+val health_flap : unit -> bool
+(** Consume one armed flap ([true] = this health request must flap).
+    Called by the daemon's dispatch; [false] when nothing is armed. *)

@@ -1,0 +1,466 @@
+(* Replica-aware router: consistent-hash placement, per-endpoint circuit
+   breakers with health-gated recovery, busy isolation and load replay.
+   See router.mli for the contract. *)
+
+type config = {
+  vnodes : int;
+  failure_threshold : int;
+  cooldown : float;
+  cooldown_max : float;
+  connect_timeout : float option;
+  read_timeout : float option;
+}
+
+let default_config =
+  {
+    vnodes = 64;
+    failure_threshold = 3;
+    cooldown = 0.5;
+    cooldown_max = 30.;
+    connect_timeout = Some 2.;
+    read_timeout = Some 30.;
+  }
+
+type transport = string -> string -> (string, string) result
+
+(* ---- the hash ring ---- *)
+
+(* FNV-1a, then a splitmix64-style finalizer: raw FNV of short, similar
+   strings ("host:port#3" vnode labels) leaves the high bits — the ones
+   ring ordering sorts by — visibly lumpy; the avalanche evens the ring
+   out so 5 replicas actually own ~1/5 of the keys each *)
+let hash64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  let mix h =
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h 0xff51afd7ed558ccdL in
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+    Int64.logxor h (Int64.shift_right_logical h 33)
+  in
+  mix !h
+
+let solve_key ~g1 ~g2 = g1 ^ "\x00" ^ g2
+
+(* ring points: (point hash, endpoint index), sorted unsigned so the ring
+   wraps exactly like the 64-bit key space does *)
+let build_ring ~vnodes names =
+  let n = Array.length names in
+  let ring = Array.make (n * vnodes) (0L, 0) in
+  for i = 0 to n - 1 do
+    for v = 0 to vnodes - 1 do
+      ring.((i * vnodes) + v) <-
+        (hash64 (Printf.sprintf "%s#%d" names.(i) v), i)
+    done
+  done;
+  Array.sort
+    (fun (a, ia) (b, ib) ->
+      match Int64.unsigned_compare a b with 0 -> compare ia ib | c -> c)
+    ring;
+  ring
+
+(* walk the ring clockwise from the key's successor, collecting each
+   endpoint the first time one of its vnodes appears: the full preference
+   order, of which element 0 is the owner *)
+let place_on ~ring ~names key =
+  let n = Array.length ring in
+  let m = Array.length names in
+  if n = 0 then []
+  else begin
+    let h = hash64 key in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Int64.unsigned_compare (fst ring.(mid)) h < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    let start = if !lo = n then 0 else !lo in
+    let seen = Array.make m false in
+    let order = ref [] in
+    let collected = ref 0 in
+    let i = ref 0 in
+    while !collected < m && !i < n do
+      let _, idx = ring.((start + !i) mod n) in
+      if not seen.(idx) then begin
+        seen.(idx) <- true;
+        order := names.(idx) :: !order;
+        incr collected
+      end;
+      incr i
+    done;
+    List.rev !order
+  end
+
+let owner ?vnodes ~endpoints ~key () =
+  let vnodes = Option.value vnodes ~default:default_config.vnodes in
+  let names = Array.of_list endpoints in
+  match place_on ~ring:(build_ring ~vnodes names) ~names key with
+  | first :: _ -> Some first
+  | [] -> None
+
+(* ---- endpoint state ---- *)
+
+type breaker = Closed | Open | Half_open
+
+type ep = {
+  name : string;
+  mutable failures : int;  (* consecutive connection-level failures *)
+  mutable tripped : bool;  (* breaker open *)
+  mutable opened_at : float;
+  mutable cooldown : float;  (* current open cooldown *)
+  mutable trips : int;  (* lifetime trips; drives the backoff exponent *)
+  mutable not_before : float;  (* busy gate: the replica's own hint *)
+}
+
+type t = {
+  config : config;
+  names : string array;  (* creation order *)
+  ring : (int64 * int) array;
+  eps : (string, ep) Hashtbl.t;
+  transport : transport;
+  now : unit -> float;
+  sleep : float -> unit;
+  lock : Mutex.t;
+  (* the replay log: successful load lines in arrival order, one per name;
+     replayed to a recovering replica before its breaker closes *)
+  mutable loads : (string * string) list;
+  mutable failovers : int;
+  mutable breaker_trips : int;
+  mutable replays : int;
+  mutable replays_refused : int;
+  mutable mismatches : int;
+}
+
+let dial table connect_timeout read_timeout name line =
+  match Hashtbl.find_opt table name with
+  | None -> Error (name ^ ": unknown endpoint")
+  | Some sockaddr -> (
+      match Client.connect ?timeout:connect_timeout sockaddr with
+      | Error _ as e -> e
+      | Ok conn ->
+          let r = Client.send ?timeout:read_timeout conn line in
+          Client.close conn;
+          r)
+
+let create ?(config = default_config) ?transport ?(now = Unix.gettimeofday)
+    ?(sleep = Unix.sleepf) ~endpoints () =
+  if endpoints = [] then Error "router: no endpoints"
+  else if config.vnodes < 1 then Error "router: vnodes must be >= 1"
+  else if config.failure_threshold < 1 then
+    Error "router: failure threshold must be >= 1"
+  else if List.length (List.sort_uniq compare endpoints) <> List.length endpoints
+  then Error "router: duplicate endpoint"
+  else
+    (* endpoint strings are only resolved when the router dials them
+       itself; an injected transport treats them as opaque labels *)
+    let transport_result =
+      match transport with
+      | Some f -> Ok f
+      | None ->
+          let table = Hashtbl.create 8 in
+          let rec parse = function
+            | [] -> Ok (dial table config.connect_timeout config.read_timeout)
+            | e :: rest -> (
+                match Client.sockaddr_of_string e with
+                | Error _ as err -> err
+                | Ok sa ->
+                    Hashtbl.replace table e sa;
+                    parse rest)
+          in
+          parse endpoints
+    in
+    match transport_result with
+    | Error _ as e -> e
+    | Ok transport ->
+        let names = Array.of_list endpoints in
+        let eps = Hashtbl.create 8 in
+        Array.iter
+          (fun name ->
+            Hashtbl.replace eps name
+              {
+                name;
+                failures = 0;
+                tripped = false;
+                opened_at = 0.;
+                cooldown = config.cooldown;
+                trips = 0;
+                not_before = 0.;
+              })
+          names;
+        Ok
+          {
+            config;
+            names;
+            ring = build_ring ~vnodes:config.vnodes names;
+            eps;
+            transport;
+            now;
+            sleep;
+            lock = Mutex.create ();
+            loads = [];
+            failovers = 0;
+            breaker_trips = 0;
+            replays = 0;
+            replays_refused = 0;
+            mismatches = 0;
+          }
+
+let endpoints t = Array.to_list t.names
+let place t ~key = place_on ~ring:t.ring ~names:t.names key
+
+let find_ep t name =
+  match Hashtbl.find_opt t.eps name with
+  | Some ep -> ep
+  | None -> invalid_arg ("Router: unknown endpoint " ^ name)
+
+let ep_breaker t ep =
+  if not ep.tripped then Closed
+  else if t.now () -. ep.opened_at >= ep.cooldown then Half_open
+  else Open
+
+(* ---- breaker transitions ---- *)
+
+let trip t ep =
+  ep.tripped <- true;
+  ep.opened_at <- t.now ();
+  ep.trips <- ep.trips + 1;
+  t.breaker_trips <- t.breaker_trips + 1;
+  ep.cooldown <-
+    Float.min t.config.cooldown_max
+      (t.config.cooldown *. (2. ** float_of_int (ep.trips - 1)))
+
+let record_failure t ep =
+  ep.failures <- ep.failures + 1;
+  if ep.tripped then trip t ep (* a failed half-open probe re-arms the open *)
+  else if ep.failures >= t.config.failure_threshold then trip t ep
+
+let record_success ep = ep.failures <- 0
+
+let close_breaker ep =
+  ep.tripped <- false;
+  ep.failures <- 0
+
+(* ---- reply classification ---- *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
+(* a drain-aborted solve: the replica gave up because it is going down,
+   not because the budget was honestly spent — never an answer *)
+let is_drain_abort reply = contains reply "status=exhausted(cancelled)"
+
+let is_healthy reply =
+  has_prefix "ok health " reply
+  && (contains reply "state=ready" || contains reply "state=degraded")
+
+(* ---- recovery: half-open probe + load replay ---- *)
+
+(* returns true iff the endpoint is back in service (breaker closed) *)
+let probe_and_recover t ep =
+  match t.transport ep.name "health" with
+  | Ok reply when is_healthy reply ->
+      let rec replay = function
+        | [] ->
+            close_breaker ep;
+            true
+        | (_name, line) :: rest -> (
+            match t.transport ep.name line with
+            | Error _ ->
+                record_failure t ep;
+                false
+            | Ok r ->
+                if has_prefix "error" r then
+                  (* the file changed while the replica was down; the
+                     content-CRC load refused it — the replica rejoins
+                     without that name rather than serving drifted data *)
+                  t.replays_refused <- t.replays_refused + 1
+                else t.replays <- t.replays + 1;
+                replay rest)
+      in
+      replay t.loads
+  | Ok _ | Error _ ->
+      record_failure t ep;
+      false
+
+(* ---- keyed requests with failover ---- *)
+
+type outcome =
+  | Reply of string
+  | Gated of float  (* busy: retry this endpoint after the given time *)
+  | Unavailable  (* breaker open, cooldown running *)
+  | Failed of string  (* connection-level failure *)
+
+let try_send t ep line ~cancellable =
+  match t.transport ep.name line with
+  | Error e ->
+      record_failure t ep;
+      Failed e
+  | Ok reply -> (
+      match Client.retry_after_hint reply with
+      | Some hint ->
+          (* an overloaded replica is not a broken one: gate it out for
+             exactly the span it asked for, and count the reply as contact *)
+          record_success ep;
+          ep.not_before <- t.now () +. Float.max 0. hint;
+          Gated ep.not_before
+      | None ->
+          if cancellable && is_drain_abort reply then begin
+            (* the replica is draining; it tripped the budget itself and
+               the "answer" is whatever it had when the axe fell *)
+            record_failure t ep;
+            Failed ("replica draining: " ^ reply)
+          end
+          else begin
+            record_success ep;
+            Reply reply
+          end)
+
+let attempt t ep line ~cancellable =
+  match ep_breaker t ep with
+  | Open -> Unavailable
+  | Half_open ->
+      if probe_and_recover t ep then try_send t ep line ~cancellable
+      else Unavailable
+  | Closed ->
+      if t.now () < ep.not_before then Gated ep.not_before
+      else try_send t ep line ~cancellable
+
+let keyed t line ~key ~cancellable =
+  let order = place t ~key in
+  let max_rounds = 3 in
+  let rec round r =
+    let gate = ref infinity in
+    let last_fail = ref None in
+    let rec walk idx = function
+      | [] -> None
+      | name :: rest -> (
+          let ep = find_ep t name in
+          match attempt t ep line ~cancellable with
+          | Reply reply ->
+              if idx > 0 then t.failovers <- t.failovers + 1;
+              Some reply
+          | Gated at ->
+              gate := Float.min !gate at;
+              walk (idx + 1) rest
+          | Unavailable -> walk (idx + 1) rest
+          | Failed e ->
+              last_fail := Some e;
+              walk (idx + 1) rest)
+    in
+    match walk 0 order with
+    | Some reply -> Ok reply
+    | None ->
+        if r + 1 >= max_rounds then
+          Error
+            (match !last_fail with
+            | Some e -> e
+            | None -> "router: all endpoints unavailable")
+        else begin
+          (* nothing answered this round: honor the earliest busy gate (or
+             take a short breath before re-probing downed replicas) *)
+          let now = t.now () in
+          let pause =
+            if !gate < infinity && !gate > now then !gate -. now else 0.05
+          in
+          t.sleep pause;
+          round (r + 1)
+        end
+  in
+  round 0
+
+(* ---- broadcasts: load / unload / shutdown ---- *)
+
+let broadcast t line ~track =
+  let ok_reply = ref None in
+  let err_reply = ref None in
+  let conn_err = ref None in
+  Array.iter
+    (fun name ->
+      let ep = find_ep t name in
+      let reachable =
+        match ep_breaker t ep with
+        | Closed -> true
+        | Half_open -> probe_and_recover t ep
+        | Open -> false (* it will catch up through the replay log *)
+      in
+      if reachable then
+        match t.transport ep.name line with
+        | Error e ->
+            record_failure t ep;
+            if !conn_err = None then conn_err := Some e
+        | Ok reply ->
+            record_success ep;
+            if has_prefix "ok" reply then begin
+              (match !ok_reply with
+              | Some prev when prev <> reply ->
+                  (* replicas disagree about the same broadcast: the
+                     divergence canary a fleet operator alarms on *)
+                  t.mismatches <- t.mismatches + 1
+              | _ -> ());
+              if !ok_reply = None then ok_reply := Some reply
+            end
+            else if !err_reply = None then err_reply := Some reply)
+    t.names;
+  (match (track, !ok_reply) with
+  | `Load name, Some _ ->
+      t.loads <-
+        List.filter (fun (n, _) -> n <> name) t.loads @ [ (name, line) ]
+  | `Unload name, Some _ ->
+      t.loads <- List.filter (fun (n, _) -> n <> name) t.loads
+  | (`Load _ | `Unload _ | `None), _ -> ());
+  match (!ok_reply, !err_reply, !conn_err) with
+  | Some r, _, _ -> Ok r
+  | None, Some r, _ -> Ok r
+  | None, None, Some e -> Error e
+  | None, None, None -> Error "router: all endpoints unavailable"
+
+(* ---- the front door ---- *)
+
+let request t line =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Protocol.parse line with
+      | Ok (Protocol.Solve s) ->
+          keyed t line
+            ~key:(solve_key ~g1:s.Protocol.g1 ~g2:s.Protocol.g2)
+            ~cancellable:true
+      | Ok (Protocol.Count c) ->
+          keyed t line
+            ~key:(solve_key ~g1:c.Protocol.g1 ~g2:c.Protocol.g2)
+            ~cancellable:true
+      | Ok (Protocol.Load_graph { name; _ } | Protocol.Load_mat { name; _ })
+        ->
+          broadcast t line ~track:(`Load name)
+      | Ok (Protocol.Unload name) -> broadcast t line ~track:(`Unload name)
+      | Ok Protocol.Shutdown -> broadcast t line ~track:`None
+      | Ok
+          ( Protocol.Version | Protocol.Ping | Protocol.Health | Protocol.List
+          | Protocol.Stats | Protocol.Quit )
+      | Error _ ->
+          (* probes and even unparseable lines still deserve a daemon's
+             answer (the canonical error message comes from the server);
+             key them by their own text so they spread across the fleet *)
+          keyed t line ~key:line ~cancellable:false)
+
+let breaker_state t name =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> ep_breaker t (find_ep t name))
+
+let failovers t = t.failovers
+let breaker_trips t = t.breaker_trips
+let replays t = t.replays
+let replays_refused t = t.replays_refused
+let mismatches t = t.mismatches

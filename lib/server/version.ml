@@ -1,7 +1,7 @@
 (* The one version constant: the phom CLI (--version), the phomd daemon
    (--version and its startup banner) and the wire protocol's `version`
    command all read it from here, so the three can never disagree. *)
-let string = "1.5.0"
+let string = "1.6.0"
 
 (* line-protocol revision; bump on any incompatible grammar change
    (2: `stats` became a multi-line Prometheus reply, `ok stats <n>` + n lines;

@@ -1,0 +1,151 @@
+#!/bin/sh
+# Fleet chaos smoke test: three phomd replicas on loopback TCP behind the
+# replica-aware router. A single sequential daemon answers the reference
+# query first; then the replica that owns the (pat, store) pair is killed
+# -9 while the routed solve is inside an injected delay, and the router
+# must fail over and return the byte-identical cold reply. A final phase
+# restarts the dead replica on its old port and re-broadcasts the loads:
+# the survivors take the content-CRC idempotent reload silently and the
+# fleet answers the query again. `make fleet-smoke` is the local entry
+# point.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+PHOMD="$ROOT/_build/default/bin/phomd.exe"
+PHOM="$ROOT/_build/default/bin/main.exe"
+
+dune build bin/main.exe bin/phomd.exe
+
+DIR=$(mktemp -d)
+
+cleanup() {
+    for pidfile in "$DIR"/*.pid; do
+        [ -f "$pidfile" ] && kill -9 "$(cat "$pidfile")" 2>/dev/null || true
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "fleet-smoke: FAIL: $1" >&2
+    for log in "$DIR"/*.log; do
+        echo "--- $log ---" >&2
+        cat "$log" >&2 || true
+    done
+    exit 1
+}
+
+# start_daemon LOG LISTEN [phomd args...]; echoes the bound HOST:PORT and
+# records the pid in LOG's sibling .pid file (start_daemon runs inside
+# command substitutions, so a shell variable would not survive the
+# subshell)
+start_daemon() {
+    log=$1
+    listen=$2
+    shift 2
+    "$PHOMD" --listen "$listen" "$@" > "$log" 2>&1 &
+    echo $! > "${log%.log}.pid"
+    i=0
+    until grep -q 'listening on' "$log" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || fail "daemon did not come up ($log)"
+        sleep 0.1
+    done
+    sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log" | head -1
+}
+
+SOLVE="solve card pat store --sim shingles --xi 0.5"
+
+# ---- phase 1: single-node reference over TCP ----
+
+REF_ADDR=$(start_daemon "$DIR/ref.log" 127.0.0.1:0 --jobs 1)
+echo "fleet-smoke: reference daemon on $REF_ADDR"
+
+VERSION=$("$PHOM" client "$REF_ADDR" version) || fail "version over TCP"
+case "$VERSION" in
+"ok phomd "*) ;;
+*) fail "unexpected version reply: $VERSION" ;;
+esac
+
+"$PHOM" client "$REF_ADDR" load graph pat "$ROOT/data/fig1_pattern.phg" \
+    || fail "reference load pattern"
+"$PHOM" client "$REF_ADDR" load graph store "$ROOT/data/fig1_store.phg" \
+    || fail "reference load data graph"
+EXPECTED=$("$PHOM" client "$REF_ADDR" -- $SOLVE) || fail "reference solve"
+case "$EXPECTED" in
+*"status=complete"*) ;;
+*) fail "reference reply is not complete: $EXPECTED" ;;
+esac
+"$PHOM" client "$REF_ADDR" shutdown > /dev/null || fail "reference shutdown"
+
+# ---- phase 2: three replicas, loads broadcast through the router ----
+
+A=$(start_daemon "$DIR/a.log" 127.0.0.1:0 --jobs 2 --fault-delay 0.5)
+B=$(start_daemon "$DIR/b.log" 127.0.0.1:0 --jobs 2 --fault-delay 0.5)
+C=$(start_daemon "$DIR/c.log" 127.0.0.1:0 --jobs 2 --fault-delay 0.5)
+EPS="$A,$B,$C"
+echo "fleet-smoke: fleet up on $EPS"
+
+"$PHOM" client --endpoints "$EPS" load graph pat \
+    "$ROOT/data/fig1_pattern.phg" || fail "fleet load pattern"
+"$PHOM" client --endpoints "$EPS" load graph store \
+    "$ROOT/data/fig1_store.phg" || fail "fleet load data graph"
+
+OWNER=$("$PHOM" client --endpoints "$EPS" --place pat,store | head -1)
+case "$OWNER" in
+"$A") OWNER_PID=$(cat "$DIR/a.pid") ;;
+"$B") OWNER_PID=$(cat "$DIR/b.pid") ;;
+"$C") OWNER_PID=$(cat "$DIR/c.pid") ;;
+*) fail "--place named an unknown replica: $OWNER" ;;
+esac
+echo "fleet-smoke: (pat, store) is owned by $OWNER (pid $OWNER_PID)"
+
+# ---- phase 3: kill -9 the owner mid-solve, require identical failover ----
+
+"$PHOM" client --endpoints "$EPS" -- $SOLVE > "$DIR/failover.txt" 2>&1 &
+SOLVER_PID=$!
+sleep 0.2
+kill -9 "$OWNER_PID"
+wait "$SOLVER_PID" || fail "routed solve died with the replica"
+GOT=$(cat "$DIR/failover.txt")
+[ "$GOT" = "$EXPECTED" ] || fail "failover reply differs from single node:
+  expected: $EXPECTED
+  got:      $GOT"
+echo "fleet-smoke: owner killed -9 mid-solve, failover reply byte-identical"
+
+# the survivor that answered is warm now: same answer, cache hits
+AGAIN=$("$PHOM" client --endpoints "$EPS" -- $SOLVE) || fail "second solve"
+[ "${AGAIN% cache=*}" = "${EXPECTED% cache=*}" ] \
+    || fail "warm failover reply drifted: $AGAIN"
+case "$AGAIN" in
+*"cache=closure:hit,mat:hit,cands:hit"*) ;;
+*) fail "survivor did not serve from its cache: $AGAIN" ;;
+esac
+
+# ---- phase 4: restart the dead replica on its old port and rejoin ----
+
+OWNER_PORT=${OWNER##*:}
+RESTARTED=$(start_daemon "$DIR/restart.log" "127.0.0.1:$OWNER_PORT" --jobs 2)
+[ "$RESTARTED" = "$OWNER" ] || fail "restart bound $RESTARTED, not $OWNER"
+
+# re-broadcast the loads: the restarted replica loads fresh, the warm
+# survivors take the content-CRC idempotent reload without complaint
+"$PHOM" client --endpoints "$EPS" load graph pat \
+    "$ROOT/data/fig1_pattern.phg" || fail "rejoin load pattern"
+"$PHOM" client --endpoints "$EPS" load graph store \
+    "$ROOT/data/fig1_store.phg" || fail "rejoin load data graph"
+
+FINAL=$("$PHOM" client --endpoints "$EPS" -- $SOLVE) \
+    || fail "solve after rejoin"
+[ "${FINAL% cache=*}" = "${EXPECTED% cache=*}" ] \
+    || fail "post-rejoin reply drifted: $FINAL"
+
+for ep in $A $B $C; do
+    H=$("$PHOM" client "$ep" health) || fail "health on $ep"
+    case "$H" in
+    "ok health state=ready"*) ;;
+    *) fail "$ep is not ready after the chaos: $H" ;;
+    esac
+done
+
+echo "fleet-smoke: OK (kill -9 mid-solve, byte-identical failover, rejoin)"

@@ -1,0 +1,267 @@
+(* The fleet tier end to end, in process: several TCP daemons behind the
+   replica router. Proves the failover determinism contract — a routed
+   grid answers byte-for-byte like a single sequential daemon, a replica
+   lost mid-grid changes no answer, a drain-aborted in-flight solve is
+   re-run (never served stale) — plus the probe fast path: health answers
+   promptly while every pool worker is busy. *)
+
+module Daemon = Phom_server.Daemon
+module Client = Phom_server.Client
+module Router = Phom_server.Router
+module Faults = Phom_server.Faults
+
+let fig1_pattern = Filename.concat "../data" "fig1_pattern.phg"
+let fig1_store = Filename.concat "../data" "fig1_store.phg"
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unexpected error: %s" m
+
+let check_str = Alcotest.(check string)
+
+(* n sequential daemons, each on an ephemeral loopback TCP port; [f]
+   receives their endpoints. Replicas are shut down (tolerantly: a test
+   may have downed some itself) and joined on the way out. *)
+let with_fleet ?(config = Daemon.default_config) n f =
+  let config = { config with Daemon.listen = [ "127.0.0.1:0" ] } in
+  let lock = Mutex.create () and cond = Condition.create () in
+  let addrs = Array.make n None in
+  let spawn i =
+    Domain.spawn (fun () ->
+        Daemon.serve
+          ~ready:(fun bound ->
+            Mutex.lock lock;
+            addrs.(i) <- Some (List.hd bound);
+            Condition.signal cond;
+            Mutex.unlock lock)
+          config)
+  in
+  let domains = List.init n spawn in
+  Mutex.lock lock;
+  while Array.exists Option.is_none addrs do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  let endpoints = Array.to_list (Array.map Option.get addrs) in
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.clear ();
+      List.iter
+        (fun ep ->
+          match Client.sockaddr_of_string ep with
+          | Ok sa ->
+              ignore
+                (Client.request ~connect_timeout:5. ~read_timeout:5. sa
+                   "shutdown")
+          | Error _ -> ())
+        endpoints;
+      List.iter Domain.join domains)
+    (fun () -> f endpoints)
+
+let shutdown_endpoint ep =
+  ignore
+    (Client.request ~connect_timeout:5. ~read_timeout:10.
+       (ok_or_fail (Client.sockaddr_of_string ep))
+       "shutdown")
+
+let router_for endpoints =
+  ok_or_fail
+    (Router.create
+       ~config:
+         {
+           Router.default_config with
+           connect_timeout = Some 5.;
+           read_timeout = Some 30.;
+           cooldown = 0.2;
+         }
+       ~endpoints ())
+
+let load_fixtures ask =
+  let r = ask ("load graph pat " ^ fig1_pattern) in
+  if not (String.length r >= 2 && String.sub r 0 2 = "ok") then
+    Alcotest.failf "load pat: %s" r;
+  let r = ask ("load graph store " ^ fig1_store) in
+  if not (String.length r >= 2 && String.sub r 0 2 = "ok") then
+    Alcotest.failf "load store: %s" r
+
+(* the provenance suffix differs between a shared single-node cache and
+   per-replica caches; everything before it must agree byte-for-byte *)
+let strip_cache reply =
+  let marker = " cache=" in
+  let rec find i =
+    if i + String.length marker > String.length reply then None
+    else if String.sub reply i (String.length marker) = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with Some i -> String.sub reply 0 i | None -> reply
+
+(* a deterministic request grid over the fig1 fixtures: every problem,
+   both directions, plus counts *)
+let grid =
+  List.concat_map
+    (fun problem ->
+      [
+        Printf.sprintf "solve %s pat store" problem;
+        Printf.sprintf "solve %s pat store --sim shingles --xi 0.5" problem;
+      ])
+    [ "card"; "card11"; "sim"; "sim11" ]
+  @ [ "count pat store"; "count pat store --sim shingles --xi 0.5" ]
+
+(* single-node reference: a fresh sequential daemon answers the grid *)
+let reference_replies () =
+  let out = ref [] in
+  with_fleet 1 (fun endpoints ->
+      let ep = List.hd endpoints in
+      let ask line =
+        ok_or_fail
+          (Client.request ~connect_timeout:5. ~read_timeout:30.
+             (ok_or_fail (Client.sockaddr_of_string ep))
+             line)
+      in
+      load_fixtures ask;
+      out := List.map (fun line -> (line, ask line)) grid);
+  !out
+
+(* replicas run a 2-worker pool so the event loop stays free to process
+   control verbs (shutdown, health) while a solve is in flight — the
+   fleet-shaped deployment; the reference stays --jobs 1 sequential, so
+   grid equality doubles as a pool-determinism check over the wire *)
+let fleet_config = { Daemon.default_config with Daemon.jobs = 2 }
+
+let test_fleet_grid_matches_single_node () =
+  let expected = reference_replies () in
+  with_fleet ~config:fleet_config 3 (fun endpoints ->
+      let r = router_for endpoints in
+      load_fixtures (fun line -> ok_or_fail (Router.request r line));
+      List.iter
+        (fun (line, want) ->
+          let got = ok_or_fail (Router.request r line) in
+          check_str line (strip_cache want) (strip_cache got))
+        expected)
+
+let test_fleet_survives_replica_loss () =
+  let expected = reference_replies () in
+  with_fleet ~config:fleet_config 3 (fun endpoints ->
+      let r = router_for endpoints in
+      load_fixtures (fun line -> ok_or_fail (Router.request r line));
+      (* take down the replica that owns the grid's key: every request for
+         (pat, store) must fail over and the answers must not change *)
+      let owner =
+        Option.get
+          (Router.owner ~endpoints
+             ~key:(Router.solve_key ~g1:"pat" ~g2:"store")
+             ())
+      in
+      shutdown_endpoint owner;
+      List.iter
+        (fun (line, want) ->
+          let got = ok_or_fail (Router.request r line) in
+          check_str line (strip_cache want) (strip_cache got))
+        expected;
+      Alcotest.(check bool)
+        "failovers recorded" true
+        (Router.failovers r > 0))
+
+let test_drain_abort_reruns_not_stale () =
+  let expected = reference_replies () in
+  let line = "solve card pat store" in
+  let want = strip_cache (List.assoc line expected) in
+  Alcotest.(check bool)
+    "reference answer is complete" true
+    (String.length want > 0
+    && (let m = "status=complete" in
+        let n = String.length want and k = String.length m in
+        let rec scan i = i + k <= n && (String.sub want i k = m || scan (i + 1)) in
+        scan 0));
+  with_fleet ~config:fleet_config 3 (fun endpoints ->
+      let r = router_for endpoints in
+      load_fixtures (fun l -> ok_or_fail (Router.request r l));
+      let owner =
+        Option.get
+          (Router.owner ~endpoints
+             ~key:(Router.solve_key ~g1:"pat" ~g2:"store")
+             ())
+      in
+      (* hold every solve for half a second, then shut the owner down while
+         the routed solve sits inside the delay: the drain budget-trips it
+         to status=exhausted(cancelled), and the router must re-run it on a
+         survivor instead of serving the aborted artifact *)
+      Faults.set_solve_delay 0.5;
+      let killer =
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.15;
+            shutdown_endpoint owner)
+      in
+      let got = Router.request r line in
+      Domain.join killer;
+      Faults.set_solve_delay 0.;
+      let got = ok_or_fail got in
+      check_str "re-run answer matches the reference" want (strip_cache got);
+      Alcotest.(check bool)
+        "the re-run failed over" true
+        (Router.failovers r > 0))
+
+(* the probe fast path: health/stats answer from the event loop, never
+   through the pool, so a fleet router can probe a saturated replica *)
+let test_health_prompt_under_saturated_pool () =
+  let config = { Daemon.default_config with Daemon.jobs = 2; max_pending = 8 } in
+  with_fleet ~config 1 (fun endpoints ->
+      let ep = List.hd endpoints in
+      let sa = ok_or_fail (Client.sockaddr_of_string ep) in
+      let ask ?(read_timeout = 30.) line =
+        ok_or_fail (Client.request ~connect_timeout:5. ~read_timeout sa line)
+      in
+      load_fixtures ask;
+      (* warm once so the saturating solves don't contend on artifacts *)
+      ignore (ask "solve card pat store");
+      Faults.set_solve_delay 1.0;
+      let busy =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () -> ask "solve card pat store"))
+      in
+      (* give the solves time to land on the two pool workers *)
+      Unix.sleepf 0.2;
+      let t0 = Unix.gettimeofday () in
+      let reply = ask ~read_timeout:5. "health" in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Faults.set_solve_delay 0.;
+      List.iter (fun d -> ignore (Domain.join d)) busy;
+      Alcotest.(check bool)
+        "health reply well-formed" true
+        (String.length reply >= 9 && String.sub reply 0 9 = "ok health");
+      if elapsed > 0.5 then
+        Alcotest.failf
+          "health took %.3fs behind a saturated pool (must not queue)" elapsed)
+
+(* the health-flap seam end to end: a replica whose probe endpoint lies
+   sick answers [error unavailable] exactly n times, then recovers *)
+let test_health_flap_seam () =
+  with_fleet 1 (fun endpoints ->
+      let sa =
+        ok_or_fail (Client.sockaddr_of_string (List.hd endpoints))
+      in
+      let ask line =
+        ok_or_fail (Client.request ~connect_timeout:5. ~read_timeout:10. sa line)
+      in
+      Faults.set_health_flap 2;
+      check_str "first probe flaps" "error unavailable" (ask "health");
+      check_str "second probe flaps" "error unavailable" (ask "health");
+      Alcotest.(check bool)
+        "third probe is honest" true
+        (String.length (ask "health") >= 9))
+
+let suite =
+  [
+    ( "fleet",
+      [
+        Alcotest.test_case "grid matches single node" `Slow
+          test_fleet_grid_matches_single_node;
+        Alcotest.test_case "replica loss changes no answer" `Slow
+          test_fleet_survives_replica_loss;
+        Alcotest.test_case "drain abort re-runs, never stale" `Slow
+          test_drain_abort_reruns_not_stale;
+        Alcotest.test_case "health prompt under saturated pool" `Slow
+          test_health_prompt_under_saturated_pool;
+        Alcotest.test_case "health flap seam" `Quick test_health_flap_seam;
+      ] );
+  ]

@@ -1,0 +1,433 @@
+(* The replica router in isolation: consistent-hash stability under
+   replica add/remove, circuit-breaker transitions under scripted fault
+   schedules, per-endpoint busy gates, drain-abort failover and the load
+   replay log — all over a fake transport and a virtual clock, no
+   sockets. *)
+
+module Router = Phom_server.Router
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unexpected error: %s" m
+
+let breaker =
+  Alcotest.of_pp (fun ppf s ->
+      Fmt.string ppf
+        (match s with
+        | Router.Closed -> "Closed"
+        | Router.Open -> "Open"
+        | Router.Half_open -> "Half_open"))
+
+(* ---- placement ---- *)
+
+let keys n = List.init n (fun i -> Router.solve_key ~g1:(Printf.sprintf "g%d" i) ~g2:"store")
+
+let test_placement_deterministic () =
+  let endpoints = [ "a:1"; "b:1"; "c:1" ] in
+  List.iter
+    (fun key ->
+      let o1 = Router.owner ~endpoints ~key () in
+      let o2 = Router.owner ~endpoints ~key () in
+      Alcotest.(check (option string)) "same owner twice" o1 o2;
+      check_bool "owner is an endpoint" true
+        (match o1 with Some o -> List.mem o endpoints | None -> false))
+    (keys 100)
+
+let test_placement_spreads () =
+  let endpoints = [ "a:1"; "b:1"; "c:1"; "d:1"; "e:1" ] in
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      match Router.owner ~endpoints ~key () with
+      | Some o ->
+          Hashtbl.replace tally o (1 + Option.value ~default:0 (Hashtbl.find_opt tally o))
+      | None -> Alcotest.fail "no owner")
+    (keys 1000);
+  (* 1000 keys over 5 replicas: every replica owns a meaningful share *)
+  List.iter
+    (fun e ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt tally e) in
+      if n < 50 then
+        Alcotest.failf "replica %s owns only %d/1000 keys (ring too lumpy)" e n)
+    endpoints
+
+(* the consistent-hashing contract: removing a replica moves only the keys
+   it owned; adding one moves keys only *to* it *)
+let test_bounded_movement_on_remove () =
+  let all = [ "a:1"; "b:1"; "c:1"; "d:1"; "e:1" ] in
+  let without = [ "a:1"; "b:1"; "c:1"; "d:1" ] in
+  let moved = ref 0 in
+  List.iter
+    (fun key ->
+      let before = Option.get (Router.owner ~endpoints:all ~key ()) in
+      let after = Option.get (Router.owner ~endpoints:without ~key ()) in
+      if before = "e:1" then incr moved
+      else check_str "survivor keys stay put" before after)
+    (keys 1000);
+  (* ~1/5 of the keys lived on the removed replica *)
+  if !moved < 100 || !moved > 320 then
+    Alcotest.failf "removed replica owned %d/1000 keys (expected ~200)" !moved
+
+let test_bounded_movement_on_add () =
+  let before_eps = [ "a:1"; "b:1"; "c:1"; "d:1" ] in
+  let after_eps = [ "a:1"; "b:1"; "c:1"; "d:1"; "e:1" ] in
+  List.iter
+    (fun key ->
+      let before = Option.get (Router.owner ~endpoints:before_eps ~key ()) in
+      let after = Option.get (Router.owner ~endpoints:after_eps ~key ()) in
+      if after <> before then
+        check_str "movement only towards the new replica" "e:1" after)
+    (keys 1000)
+
+let test_preference_order_complete () =
+  let endpoints = [ "a:1"; "b:1"; "c:1" ] in
+  let r =
+    ok_or_fail
+      (Router.create ~transport:(fun _ _ -> Ok "ok pong") ~endpoints ())
+  in
+  List.iter
+    (fun key ->
+      let order = Router.place r ~key in
+      check_int "order covers every endpoint" 3 (List.length order);
+      check_int "no duplicates" 3
+        (List.length (List.sort_uniq compare order));
+      check_str "head of order is the owner"
+        (Option.get (Router.owner ~endpoints ~key ()))
+        (List.hd order))
+    (keys 50)
+
+(* ---- a scripted fleet: fake transport + virtual clock ---- *)
+
+type fake = {
+  log : (string * string) list ref;  (* (endpoint, line), oldest first *)
+  behavior : (string, string -> (string, string) result) Hashtbl.t;
+  clock : float ref;
+}
+
+let make_fake endpoints =
+  let f =
+    { log = ref []; behavior = Hashtbl.create 4; clock = ref 0. }
+  in
+  List.iter
+    (fun e -> Hashtbl.replace f.behavior e (fun _ -> Ok "ok pong")) endpoints;
+  f
+
+let healthy_daemon reply line =
+  if line = "health" then
+    Ok "ok health state=ready persist=false requests=0"
+  else Ok reply
+
+let dead _line = Error "connection refused"
+
+let router_over ?(config = { Router.default_config with cooldown = 1. }) fake
+    endpoints =
+  let transport ep line =
+    fake.log := (ep, line) :: !(fake.log);
+    (Hashtbl.find fake.behavior ep) line
+  in
+  ok_or_fail
+    (Router.create ~config ~transport
+       ~now:(fun () -> !(fake.clock))
+       ~sleep:(fun d -> fake.clock := !(fake.clock) +. d)
+       ~endpoints ())
+
+let calls_to fake ep = List.length (List.filter (fun (e, _) -> e = ep) !(fake.log))
+
+(* a solve line whose (g1, g2) key is owned by [name] *)
+let line_owned_by endpoints name =
+  let rec go i =
+    if i > 10_000 then Alcotest.failf "no key owned by %s" name
+    else
+      let g1 = Printf.sprintf "g%d" i in
+      if Router.owner ~endpoints ~key:(Router.solve_key ~g1 ~g2:"store") ()
+         = Some name
+      then Printf.sprintf "solve card %s store" g1
+      else go (i + 1)
+  in
+  go 0
+
+let test_breaker_opens_and_fails_over () =
+  let endpoints = [ "a:1"; "b:1" ] in
+  let fake = make_fake endpoints in
+  Hashtbl.replace fake.behavior "a:1" dead;
+  Hashtbl.replace fake.behavior "b:1"
+    (healthy_daemon "ok mapping size=1 status=complete");
+  let r = router_over fake endpoints in
+  let line = line_owned_by endpoints "a:1" in
+  (* threshold is 3: each request burns one failure on the owner, fails
+     over, and still gets b's answer *)
+  for i = 1 to 3 do
+    check_str
+      (Printf.sprintf "request %d answered by the survivor" i)
+      "ok mapping size=1 status=complete"
+      (ok_or_fail (Router.request r line))
+  done;
+  Alcotest.check breaker "breaker open after 3 consecutive failures"
+    Router.Open
+    (Router.breaker_state r "a:1");
+  check_int "three failovers counted" 3 (Router.failovers r);
+  check_int "one trip" 1 (Router.breaker_trips r);
+  let before = calls_to fake "a:1" in
+  check_str "open breaker short-circuits the owner"
+    "ok mapping size=1 status=complete"
+    (ok_or_fail (Router.request r line));
+  check_int "no dial to the open endpoint" before (calls_to fake "a:1")
+
+let test_breaker_half_open_recovers () =
+  let endpoints = [ "a:1"; "b:1" ] in
+  let fake = make_fake endpoints in
+  Hashtbl.replace fake.behavior "a:1" dead;
+  Hashtbl.replace fake.behavior "b:1" (healthy_daemon "ok from-b");
+  let r = router_over fake endpoints in
+  let line = line_owned_by endpoints "a:1" in
+  for _ = 1 to 3 do
+    ignore (ok_or_fail (Router.request r line))
+  done;
+  Alcotest.check breaker "open" Router.Open (Router.breaker_state r "a:1");
+  (* the replica comes back; after the cooldown the next request half-opens
+     the breaker with a health probe and the owner serves again *)
+  Hashtbl.replace fake.behavior "a:1" (healthy_daemon "ok from-a");
+  fake.clock := !(fake.clock) +. 1.5;
+  Alcotest.check breaker "due for probe" Router.Half_open
+    (Router.breaker_state r "a:1");
+  check_str "owner serves after recovery" "ok from-a"
+    (ok_or_fail (Router.request r line));
+  Alcotest.check breaker "closed again" Router.Closed
+    (Router.breaker_state r "a:1");
+  check_bool "health probe was sent"
+    true
+    (List.mem ("a:1", "health") !(fake.log))
+
+let test_breaker_cooldown_backs_off () =
+  let endpoints = [ "a:1"; "b:1" ] in
+  let fake = make_fake endpoints in
+  Hashtbl.replace fake.behavior "a:1" dead;
+  Hashtbl.replace fake.behavior "b:1" (healthy_daemon "ok from-b");
+  let r = router_over fake endpoints in
+  let line = line_owned_by endpoints "a:1" in
+  for _ = 1 to 3 do
+    ignore (ok_or_fail (Router.request r line))
+  done;
+  (* first cooldown: 1 s. Let it elapse; the probe fails (a still dead),
+     re-opening with a doubled cooldown *)
+  fake.clock := !(fake.clock) +. 1.1;
+  ignore (ok_or_fail (Router.request r line));
+  Alcotest.check breaker "re-opened by the failed probe" Router.Open
+    (Router.breaker_state r "a:1");
+  check_int "re-trip counted" 2 (Router.breaker_trips r);
+  (* the original cooldown is no longer enough... *)
+  fake.clock := !(fake.clock) +. 1.1;
+  Alcotest.check breaker "still open after 1s" Router.Open
+    (Router.breaker_state r "a:1");
+  (* ...the doubled one is *)
+  fake.clock := !(fake.clock) +. 1.;
+  Alcotest.check breaker "due again after 2s" Router.Half_open
+    (Router.breaker_state r "a:1")
+
+let test_busy_gates_are_per_endpoint () =
+  let endpoints = [ "a:1"; "b:1" ] in
+  let fake = make_fake endpoints in
+  Hashtbl.replace fake.behavior "a:1" (fun _ ->
+      Ok "error busy retry-after=5");
+  Hashtbl.replace fake.behavior "b:1" (healthy_daemon "ok from-b");
+  let r = router_over fake endpoints in
+  let line = line_owned_by endpoints "a:1" in
+  check_str "busy owner fails over immediately" "ok from-b"
+    (ok_or_fail (Router.request r line));
+  Alcotest.check breaker "busy is not a failure" Router.Closed
+    (Router.breaker_state r "a:1");
+  let before = calls_to fake "a:1" in
+  check_str "gated owner is skipped without a dial" "ok from-b"
+    (ok_or_fail (Router.request r line));
+  check_int "no dial during the gate" before (calls_to fake "a:1");
+  (* the gate expires on the replica's own schedule *)
+  Hashtbl.replace fake.behavior "a:1" (healthy_daemon "ok from-a");
+  fake.clock := !(fake.clock) +. 5.1;
+  check_str "owner serves after its hint" "ok from-a"
+    (ok_or_fail (Router.request r line))
+
+let test_all_busy_honors_earliest_gate () =
+  let endpoints = [ "a:1"; "b:1" ] in
+  let fake = make_fake endpoints in
+  (* both replicas shed until their own hint elapses on the virtual clock
+     (which advances only through the router's sleep): the router must
+     sleep out the *earliest* gate and then succeed — not give up, and not
+     wait for the later one *)
+  Hashtbl.replace fake.behavior "a:1" (fun l ->
+      if !(fake.clock) >= 3. then healthy_daemon "ok from-a" l
+      else Ok "error busy retry-after=3");
+  Hashtbl.replace fake.behavior "b:1" (fun l ->
+      if !(fake.clock) >= 7. then healthy_daemon "ok from-b" l
+      else Ok "error busy retry-after=7");
+  let r = router_over fake endpoints in
+  let line = line_owned_by endpoints "a:1" in
+  check_str "served after the earliest gate" "ok from-a"
+    (ok_or_fail (Router.request r line));
+  let waited = !(fake.clock) in
+  if waited < 3. || waited >= 7. then
+    Alcotest.failf "router waited %gs; expected the earliest gate (3s)" waited
+
+let test_drain_abort_reruns_elsewhere () =
+  let endpoints = [ "a:1"; "b:1" ] in
+  let fake = make_fake endpoints in
+  Hashtbl.replace fake.behavior "a:1" (fun _ ->
+      Ok "ok mapping size=0 status=exhausted(cancelled)");
+  Hashtbl.replace fake.behavior "b:1"
+    (healthy_daemon "ok mapping size=2 status=complete");
+  let r = router_over fake endpoints in
+  let line = line_owned_by endpoints "a:1" in
+  check_str "drain abort is not an answer"
+    "ok mapping size=2 status=complete"
+    (ok_or_fail (Router.request r line));
+  check_int "counted as a failover" 1 (Router.failovers r);
+  (* honest exhaustion IS an answer: no failover, no retry *)
+  Hashtbl.replace fake.behavior "a:1" (fun _ ->
+      Ok "ok mapping size=1 status=exhausted(timeout)");
+  check_str "honest exhaustion passes through"
+    "ok mapping size=1 status=exhausted(timeout)"
+    (ok_or_fail (Router.request r line))
+
+let test_load_broadcast_and_replay () =
+  let endpoints = [ "a:1"; "b:1" ] in
+  let fake = make_fake endpoints in
+  let loaded = Ok "ok loaded graph pat nodes=4 edges=3" in
+  Hashtbl.replace fake.behavior "a:1" (fun l ->
+      if l = "health" then Ok "ok health state=ready" else loaded);
+  Hashtbl.replace fake.behavior "b:1" (fun l ->
+      if l = "health" then Ok "ok health state=ready" else loaded);
+  let r = router_over fake endpoints in
+  check_str "load answered" "ok loaded graph pat nodes=4 edges=3"
+    (ok_or_fail (Router.request r "load graph pat pat.phg"));
+  check_int "broadcast reached a" 1 (calls_to fake "a:1");
+  check_int "broadcast reached b" 1 (calls_to fake "b:1");
+  (* a dies; subsequent loads reach only b but stay in the replay log *)
+  Hashtbl.replace fake.behavior "a:1" dead;
+  for _ = 1 to 3 do
+    ignore (Router.request r "load graph store store.phg")
+  done;
+  Alcotest.check breaker "a tripped" Router.Open (Router.breaker_state r "a:1");
+  (* a comes back empty-handed; the next request replays both loads *)
+  let replayed = ref [] in
+  Hashtbl.replace fake.behavior "a:1" (fun l ->
+      if l = "health" then Ok "ok health state=ready"
+      else begin
+        replayed := l :: !replayed;
+        loaded
+      end);
+  fake.clock := !(fake.clock) +. 2.;
+  (* drive a request through a's placement so the half-open probe fires *)
+  ignore (ok_or_fail (Router.request r (line_owned_by endpoints "a:1")));
+  check_bool "pat replayed" true (List.mem "load graph pat pat.phg" !replayed);
+  check_bool "store replayed" true
+    (List.mem "load graph store store.phg" !replayed);
+  check_int "replays counted" 2 (Router.replays r);
+  Alcotest.check breaker "a back in service" Router.Closed
+    (Router.breaker_state r "a:1")
+
+let test_replay_refusal_is_counted () =
+  let endpoints = [ "a:1"; "b:1" ] in
+  let fake = make_fake endpoints in
+  let loaded = Ok "ok loaded graph pat nodes=4 edges=3" in
+  Hashtbl.replace fake.behavior "b:1" (fun l ->
+      if l = "health" then Ok "ok health state=ready" else loaded);
+  Hashtbl.replace fake.behavior "a:1" (fun l ->
+      if l = "health" then Ok "ok health state=ready" else loaded);
+  let r = router_over fake endpoints in
+  ignore (ok_or_fail (Router.request r "load graph pat pat.phg"));
+  let owned = line_owned_by endpoints "a:1" in
+  Hashtbl.replace fake.behavior "a:1" dead;
+  for _ = 1 to 3 do
+    ignore (Router.request r owned)
+  done;
+  Alcotest.check breaker "a tripped" Router.Open (Router.breaker_state r "a:1");
+  (* the durable replica restarts with *different* content behind the same
+     name: the content-CRC load refuses the replay, the router counts it,
+     and the replica still rejoins *)
+  Hashtbl.replace fake.behavior "a:1" (fun l ->
+      if l = "health" then Ok "ok health state=ready"
+      else Ok "error name pat is already loaded (unload it first)");
+  fake.clock := !(fake.clock) +. 2.;
+  ignore (ok_or_fail (Router.request r owned));
+  check_int "refused replay counted" 1 (Router.replays_refused r);
+  Alcotest.check breaker "replica rejoins anyway" Router.Closed
+    (Router.breaker_state r "a:1")
+
+let test_unload_prunes_replay_log () =
+  let endpoints = [ "a:1" ] in
+  let fake = make_fake endpoints in
+  Hashtbl.replace fake.behavior "a:1" (fun l ->
+      if l = "health" then Ok "ok health state=ready"
+      else if String.length l >= 4 && String.sub l 0 4 = "load" then
+        Ok "ok loaded graph pat nodes=4 edges=3"
+      else if String.length l >= 6 && String.sub l 0 6 = "unload" then
+        Ok "ok unloaded pat artifacts=0"
+      else Ok "ok pong");
+  let r = router_over fake endpoints in
+  ignore (ok_or_fail (Router.request r "load graph pat pat.phg"));
+  ignore (ok_or_fail (Router.request r "unload pat"));
+  (* trip and recover; nothing should be replayed *)
+  Hashtbl.replace fake.behavior "a:1" dead;
+  for _ = 1 to 3 do
+    ignore (Router.request r "ping")
+  done;
+  let replayed = ref [] in
+  Hashtbl.replace fake.behavior "a:1" (fun l ->
+      if l = "health" then Ok "ok health state=ready"
+      else begin
+        replayed := l :: !replayed;
+        Ok "ok pong"
+      end);
+  fake.clock := !(fake.clock) +. 2.;
+  ignore (ok_or_fail (Router.request r "ping"));
+  check_bool "unloaded name not replayed" false
+    (List.exists
+       (fun l -> String.length l >= 4 && String.sub l 0 4 = "load")
+       !replayed)
+
+let test_create_rejects_bad_sets () =
+  check_bool "empty set refused" true
+    (Result.is_error (Router.create ~endpoints:[] ()));
+  check_bool "duplicate refused" true
+    (Result.is_error (Router.create ~endpoints:[ "a:1"; "a:1" ] ()));
+  check_bool "out-of-range port refused" true
+    (Result.is_error (Router.create ~endpoints:[ "a:99999" ] ()))
+
+let suite =
+  [
+    ( "router",
+      [
+        Alcotest.test_case "placement deterministic" `Quick
+          test_placement_deterministic;
+        Alcotest.test_case "placement spreads" `Quick test_placement_spreads;
+        Alcotest.test_case "bounded movement on remove" `Quick
+          test_bounded_movement_on_remove;
+        Alcotest.test_case "bounded movement on add" `Quick
+          test_bounded_movement_on_add;
+        Alcotest.test_case "preference order complete" `Quick
+          test_preference_order_complete;
+        Alcotest.test_case "breaker opens and fails over" `Quick
+          test_breaker_opens_and_fails_over;
+        Alcotest.test_case "breaker half-open recovery" `Quick
+          test_breaker_half_open_recovers;
+        Alcotest.test_case "breaker cooldown backs off" `Quick
+          test_breaker_cooldown_backs_off;
+        Alcotest.test_case "busy gates are per-endpoint" `Quick
+          test_busy_gates_are_per_endpoint;
+        Alcotest.test_case "all-busy honors earliest gate" `Quick
+          test_all_busy_honors_earliest_gate;
+        Alcotest.test_case "drain abort re-runs elsewhere" `Quick
+          test_drain_abort_reruns_elsewhere;
+        Alcotest.test_case "load broadcast and replay" `Quick
+          test_load_broadcast_and_replay;
+        Alcotest.test_case "replay refusal counted" `Quick
+          test_replay_refusal_is_counted;
+        Alcotest.test_case "unload prunes replay log" `Quick
+          test_unload_prunes_replay_log;
+        Alcotest.test_case "create rejects bad sets" `Quick
+          test_create_rejects_bad_sets;
+      ] );
+  ]
