@@ -1,7 +1,8 @@
 .PHONY: all build check test bench bench-full bench-parallel bench-serve \
 	bench-obs bench-recovery bench-exact bench-exact-baseline bench-dp \
-	bench-dp-baseline bench-fleet serve-smoke serve-smoke-faults chaos-smoke \
-	fleet-smoke ablations micro examples fmt fmt-check ci clean
+	bench-dp-baseline bench-incr bench-incr-baseline bench-fleet serve-smoke \
+	serve-smoke-faults chaos-smoke fleet-smoke ablations micro examples fmt \
+	fmt-check ci clean
 
 # worker domains for the parallel runtime; passed through to the bench
 # harness (the CLI takes its own --jobs flag)
@@ -65,6 +66,17 @@ bench-dp:
 
 bench-dp-baseline:
 	dune exec bench/main.exe -- dp --out bench/baselines/BENCH_dp.json
+
+# addedge/deledge + warm re-solve vs unload + reload + cold solve on the
+# tracked seeded instances; fails unless the incremental path wins on every
+# instance, both paths agree on every answer, and no instance regresses
+# against the checked-in baseline — the same gate the bench-incr CI job runs
+bench-incr:
+	dune exec bench/main.exe -- incr --out BENCH_incr.json \
+		--check-against bench/baselines/BENCH_incr.json
+
+bench-incr-baseline:
+	dune exec bench/main.exe -- incr --out bench/baselines/BENCH_incr.json
 
 # start phomd on a temp socket, run cold/warm/budget-tripped client queries,
 # assert clean shutdown — the same flow as the CI daemon-smoke job
@@ -141,6 +153,8 @@ ci:
 		--check-against bench/baselines/BENCH_exact.json
 	dune exec bench/main.exe -- dp --out BENCH_dp.json \
 		--check-against bench/baselines/BENCH_dp.json
+	dune exec bench/main.exe -- incr --out BENCH_incr.json \
+		--check-against bench/baselines/BENCH_incr.json
 
 clean:
 	dune clean

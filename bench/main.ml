@@ -271,6 +271,87 @@ let recovery_cmd =
       const run $ seed_arg $ m_arg $ noise_arg $ repeats_arg $ min_speedup_arg
       $ out_arg)
 
+let incr_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_incr.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let sizes_arg =
+    Arg.(
+      value & opt (list int) [ 20; 40; 80 ]
+      & info [ "sizes" ] ~docv:"M,M,..."
+          ~doc:"Pattern sizes (paper generator parameter m) to edit at.")
+  in
+  let noise_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "noise" ] ~doc:"Noise rate for the data graphs.")
+  in
+  let edits_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "edits" ] ~doc:"Single-edge edits per tracked instance.")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~doc:"Timed passes per instance (mean reported).")
+  in
+  let min_speedup_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Fail unless edit + warm re-solve beats unload + reload + cold \
+                solve by X times on every tracked instance (default 1: \
+                strictly faster).")
+  in
+  let check_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "check-against" ] ~docv:"FILE"
+          ~doc:"Baseline BENCH_incr.json to gate against: fail when any \
+                tracked instance regresses on edit+re-solve wall-time.")
+  in
+  let time_regress_arg =
+    Arg.(
+      value & opt float 0.50
+      & info [ "max-time-regress" ] ~docv:"FRAC"
+          ~doc:"Baseline gate: allowed fractional wall-time regression, on \
+                top of the absolute slack of $(b,--time-floor).")
+  in
+  let time_floor_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "time-floor" ] ~docv:"SECONDS"
+          ~doc:"Baseline gate: absolute wall-time slack added to the \
+                fractional bound (CI runners are noisy; the speedup guard is \
+                the primary signal).")
+  in
+  let run seed sizes noise edits repeats min_speedup out check time_r floor =
+    if sizes = [] || List.exists (fun m -> m < 1) sizes then begin
+      prerr_endline "bench: --sizes must name at least one size >= 1";
+      exit 1
+    end;
+    if edits < 1 || repeats < 1 then begin
+      prerr_endline "bench: --edits and --repeats must be at least 1";
+      exit 1
+    end;
+    Incr_bench.run ~seed ~sizes ~noise ~edits ~repeats ~min_speedup ~out ?check
+      ~max_time_regress:time_r ~time_floor:floor ()
+  in
+  Cmd.v
+    (Cmd.info "incr"
+       ~doc:"Dynamic-graph bench: addedge/deledge + warm re-solve vs unload + \
+             reload + cold solve on the tracked seeded instances; writes \
+             BENCH_incr.json, fails unless the incremental path wins on every \
+             instance and both paths agree on every answer, and optionally \
+             gates against a checked-in baseline.")
+    Term.(
+      const run $ seed_arg $ sizes_arg $ noise_arg $ edits_arg $ repeats_arg
+      $ min_speedup_arg $ out_arg $ check_arg $ time_regress_arg
+      $ time_floor_arg)
+
 let exact_cmd =
   let seed_arg =
     (* the exact bench pins its own seed: the tracked instances (and the
@@ -509,4 +590,4 @@ let () =
        (Cmd.group ~default:all_term info
           [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; ablations_cmd; micro_cmd;
             parallel_cmd; serve_cmd; recovery_cmd; obs_cmd; exact_cmd; dp_cmd;
-            fleet_cmd; all_cmd ]))
+            incr_cmd; fleet_cmd; all_cmd ]))

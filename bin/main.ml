@@ -605,6 +605,77 @@ let dot_cmd =
   let run path = guard @@ fun () -> print_string (IO.to_dot (load_graph path)) in
   Cmd.v (Cmd.info "dot" ~doc:"Convert a graph file to Graphviz DOT on stdout.") Term.(const run $ file_arg)
 
+(* ---- edit ---- *)
+
+(* the offline counterpart of the daemon's addedge/deledge verbs: same
+   single-edge semantics (duplicate adds and missing dels are errors, not
+   silent no-ops), applied to a phg file instead of a loaded catalog entry *)
+let edit_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Graph file.")
+  in
+  let add_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "add" ] ~docv:"V,W"
+          ~doc:"Add the directed edge $(docv) (node ids; repeatable). \
+                Adding an edge that is already present is an error.")
+  in
+  let del_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "del" ] ~docv:"V,W"
+          ~doc:"Delete the directed edge $(docv) (repeatable; deletions run \
+                after additions). Deleting an absent edge is an error.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT"
+          ~doc:"Write the edited graph to $(docv) instead of editing FILE \
+                in place.")
+  in
+  let run path adds dels out =
+    guard @@ fun () ->
+    let parse_pair flag s =
+      let bad () = die "--%s wants V,W as non-negative node ids (got %s)" flag s in
+      match String.index_opt s ',' with
+      | None -> bad ()
+      | Some i -> (
+          let v = String.sub s 0 i
+          and w = String.sub s (i + 1) (String.length s - i - 1) in
+          match (int_of_string_opt v, int_of_string_opt w) with
+          | Some v, Some w when v >= 0 && w >= 0 -> (v, w)
+          | _ -> bad ())
+    in
+    let g = load_graph path in
+    let g =
+      List.fold_left
+        (fun g s ->
+          let v, w = parse_pair "add" s in
+          D.add_edge g v w)
+        g adds
+    in
+    let g =
+      List.fold_left
+        (fun g s ->
+          let v, w = parse_pair "del" s in
+          D.remove_edge g v w)
+        g dels
+    in
+    let out = Option.value out ~default:path in
+    IO.save out g;
+    Printf.printf "wrote %s: %d nodes, %d edges (+%d -%d)\n" out (D.n g)
+      (D.nb_edges g) (List.length adds) (List.length dels)
+  in
+  Cmd.v
+    (Cmd.info "edit"
+       ~doc:"Apply single-edge additions and deletions to a graph file — \
+             the offline counterpart of the daemon's $(b,addedge) and \
+             $(b,deledge) verbs. All edits validate (range, duplicates, \
+             missing edges) or the file is left untouched.")
+    Term.(const run $ file_arg $ add_arg $ del_arg $ out_arg)
+
 (* ---- client ---- *)
 
 let client_cmd =
@@ -843,5 +914,5 @@ let () =
        (Cmd.group info
           [
             match_cmd; compare_cmd; decide_cmd; witnesses_cmd; count_cmd;
-            generate_cmd; stats_cmd; dot_cmd; client_cmd;
+            generate_cmd; stats_cmd; dot_cmd; edit_cmd; client_cmd;
           ]))

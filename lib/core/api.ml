@@ -34,10 +34,25 @@ let problem_name = function
 let default_weights (t : Instance.t) = Array.make (D.n t.g1) 1.
 
 let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
-    ?(compress = false) ?(max_width = default_max_width) ?budget ?pool problem
-    (t : Instance.t) =
+    ?(compress = false) ?(max_width = default_max_width) ?budget ?pool
+    ?warm_start problem (t : Instance.t) =
   let inj = injective problem in
   let weights = match weights with Some w -> w | None -> default_weights t in
+  (* a previous mapping, repaired against the (possibly edited) instance,
+     becomes the anytime floor: a budget-tripped search never returns worse
+     than the salvage of what was already known. Complete results are left
+     alone — they are proven optimal, so the floor cannot beat them and the
+     answer stays identical to a cold solve. *)
+  let warm =
+    match warm_start with
+    | None -> None
+    | Some w -> (
+        match Warm.repair ~injective:inj t w with
+        | [] -> None
+        | r ->
+            Obs.incr (Obs.counter "phom_warm_seeds_total");
+            Some r)
+  in
   (* Exact_bb without an explicit budget runs on its own default token;
      record a trip so the caller still learns the result may be partial.
      Atomic because partitioned components may report from worker domains. *)
@@ -115,11 +130,12 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
   in
   Obs.span_steps span_name
     (Option.fold ~none:0 ~some:Budget.steps_used budget - steps_before);
-  let quality =
+  let qual m =
     match problem with
-    | CPH | CPH11 -> Instance.qual_card t mapping
-    | SPH | SPH11 -> Instance.qual_sim ~weights t mapping
+    | CPH | CPH11 -> Instance.qual_card t m
+    | SPH | SPH11 -> Instance.qual_sim ~weights t m
   in
+  let quality = qual mapping in
   let status =
     match budget with
     | Some b -> (
@@ -127,6 +143,17 @@ let solve_within ?(algorithm = Direct) ?weights ?(partition = false)
         | Budget.Exhausted _ as s -> s
         | Budget.Complete -> Atomic.get inner_status)
     | None -> Atomic.get inner_status
+  in
+  let mapping, quality =
+    match (status, warm) with
+    | Budget.Exhausted _, Some w ->
+        let wq = qual w in
+        if wq > quality then begin
+          Obs.incr (Obs.counter "phom_warm_rescued_total");
+          (w, wq)
+        end
+        else (mapping, quality)
+    | _ -> (mapping, quality)
   in
   (match status with
   | Budget.Complete -> ()

@@ -56,10 +56,19 @@ val solve_within :
   ?max_width:int ->
   ?budget:Phom_graph.Budget.t ->
   ?pool:Phom_parallel.Pool.t ->
+  ?warm_start:Mapping.t ->
   problem ->
   Instance.t ->
   result
-(** [max_width] (default 4) is the decomposition-width ceiling up to which
+(** [warm_start] re-seeds the solve from a previous answer — typically the
+    mapping found before an [addedge]/[deledge] edit of one of the graphs.
+    The mapping is repaired against the current instance ({!Warm.repair})
+    and acts as an anytime incumbent: when the budget trips, the result is
+    never worse than the repaired seed. A [Complete] result is returned
+    unchanged (it is proven optimal), so warm-started solves that run to
+    completion stay byte-identical to cold ones.
+
+    [max_width] (default 4) is the decomposition-width ceiling up to which
     [Exact_bb] requests are answered by the tree-decomposition DP
     ({!Dp.solve}) instead of the branch and bound; [Dp_td] forces the DP
     regardless of width, with the budget as the guard rail. [pool]

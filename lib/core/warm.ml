@@ -1,0 +1,67 @@
+module D = Phom_graph.Digraph
+module BM = Phom_graph.Bitmatrix
+module Simmat = Phom_sim.Simmat
+
+(* Repair a mapping found against an earlier version of the instance so it
+   is valid for the current one. Local by construction: pairs the edit did
+   not disturb survive untouched, so the repaired incumbent keeps most of
+   the previous answer's quality after a small edit.
+
+   1. drop pairs that are no longer admissible candidates (out of range,
+      below the similarity threshold, or a self-looped pattern node mapped
+      to a node off every cycle);
+   2. make it a function again (first pair per pattern node wins; under
+      injectivity first pair per data node too);
+   3. while some pattern edge between mapped nodes has no non-empty path
+      between the images, drop the mapped node breaking the most edges
+      (ties: the smallest node id, so repair is deterministic). *)
+
+let repair ?(injective = false) (t : Instance.t) m =
+  let admissible (v, u) =
+    v >= 0
+    && v < D.n t.g1
+    && u >= 0
+    && u < D.n t.g2
+    && Simmat.get t.mat v u >= t.xi
+    && ((not (D.has_edge t.g1 v v)) || BM.get t.tc2 u u)
+  in
+  let sorted = List.stable_sort compare (List.filter admissible m) in
+  let used = Hashtbl.create 16 in
+  let _, rev =
+    List.fold_left
+      (fun (prev, acc) (v, u) ->
+        if v = prev || (injective && Hashtbl.mem used u) then (prev, acc)
+        else begin
+          if injective then Hashtbl.add used u ();
+          (v, (v, u) :: acc)
+        end)
+      (-1, []) sorted
+  in
+  let rec fix m =
+    let viol = Hashtbl.create 16 in
+    let bump v =
+      Hashtbl.replace viol v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt viol v))
+    in
+    List.iter
+      (fun (v, u) ->
+        List.iter
+          (fun (v', u') ->
+            if D.has_edge t.g1 v v' && not (BM.get t.tc2 u u') then begin
+              bump v;
+              bump v'
+            end)
+          m)
+      m;
+    if Hashtbl.length viol = 0 then m
+    else begin
+      let worst, _ =
+        Hashtbl.fold
+          (fun v c (bv, bc) ->
+            if c > bc || (c = bc && v < bv) then (v, c) else (bv, bc))
+          viol (max_int, 0)
+      in
+      fix (List.filter (fun (v, _) -> v <> worst) m)
+    end
+  in
+  fix (List.rev rev)

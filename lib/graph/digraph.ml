@@ -138,6 +138,52 @@ let induced g nodes =
 let add_edges g extra =
   make ~labels:g.node_labels ~edges:(List.rev_append extra (edges g))
 
+(* single-edge edits share the untouched adjacency rows with the original
+   graph; only the two affected rows (and the outer arrays) are fresh *)
+
+let insert_sorted arr x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  let i = ref 0 in
+  while !i < n && arr.(!i) < x do
+    out.(!i) <- arr.(!i);
+    incr i
+  done;
+  Array.blit arr !i out (!i + 1) (n - !i);
+  out
+
+let delete_sorted arr x =
+  let out = Array.make (Array.length arr - 1) 0 in
+  let j = ref 0 in
+  Array.iter
+    (fun y ->
+      if y <> x then begin
+        out.(!j) <- y;
+        incr j
+      end)
+    arr;
+  out
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if mem_sorted g.succs.(u) v then
+    invalid_arg "Digraph.add_edge: edge already present";
+  let succs = Array.copy g.succs and preds = Array.copy g.preds in
+  succs.(u) <- insert_sorted g.succs.(u) v;
+  preds.(v) <- insert_sorted g.preds.(v) u;
+  { g with succs; preds; m = g.m + 1 }
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  if not (mem_sorted g.succs.(u) v) then
+    invalid_arg "Digraph.remove_edge: no such edge";
+  let succs = Array.copy g.succs and preds = Array.copy g.preds in
+  succs.(u) <- delete_sorted g.succs.(u) v;
+  preds.(v) <- delete_sorted g.preds.(v) u;
+  { g with succs; preds; m = g.m - 1 }
+
 let disjoint_union g1 g2 =
   let n1 = n g1 in
   let labels = Array.append g1.node_labels g2.node_labels in

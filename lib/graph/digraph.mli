@@ -82,6 +82,17 @@ val induced : t -> int list -> t * int array
 val add_edges : t -> (int * int) list -> t
 (** Graph with the extra edges added (endpoints must be in range). *)
 
+val add_edge : t -> int -> int -> t
+(** [add_edge g u v] is [g] with the edge [(u, v)] added. O(degree) — only
+    the two affected adjacency rows are fresh, the rest is shared with [g].
+    Raises [Invalid_argument] if an endpoint is out of range or the edge is
+    already present. *)
+
+val remove_edge : t -> int -> int -> t
+(** [remove_edge g u v] is [g] without the edge [(u, v)]. O(degree), shares
+    untouched rows with [g]. Raises [Invalid_argument] if an endpoint is out
+    of range or the edge is absent. *)
+
 val disjoint_union : t -> t -> t
 (** Nodes of the second graph are shifted by [n] of the first. *)
 

@@ -1,0 +1,137 @@
+(* Incremental maintenance of reachability closures under single-edge
+   edits. The matrices are dense, so semantic equality is byte equality
+   (Bitmatrix.equal compares words): every function here must — and does —
+   return exactly the matrix a from-scratch recompute would build, it just
+   touches fewer rows.
+
+   Full closure, insert (u, v): a new non-empty path can always be rewritten
+   to use the new edge a last time, so for every source x that could reach u
+   before the edit (or x = u itself),
+
+     reach'(x) = reach(x) ∪ {v} ∪ reach(v)        (old rows on the right)
+
+   and every other row is unchanged. O(affected rows) word-ors, no search.
+
+   Full closure, delete (u, v): only sources that reached u can lose
+   anything; their rows are recomputed on the edited graph. Nodes of one SCC
+   share their reach set, so the search runs once per affected condensation
+   component and the row is copied to the rest.
+
+   Bounded closure, either op: a ≤k-hop path through the edge spends at
+   least one hop on it, so its source sits within k-1 hops of u in the graph
+   that contains the edge (the edited graph for an insert, the original for
+   a delete). Rows inside that backward frontier are re-propagated with the
+   exact per-node BFS of [Bounded_closure.compute]; the rest are copied.
+
+   Maintenance is deliberately unbudgeted: the caches only ever hold
+   closures whose computation completed (tripped budgets are never cached),
+   and the work here is proportional to the affected region, not the
+   graph. *)
+
+let transitive_add ~old ~u ~v =
+  let n = Bitmatrix.rows old in
+  let t = Bitmatrix.copy old in
+  for x = 0 to n - 1 do
+    if x = u || Bitmatrix.get old x u then begin
+      Bitmatrix.or_row ~from:old ~src:v ~into:t ~dst:x;
+      Bitmatrix.set t x v true
+    end
+  done;
+  t
+
+let transitive_del ~after ~old ~u =
+  let n = Digraph.n after in
+  let t = Bitmatrix.create ~rows:n ~cols:n in
+  let scc = Scc.compute after in
+  (* comp -> an affected row already recomputed for that component *)
+  let done_row = Array.make scc.Scc.count (-1) in
+  for x = 0 to n - 1 do
+    if x = u || Bitmatrix.get old x u then begin
+      let c = scc.Scc.comp.(x) in
+      let r = done_row.(c) in
+      if r >= 0 then Bitmatrix.or_row ~from:t ~src:r ~into:t ~dst:x
+      else begin
+        Bitset.iter
+          (fun y -> Bitmatrix.set t x y true)
+          (Traversal.reachable_nonempty after x);
+        done_row.(c) <- x
+      end
+    end
+    else Bitmatrix.or_row ~from:old ~src:x ~into:t ~dst:x
+  done;
+  t
+
+(* the per-node frontier BFS of Bounded_closure.compute, for one row *)
+let bounded_row ~k g m x =
+  let n = Digraph.n g in
+  let visited = Bitset.create n in
+  let frontier = ref [] in
+  Array.iter
+    (fun w ->
+      if not (Bitset.mem visited w) then begin
+        Bitset.add visited w;
+        Bitmatrix.set m x w true;
+        frontier := w :: !frontier
+      end)
+    (Digraph.succ g x);
+  let depth = ref 1 in
+  while !depth < k && !frontier <> [] do
+    incr depth;
+    let next = ref [] in
+    List.iter
+      (fun y ->
+        Array.iter
+          (fun w ->
+            if not (Bitset.mem visited w) then begin
+              Bitset.add visited w;
+              Bitmatrix.set m x w true;
+              next := w :: !next
+            end)
+          (Digraph.succ g y))
+      !frontier;
+    frontier := !next
+  done
+
+(* nodes with a path to [u] of length <= depth, plus [u] itself *)
+let backward_within g u depth =
+  let mark = Array.make (Digraph.n g) false in
+  mark.(u) <- true;
+  let frontier = ref [ u ] and d = ref 0 in
+  while !d < depth && !frontier <> [] do
+    incr d;
+    let next = ref [] in
+    List.iter
+      (fun x ->
+        Array.iter
+          (fun p ->
+            if not mark.(p) then begin
+              mark.(p) <- true;
+              next := p :: !next
+            end)
+          (Digraph.pred g x))
+      !frontier;
+    frontier := !next
+  done;
+  mark
+
+let bounded_update ~k ~witness ~after ~old ~u =
+  let n = Digraph.n after in
+  let t = Bitmatrix.create ~rows:n ~cols:n in
+  if k > 0 then begin
+    let affected = backward_within witness u (k - 1) in
+    for x = 0 to n - 1 do
+      if affected.(x) then bounded_row ~k after t x
+      else Bitmatrix.or_row ~from:old ~src:x ~into:t ~dst:x
+    done
+  end;
+  t
+
+let update ~hops ~before ~after ~op ~u ~v closure =
+  match hops with
+  | None -> (
+      match op with
+      | `Add -> transitive_add ~old:closure ~u ~v
+      | `Del -> transitive_del ~after ~old:closure ~u)
+  | Some k ->
+      let witness = match op with `Add -> after | `Del -> before in
+      bounded_update ~k ~witness ~after ~old:closure ~u

@@ -1,0 +1,27 @@
+(** Incremental maintenance of reachability closures under single-edge
+    edits.
+
+    [update] turns the closure of the graph before an edit into the closure
+    of the graph after it, touching only the rows the edit can reach —
+    ancestors of the edge's tail for the full transitive closure, the
+    [hops - 1] backward frontier of the tail for bounded closures. The
+    result is byte-identical ([Bitmatrix.equal]) to recomputing
+    [Bounded_closure.relation] from scratch on the edited graph: the
+    matrices are dense, so per-row exactness is matrix exactness. *)
+
+val update :
+  hops:int option ->
+  before:Digraph.t ->
+  after:Digraph.t ->
+  op:[ `Add | `Del ] ->
+  u:int ->
+  v:int ->
+  Bitmatrix.t ->
+  Bitmatrix.t
+(** [update ~hops ~before ~after ~op ~u ~v closure] is the closure of
+    [after], given [closure] = the closure of [before] under the same
+    [hops] ([None] = full transitive closure, [Some k] = [k]-bounded), where
+    [after] differs from [before] exactly by the edge [(u, v)] — added for
+    [`Add], removed for [`Del]. [closure] must be exact (computed without
+    tripping a budget); the update itself is unbudgeted and proportional to
+    the affected region. *)

@@ -16,16 +16,86 @@ type provenance = Hit | Miss | Catalog
 
 let provenance_name = function Hit -> "hit" | Miss -> "miss" | Catalog -> "catalog"
 
-(* cache keys carry catalog names, not structures: unload invalidates by
-   name, and equal names mean equal structures while loaded (loading over
-   an existing name is refused) *)
+(* ---- content signatures ----
+
+   Every loaded graph carries content-derived signatures so cache keys can
+   say precisely which state they were computed against:
+
+   - a per-weak-component CRC of the component's canonical content (member
+     ids, labels, and edges — an edge's endpoints always share a weak
+     component, so edges belong to exactly one);
+   - the graph signature [gsig]: a CRC over the sorted per-component
+     (representative, crc) pairs — the whole graph's content in one token;
+   - the label signature [lsig]: a CRC of the label array alone, which
+     single-edge edits never change.
+
+   Being content-derived (not a counter), signatures survive restarts and
+   snapshot restores, and an edit that perfectly undoes another restores
+   them exactly — cached artifacts keyed under the old signature become
+   valid again instead of being lost. Invalidation is implicit: a key whose
+   signature no longer matches the live state is simply never looked up
+   again, and the LRU evicts it under pressure. *)
+
+type gentry = {
+  g : D.t;
+  gsig : string;  (** whole-content signature *)
+  lsig : string;  (** label-only signature (edit-invariant) *)
+  rep : int array;  (** node -> smallest node id of its weak component *)
+  comp_crc : string array;  (** node -> its weak component's content CRC *)
+}
+
+let analyze g =
+  let n = D.n g in
+  let comps = Phom_graph.Components.compute g in
+  let reps = Array.make comps.Phom_graph.Components.count max_int in
+  let comp_of = comps.Phom_graph.Components.comp in
+  for v = 0 to n - 1 do
+    if v < reps.(comp_of.(v)) then reps.(comp_of.(v)) <- v
+  done;
+  let bufs =
+    Array.init comps.Phom_graph.Components.count (fun _ -> Buffer.create 64)
+  in
+  for v = 0 to n - 1 do
+    Buffer.add_string bufs.(comp_of.(v))
+      (Printf.sprintf "n %d %s\n" v (D.label g v))
+  done;
+  D.iter_edges
+    (fun u v ->
+      Buffer.add_string bufs.(comp_of.(u)) (Printf.sprintf "e %d %d\n" u v))
+    g;
+  let crcs = Array.map (fun b -> Persist.crc32_hex (Buffer.contents b)) bufs in
+  let order = Array.init (Array.length crcs) Fun.id in
+  Array.sort (fun a b -> compare reps.(a) reps.(b)) order;
+  let summary =
+    String.concat ";"
+      (Array.to_list
+         (Array.map (fun c -> Printf.sprintf "%d:%s" reps.(c) crcs.(c)) order))
+  in
+  let lbuf = Buffer.create (16 * n) in
+  for v = 0 to n - 1 do
+    Buffer.add_string lbuf (D.label g v);
+    Buffer.add_char lbuf '\x00'
+  done;
+  {
+    g;
+    gsig = Persist.crc32_hex summary;
+    lsig = Persist.crc32_hex (Buffer.contents lbuf);
+    rep = Array.init n (fun v -> reps.(comp_of.(v)));
+    comp_crc = Array.init n (fun v -> crcs.(comp_of.(v)));
+  }
+
+(* cache keys carry catalog names plus content signatures: a name says
+   what the artifact is for, the signature says which content it was
+   computed from, so edits invalidate implicitly (stale-signature keys are
+   never looked up) and an unload still purges by name *)
 type key =
-  | K_closure of string * int option  (** graph, hops *)
-  | K_matrix of string * string * string  (** g1, g2, sim_to_string *)
-  | K_cands of string * string * string * int option * float
-      (** g1, g2, sim, hops, ξ *)
-  | K_count of string * string * string * int option * float
-      (** g1, g2, sim, hops, ξ — the mapping-count answer itself *)
+  | K_closure of string * string * int option  (** graph, gsig, hops *)
+  | K_matrix of string * string * string * string
+      (** g1, g2, sim_to_string, signature (lsig pair / named-mat crc) *)
+  | K_cands of string * string * string * int option * float * string
+      (** g1, g2, sim, hops, ξ, pair signature (relevant components) *)
+  | K_count of string * string * string * int option * float * string
+      (** g1, g2, sim, hops, ξ, pair signature — the count answer itself *)
 
 type artifact =
   | A_closure of BM.t
@@ -41,7 +111,7 @@ let artifact_weight = function
       words * (Sys.word_size / 8)
   | A_count _ -> 4 * (Sys.word_size / 8)
 
-type entry = Graph of D.t | Mat of Simmat.t
+type entry = Graph of gentry | Mat of { m : Simmat.t; crc : string }
 
 type t = {
   entries : (string, entry) Hashtbl.t;
@@ -53,6 +123,10 @@ type t = {
       (** invalidation generation, bumped by every [unload]: an artifact
           computed against an older generation is stale and must not enter
           the cache *)
+  solutions : (string, string * string * Phom.Mapping.t) Hashtbl.t;
+      (** last mapping per solve shape (the warm-start store); the value
+          carries the two graph names so [unload] can drop what refers to
+          them *)
   mutable on_event : (Journal.event -> unit) option;
       (** the daemon's journal hook; set once before serving starts *)
 }
@@ -97,6 +171,7 @@ let create ?(max_graph_bytes = default_max_bytes)
       max_graph_bytes;
       max_mat_bytes;
       gen = 0;
+      solutions = Hashtbl.create 16;
       on_event = None;
     }
   in
@@ -153,10 +228,10 @@ let mat_crc m = Persist.crc32_hex (Simmat.to_string m)
 let load_graph t ~name ~path =
   match
     register t ~name
-      ~what:(fun g -> Graph g)
+      ~what:(fun g -> Graph (analyze g))
       ~same:(fun old g ->
         match old with
-        | Graph o when graph_crc o = graph_crc g -> Some o
+        | Graph o when graph_crc o.g = graph_crc g -> Some o.g
         | _ -> None)
       (fun () -> Phom_graph.Graph_io.load ~max_bytes:t.max_graph_bytes path)
   with
@@ -170,9 +245,11 @@ let load_graph t ~name ~path =
 let load_mat t ~name ~path =
   match
     register t ~name
-      ~what:(fun m -> Mat m)
+      ~what:(fun m -> Mat { m; crc = mat_crc m })
       ~same:(fun old m ->
-        match old with Mat o when mat_crc o = mat_crc m -> Some o | _ -> None)
+        match old with
+        | Mat o when o.crc = mat_crc m -> Some o.m
+        | _ -> None)
       (fun () -> Simmat.load ~max_bytes:t.max_mat_bytes path)
   with
   | Ok (`Fresh m) ->
@@ -182,8 +259,9 @@ let load_mat t ~name ~path =
   | Error _ as e -> e
 
 let derived_from name = function
-  | K_closure (g, _) -> g = name
-  | K_matrix (a, b, s) | K_cands (a, b, s, _, _) | K_count (a, b, s, _, _) ->
+  | K_closure (g, _, _) -> g = name
+  | K_matrix (a, b, s, _) | K_cands (a, b, s, _, _, _) | K_count (a, b, s, _, _, _)
+    ->
       a = name || b = name || s = "mat:" ^ name
 
 let unload t name =
@@ -195,12 +273,66 @@ let unload t name =
              [name] before this point fails its generation check and can
              never re-insert (resurrect) an artifact derived from it *)
           t.gen <- t.gen + 1;
+          Hashtbl.iter
+            (fun k (g1, g2, _) ->
+              if g1 = name || g2 = name then Hashtbl.remove t.solutions k)
+            (Hashtbl.copy t.solutions);
           Ok (Lru.remove_if t.cache (derived_from name))
         end
         else Error (Printf.sprintf "name %s is not loaded" name))
   in
   (match result with Ok _ -> emit t (Journal.Unload name) | Error _ -> ());
   result
+
+(* ---- pinned snapshots ----
+
+   [pin] captures one graph's value and signatures under the lock; jobs
+   that run later (on pool workers, concurrently with edits and unloads)
+   compute against the pinned value and look up / insert cache entries
+   under the pinned signature. A catalog mutation between prepare and job
+   can therefore never make a job read one version and key another: its
+   lookups miss (signature mismatch) and it recomputes from its own
+   snapshot. Entries are immutable once installed — edits install a fresh
+   [gentry] — so sharing the arrays is safe. *)
+
+type pin = {
+  pin_name : string;
+  pin_graph : D.t;
+  pin_sig : string;
+  pin_lsig : string;
+  pin_rep : int array;
+  pin_crc : string array;
+}
+
+let pin_of_gentry name ge =
+  {
+    pin_name = name;
+    pin_graph = ge.g;
+    pin_sig = ge.gsig;
+    pin_lsig = ge.lsig;
+    pin_rep = ge.rep;
+    pin_crc = ge.comp_crc;
+  }
+
+let pin t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Graph ge) -> Ok (pin_of_gentry name ge)
+      | Some (Mat _) ->
+          Error (Printf.sprintf "%s is a similarity matrix, not a graph" name)
+      | None -> Error (Printf.sprintf "unknown graph %s (load it first)" name))
+
+let pin_mat t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Mat { m; crc }) -> Ok (m, crc)
+      | Some (Graph _) ->
+          Error (Printf.sprintf "%s is a graph, not a similarity matrix" name)
+      | None ->
+          Error (Printf.sprintf "unknown matrix %s (load it first)" name))
+
+let graph t name = Result.map (fun p -> p.pin_graph) (pin t name)
+let mat t name = Result.map fst (pin_mat t name)
 
 (* ---- artifact key tokens (the journal's and snapshot's key form) ---- *)
 
@@ -213,31 +345,34 @@ let hops_of_token = function
       | Some k when k >= 1 -> Some (Some k)
       | _ -> None)
 
-(* '/' as separator is unambiguous: catalog names cannot contain it and
-   the sim token is "equality", "shingles" or "mat:<name>"; ξ uses the
+(* '/' as separator is unambiguous: catalog names cannot contain it, the
+   sim token is "equality", "shingles" or "mat:<name>", and signatures are
+   built from hex CRCs and the separators ':' ',' ';' '|' '.'; ξ uses the
    hexadecimal float form for an exact round trip *)
 let token_of_key = function
-  | K_closure (g, hops) -> Printf.sprintf "closure/%s/%s" g (hops_token hops)
-  | K_matrix (g1, g2, sim) -> Printf.sprintf "matrix/%s/%s/%s" g1 g2 sim
-  | K_cands (g1, g2, sim, hops, xi) ->
-      Printf.sprintf "cands/%s/%s/%s/%s/%h" g1 g2 sim (hops_token hops) xi
-  | K_count (g1, g2, sim, hops, xi) ->
-      Printf.sprintf "count/%s/%s/%s/%s/%h" g1 g2 sim (hops_token hops) xi
+  | K_closure (g, s, hops) ->
+      Printf.sprintf "closure/%s/%s/%s" g (hops_token hops) s
+  | K_matrix (g1, g2, sim, s) ->
+      Printf.sprintf "matrix/%s/%s/%s/%s" g1 g2 sim s
+  | K_cands (g1, g2, sim, hops, xi, s) ->
+      Printf.sprintf "cands/%s/%s/%s/%s/%h/%s" g1 g2 sim (hops_token hops) xi s
+  | K_count (g1, g2, sim, hops, xi, s) ->
+      Printf.sprintf "count/%s/%s/%s/%s/%h/%s" g1 g2 sim (hops_token hops) xi s
 
 let key_of_token token =
   match String.split_on_char '/' token with
-  | [ "closure"; g; h ] ->
-      Option.map (fun hops -> K_closure (g, hops)) (hops_of_token h)
-  | [ "matrix"; g1; g2; sim ] -> Some (K_matrix (g1, g2, sim))
-  | [ "cands"; g1; g2; sim; h; xi ] -> (
+  | [ "closure"; g; h; s ] ->
+      Option.map (fun hops -> K_closure (g, s, hops)) (hops_of_token h)
+  | [ "matrix"; g1; g2; sim; s ] -> Some (K_matrix (g1, g2, sim, s))
+  | [ "cands"; g1; g2; sim; h; xi; s ] -> (
       match (hops_of_token h, float_of_string_opt xi) with
       | Some hops, Some xi when xi >= 0. && xi <= 1. ->
-          Some (K_cands (g1, g2, sim, hops, xi))
+          Some (K_cands (g1, g2, sim, hops, xi, s))
       | _ -> None)
-  | [ "count"; g1; g2; sim; h; xi ] -> (
+  | [ "count"; g1; g2; sim; h; xi; s ] -> (
       match (hops_of_token h, float_of_string_opt xi) with
       | Some hops, Some xi when xi >= 0. && xi <= 1. ->
-          Some (K_count (g1, g2, sim, hops, xi))
+          Some (K_count (g1, g2, sim, hops, xi, s))
       | _ -> None)
   | _ -> None
 
@@ -249,12 +384,23 @@ let sim_of_string = function
         Some (Named (String.sub s 4 (String.length s - 4)))
       else None
 
-(* cache insertion point for computed artifacts: refused when an unload
-   has bumped the generation since the computation began, so a purged
-   name can never be resurrected by a racing in-flight solve *)
-let put_artifact t ~gen0 key art =
+(* a pin is live when the catalog still carries the same name with the
+   same content signature (call under the lock) *)
+let pin_live_unlocked t p =
+  match Hashtbl.find_opt t.entries p.pin_name with
+  | Some (Graph ge) -> ge.gsig = p.pin_sig
+  | Some (Mat _) | None -> false
+
+(* cache insertion point for computed artifacts: refused when an unload has
+   bumped the generation since the computation began, or when any pin the
+   artifact was derived from is no longer the live state (the name was
+   unloaded or edited after the job pinned its snapshot). The job's own
+   answer is unaffected — it computed against an immutable snapshot — but
+   its byproducts must not repopulate the cache for purged or superseded
+   content. *)
+let put_artifact t ~gen0 ~pins key art =
   locked t (fun () ->
-      if t.gen = gen0 then begin
+      if t.gen = gen0 && List.for_all (pin_live_unlocked t) pins then begin
         Lru.put t.cache key art;
         emit t (Journal.Artifact (token_of_key key))
       end)
@@ -264,28 +410,11 @@ let list t =
       let gs = ref [] and ms = ref [] in
       Hashtbl.iter
         (fun name -> function
-          | Graph g -> gs := (name, g) :: !gs
-          | Mat m -> ms := (name, m) :: !ms)
+          | Graph ge -> gs := (name, ge.g) :: !gs
+          | Mat { m; _ } -> ms := (name, m) :: !ms)
         t.entries;
       let by_name (a, _) (b, _) = String.compare a b in
       (List.sort by_name !gs, List.sort by_name !ms))
-
-let graph t name =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.entries name with
-      | Some (Graph g) -> Ok g
-      | Some (Mat _) ->
-          Error (Printf.sprintf "%s is a similarity matrix, not a graph" name)
-      | None -> Error (Printf.sprintf "unknown graph %s (load it first)" name))
-
-let mat t name =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.entries name with
-      | Some (Mat m) -> Ok m
-      | Some (Graph _) ->
-          Error (Printf.sprintf "%s is a graph, not a similarity matrix" name)
-      | None ->
-          Error (Printf.sprintf "unknown matrix %s (load it first)" name))
 
 (* only artifacts computed to their natural end are cached: a budget that
    tripped mid-computation leaves a sound under-approximation for the
@@ -293,60 +422,120 @@ let mat t name =
 let cacheable budget =
   match budget with None -> true | Some b -> not (Budget.exhausted b)
 
-let closure ?budget t ~name ~hops =
+let closure_pinned ?budget t ~pin ~hops =
   let gen0 = generation t in
-  match graph t name with
+  let key = K_closure (pin.pin_name, pin.pin_sig, hops) in
+  match Lru.find t.cache key with
+  | Some (A_closure m) -> (m, Hit)
+  | Some _ | None ->
+      let before = Option.fold ~none:0 ~some:Budget.steps_used budget in
+      let m =
+        Obs.span "closure" (fun () ->
+            Phom_graph.Bounded_closure.relation ?budget ?hops pin.pin_graph)
+      in
+      Obs.span_steps "closure"
+        (Option.fold ~none:0 ~some:Budget.steps_used budget - before);
+      if cacheable budget then put_artifact t ~gen0 ~pins:[ pin ] key (A_closure m);
+      (m, Miss)
+
+let closure ?budget t ~name ~hops =
+  match pin t name with
   | Error _ as e -> e
-  | Ok g -> (
-      let key = K_closure (name, hops) in
+  | Ok p -> Ok (closure_pinned ?budget t ~pin:p ~hops)
+
+let similarity_pinned ?matv t ~p1 ~p2 ~sim =
+  let gen0 = generation t in
+  match sim with
+  | Named n -> (
+      match matv with
+      | None -> Error (Printf.sprintf "matrix %s was not pinned" n)
+      | Some (m, _) ->
+          if
+            Simmat.n1 m <> D.n p1.pin_graph || Simmat.n2 m <> D.n p2.pin_graph
+          then
+            Error
+              (Printf.sprintf "matrix %s is %dx%d but graphs %s/%s are %dx%d" n
+                 (Simmat.n1 m) (Simmat.n2 m) p1.pin_name p2.pin_name
+                 (D.n p1.pin_graph) (D.n p2.pin_graph))
+          else Ok (m, Catalog))
+  | Equality | Shingles -> (
+      let key =
+        K_matrix
+          ( p1.pin_name,
+            p2.pin_name,
+            sim_to_string sim,
+            p1.pin_lsig ^ "." ^ p2.pin_lsig )
+      in
       match Lru.find t.cache key with
-      | Some (A_closure m) -> Ok (m, Hit)
+      | Some (A_matrix m) -> Ok (m, Hit)
       | Some _ | None ->
-          let before = Option.fold ~none:0 ~some:Budget.steps_used budget in
           let m =
-            Obs.span "closure" (fun () ->
-                Phom_graph.Bounded_closure.relation ?budget ?hops g)
+            Obs.span "similarity" (fun () ->
+                match sim with
+                | Equality -> Simmat.of_label_equality p1.pin_graph p2.pin_graph
+                | Shingles ->
+                    Shingle.matrix (D.labels p1.pin_graph) (D.labels p2.pin_graph)
+                | Named _ -> assert false)
           in
-          Obs.span_steps "closure"
-            (Option.fold ~none:0 ~some:Budget.steps_used budget - before);
-          if cacheable budget then put_artifact t ~gen0 key (A_closure m);
+          put_artifact t ~gen0 ~pins:[ p1; p2 ] key (A_matrix m);
           Ok (m, Miss))
 
 let similarity t ~g1 ~g2 ~sim =
-  let gen0 = generation t in
-  match (graph t g1, graph t g2) with
+  match (pin t g1, pin t g2) with
   | (Error _ as e), _ | _, (Error _ as e) -> e
-  | Ok ga, Ok gb -> (
+  | Ok p1, Ok p2 -> (
       match sim with
       | Named n -> (
-          match mat t n with
+          match pin_mat t n with
           | Error _ as e -> e
-          | Ok m ->
-              if Simmat.n1 m <> D.n ga || Simmat.n2 m <> D.n gb then
-                Error
-                  (Printf.sprintf
-                     "matrix %s is %dx%d but graphs %s/%s are %dx%d" n
-                     (Simmat.n1 m) (Simmat.n2 m) g1 g2 (D.n ga) (D.n gb))
-              else Ok (m, Catalog))
-      | Equality | Shingles -> (
-          let key = K_matrix (g1, g2, sim_to_string sim) in
-          match Lru.find t.cache key with
-          | Some (A_matrix m) -> Ok (m, Hit)
-          | Some _ | None ->
-              let m =
-                Obs.span "similarity" (fun () ->
-                    match sim with
-                    | Equality -> Simmat.of_label_equality ga gb
-                    | Shingles -> Shingle.matrix (D.labels ga) (D.labels gb)
-                    | Named _ -> assert false)
-              in
-              put_artifact t ~gen0 key (A_matrix m);
-              Ok (m, Miss)))
+          | Ok mv -> similarity_pinned ~matv:mv t ~p1 ~p2 ~sim)
+      | Equality | Shingles -> similarity_pinned t ~p1 ~p2 ~sim)
 
-let candidates ?budget t ~instance ~g1 ~g2 ~sim ~hops =
+(* the pair signature: which loaded content a candidate table (or count)
+   was derived from. A weak component is relevant when it contains a node
+   that clears the similarity threshold against the other graph — paths
+   never leave a weak component and threshold-failing nodes are
+   unmatchable whatever the structure, so content changes confined to
+   irrelevant components cannot change the artifact, and their signature
+   is deliberately left out: edits there keep these keys warm. *)
+let pair_sig ~p1 ~p2 ~sim ~matv ~mat ~xi =
+  let simtag =
+    match (sim, matv) with
+    | Named _, Some (_, crc) -> "m:" ^ crc
+    | _ -> "l:" ^ p1.pin_lsig ^ "." ^ p2.pin_lsig
+  in
+  let n1 = D.n p1.pin_graph and n2 = D.n p2.pin_graph in
+  let rel1 = Array.make n1 false and rel2 = Array.make n2 false in
+  for v = 0 to n1 - 1 do
+    for u = 0 to n2 - 1 do
+      if Simmat.get mat v u >= xi then begin
+        rel1.(v) <- true;
+        rel2.(u) <- true
+      end
+    done
+  done;
+  let side p rel =
+    let seen = Hashtbl.create 8 in
+    Array.iteri
+      (fun v r ->
+        if r && not (Hashtbl.mem seen p.pin_rep.(v)) then
+          Hashtbl.add seen p.pin_rep.(v) p.pin_crc.(v))
+      rel;
+    let comps = Hashtbl.fold (fun r c acc -> (r, c) :: acc) seen [] in
+    match List.sort compare comps with
+    | [] -> "-"
+    | cs ->
+        String.concat ","
+          (List.map (fun (r, c) -> Printf.sprintf "%d:%s" r c) cs)
+  in
+  Printf.sprintf "%s|%s|%s" simtag (side p1 rel1) (side p2 rel2)
+
+let candidates_pinned ?budget ?matv t ~instance ~p1 ~p2 ~sim ~hops =
   let gen0 = generation t in
+  let xi = instance.Phom.Instance.xi in
+  let psig = pair_sig ~p1 ~p2 ~sim ~matv ~mat:instance.Phom.Instance.mat ~xi in
   let key =
-    K_cands (g1, g2, sim_to_string sim, hops, instance.Phom.Instance.xi)
+    K_cands (p1.pin_name, p2.pin_name, sim_to_string sim, hops, xi, psig)
   in
   match Lru.find t.cache key with
   | Some (A_cands c) ->
@@ -354,17 +543,40 @@ let candidates ?budget t ~instance ~g1 ~g2 ~sim ~hops =
       Hit
   | Some _ | None ->
       let c = Phom.Instance.candidates instance in
-      if cacheable budget then put_artifact t ~gen0 key (A_cands c);
+      if cacheable budget then
+        put_artifact t ~gen0 ~pins:[ p1; p2 ] key (A_cands c);
+      Miss
+
+let candidates ?budget t ~instance ~g1 ~g2 ~sim ~hops =
+  let pins =
+    match (pin t g1, pin t g2) with
+    | Ok p1, Ok p2 -> (
+        match sim with
+        | Named n -> (
+            match pin_mat t n with
+            | Ok mv -> Some (p1, p2, Some mv)
+            | Error _ -> None)
+        | Equality | Shingles -> Some (p1, p2, None))
+    | _ -> None
+  in
+  match pins with
+  | Some (p1, p2, matv) ->
+      candidates_pinned ?budget ?matv t ~instance ~p1 ~p2 ~sim ~hops
+  | None ->
+      (* a graph vanished mid-call: answer from the instance, cache nothing *)
+      ignore (Phom.Instance.candidates instance);
       Miss
 
 (* the count verb's answer is itself a (tiny) cacheable artifact: the DP
    is deterministic, so a completed count for the same key is the answer.
    Only Complete runs are cached — a tripped count is a partial table, not
    an under-approximation — and a hit legitimately reports Complete *)
-let count ?budget ?pool t ~instance ~g1 ~g2 ~sim ~hops =
+let count_pinned ?budget ?pool ?matv t ~instance ~p1 ~p2 ~sim ~hops =
   let gen0 = generation t in
+  let xi = instance.Phom.Instance.xi in
+  let psig = pair_sig ~p1 ~p2 ~sim ~matv ~mat:instance.Phom.Instance.mat ~xi in
   let key =
-    K_count (g1, g2, sim_to_string sim, hops, instance.Phom.Instance.xi)
+    K_count (p1.pin_name, p2.pin_name, sim_to_string sim, hops, xi, psig)
   in
   match Lru.find t.cache key with
   | Some (A_count { count; exact; width }) ->
@@ -372,7 +584,7 @@ let count ?budget ?pool t ~instance ~g1 ~g2 ~sim ~hops =
   | Some _ | None ->
       let r = Phom.Api.count ?budget ?pool instance in
       if r.Phom.Dp.status = Budget.Complete && cacheable budget then
-        put_artifact t ~gen0 key
+        put_artifact t ~gen0 ~pins:[ p1; p2 ] key
           (A_count
              {
                count = r.Phom.Dp.count;
@@ -380,6 +592,152 @@ let count ?budget ?pool t ~instance ~g1 ~g2 ~sim ~hops =
                width = r.Phom.Dp.width;
              });
       (r, Miss)
+
+let count ?budget ?pool t ~instance ~g1 ~g2 ~sim ~hops =
+  let pins =
+    match (pin t g1, pin t g2) with
+    | Ok p1, Ok p2 -> (
+        match sim with
+        | Named n -> (
+            match pin_mat t n with
+            | Ok mv -> Some (p1, p2, Some mv)
+            | Error _ -> None)
+        | Equality | Shingles -> Some (p1, p2, None))
+    | _ -> None
+  in
+  match pins with
+  | Some (p1, p2, matv) ->
+      count_pinned ?budget ?pool ?matv t ~instance ~p1 ~p2 ~sim ~hops
+  | None -> (Phom.Api.count ?budget ?pool instance, Miss)
+
+(* ---- single-edge edits ---- *)
+
+type edit_result = {
+  applied : bool;  (** [false]: the target signature already held (no-op) *)
+  edges : int;  (** edge count after the call *)
+  crc : string;  (** content signature ([gsig]) after the call *)
+  closures : int;  (** closure artifacts maintained incrementally *)
+}
+
+let op_name = function `Add -> "add" | `Del -> "del"
+
+(* move every cached closure of [name] from the old signature to the new
+   one, updating the matrix incrementally instead of recomputing it.
+   Runs under the catalog lock, so no unload can interleave; the cache
+   insertions go straight to the Lru (the journal event for the edit
+   subsumes them — replay re-applies the edit and re-maintains). *)
+let maintain_closures t ~name ~before ~after ~op ~v ~w =
+  let moved = ref 0 in
+  List.iter
+    (fun (k, art) ->
+      match (k, art) with
+      | K_closure (n, s, hops), A_closure m
+        when n = name && s = before.gsig ->
+          let m' =
+            Obs.span "closure_incremental" (fun () ->
+                Phom_graph.Incremental.update ~hops ~before:before.g
+                  ~after:after.g ~op ~u:v ~v:w m)
+          in
+          ignore (Lru.remove_if t.cache (fun k' -> k' = k));
+          Lru.put t.cache (K_closure (n, after.gsig, hops)) (A_closure m');
+          incr moved
+      | _ -> ())
+    (Lru.bindings t.cache);
+  !moved
+
+let edit ?expect_crc t ~name ~op ~v ~w =
+  let result =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.entries name with
+        | None -> Error (Printf.sprintf "unknown graph %s (load it first)" name)
+        | Some (Mat _) ->
+            Error (Printf.sprintf "%s is a similarity matrix, not a graph" name)
+        | Some (Graph ge) ->
+            let n = D.n ge.g in
+            if v < 0 || v >= n || w < 0 || w >= n then
+              Error
+                (Printf.sprintf
+                   "edge %d->%d out of range (graph %s has %d nodes)" v w name
+                   n)
+            else if expect_crc = Some ge.gsig then
+              (* the state already carries the target signature: the edit
+                 was applied before (a router replay, a retried line) —
+                 succeed without changing anything *)
+              Ok
+                ( {
+                    applied = false;
+                    edges = D.nb_edges ge.g;
+                    crc = ge.gsig;
+                    closures = 0;
+                  },
+                  None )
+            else if op = `Add && D.has_edge ge.g v w then
+              Error
+                (Printf.sprintf "edge %d->%d is already present in %s" v w name)
+            else if op = `Del && not (D.has_edge ge.g v w) then
+              Error (Printf.sprintf "no edge %d->%d in %s" v w name)
+            else begin
+              let g' =
+                match op with
+                | `Add -> D.add_edge ge.g v w
+                | `Del -> D.remove_edge ge.g v w
+              in
+              let ge' = analyze g' in
+              match expect_crc with
+              | Some c when c <> ge'.gsig ->
+                  (* the caller pinned a target state and this edit does
+                     not produce it: refuse before committing anything *)
+                  Error
+                    (Printf.sprintf
+                       "%s: edit yields signature %s, caller expected %s" name
+                       ge'.gsig c)
+              | _ ->
+                  let closures =
+                    maintain_closures t ~name ~before:ge ~after:ge' ~op ~v ~w
+                  in
+                  Hashtbl.replace t.entries name (Graph ge');
+                  Ok
+                    ( {
+                        applied = true;
+                        edges = D.nb_edges g';
+                        crc = ge'.gsig;
+                        closures;
+                      },
+                      Some
+                        (Journal.Edit
+                           { name; op = op_name op; v; w; crc = ge'.gsig }) )
+            end)
+  in
+  match result with
+  | Error _ as e -> e
+  | Ok (r, ev) ->
+      Option.iter (emit t) ev;
+      Ok r
+
+let graph_sig t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Graph ge) -> Some ge.gsig
+      | _ -> None)
+
+(* ---- the warm-start solution store ---- *)
+
+(* bounded: a runaway key space (many distinct solve shapes) must not
+   grow without limit; the store is an optimization, so dropping it
+   wholesale is always safe *)
+let max_solutions = 1024
+
+let remember_solution t ~key ~g1 ~g2 mapping =
+  locked t (fun () ->
+      if
+        Hashtbl.length t.solutions >= max_solutions
+        && not (Hashtbl.mem t.solutions key)
+      then Hashtbl.reset t.solutions;
+      Hashtbl.replace t.solutions key (g1, g2, mapping))
+
+let recall_solution t ~key =
+  locked t (fun () ->
+      Option.map (fun (_, _, m) -> m) (Hashtbl.find_opt t.solutions key))
 
 let cache_stats t = Lru.stats t.cache
 
@@ -410,18 +768,24 @@ let export t =
 
 (* a decoded artifact must still agree with its key and with the restored
    graphs before it is trusted — a corrupt snapshot whose CRC happens to
-   pass (or a stale key) is quarantined here, not served *)
+   pass (or a stale key) is quarantined here, not served. Signatures are
+   content-derived, so a consistent snapshot's closure keys match the
+   restored graphs exactly; a closure whose signature contradicts the
+   restored content is stale and rejected. *)
 let artifact_plausible t key art =
   match (key, art) with
-  | K_closure (g, _), A_closure m -> (
-      match graph t g with
-      | Ok dg -> BM.rows m = D.n dg && BM.cols m = D.n dg
+  | K_closure (g, s, _), A_closure m -> (
+      match pin t g with
+      | Ok p ->
+          BM.rows m = D.n p.pin_graph
+          && BM.cols m = D.n p.pin_graph
+          && s = p.pin_sig
       | Error _ -> false)
-  | K_matrix (g1, g2, _), A_matrix m -> (
+  | K_matrix (g1, g2, _, _), A_matrix m -> (
       match (graph t g1, graph t g2) with
       | Ok a, Ok b -> Simmat.n1 m = D.n a && Simmat.n2 m = D.n b
       | _ -> false)
-  | K_cands (g1, g2, _, _, _), A_cands rows -> (
+  | K_cands (g1, g2, _, _, _, _), A_cands rows -> (
       match (graph t g1, graph t g2) with
       | Ok a, Ok b ->
           Array.length rows = D.n a
@@ -429,7 +793,7 @@ let artifact_plausible t key art =
                (Array.for_all (fun u -> u >= 0 && u < D.n b))
                rows
       | _ -> false)
-  | K_count (g1, g2, _, _, _), A_count { count; width; _ } -> (
+  | K_count (g1, g2, _, _, _, _), A_count { count; width; _ } -> (
       match (graph t g1, graph t g2) with
       | Ok a, Ok _ -> count >= 0 && width >= -1 && width < D.n a
       | _ -> false)
@@ -454,14 +818,14 @@ let restore_record t (r : Persist.record) =
         Error (r.name ^ ": snapshot graph exceeds the size cap")
       else
         match Phom_graph.Graph_io.of_string r.payload with
-        | Ok g -> insert_entry r.name (Graph g)
+        | Ok g -> insert_entry r.name (Graph (analyze g))
         | Error e -> Error (r.name ^ ": " ^ e))
   | "mat" -> (
       if String.length r.payload > t.max_mat_bytes then
         Error (r.name ^ ": snapshot matrix exceeds the size cap")
       else
         match Simmat.of_string r.payload with
-        | Ok m -> insert_entry r.name (Mat m)
+        | Ok m -> insert_entry r.name (Mat { m; crc = mat_crc m })
         | Error e -> Error (r.name ^ ": " ^ e))
   | "artifact" -> (
       match key_of_token r.name with
@@ -481,20 +845,23 @@ let restore_record t (r : Persist.record) =
   | kind -> Error (Printf.sprintf "%s: unknown record kind %s" r.name kind)
 
 (* recompute one artifact by key — the replay path for journaled artifact
-   events, reusing the exact serving-path derivations *)
+   events, reusing the exact serving-path derivations. The journaled
+   signature is informational: the recomputation keys itself against the
+   replayed catalog's current signatures, which is where the state has
+   converged by this point of the replay. *)
 let warm t key =
   let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
   match key with
-  | K_closure (name, hops) -> (
+  | K_closure (name, _, hops) -> (
       match closure t ~name ~hops with Ok _ -> Ok () | Error e -> Error e)
-  | K_matrix (g1, g2, sim_s) -> (
+  | K_matrix (g1, g2, sim_s, _) -> (
       match sim_of_string sim_s with
       | None -> Error (sim_s ^ ": unknown similarity kind")
       | Some sim -> (
           match similarity t ~g1 ~g2 ~sim with
           | Ok _ -> Ok ()
           | Error e -> Error e))
-  | K_cands (g1, g2, sim_s, hops, xi) -> (
+  | K_cands (g1, g2, sim_s, hops, xi, _) -> (
       match sim_of_string sim_s with
       | None -> Error (sim_s ^ ": unknown similarity kind")
       | Some sim -> (
@@ -507,7 +874,7 @@ let warm t key =
               ignore (candidates t ~instance ~g1 ~g2 ~sim ~hops);
               Ok ()
           | exception Invalid_argument m -> Error m))
-  | K_count (g1, g2, sim_s, hops, xi) -> (
+  | K_count (g1, g2, sim_s, hops, xi, _) -> (
       match sim_of_string sim_s with
       | None -> Error (sim_s ^ ": unknown similarity kind")
       | Some sim -> (
@@ -549,6 +916,22 @@ let apply_event t = function
           end)
   | Journal.Unload name -> (
       match unload t name with Ok _ -> Ok () | Error e -> Error e)
+  | Journal.Edit { name; op; v; w; crc } -> (
+      let op' =
+        match op with
+        | "add" -> Ok `Add
+        | "del" -> Ok `Del
+        | s -> Error (Printf.sprintf "%s: unknown edit op %s" name s)
+      in
+      match op' with
+      | Error _ as e -> e
+      | Ok op -> (
+          (* [expect_crc] both verifies convergence (the replayed edit must
+             reproduce the journaled signature) and makes replay idempotent
+             (a state already carrying it is a clean no-op) *)
+          match edit ~expect_crc:crc t ~name ~op ~v ~w with
+          | Ok _ -> Ok ()
+          | Error e -> Error e))
   | Journal.Artifact token -> (
       match key_of_token token with
       | None -> Error (token ^ ": unknown artifact key")

@@ -389,15 +389,40 @@ let budget_for st ~timeout ~steps =
   in
   (budget, fun () -> Atomic.set flag true)
 
+(* a named matrix is pinned alongside the graphs, so a job never mixes a
+   pre-edit graph with a matrix reloaded after its unload *)
+let pin_sim st (sim : Catalog.sim) =
+  match sim with
+  | Catalog.Named n -> Result.map Option.some (Catalog.pin_mat st.catalog n)
+  | Catalog.Equality | Catalog.Shingles -> Ok None
+
+(* the warm-start store is keyed by request shape WITHOUT content
+   signatures: that is the point — after an edit the shape is unchanged,
+   so the previous answer is recalled and repaired into a seed *)
+let solve_key (s : Protocol.solve) =
+  Printf.sprintf "%s/%s/%s/%s/%h/%s"
+    (Protocol.problem_token s.Protocol.problem)
+    s.Protocol.g1 s.Protocol.g2
+    (Catalog.sim_to_string s.Protocol.sim)
+    s.Protocol.xi
+    (match s.Protocol.hops with None -> "full" | Some k -> string_of_int k)
+
 (* split one solve request into what must run on the loop's domain (name
-   resolution, budget anchoring at receipt) and the job proper, which a
-   pool worker executes; [cancel] budget-trips the job from outside *)
+   resolution, snapshot pinning, budget anchoring at receipt) and the job
+   proper, which a pool worker executes; [cancel] budget-trips the job
+   from outside. Pinning at prepare is the edit/unload race fix: the job
+   computes against the pinned snapshot and keys artifacts against its
+   signatures, so a catalog mutation mid-flight makes lookups miss rather
+   than serve mismatched state. *)
 let prepare_solve st (s : Protocol.solve) =
   let ( let* ) r f =
     match r with Error e -> Error (error "%s" e) | Ok v -> f v
   in
-  let* g1 = Catalog.graph st.catalog s.Protocol.g1 in
-  let* g2 = Catalog.graph st.catalog s.Protocol.g2 in
+  let* p1 = Catalog.pin st.catalog s.Protocol.g1 in
+  let* p2 = Catalog.pin st.catalog s.Protocol.g2 in
+  let* matv = pin_sim st s.Protocol.sim in
+  let wkey = solve_key s in
+  let warm_start = Catalog.recall_solution st.catalog ~key:wkey in
   (* the budget is anchored at request receipt: artifact building, solving
      and reply formatting all draw on the same allowance *)
   let budget, cancel =
@@ -407,24 +432,25 @@ let prepare_solve st (s : Protocol.solve) =
   let job () =
     Faults.solve_delay ();
     let ( let* ) r f = match r with Error e -> error "%s" e | Ok v -> f v in
-    let* tc2, closure_prov =
-      Catalog.closure ~budget st.catalog ~name:s.Protocol.g2
-        ~hops:s.Protocol.hops
+    let g1 = p1.Catalog.pin_graph and g2 = p2.Catalog.pin_graph in
+    let tc2, closure_prov =
+      Catalog.closure_pinned ~budget st.catalog ~pin:p2 ~hops:s.Protocol.hops
     in
     let* mat, mat_prov =
-      Catalog.similarity st.catalog ~g1:s.Protocol.g1 ~g2:s.Protocol.g2
-        ~sim:s.Protocol.sim
+      Catalog.similarity_pinned ?matv st.catalog ~p1 ~p2 ~sim:s.Protocol.sim
     in
     let t = Phom.Instance.make ~tc2 ~g1 ~g2 ~mat ~xi:s.Protocol.xi () in
     let cands_prov =
-      Catalog.candidates ~budget st.catalog ~instance:t ~g1:s.Protocol.g1
-        ~g2:s.Protocol.g2 ~sim:s.Protocol.sim ~hops:s.Protocol.hops
+      Catalog.candidates_pinned ~budget ?matv st.catalog ~instance:t ~p1 ~p2
+        ~sim:s.Protocol.sim ~hops:s.Protocol.hops
     in
     let r =
       Api.solve_within ~algorithm:s.Protocol.algorithm
         ~partition:s.Protocol.partition ~compress:s.Protocol.compress ~budget
-        ?pool s.Protocol.problem t
+        ?pool ?warm_start s.Protocol.problem t
     in
+    Catalog.remember_solution st.catalog ~key:wkey ~g1:s.Protocol.g1
+      ~g2:s.Protocol.g2 r.Api.mapping;
     (* fast paths can finish between poll points; a final poll makes the
        deadline (and a drain cancellation) part of the reply contract *)
     let status =
@@ -453,8 +479,9 @@ let prepare_count st (c : Protocol.count) =
   let ( let* ) r f =
     match r with Error e -> Error (error "%s" e) | Ok v -> f v
   in
-  let* g1 = Catalog.graph st.catalog c.Protocol.g1 in
-  let* g2 = Catalog.graph st.catalog c.Protocol.g2 in
+  let* p1 = Catalog.pin st.catalog c.Protocol.g1 in
+  let* p2 = Catalog.pin st.catalog c.Protocol.g2 in
+  let* matv = pin_sim st c.Protocol.sim in
   let budget, cancel =
     budget_for st ~timeout:c.Protocol.timeout ~steps:c.Protocol.steps
   in
@@ -462,22 +489,21 @@ let prepare_count st (c : Protocol.count) =
   let job () =
     Faults.solve_delay ();
     let ( let* ) r f = match r with Error e -> error "%s" e | Ok v -> f v in
-    let* tc2, closure_prov =
-      Catalog.closure ~budget st.catalog ~name:c.Protocol.g2
-        ~hops:c.Protocol.hops
+    let g1 = p1.Catalog.pin_graph and g2 = p2.Catalog.pin_graph in
+    let tc2, closure_prov =
+      Catalog.closure_pinned ~budget st.catalog ~pin:p2 ~hops:c.Protocol.hops
     in
     let* mat, mat_prov =
-      Catalog.similarity st.catalog ~g1:c.Protocol.g1 ~g2:c.Protocol.g2
-        ~sim:c.Protocol.sim
+      Catalog.similarity_pinned ?matv st.catalog ~p1 ~p2 ~sim:c.Protocol.sim
     in
     let t = Phom.Instance.make ~tc2 ~g1 ~g2 ~mat ~xi:c.Protocol.xi () in
     let cands_prov =
-      Catalog.candidates ~budget st.catalog ~instance:t ~g1:c.Protocol.g1
-        ~g2:c.Protocol.g2 ~sim:c.Protocol.sim ~hops:c.Protocol.hops
+      Catalog.candidates_pinned ~budget ?matv st.catalog ~instance:t ~p1 ~p2
+        ~sim:c.Protocol.sim ~hops:c.Protocol.hops
     in
     let r, count_prov =
-      Catalog.count ~budget ?pool st.catalog ~instance:t ~g1:c.Protocol.g1
-        ~g2:c.Protocol.g2 ~sim:c.Protocol.sim ~hops:c.Protocol.hops
+      Catalog.count_pinned ~budget ?pool ?matv st.catalog ~instance:t ~p1 ~p2
+        ~sim:c.Protocol.sim ~hops:c.Protocol.hops
     in
     let status =
       match r.Phom.Dp.status with
@@ -541,6 +567,24 @@ let dispatch st req =
   | Protocol.Unload name -> (
       match Catalog.unload st.catalog name with
       | Ok artifacts -> ok "unloaded %s artifacts=%d" name artifacts
+      | Error e -> error "%s" e)
+  | Protocol.Edit e -> (
+      let op_token = match e.Protocol.op with `Add -> "add" | `Del -> "del" in
+      match
+        Catalog.edit ?expect_crc:e.Protocol.crc st.catalog
+          ~name:e.Protocol.name ~op:e.Protocol.op ~v:e.Protocol.v
+          ~w:e.Protocol.w
+      with
+      | Ok r ->
+          (* [crc=] is the post-edit content signature: a client (or the
+             router's replay log) hands it back as [--crc] to make
+             re-delivery idempotent; [closures=] counts the cached closure
+             matrices carried across the edit incrementally *)
+          ok "edited %s op=%s v=%d w=%d edges=%d crc=%s applied=%d closures=%d"
+            e.Protocol.name op_token e.Protocol.v e.Protocol.w r.Catalog.edges
+            r.Catalog.crc
+            (if r.Catalog.applied then 1 else 0)
+            r.Catalog.closures
       | Error e -> error "%s" e)
   | Protocol.Solve s -> solve_reply st s
   | Protocol.Count c -> count_reply st c

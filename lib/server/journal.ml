@@ -36,6 +36,9 @@ type event =
   | Load_graph of { name : string; path : string; crc : string }
   | Load_mat of { name : string; path : string; crc : string }
   | Unload of string
+  | Edit of { name : string; op : string; v : int; w : int; crc : string }
+      (** [op] is ["add"] or ["del"]; [crc] is the content signature of the
+          graph {e after} the edit, so replay verifies convergence *)
   | Artifact of string
 
 let header = "phomd-journal 1"
@@ -76,6 +79,8 @@ let body_of_event = function
   | Load_mat { name; path; crc } ->
       Printf.sprintf "load-mat %s %s %s" name (encode_path path) crc
   | Unload name -> "unload " ^ name
+  | Edit { name; op; v; w; crc } ->
+      Printf.sprintf "edit %s %s %d %d %s" name op v w crc
   | Artifact token -> "artifact " ^ token
 
 let event_of_body body =
@@ -85,6 +90,11 @@ let event_of_body body =
   | [ "load-mat"; name; path; crc ] ->
       Some (Load_mat { name; path = decode_path path; crc })
   | [ "unload"; name ] -> Some (Unload name)
+  | [ "edit"; name; op; v; w; crc ] -> (
+      match (op, int_of_string_opt v, int_of_string_opt w) with
+      | ("add" | "del"), Some v, Some w when v >= 0 && w >= 0 ->
+          Some (Edit { name; op; v; w; crc })
+      | _ -> None)
   | [ "artifact"; token ] -> Some (Artifact token)
   | _ -> None
 

@@ -35,6 +35,10 @@ type event =
   | Load_graph of { name : string; path : string; crc : string }
   | Load_mat of { name : string; path : string; crc : string }
   | Unload of string
+  | Edit of { name : string; op : string; v : int; w : int; crc : string }
+      (** a single-edge edit of a catalog graph: [op] is ["add"] or
+          ["del"], [crc] the content signature of the graph {e after} the
+          edit — replay re-applies the edit and verifies convergence *)
   | Artifact of string  (** a {!Catalog} artifact key token *)
 
 (** {1 Appending} *)

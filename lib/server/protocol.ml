@@ -24,6 +24,14 @@ type count = {
   sequential : bool;
 }
 
+type edit = {
+  name : string;
+  op : [ `Add | `Del ];
+  v : int;
+  w : int;
+  crc : string option;
+}
+
 type request =
   | Version
   | Ping
@@ -33,6 +41,7 @@ type request =
   | Load_graph of { name : string; path : string }
   | Load_mat of { name : string; path : string }
   | Unload of string
+  | Edit of edit
   | Solve of solve
   | Count of count
   | Shutdown
@@ -43,8 +52,8 @@ type request =
    verb lands *)
 let verbs =
   [
-    "version"; "ping"; "health"; "list"; "stats"; "load"; "unload"; "solve";
-    "count"; "shutdown"; "quit";
+    "version"; "ping"; "health"; "list"; "stats"; "load"; "unload"; "addedge";
+    "deledge"; "solve"; "count"; "shutdown"; "quit";
   ]
 
 let verb_summary = String.concat ", " verbs
@@ -189,6 +198,31 @@ let parse line =
   | "load" :: _ -> err "usage: load (graph|mat) NAME PATH"
   | [ "unload"; name ] -> Ok (Unload name)
   | "unload" :: _ -> err "usage: unload NAME"
+  | ("addedge" | "deledge") :: rest -> (
+      let verb = List.hd tokens in
+      let op = if verb = "addedge" then `Add else `Del in
+      let usage () = err "usage: %s GRAPH V W [--crc HEX]" verb in
+      let is_hex s =
+        s <> ""
+        && String.length s <= 16
+        && String.for_all
+             (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+             s
+      in
+      match rest with
+      | name :: v :: w :: crc_flags -> (
+          match (int_of v, int_of w) with
+          | Some v, Some w when v >= 0 && w >= 0 -> (
+              match crc_flags with
+              | [] -> Ok (Edit { name; op; v; w; crc = None })
+              | [ "--crc"; c ] when is_hex c ->
+                  Ok (Edit { name; op; v; w; crc = Some c })
+              | [ "--crc"; c ] ->
+                  err "--crc must be a hex checksum (got %s)" c
+              | [ "--crc" ] -> err "--crc needs a value"
+              | tok :: _ -> err "unknown %s flag %s" verb tok)
+          | _ -> err "%s: V and W must be non-negative node ids" verb)
+      | _ -> usage ())
   | "solve" :: problem :: g1 :: g2 :: flags -> (
       match problem_of_token problem with
       | None -> err "unknown problem %s (card, card11, sim or sim11)" problem

@@ -12,6 +12,8 @@
                | "load" "graph" NAME PATH
                | "load" "mat" NAME PATH
                | "unload" NAME
+               | "addedge" GRAPH V W ["--crc" HEX]
+               | "deledge" GRAPH V W ["--crc" HEX]
                | "solve" PROBLEM G1 G2 flag*
                | "count" G1 G2 cflag*
     PROBLEM  ::= "card" | "card11" | "sim" | "sim11"      (Table 1)
@@ -28,6 +30,16 @@
     into the data graph under the same candidate semantics as [solve]; it
     always runs the tree-decomposition DP, so the solve-only flags
     [--algorithm], [--partition] and [--compress] are rejected on it.
+
+    [addedge]/[deledge] (protocol 5) mutate a loaded graph in place — one
+    directed edge per request — while the daemon maintains the derived
+    state (cached closures, artifact keys) incrementally; the reply
+    reports the post-edit edge count and content signature ([crc=]).
+    [--crc] pins the {e post-edit} signature: if the live graph already
+    carries it the request is an acknowledged no-op ([applied=0]), and if
+    the edit would produce a different signature it is refused — this is
+    what makes re-delivered edit lines (router replay, retries) converge
+    instead of double-applying.
 
     [--jobs 1] forces the request onto the sequential code path (no pool
     job, no partition fan-out across domains); any other value uses the
@@ -62,6 +74,14 @@ type count = {
   sequential : bool;  (** [--jobs 1] *)
 }
 
+type edit = {
+  name : string;
+  op : [ `Add | `Del ];
+  v : int;
+  w : int;
+  crc : string option;  (** [--crc]: the expected post-edit signature *)
+}
+
 type request =
   | Version
   | Ping  (** liveness: replies [ok pong] even while draining *)
@@ -73,6 +93,7 @@ type request =
   | Load_graph of { name : string; path : string }
   | Load_mat of { name : string; path : string }
   | Unload of string
+  | Edit of edit
   | Solve of solve
   | Count of count
   | Shutdown

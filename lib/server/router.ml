@@ -125,8 +125,9 @@ type t = {
   now : unit -> float;
   sleep : float -> unit;
   lock : Mutex.t;
-  (* the replay log: successful load lines in arrival order, one per name;
-     replayed to a recovering replica before its breaker closes *)
+  (* the replay log: successful load lines (one per name) and edit lines
+     (in arrival order, each pinned to its post-edit CRC), replayed to a
+     recovering replica before its breaker closes *)
   mutable loads : (string * string) list;
   mutable failovers : int;
   mutable breaker_trips : int;
@@ -416,7 +417,37 @@ let broadcast t line ~track =
         List.filter (fun (n, _) -> n <> name) t.loads @ [ (name, line) ]
   | `Unload name, Some _ ->
       t.loads <- List.filter (fun (n, _) -> n <> name) t.loads
-  | (`Load _ | `Unload _ | `None), _ -> ());
+  | `Edit (e : Protocol.edit), Some reply ->
+      (* re-derive the replay line from the reply's crc= token rather than
+         recording the client's line verbatim: pinned to the post-edit
+         signature, re-delivery during recovery converges (a replica that
+         already carries the edit acknowledges it as a no-op) instead of
+         double-applying *)
+      let crc =
+        let marker = " crc=" in
+        let n = String.length reply and m = String.length marker in
+        let rec find i =
+          if i + m > n then None
+          else if String.sub reply i m = marker then
+            let stop = ref (i + m) in
+            while !stop < n && reply.[!stop] <> ' ' do incr stop done;
+            Some (String.sub reply (i + m) (!stop - i - m))
+          else find (i + 1)
+        in
+        find 0
+      in
+      Option.iter
+        (fun crc ->
+          let verb = match e.op with `Add -> "addedge" | `Del -> "deledge" in
+          t.loads <-
+            t.loads
+            @ [
+                ( e.Protocol.name,
+                  Printf.sprintf "%s %s %d %d --crc %s" verb e.Protocol.name
+                    e.Protocol.v e.Protocol.w crc );
+              ])
+        crc
+  | (`Load _ | `Unload _ | `Edit _ | `None), _ -> ());
   match (!ok_reply, !err_reply, !conn_err) with
   | Some r, _, _ -> Ok r
   | None, Some r, _ -> Ok r
@@ -443,6 +474,11 @@ let request t line =
         ->
           broadcast t line ~track:(`Load name)
       | Ok (Protocol.Unload name) -> broadcast t line ~track:(`Unload name)
+      | Ok (Protocol.Edit e) ->
+          (* an edit is a mutation like load/unload: every replica must
+             apply it, and a recovering replica replays it (CRC-pinned)
+             after its loads *)
+          broadcast t line ~track:(`Edit e)
       | Ok Protocol.Shutdown -> broadcast t line ~track:`None
       | Ok
           ( Protocol.Version | Protocol.Ping | Protocol.Health | Protocol.List

@@ -1,10 +1,11 @@
 (* The one version constant: the phom CLI (--version), the phomd daemon
    (--version and its startup banner) and the wire protocol's `version`
    command all read it from here, so the three can never disagree. *)
-let string = "1.6.0"
+let string = "1.7.0"
 
 (* line-protocol revision; bump on any incompatible grammar change
    (2: `stats` became a multi-line Prometheus reply, `ok stats <n>` + n lines;
     3: `ping`/`health` verbs, durability counters in `health` and `stats`;
-    4: `count` verb via the tree-decomposition DP, `--algorithm dp`) *)
-let protocol = 4
+    4: `count` verb via the tree-decomposition DP, `--algorithm dp`;
+    5: `addedge`/`deledge` single-edge edits with `--crc` idempotency) *)
+let protocol = 5

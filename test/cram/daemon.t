@@ -7,16 +7,16 @@ Start the daemon in the background and wait for its socket:
   $ ../../bin/phomd.exe --socket d.sock --jobs 2 --metrics-dump metrics.prom > phomd.log 2>&1 &
   $ for i in $(seq 1 150); do grep -q listening phomd.log 2> /dev/null && break; sleep 0.1; done
   $ cat phomd.log
-  phomd 1.6.0 listening on d.sock
+  phomd 1.7.0 listening on d.sock
 
 Both binaries report the same version:
 
   $ ../../bin/main.exe --version
-  1.6.0
+  1.7.0
   $ ../../bin/phomd.exe --version
-  1.6.0
+  1.7.0
   $ ../../bin/main.exe client d.sock version
-  ok phomd 1.6.0 protocol 4
+  ok phomd 1.7.0 protocol 5
 
 Load the Figure-1 graphs and the external similarity matrix:
 
@@ -103,7 +103,7 @@ Unloading a graph invalidates every artifact derived from it:
 Protocol errors do not kill the connection:
 
   $ ../../bin/main.exe client d.sock frobnicate
-  error unknown command frobnicate (version, ping, health, list, stats, load, unload, solve, count, shutdown, quit)
+  error unknown command frobnicate (version, ping, health, list, stats, load, unload, addedge, deledge, solve, count, shutdown, quit)
   [1]
 
 Shut the daemon down; it unlinks its socket on the way out:
@@ -116,7 +116,7 @@ Shut the daemon down; it unlinks its socket on the way out:
 
 --metrics-dump wrote a final snapshot of the same registry on the way out:
 
-  $ grep -q 'phom_build_info{version="1.6.0"} 1' metrics.prom && echo build info ok
+  $ grep -q 'phom_build_info{version="1.7.0"} 1' metrics.prom && echo build info ok
   build info ok
   $ grep -E '^phom_cache_hits_total ' metrics.prom
   phom_cache_hits_total 5

@@ -32,7 +32,7 @@ was evicted at its idle deadline (the hold client exits cleanly — its
 connection was closed under it, which it never noticed):
 
   $ ../../bin/main.exe client d.sock version
-  ok phomd 1.6.0 protocol 4
+  ok phomd 1.7.0 protocol 5
   $ wait $HOLD
   $ ../../bin/main.exe client d.sock stats | grep -E '^phom_daemon_connections_(shed|evicted)_total '
   phom_daemon_connections_evicted_total 1

@@ -1,0 +1,96 @@
+Dynamic graphs, end to end: drive a durable daemon through load → edit →
+warm re-solve, kill -9 it, and check that recovery replays the edits (so
+the restarted daemon serves the edited graph, warm) and that CRC-pinned
+edit lines are idempotent on replay and over the wire.
+
+  $ ../../bin/phomd.exe --socket d.sock --state-dir state --fsync always > phomd.log 2>&1 &
+  $ PHOMD=$!
+  $ for i in $(seq 1 150); do grep -q listening phomd.log 2> /dev/null && break; sleep 0.1; done
+  $ ../../bin/main.exe client d.sock ping
+  ok pong
+
+Load the Figure-1 graphs and warm the cache with one solve:
+
+  $ ../../bin/main.exe client d.sock load graph pat ../../data/fig1_pattern.phg
+  ok loaded graph pat nodes=6 edges=6
+  $ ../../bin/main.exe client d.sock load graph store ../../data/fig1_store.phg
+  ok loaded graph store nodes=14 edges=14
+  $ ../../bin/main.exe client d.sock -- solve card pat store --sim shingles --xi 0.5 > cold.txt 2>&1 || true
+  $ grep -o 'cache=[^ ]*' cold.txt
+  cache=closure:miss,mat:miss,cands:miss
+
+An edge edit mutates the loaded graph in place. The cached closure is not
+dropped: it is maintained incrementally and re-keyed under the new content
+signature (closures=1), and the reply reports the new signature:
+
+  $ ../../bin/main.exe client d.sock addedge store 0 5
+  ok edited store op=add v=0 w=5 edges=15 crc=ba0a9ba2 applied=1 closures=1
+  $ ../../bin/main.exe client d.sock -- solve card pat store --sim shingles --xi 0.5 > after_add.txt 2>&1 || true
+  $ grep -o 'cache=[^ ]*' after_add.txt
+  cache=closure:hit,mat:hit,cands:miss
+
+The re-solve hit the maintained closure and the (label-keyed, hence
+edit-invariant) similarity matrix; only the candidate table was rebuilt.
+Deleting the same edge restores the original content, so the original
+signature — and with it every pre-edit artifact — is live again:
+
+  $ ../../bin/main.exe client d.sock deledge store 0 5 | grep -o 'applied=[0-9]*'
+  applied=1
+  $ ../../bin/main.exe client d.sock -- solve card pat store --sim shingles --xi 0.5 > undone.txt 2>&1 || true
+  $ grep -o 'cache=[^ ]*' undone.txt
+  cache=closure:hit,mat:hit,cands:hit
+  $ sed 's/ cache=[^ ]*//' cold.txt > cold_n.txt
+  $ sed 's/ cache=[^ ]*//' undone.txt > undone_n.txt
+  $ cmp cold_n.txt undone_n.txt && echo same answer as before the round trip
+  same answer as before the round trip
+
+Re-apply the edit, remember its signature, and take the pre-crash warm
+answer:
+
+  $ CRC=$(../../bin/main.exe client d.sock addedge store 0 5 | grep -o 'crc=[^ ]*' | cut -d= -f2)
+  $ ../../bin/main.exe client d.sock -- solve card pat store --sim shingles --xi 0.5 > warm_pre.txt 2>&1 || true
+  $ grep -o 'cache=[^ ]*' warm_pre.txt
+  cache=closure:hit,mat:hit,cands:hit
+
+Duplicate adds and missing dels are clean errors, and a CRC-pinned retry
+of an already-applied edit is an idempotent no-op:
+
+  $ ../../bin/main.exe client d.sock addedge store 0 5
+  error edge 0->5 is already present in store
+  [1]
+  $ ../../bin/main.exe client d.sock deledge store 5 0
+  error no edge 5->0 in store
+  [1]
+  $ ../../bin/main.exe client d.sock -- addedge store 0 5 --crc $CRC | grep -o 'applied=[0-9]*'
+  applied=0
+
+Kill the daemon without ceremony and restart it on the same state
+directory. Recovery replays the journal — including the edit events,
+which converge via their pinned signatures — so the edited graph comes
+back with nothing quarantined:
+
+  $ kill -9 $PHOMD
+  $ wait $PHOMD 2> /dev/null || true
+  $ ../../bin/phomd.exe --socket d.sock --state-dir state --fsync always > phomd2.log 2>&1 &
+  $ PHOMD=$!
+  $ for i in $(seq 1 150); do grep -q listening phomd2.log 2> /dev/null && break; sleep 0.1; done
+  $ ../../bin/main.exe client d.sock health | cut -d' ' -f1-4
+  ok health state=ready persist=true
+  $ ../../bin/main.exe client d.sock health | grep -o 'quarantined=[0-9]*'
+  quarantined=0
+  $ ../../bin/main.exe client d.sock list
+  ok graphs=[pat:6n/6e,store:14n/15e] mats=[]
+
+The recovered daemon still carries the edit (15 edges), its signature
+matches the pre-crash one, and the first query is warm and byte-identical
+to the pre-crash answer:
+
+  $ ../../bin/main.exe client d.sock -- addedge store 0 5 --crc $CRC | grep -o 'applied=[0-9]*'
+  applied=0
+  $ ../../bin/main.exe client d.sock -- solve card pat store --sim shingles --xi 0.5 > warm_post.txt 2>&1 || true
+  $ cmp warm_pre.txt warm_post.txt && echo identical after recovery
+  identical after recovery
+
+  $ ../../bin/main.exe client d.sock shutdown
+  ok shutting down
+  $ wait $PHOMD

@@ -168,6 +168,7 @@ let sample_events =
       { name = "pat"; path = "/tmp/dir with space/p.phg"; crc = "cbf43926" };
     Journal.Load_mat { name = "m"; path = "/tmp/m.phs"; crc = "00000000" };
     Journal.Artifact "closure/pat/full";
+    Journal.Edit { name = "pat"; op = "add"; v = 0; w = 3; crc = "deadbeef" };
     Journal.Unload "pat";
   ]
 
@@ -181,6 +182,8 @@ let event =
         | Journal.Load_mat { name; path; crc } ->
             Printf.sprintf "load-mat %s %s %s" name path crc
         | Journal.Unload n -> "unload " ^ n
+        | Journal.Edit { name; op; v; w; crc } ->
+            Printf.sprintf "edit %s %s %d %d %s" name op v w crc
         | Journal.Artifact t -> "artifact " ^ t))
     ( = )
 
@@ -189,7 +192,7 @@ let test_journal_roundtrip () =
       let path = Filename.concat dir "j.journal" in
       let j = ok_or_fail (Journal.open_append ~path ~fsync:Journal.Always) in
       List.iter (Journal.append j) sample_events;
-      Alcotest.(check int) "all appended" 4 (Journal.appended j);
+      Alcotest.(check int) "all appended" 5 (Journal.appended j);
       Alcotest.(check int) "no errors" 0 (Journal.errors j);
       Journal.close j;
       let events, quarantined = ok_or_fail (Journal.replay ~path) in
@@ -210,7 +213,7 @@ let test_journal_torn_tail_stops_replay () =
       Alcotest.(check int) "tear quarantined" 1 quarantined;
       Alcotest.(check (list event)) "replay stops at the tear"
         [ List.nth sample_events 0; List.nth sample_events 1;
-          List.nth sample_events 2 ]
+          List.nth sample_events 2; List.nth sample_events 3 ]
         events;
       (* a corrupted middle line also stops replay: order past it is
          untrustworthy *)

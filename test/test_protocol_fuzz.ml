@@ -27,6 +27,10 @@ let valid_requests =
     "load graph pat ../data/fig1_pattern.phg";
     "load mat mate ../data/fig1_mate.phs";
     "unload pat";
+    "addedge pat 0 3";
+    "deledge pat 0 1";
+    "addedge store 2 9 --crc deadbeef";
+    "deledge nosuch 99 -1";
     "solve card pat store --sim shingles --xi 0.5 --hops 2";
     "solve sim11 pat store --mat mate --timeout 1.5 --steps 100";
   ]

@@ -298,10 +298,10 @@ let test_ping_health () =
     (Helpers.count_substring ~needle:"persist=false" health = 1);
   Alcotest.(check bool) "zero recovery counters" true
     (Helpers.count_substring ~needle:"quarantined=0" health = 1);
-  (* ping/health are protocol 4: the banner must advertise it *)
+  (* addedge/deledge are protocol 5: the banner must advertise it *)
   let version, _ = exec st "version" in
-  Alcotest.(check bool) "protocol 4 advertised" true
-    (Helpers.count_substring ~needle:"protocol 4" version = 1)
+  Alcotest.(check bool) "protocol 5 advertised" true
+    (Helpers.count_substring ~needle:"protocol 5" version = 1)
 
 (* ---- live socket round trip ---- *)
 
